@@ -1,0 +1,198 @@
+package sharedopt
+
+// One benchmark per figure of the paper's evaluation section (Section 7),
+// each regenerating the figure's full series at a reduced trial count,
+// plus micro-benchmarks for the mechanisms and the query-engine
+// substrate. Regenerate the paper-scale numbers with cmd/experiments.
+
+import (
+	"testing"
+
+	"sharedopt/internal/astro"
+	"sharedopt/internal/core"
+	"sharedopt/internal/econ"
+	"sharedopt/internal/engine"
+	"sharedopt/internal/experiments"
+	"sharedopt/internal/stats"
+	"sharedopt/internal/workload"
+)
+
+// benchTrials keeps one benchmark iteration meaningful (full sweep,
+// averaged) without making -bench runs take minutes.
+const benchTrials = 20
+
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(id, benchTrials, 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1Astronomy regenerates Figure 1: the astronomy use-case's
+// utility and balance versus workload executions.
+func BenchmarkFig1Astronomy(b *testing.B) { benchFigure(b, "1") }
+
+// BenchmarkFig2aAdditiveSmall regenerates Figure 2(a): additive
+// optimization, 6-user collaboration, cost sweep.
+func BenchmarkFig2aAdditiveSmall(b *testing.B) { benchFigure(b, "2a") }
+
+// BenchmarkFig2bAdditiveLarge regenerates Figure 2(b): additive, 24 users.
+func BenchmarkFig2bAdditiveLarge(b *testing.B) { benchFigure(b, "2b") }
+
+// BenchmarkFig2cSubstSmall regenerates Figure 2(c): substitutive, 6 users.
+func BenchmarkFig2cSubstSmall(b *testing.B) { benchFigure(b, "2c") }
+
+// BenchmarkFig2dSubstLarge regenerates Figure 2(d): substitutive, 24 users.
+func BenchmarkFig2dSubstLarge(b *testing.B) { benchFigure(b, "2d") }
+
+// BenchmarkFig3aSingleSlot regenerates Figure 3(a): AddOn's advantage as
+// the slot count shrinks.
+func BenchmarkFig3aSingleSlot(b *testing.B) { benchFigure(b, "3a") }
+
+// BenchmarkFig3bMultiSlot regenerates Figure 3(b): AddOn's advantage as
+// bids stretch over more slots.
+func BenchmarkFig3bMultiSlot(b *testing.B) { benchFigure(b, "3b") }
+
+// BenchmarkFig4ArrivalSkew regenerates Figure 4: utility ratios under
+// uniform, early and late arrivals.
+func BenchmarkFig4ArrivalSkew(b *testing.B) { benchFigure(b, "4") }
+
+// BenchmarkFig5aLowSelectivity regenerates Figure 5(a): 3 substitutes of 4.
+func BenchmarkFig5aLowSelectivity(b *testing.B) { benchFigure(b, "5a") }
+
+// BenchmarkFig5bHighSelectivity regenerates Figure 5(b): 3 substitutes of 12.
+func BenchmarkFig5bHighSelectivity(b *testing.B) { benchFigure(b, "5b") }
+
+// BenchmarkAblationE1Efficiency regenerates ablation E1: AddOn vs the
+// hindsight-optimal utility bound.
+func BenchmarkAblationE1Efficiency(b *testing.B) { benchFigure(b, "E1") }
+
+// BenchmarkAblationE2EfficiencySubst regenerates ablation E2: SubstOn vs
+// the exact subset-enumeration optimum.
+func BenchmarkAblationE2EfficiencySubst(b *testing.B) { benchFigure(b, "E2") }
+
+// BenchmarkAblationE3NaiveGaming regenerates ablation E3: the naive
+// online strawman vs AddOn under value hiding.
+func BenchmarkAblationE3NaiveGaming(b *testing.B) { benchFigure(b, "E3") }
+
+// BenchmarkShapley measures one Shapley Value Mechanism run over 1000
+// bidders — the inner loop of every mechanism.
+func BenchmarkShapley(b *testing.B) {
+	r := stats.NewRNG(1)
+	bids := make(map[UserID]Money, 1000)
+	for u := 1; u <= 1000; u++ {
+		bids[UserID(u)] = Money(r.Int63n(int64(econ.Dollar)))
+	}
+	cost := FromDollars(300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Shapley(cost, bids); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAddOnGame measures a complete 12-slot AddOn game with 24
+// users — one Figure 2(b) trial.
+func BenchmarkAddOnGame(b *testing.B) {
+	r := stats.NewRNG(2)
+	sc := workload.Collaboration(r, 24, 12, FromDollars(1.5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		game := core.NewAddOn(sc.Opts[0])
+		for _, bid := range sc.Bids {
+			if err := game.Submit(core.OnlineBid{User: bid.User, Start: bid.Start,
+				End: bid.End, Values: bid.Values}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for t := Slot(1); t <= sc.Horizon; t++ {
+			game.AdvanceSlot()
+		}
+		game.Close()
+	}
+}
+
+// BenchmarkSubstOnGame measures a complete 12-slot SubstOn game with 24
+// users over 12 optimizations — one Figure 2(d) trial.
+func BenchmarkSubstOnGame(b *testing.B) {
+	r := stats.NewRNG(3)
+	sc := workload.Substitutes(r, 24, 12, 3, 12, FromDollars(1.5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		game := core.NewSubstOn(sc.Opts)
+		for _, bid := range sc.Bids {
+			if err := game.Submit(bid); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for t := Slot(1); t <= sc.Horizon; t++ {
+			game.AdvanceSlot()
+		}
+		game.Close()
+	}
+}
+
+// BenchmarkEngineHashJoin measures a 10k × 10k hash join through the
+// query engine.
+func BenchmarkEngineHashJoin(b *testing.B) {
+	r := stats.NewRNG(4)
+	left := engine.NewTable("l", engine.Schema{{Name: "k", Type: engine.Int64}})
+	right := engine.NewTable("r", engine.Schema{{Name: "k", Type: engine.Int64},
+		{Name: "v", Type: engine.Int64}})
+	for i := 0; i < 10_000; i++ {
+		left.MustAppend(engine.Row{engine.I(r.Int63n(5000))})
+		right.MustAppend(engine.Row{engine.I(r.Int63n(5000)), engine.I(int64(i))})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		meter := engine.NewMeter(engine.DefaultCostModel())
+		if _, err := engine.Scan(left, meter).
+			HashJoin(engine.Scan(right, meter), "k", "k").
+			GroupCount("k").Rows(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHaloFinder measures friends-of-friends clustering of one
+// 4000-particle snapshot.
+func BenchmarkHaloFinder(b *testing.B) {
+	cfg := astro.DefaultConfig()
+	u, err := astro.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := astro.FindHalos(u.Tables[0], 1.8, 8, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAstronomyScenario measures pricing one full astronomy-year
+// scenario (27 views, 4 quarters, 6 users) with AddOn.
+func BenchmarkAstronomyScenario(b *testing.B) {
+	spans := [workload.AstroUsers]workload.QuarterSpan{
+		{Start: 1, Len: 4}, {Start: 1, Len: 2}, {Start: 3, Len: 2},
+		{Start: 2, Len: 3}, {Start: 2, Len: 1}, {Start: 4, Len: 1},
+	}
+	sc := workload.Astronomy(spans, 60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		game := core.NewAdditiveGame(sc.Opts)
+		for _, bid := range sc.Bids {
+			if err := game.Submit(bid.Opt, core.OnlineBid{User: bid.User,
+				Start: bid.Start, End: bid.End, Values: bid.Values}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for t := Slot(1); t <= sc.Horizon; t++ {
+			game.AdvanceSlot()
+		}
+		game.Close()
+	}
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"sharedopt/internal/astro"
+)
+
+// tinyConfig keeps the end-to-end measurement fast.
+func tinyConfig() astro.Config {
+	cfg := astro.DefaultConfig()
+	cfg.Particles = 500
+	cfg.Halos = 8
+	cfg.Snapshots = 13
+	cfg.Seed = 7
+	return cfg
+}
+
+func TestAstrosimEndToEnd(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, tinyConfig(), 2.5, 5, 2); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"generating universe: 500 particles × 13 snapshots",
+		"baseline (units)",
+		"γ1-full",
+		"γ2-every4th",
+		"derived per-execution savings",
+		"18¢", // the anchored final-view saving
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q\n%s", want, got)
+		}
+	}
+}
+
+func TestAstrosimRejectsBadConfig(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Particles = 0
+	if err := run(&strings.Builder{}, cfg, 2.5, 5, 2); err == nil {
+		t.Error("invalid universe accepted")
+	}
+	if err := run(&strings.Builder{}, tinyConfig(), 2.5, 5, 1000); err == nil {
+		t.Error("absurd halo demand accepted")
+	}
+}

@@ -1,0 +1,70 @@
+// Command experiments regenerates the figures of the paper's evaluation
+// section (Section 7) and prints them as text tables or CSV.
+//
+// Usage:
+//
+//	experiments -fig all                  # every figure, text tables
+//	experiments -fig 2a -trials 2000     # one figure, more trials
+//	experiments -fig 1 -format csv       # CSV for plotting
+//	experiments -fig 1 -exhaustive       # figure 1 over all 10^6 combos
+//
+// Effort semantics: -trials is the Monte-Carlo trial count per point for
+// figures 2–5 and the number of sampled quarter-span assignments for
+// figure 1 (unless -exhaustive).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"sharedopt/internal/experiments"
+)
+
+func main() {
+	var (
+		fig        = flag.String("fig", "all", "figure to regenerate: all, 1, 1e, 2a, 2b, 2c, 2d, 3a, 3b, 4, 5a, 5b, E1, E2, E3")
+		trials     = flag.Int("trials", 1000, "Monte-Carlo trials per point (samples for figure 1)")
+		seed       = flag.Uint64("seed", 42, "random seed")
+		format     = flag.String("format", "table", "output format: table or csv")
+		exhaustive = flag.Bool("exhaustive", false, "figure 1 only: enumerate all 10^6 span assignments")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *fig, *trials, *seed, *format, *exhaustive); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, fig string, trials int, seed uint64, format string, exhaustive bool) error {
+	if format != "table" && format != "csv" {
+		return fmt.Errorf("unknown format %q", format)
+	}
+	ids := []string{fig}
+	if fig == "all" {
+		ids = experiments.FigureIDs()
+	}
+	for _, id := range ids {
+		var figure *experiments.Figure
+		var err error
+		if id == "1" && exhaustive {
+			cfg := experiments.Fig1DefaultConfig(1, seed)
+			cfg.Exhaustive = true
+			figure, err = experiments.Fig1(cfg)
+		} else {
+			figure, err = experiments.Run(id, trials, seed)
+		}
+		if err != nil {
+			return err
+		}
+		switch format {
+		case "table":
+			fmt.Fprintln(w, figure.Table())
+		case "csv":
+			fmt.Fprintf(w, "# Figure %s: %s\n%s\n", figure.ID, figure.Title, strings.TrimRight(figure.CSV(), "\n"))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigureTable(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, "2a", 5, 1, "table", false); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"Figure 2a", "AddOn Utility", "Regret Balance", "0.03"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunCSVFormat(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, "5a", 3, 1, "csv", false); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.HasPrefix(got, "# Figure 5a") {
+		t.Errorf("CSV header missing: %q", got[:40])
+	}
+	if !strings.Contains(got, "Optimization cost ($),SubstOn Utility,Regret Utility") {
+		t.Errorf("CSV column header missing:\n%s", got)
+	}
+}
+
+func TestRunAllFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("all-figure sweep in short mode")
+	}
+	var out strings.Builder
+	if err := run(&out, "all", 3, 1, "table", false); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"Figure 1", "Figure 2a", "Figure 5b", "Figure E3"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("all-run missing %s", id)
+		}
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, "2a", 5, 1, "xml", false); err == nil {
+		t.Error("bad format accepted")
+	}
+	if err := run(&out, "zz", 5, 1, "table", false); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}

@@ -1,0 +1,68 @@
+// Astronomy: the paper's motivating use-case (Section 2) end to end. Six
+// astronomers trace halo evolution across 27 universe-simulation
+// snapshots; 27 per-snapshot materialized views are the optimizations.
+// This example prices one year of collaboration through the public
+// Service API using the paper's measured per-execution savings, then
+// regenerates a small version of Figure 1.
+//
+// Run with: go run ./examples/astronomy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sharedopt"
+)
+
+func main() {
+	// Build the year-long additive game: 27 views at $2.31 each over 4
+	// quarter slots. Every astronomer executes her workload 60 times,
+	// subscribing for the spans below.
+	spans := [sharedopt.AstronomyUsers]sharedopt.QuarterSpan{
+		{Start: 1, Len: 4}, // γ1 full-trace astronomer, all year
+		{Start: 1, Len: 2},
+		{Start: 3, Len: 2},
+		{Start: 2, Len: 3}, // γ2 full-trace astronomer
+		{Start: 2, Len: 1},
+		{Start: 4, Len: 1},
+	}
+	const executions = 60
+	opts, bids, horizon := sharedopt.AstronomyScenario(spans, executions)
+
+	svc, err := sharedopt.NewAdditiveService(opts, horizon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, b := range bids {
+		if err := svc.SubmitAdditiveBid(b.Opt, b.Bid); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var implemented int
+	for q := sharedopt.Slot(1); q <= horizon; q++ {
+		report, err := svc.AdvanceSlot()
+		if err != nil {
+			log.Fatal(err)
+		}
+		implemented += len(report.Implemented)
+		fmt.Printf("quarter %d: %d views newly built, %d grants added\n",
+			q, len(report.Implemented), len(report.NewGrants))
+	}
+	fmt.Printf("\n%d of 27 views were worth building at %d executions/user\n",
+		implemented, executions)
+	for u := sharedopt.UserID(1); u <= sharedopt.AstronomyUsers; u++ {
+		invoice, _ := svc.Invoice(u)
+		fmt.Printf("astronomer %d pays %v for the year\n", u, invoice)
+	}
+	fmt.Printf("view costs %v fully recovered by %v of payments (surplus %v)\n\n",
+		svc.CostIncurred(), svc.Revenue(), svc.Surplus())
+
+	// Regenerate a quick Figure 1 (sampled; see cmd/experiments for the
+	// full version, and -fig 1e for the engine-derived variant).
+	fig, err := sharedopt.RunFigure("1", 150, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig.Table())
+}

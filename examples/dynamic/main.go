@@ -1,0 +1,62 @@
+// Dynamic collaboration: the paper's Example 3 played through the public
+// Service API. Users join and leave across three billing slots; the
+// per-user cost-share falls as newcomers join, and everyone pays the
+// share in force when they depart.
+//
+// Run with: go run ./examples/dynamic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sharedopt"
+)
+
+func main() {
+	// One optimization costing $100, priced over three slots.
+	svc, err := sharedopt.NewAdditiveService([]sharedopt.Optimization{
+		{ID: 1, Cost: sharedopt.FromDollars(100)},
+	}, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	submit := func(b sharedopt.OnlineBid) {
+		if err := svc.SubmitAdditiveBid(1, b); err != nil {
+			log.Fatal(err)
+		}
+	}
+	d := sharedopt.FromDollars
+
+	// Slot 1 bidders: user 1 needs the optimization badly for one slot;
+	// user 2 has a modest value spread over three slots.
+	submit(sharedopt.OnlineBid{User: 1, Start: 1, End: 1, Values: []sharedopt.Money{d(101)}})
+	submit(sharedopt.OnlineBid{User: 2, Start: 1, End: 3, Values: []sharedopt.Money{d(16), d(16), d(16)}})
+
+	report, err := svc.AdvanceSlot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("slot 1: implemented %v, grants %v\n", report.Implemented, report.NewGrants)
+	fmt.Printf("slot 1: user 1 departs paying %v (alone in the serviced set)\n",
+		report.Departures[1])
+
+	// Two more users arrive for slot 2; with four users ever serviced,
+	// the share drops to $25 — low enough for user 2's residual $32.
+	submit(sharedopt.OnlineBid{User: 3, Start: 2, End: 2, Values: []sharedopt.Money{d(26)}})
+	submit(sharedopt.OnlineBid{User: 4, Start: 2, End: 2, Values: []sharedopt.Money{d(26)}})
+	report, err = svc.AdvanceSlot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("slot 2: new grants %v, departures %v\n", report.NewGrants, report.Departures)
+
+	report, err = svc.AdvanceSlot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("slot 3: user 2 departs paying %v\n", report.Departures[2])
+
+	fmt.Printf("revenue %v against cost %v — surplus %v (never negative)\n",
+		svc.Revenue(), svc.CostIncurred(), svc.Surplus())
+}

@@ -1,0 +1,59 @@
+// Quickstart: price one shared optimization among three users with the
+// Shapley Value Mechanism, then a two-optimization offline game with the
+// AddOff mechanism.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sharedopt"
+)
+
+func main() {
+	// A $90 index; three users privately value it at $50, $45 and $20.
+	// The mechanism finds the largest self-supporting group: at $30
+	// each, all three could pay, but the $20 user declines; at $45 the
+	// remaining two are happy. It never loses money, and no user can
+	// do better by lying about her value.
+	res, err := sharedopt.PriceOne(sharedopt.FromDollars(90), map[sharedopt.UserID]sharedopt.Money{
+		1: sharedopt.FromDollars(50),
+		2: sharedopt.FromDollars(45),
+		3: sharedopt.FromDollars(20),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("single optimization ($90): serviced users %v, each pays %v\n",
+		res.Serviced, res.Share)
+
+	// Two independent (additive) optimizations priced in one shot.
+	opts := []sharedopt.Optimization{
+		{ID: 1, Cost: sharedopt.FromDollars(90)},
+		{ID: 2, Cost: sharedopt.FromDollars(300)},
+	}
+	bids := []sharedopt.AdditiveBid{
+		{User: 1, Opt: 1, Value: sharedopt.FromDollars(50)},
+		{User: 2, Opt: 1, Value: sharedopt.FromDollars(45)},
+		{User: 3, Opt: 1, Value: sharedopt.FromDollars(20)},
+		{User: 1, Opt: 2, Value: sharedopt.FromDollars(100)}, // 300 is out of reach
+		{User: 3, Opt: 2, Value: sharedopt.FromDollars(120)},
+	}
+	outcome, err := sharedopt.RunAddOff(opts, bids)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, opt := range opts {
+		if outcome.IsImplemented(opt.ID) {
+			fmt.Printf("optimization %d (%v): implemented for %v, revenue %v\n",
+				opt.ID, opt.Cost, outcome.Serviced[opt.ID], outcome.Revenue(opt.ID))
+		} else {
+			fmt.Printf("optimization %d (%v): not worth building\n", opt.ID, opt.Cost)
+		}
+	}
+	for u := sharedopt.UserID(1); u <= 3; u++ {
+		fmt.Printf("user %d pays %v in total\n", u, outcome.TotalPayment(u))
+	}
+}

@@ -1,0 +1,68 @@
+// Substitutable optimizations: the paper's Example 8 through the public
+// Service API. Three optimizations could each serve a user's workload
+// (say an index, a materialized view, and a replica that all fix the same
+// slow query); each user wants any one of her set, and the mechanism
+// implements the cheapest-per-user choices without ever letting a user
+// switch — the no-switch rule is what keeps the game truthful.
+//
+// Run with: go run ./examples/substitutes
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sharedopt"
+)
+
+func main() {
+	svc, err := sharedopt.NewSubstitutiveService([]sharedopt.Optimization{
+		{ID: 1, Cost: sharedopt.FromDollars(60)},  // index
+		{ID: 2, Cost: sharedopt.FromDollars(100)}, // materialized view
+		{ID: 3, Cost: sharedopt.FromDollars(50)},  // replica
+	}, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	submit := func(b sharedopt.OnlineSubstBid) {
+		if err := svc.SubmitSubstitutiveBid(b); err != nil {
+			log.Fatal(err)
+		}
+	}
+	d := sharedopt.FromDollars
+
+	// User 1 (slots 1-2) is happy with the index or the view.
+	submit(sharedopt.OnlineSubstBid{User: 1, Opts: []sharedopt.OptID{1, 2},
+		Start: 1, End: 2, Values: []sharedopt.Money{d(100), d(100)}})
+	r, err := svc.AdvanceSlot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("slot 1: implemented %v (the cheaper substitute), grants %v\n",
+		r.Implemented, r.NewGrants)
+
+	// User 2 (slots 2-3) would take any of the three; she joins the
+	// already-built index and halves its share.
+	submit(sharedopt.OnlineSubstBid{User: 2, Opts: []sharedopt.OptID{1, 2, 3},
+		Start: 2, End: 3, Values: []sharedopt.Money{d(100), d(100)}})
+	r, err = svc.AdvanceSlot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("slot 2: grants %v, user 1 departs paying %v\n", r.NewGrants, r.Departures[1])
+
+	// User 3 (slot 3) insists on the replica. User 2 is already bound
+	// to the index and does not switch, so user 3 carries the replica
+	// alone.
+	submit(sharedopt.OnlineSubstBid{User: 3, Opts: []sharedopt.OptID{3},
+		Start: 3, End: 3, Values: []sharedopt.Money{d(100)}})
+	r, err = svc.AdvanceSlot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("slot 3: implemented %v, departures: user 2 pays %v, user 3 pays %v\n",
+		r.Implemented, r.Departures[2], r.Departures[3])
+
+	fmt.Printf("revenue %v, cost %v, surplus %v\n",
+		svc.Revenue(), svc.CostIncurred(), svc.Surplus())
+}

@@ -1,0 +1,270 @@
+package astro
+
+import (
+	"testing"
+
+	"sharedopt/internal/engine"
+)
+
+// smallConfig keeps unit tests fast while preserving the workload's
+// structure. 13 snapshots is the smallest count at which even the
+// stride-4 user queries the final snapshot more often than any
+// intermediate one (4 vs 3 uses), preserving the paper's cost shape.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Particles = 900
+	cfg.Halos = 8
+	cfg.Snapshots = 13
+	cfg.Seed = 7
+	return cfg
+}
+
+func generate(t *testing.T, cfg Config) *Universe {
+	t.Helper()
+	u, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := smallConfig()
+	u := generate(t, cfg)
+	if len(u.Tables) != cfg.Snapshots || len(u.TrueHalo) != cfg.Snapshots {
+		t.Fatalf("%d tables, %d truth rows", len(u.Tables), len(u.TrueHalo))
+	}
+	for i, tbl := range u.Tables {
+		if tbl.Len() != cfg.Particles {
+			t.Errorf("snapshot %d has %d particles", i+1, tbl.Len())
+		}
+		xs, err := tbl.FloatCol("x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range xs {
+			if x < 0 || x >= cfg.BoxSize {
+				t.Fatalf("snapshot %d: x=%v outside [0,%v)", i+1, x, cfg.BoxSize)
+			}
+		}
+	}
+	// Ground truth references valid halos.
+	for _, h := range u.TrueHalo[0] {
+		if h < -1 || int(h) >= cfg.Halos {
+			t.Fatalf("truth halo %d out of range", h)
+		}
+	}
+	if _, err := u.Snapshot(0); err == nil {
+		t.Error("snapshot 0 should be out of range")
+	}
+	if _, err := u.Snapshot(cfg.Snapshots + 1); err == nil {
+		t.Error("snapshot beyond end should be out of range")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := generate(t, smallConfig())
+	b := generate(t, smallConfig())
+	for s := range a.Tables {
+		if a.Tables[s].Len() != b.Tables[s].Len() {
+			t.Fatalf("snapshot %d sizes differ", s)
+		}
+		for p := 0; p < a.Tables[s].Len(); p += 37 {
+			ra, rb := a.Tables[s].RowAt(p), b.Tables[s].RowAt(p)
+			for c := range ra {
+				if !ra[c].Equal(rb[c]) {
+					t.Fatalf("snapshot %d row %d differs", s, p)
+				}
+			}
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bads := []func(*Config){
+		func(c *Config) { c.Particles = 0 },
+		func(c *Config) { c.Halos = 0 },
+		func(c *Config) { c.Snapshots = 0 },
+		func(c *Config) { c.BoxSize = 0 },
+		func(c *Config) { c.HaloSigma = 0 },
+		func(c *Config) { c.MigrationRate = 1.5 },
+		func(c *Config) { c.BackgroundFrac = 1 },
+	}
+	for i, mutate := range bads {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+// The halo finder must recover the generator's ground-truth clusters: for
+// a universe with well-separated halos, particles sharing a true halo end
+// up in the same found halo.
+func TestFindHalosRecoversTruth(t *testing.T) {
+	cfg := smallConfig()
+	cfg.BackgroundFrac = 0 // keep the check crisp
+	cfg.Particles = 600
+	u := generate(t, cfg)
+	tbl := u.Tables[0]
+	assign, err := FindHalos(tbl, 2.5, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign.NumHalos() == 0 {
+		t.Fatal("no halos found")
+	}
+	// Majority mapping: true halo → most common found halo; measure
+	// agreement.
+	type key struct{ truth, found int32 }
+	votes := map[key]int{}
+	for p, truth := range u.TrueHalo[0] {
+		votes[key{truth, assign.Halo[p]}]++
+	}
+	best := map[int32]int{}
+	total := 0
+	for k, n := range votes {
+		total += n
+		if n > best[k.truth] {
+			best[k.truth] = n
+		}
+	}
+	agree := 0
+	for _, n := range best {
+		agree += n
+	}
+	if frac := float64(agree) / float64(total); frac < 0.9 {
+		t.Errorf("halo finder agrees with ground truth on %.2f of particles, want ≥ 0.9", frac)
+	}
+}
+
+// The brute-force O(n²) FoF is the reference; the grid version must
+// produce the identical partition.
+func TestFindHalosMatchesBruteForce(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Particles = 250
+	u := generate(t, cfg)
+	tbl := u.Tables[0]
+	const link, minMembers = 2.0, 3
+
+	grid, err := FindHalos(tbl, link, minMembers, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Brute force union-find over all pairs.
+	xs, _ := tbl.FloatCol("x")
+	ys, _ := tbl.FloatCol("y")
+	zs, _ := tbl.FloatCol("z")
+	n := tbl.Len()
+	uf := newUnionFind(n)
+	for p := 0; p < n; p++ {
+		for q := p + 1; q < n; q++ {
+			dx, dy, dz := xs[p]-xs[q], ys[p]-ys[q], zs[p]-zs[q]
+			if dx*dx+dy*dy+dz*dz <= link*link {
+				uf.union(p, q)
+			}
+		}
+	}
+	// Compare partitions restricted to clustered particles: two
+	// particles share a grid halo iff they share a brute-force root
+	// (of size >= minMembers).
+	rootSize := map[int]int{}
+	for p := 0; p < n; p++ {
+		rootSize[uf.find(p)]++
+	}
+	for p := 0; p < n; p++ {
+		clustered := rootSize[uf.find(p)] >= minMembers
+		if clustered != (grid.Halo[p] >= 0) {
+			t.Fatalf("particle %d: clustered=%v but grid halo %d", p, clustered, grid.Halo[p])
+		}
+	}
+	for p := 0; p < n; p += 7 {
+		for q := p + 1; q < n; q += 11 {
+			if grid.Halo[p] < 0 || grid.Halo[q] < 0 {
+				continue
+			}
+			same := uf.find(p) == uf.find(q)
+			if same != (grid.Halo[p] == grid.Halo[q]) {
+				t.Fatalf("pair (%d,%d): brute same=%v, grid %d vs %d",
+					p, q, same, grid.Halo[p], grid.Halo[q])
+			}
+		}
+	}
+}
+
+func TestFindHalosValidation(t *testing.T) {
+	u := generate(t, smallConfig())
+	if _, err := FindHalos(u.Tables[0], 0, 3, nil); err == nil {
+		t.Error("zero linking length accepted")
+	}
+	if _, err := FindHalos(u.Tables[0], 1, 0, nil); err == nil {
+		t.Error("zero min members accepted")
+	}
+	bad := engine.NewTable("bad", engine.Schema{{Name: "pid", Type: engine.Int64}})
+	if _, err := FindHalos(bad, 1, 1, nil); err == nil {
+		t.Error("table without coordinates accepted")
+	}
+}
+
+func TestFindHalosMetersWork(t *testing.T) {
+	u := generate(t, smallConfig())
+	meter := engine.NewMeter(engine.DefaultCostModel())
+	if _, err := FindHalos(u.Tables[0], 2.0, 5, meter); err != nil {
+		t.Fatal(err)
+	}
+	if meter.RowsScanned == 0 || meter.RowsBuilt == 0 || meter.RowsProbed == 0 {
+		t.Errorf("clustering left the meter untouched: %+v", meter)
+	}
+}
+
+func TestHaloSizesDescending(t *testing.T) {
+	u := generate(t, smallConfig())
+	assign, err := FindHalos(u.Tables[0], 2.5, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 1; h < assign.NumHalos(); h++ {
+		if assign.Sizes[h] > assign.Sizes[h-1] {
+			t.Fatalf("halo sizes not descending: %v", assign.Sizes)
+		}
+	}
+	if len(assign.Halo) != u.Tables[0].Len() {
+		t.Error("assignment length mismatch")
+	}
+}
+
+func TestAssignmentTableSkipsBackground(t *testing.T) {
+	a := &Assignment{Halo: []int32{0, -1, 1, 0}, Sizes: []int{2, 1}}
+	tbl := AssignmentTable("t", a)
+	if tbl.Len() != 3 {
+		t.Fatalf("assignment table has %d rows, want 3", tbl.Len())
+	}
+	pids, _ := tbl.IntCol("pid")
+	for _, pid := range pids {
+		if pid == 1 {
+			t.Error("background particle 1 should be skipped")
+		}
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := newUnionFind(6)
+	uf.union(0, 1)
+	uf.union(1, 2)
+	uf.union(4, 5)
+	if uf.find(0) != uf.find(2) {
+		t.Error("0 and 2 should be connected")
+	}
+	if uf.find(0) == uf.find(3) {
+		t.Error("0 and 3 should be separate")
+	}
+	if uf.find(4) != uf.find(5) {
+		t.Error("4 and 5 should be connected")
+	}
+	uf.union(0, 0) // self-union is a no-op
+	if uf.find(3) != 3 {
+		t.Error("singleton root changed")
+	}
+}

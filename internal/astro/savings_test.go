@@ -1,0 +1,151 @@
+package astro
+
+import (
+	"testing"
+	"time"
+
+	"sharedopt/internal/engine"
+)
+
+// measureSmall runs the full savings measurement on a compact universe.
+func measureSmall(t *testing.T) (*Universe, []UserSpec, *SavingsReport) {
+	t.Helper()
+	cfg := smallConfig()
+	u := generate(t, cfg)
+	tr := NewTracker(u, 2.5, 5)
+	users, err := DefaultUsers(tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := MeasureSavings(u, users, 2.5, 5, engine.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, users, report
+}
+
+// The measured cost structure must reproduce the paper's shape:
+// full-trace users cost more than strided users, and the final snapshot's
+// view saves far more than any intermediate view (it participates in
+// every direct-contribution query).
+func TestSavingsShapeMatchesPaper(t *testing.T) {
+	u, users, report := measureSmall(t)
+	final := len(u.Tables)
+
+	// Baselines ordered by stride within each γ group: stride 1 > 2 > 4.
+	for _, base := range [][3]int{{0, 1, 2}, {3, 4, 5}} {
+		b1 := report.BaselineUnits[base[0]]
+		b2 := report.BaselineUnits[base[1]]
+		b4 := report.BaselineUnits[base[2]]
+		if !(b1 > b2 && b2 > b4) {
+			t.Errorf("baselines not ordered by stride: %d, %d, %d", b1, b2, b4)
+		}
+	}
+
+	for ui := range users {
+		finalSaving := report.SavingUnits[ui][final-1]
+		if finalSaving <= 0 {
+			t.Errorf("user %d: final view saves %d", ui, finalSaving)
+			continue
+		}
+		for s := 1; s < final; s++ {
+			saving := report.SavingUnits[ui][s-1]
+			if saving > finalSaving {
+				t.Errorf("user %d: view %d saves %d > final view's %d",
+					ui, s, saving, finalSaving)
+			}
+		}
+	}
+
+	// A stride-2 user gains nothing from views on snapshots she skips.
+	stride2 := 1 // users[1] is γ1-every2nd
+	for s := 1; s < final; s++ {
+		if (final-s)%2 != 0 {
+			if saving := report.SavingUnits[stride2][s-1]; saving > 0 {
+				t.Errorf("stride-2 user saves %d from skipped snapshot %d", saving, s)
+			}
+		}
+	}
+}
+
+// Savings must be real: running with every view materialized costs no
+// more than baseline minus the largest single saving, and no single
+// saving exceeds the baseline.
+func TestSavingsAreConsistent(t *testing.T) {
+	_, users, report := measureSmall(t)
+	for ui := range users {
+		for s, saving := range report.SavingUnits[ui] {
+			if saving < 0 {
+				t.Errorf("user %d view %d: negative saving %d", ui, s+1, saving)
+			}
+			if saving > report.BaselineUnits[ui] {
+				t.Errorf("user %d view %d: saving %d exceeds baseline %d",
+					ui, s+1, saving, report.BaselineUnits[ui])
+			}
+		}
+	}
+}
+
+func TestSavingsDurationsAndDerivedCents(t *testing.T) {
+	u, _, report := measureSmall(t)
+	final := len(u.Tables)
+	if report.BaselineDuration(0) <= 0 {
+		t.Error("baseline duration should be positive")
+	}
+	if report.SavingDuration(0, final) <= 0 {
+		t.Error("final view saving duration should be positive")
+	}
+	if report.SavingDuration(0, final) >= report.BaselineDuration(0) {
+		t.Error("saving exceeds baseline duration")
+	}
+
+	cents, err := report.DeriveSavingsCents(18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cents[0][final-1] != 18 {
+		t.Errorf("anchor saving = %d cents, want 18", cents[0][final-1])
+	}
+	for ui := range cents {
+		for s := range cents[ui] {
+			if cents[ui][s] < 0 {
+				t.Errorf("user %d view %d: negative cents", ui, s+1)
+			}
+			if cents[ui][s] > 18 {
+				t.Errorf("user %d view %d: %d cents exceeds the anchor", ui, s+1, cents[ui][s])
+			}
+		}
+	}
+}
+
+func TestMeasureSavingsValidation(t *testing.T) {
+	u := generate(t, smallConfig())
+	if _, err := MeasureSavings(u, nil, 2.5, 5, engine.DefaultCostModel()); err == nil {
+		t.Error("no users accepted")
+	}
+}
+
+func TestDeriveSavingsCentsValidation(t *testing.T) {
+	empty := &SavingsReport{}
+	if _, err := empty.DeriveSavingsCents(18); err == nil {
+		t.Error("empty report accepted")
+	}
+	zero := &SavingsReport{SavingUnits: [][]int64{{0, 0}}}
+	if _, err := zero.DeriveSavingsCents(18); err == nil {
+		t.Error("zero anchor accepted")
+	}
+}
+
+func TestUnitsDuration(t *testing.T) {
+	model := engine.CostModel{WorkUnitsPerSecond: 1000}
+	if got := unitsDuration(1500, model); got != 1500*time.Millisecond {
+		t.Errorf("unitsDuration = %v, want 1.5s", got)
+	}
+	if got := unitsDuration(0, model); got != 0 {
+		t.Errorf("unitsDuration(0) = %v", got)
+	}
+	// A zero rate falls back to the default model's rate.
+	if got := unitsDuration(2_000_000, engine.CostModel{}); got != time.Second {
+		t.Errorf("fallback rate: %v", got)
+	}
+}

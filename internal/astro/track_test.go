@@ -1,0 +1,224 @@
+package astro
+
+import (
+	"testing"
+
+	"sharedopt/internal/engine"
+)
+
+func newTestTracker(t *testing.T) (*Universe, *Tracker) {
+	t.Helper()
+	u := generate(t, smallConfig())
+	return u, NewTracker(u, 2.5, 5)
+}
+
+func TestProgenitorFindsPlausibleParent(t *testing.T) {
+	u, tr := newTestTracker(t)
+	final := len(u.Tables)
+	meter := engine.NewMeter(engine.DefaultCostModel())
+	// Halo 0 is the largest halo in the final snapshot; with a modest
+	// migration rate its progenitor must exist.
+	parent, ok, err := tr.Progenitor(final, 0, final-1, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("largest halo has no progenitor")
+	}
+	if parent < 0 {
+		t.Fatalf("parent = %d", parent)
+	}
+	if meter.WorkUnits() == 0 {
+		t.Error("progenitor query charged no work")
+	}
+}
+
+// The materialized view must not change query answers, only their cost.
+func TestViewPreservesAnswers(t *testing.T) {
+	u, tr := newTestTracker(t)
+	final := len(u.Tables)
+
+	noView := make(map[int32]int32)
+	for g := int32(0); g < 3; g++ {
+		p, ok, err := tr.Progenitor(final, g, final-1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			noView[g] = p
+		}
+	}
+
+	if _, err := tr.MaterializeView(final, engine.NewMeter(engine.DefaultCostModel())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.MaterializeView(final-1, engine.NewMeter(engine.DefaultCostModel())); err != nil {
+		t.Fatal(err)
+	}
+	for g, want := range noView {
+		p, ok, err := tr.Progenitor(final, g, final-1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || p != want {
+			t.Errorf("halo %d: with views %d/%v, without %d", g, p, ok, want)
+		}
+	}
+}
+
+// The whole point of the optimization: with the views in place the same
+// query costs dramatically less.
+func TestViewReducesQueryCost(t *testing.T) {
+	u, tr := newTestTracker(t)
+	final := len(u.Tables)
+
+	before := engine.NewMeter(engine.DefaultCostModel())
+	if _, _, err := tr.Progenitor(final, 0, final-1, before); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := tr.MaterializeView(final, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.MaterializeView(final-1, nil); err != nil {
+		t.Fatal(err)
+	}
+	after := engine.NewMeter(engine.DefaultCostModel())
+	if _, _, err := tr.Progenitor(final, 0, final-1, after); err != nil {
+		t.Fatal(err)
+	}
+	if after.WorkUnits()*2 > before.WorkUnits() {
+		t.Errorf("views should at least halve the cost: %d -> %d",
+			before.WorkUnits(), after.WorkUnits())
+	}
+}
+
+// Cache hits must recharge the full clustering cost: two identical
+// queries cost the same, modelling independent query executions.
+func TestCacheRechargesClusteringCost(t *testing.T) {
+	_, tr := newTestTracker(t)
+	final := len(tr.u.Tables)
+	m1 := engine.NewMeter(engine.DefaultCostModel())
+	if _, _, err := tr.Progenitor(final, 0, final-1, m1); err != nil {
+		t.Fatal(err)
+	}
+	m2 := engine.NewMeter(engine.DefaultCostModel())
+	if _, _, err := tr.Progenitor(final, 0, final-1, m2); err != nil {
+		t.Fatal(err)
+	}
+	if m1.WorkUnits() != m2.WorkUnits() {
+		t.Errorf("repeat query cost %d, first cost %d", m2.WorkUnits(), m1.WorkUnits())
+	}
+}
+
+func TestMaterializeViewTwiceFails(t *testing.T) {
+	_, tr := newTestTracker(t)
+	if _, err := tr.MaterializeView(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.MaterializeView(1, nil); err == nil {
+		t.Error("second materialization accepted")
+	}
+	if !tr.HasView(1) {
+		t.Error("view missing")
+	}
+	tr.DropView(1)
+	if tr.HasView(1) {
+		t.Error("view not dropped")
+	}
+}
+
+func TestChainWalksBackward(t *testing.T) {
+	u, tr := newTestTracker(t)
+	final := len(u.Tables)
+	snaps := StridedSnapshots(2, final)
+	chain, err := tr.Chain(0, snaps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) < 2 {
+		t.Fatalf("chain too short: %v", chain)
+	}
+	if chain[0] != 0 {
+		t.Errorf("chain starts at %d", chain[0])
+	}
+	if len(chain) > len(snaps) {
+		t.Errorf("chain of %d halos over %d snapshots", len(chain), len(snaps))
+	}
+	if _, err := tr.Chain(0, nil, nil); err == nil {
+		t.Error("empty snapshot list accepted")
+	}
+}
+
+func TestStridedSnapshots(t *testing.T) {
+	got := StridedSnapshots(4, 27)
+	want := []int{27, 23, 19, 15, 11, 7, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if n := len(StridedSnapshots(2, 27)); n != 14 {
+		t.Errorf("stride 2 over 27 gives %d snapshots, want 14", n)
+	}
+	if n := len(StridedSnapshots(1, 27)); n != 27 {
+		t.Errorf("stride 1 over 27 gives %d snapshots, want 27", n)
+	}
+}
+
+func TestRunWorkloadAndDefaultUsers(t *testing.T) {
+	_, tr := newTestTracker(t)
+	users, err := DefaultUsers(tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(users) != 6 {
+		t.Fatalf("%d users, want 6", len(users))
+	}
+	strides := map[int]int{}
+	for _, spec := range users {
+		strides[spec.Stride]++
+		if len(spec.Halos) != 2 {
+			t.Errorf("user %s tracks %d halos", spec.Name, len(spec.Halos))
+		}
+	}
+	if strides[1] != 2 || strides[2] != 2 || strides[4] != 2 {
+		t.Errorf("stride distribution %v", strides)
+	}
+	// γ1 and γ2 are disjoint.
+	seen := map[int32]string{}
+	for _, spec := range users[:1] {
+		for _, h := range spec.Halos {
+			seen[h] = spec.Name
+		}
+	}
+	for _, h := range users[3].Halos {
+		if _, dup := seen[h]; dup {
+			t.Errorf("halo %d appears in both γ1 and γ2", h)
+		}
+	}
+
+	meter := engine.NewMeter(engine.DefaultCostModel())
+	if err := tr.RunWorkload(users[2], meter); err != nil { // stride 4: cheapest
+		t.Fatal(err)
+	}
+	if meter.WorkUnits() == 0 {
+		t.Error("workload charged no work")
+	}
+
+	if err := tr.RunWorkload(UserSpec{Name: "bad", Stride: 0, Halos: []int32{0}}, nil); err == nil {
+		t.Error("zero stride accepted")
+	}
+	if err := tr.RunWorkload(UserSpec{Name: "bad", Stride: 1}, nil); err == nil {
+		t.Error("empty halo set accepted")
+	}
+	if _, err := DefaultUsers(tr, 0); err == nil {
+		t.Error("zero halos per set accepted")
+	}
+	if _, err := DefaultUsers(tr, 1000); err == nil {
+		t.Error("absurd halos per set accepted")
+	}
+}

@@ -1,0 +1,106 @@
+package astro
+
+import (
+	"fmt"
+
+	"sharedopt/internal/engine"
+)
+
+// UserSpec is one astronomer's workload: the halos she tracks in the
+// final snapshot and the stride at which she samples snapshots (1 = every
+// snapshot, 2 = every 2nd, 4 = every 4th — the paper's exploratory
+// variants).
+type UserSpec struct {
+	Name   string
+	Stride int
+	Halos  []int32
+}
+
+// StridedSnapshots returns the 1-based snapshots a stride-k user queries,
+// descending from the final snapshot: total, total-k, total-2k, ... ≥ 1.
+func StridedSnapshots(stride, total int) []int {
+	if stride < 1 || total < 1 {
+		panic(fmt.Sprintf("astro: strided snapshots stride=%d total=%d", stride, total))
+	}
+	var out []int
+	for s := total; s >= 1; s -= stride {
+		out = append(out, s)
+	}
+	return out
+}
+
+// RunWorkload executes one astronomer's full workload, charging all work
+// to meter. Per tracked halo g it runs the two paper queries:
+//
+//	(a) for every earlier strided snapshot t, the halo of t contributing
+//	    the most particles to g (each query pairs the final snapshot
+//	    with t — this is why the final snapshot's view is so valuable);
+//	(b) the recursive progenitor chain down the strided snapshots.
+func (tr *Tracker) RunWorkload(spec UserSpec, meter *engine.Meter) error {
+	if spec.Stride < 1 {
+		return fmt.Errorf("astro: user %s: stride %d", spec.Name, spec.Stride)
+	}
+	if len(spec.Halos) == 0 {
+		return fmt.Errorf("astro: user %s: no tracked halos", spec.Name)
+	}
+	total := len(tr.u.Tables)
+	snaps := StridedSnapshots(spec.Stride, total)
+	for _, g := range spec.Halos {
+		// (a) Direct contribution queries from the final snapshot.
+		for _, t := range snaps[1:] {
+			if _, _, err := tr.Progenitor(total, g, t, meter); err != nil {
+				return fmt.Errorf("astro: user %s halo %d vs snapshot %d: %w",
+					spec.Name, g, t, err)
+			}
+		}
+		// (b) The recursive evolution chain.
+		if _, err := tr.Chain(g, snaps, meter); err != nil {
+			return fmt.Errorf("astro: user %s halo %d chain: %w", spec.Name, g, err)
+		}
+	}
+	return nil
+}
+
+// DefaultUsers builds the paper's six astronomers over a universe: the
+// halo sets γ1 and γ2 are drawn from the largest halos of the final
+// snapshot, and each set is studied at strides 1, 2 and 4.
+func DefaultUsers(tr *Tracker, halosPerSet int) ([]UserSpec, error) {
+	if halosPerSet < 1 {
+		return nil, fmt.Errorf("astro: halos per set %d", halosPerSet)
+	}
+	final := len(tr.u.Tables)
+	tbl, err := tr.assignment(final, nil)
+	if err != nil {
+		return nil, err
+	}
+	halos, err := tbl.IntCol("halo")
+	if err != nil {
+		return nil, err
+	}
+	distinct := make(map[int64]bool)
+	for _, h := range halos {
+		distinct[h] = true
+	}
+	if len(distinct) < 2*halosPerSet {
+		return nil, fmt.Errorf("astro: final snapshot has %d halos, need %d",
+			len(distinct), 2*halosPerSet)
+	}
+	// Halo IDs are ordered by size (0 largest): interleave the top
+	// 2×halosPerSet between the two groups.
+	var gamma1, gamma2 []int32
+	for h := int32(0); int(h) < 2*halosPerSet; h++ {
+		if h%2 == 0 {
+			gamma1 = append(gamma1, h)
+		} else {
+			gamma2 = append(gamma2, h)
+		}
+	}
+	return []UserSpec{
+		{Name: "γ1-full", Stride: 1, Halos: gamma1},
+		{Name: "γ1-every2nd", Stride: 2, Halos: gamma1},
+		{Name: "γ1-every4th", Stride: 4, Halos: gamma1},
+		{Name: "γ2-full", Stride: 1, Halos: gamma2},
+		{Name: "γ2-every2nd", Stride: 2, Halos: gamma2},
+		{Name: "γ2-every4th", Stride: 4, Halos: gamma2},
+	}, nil
+}

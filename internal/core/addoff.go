@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+
+	"sharedopt/internal/econ"
+)
+
+// AdditiveBid is user User's declared value for a single optimization in
+// an offline additive game. A user submits one AdditiveBid per
+// optimization she values; her total value for an alternative is the sum
+// of her values over the grant pairs it contains (paper, Eq. 1).
+type AdditiveBid struct {
+	User  UserID
+	Opt   OptID
+	Value econ.Money
+}
+
+// AddOff runs the AddOff Mechanism (paper, Section 4.2): the offline
+// cost-sharing mechanism for additive optimizations. Because values are
+// additive, it runs the Shapley Value Mechanism independently for every
+// optimization and combines the results into a single Outcome. AddOff
+// inherits truthfulness and cost-recovery from the Shapley Value
+// Mechanism.
+//
+// Optimizations with no serviced users are not implemented and charge
+// nobody. Duplicate bids by the same user for the same optimization are an
+// error, as are bids for unknown optimizations and negative values.
+func AddOff(opts []Optimization, bids []AdditiveBid) (*Outcome, error) {
+	byOpt, err := groupAdditiveBids(opts, bids)
+	if err != nil {
+		return nil, err
+	}
+	outcome := NewOutcome()
+	for _, opt := range opts {
+		res, err := Shapley(opt.Cost, byOpt[opt.ID])
+		if err != nil {
+			return nil, fmt.Errorf("core: AddOff: optimization %d: %w", opt.ID, err)
+		}
+		if res.Implemented() {
+			outcome.addGrants(opt.ID, res.Serviced, res.Share)
+		}
+	}
+	return outcome, nil
+}
+
+// groupAdditiveBids validates opts and bids and groups bids per
+// optimization.
+func groupAdditiveBids(opts []Optimization, bids []AdditiveBid) (map[OptID]map[UserID]econ.Money, error) {
+	known := make(map[OptID]bool, len(opts))
+	for _, o := range opts {
+		if err := o.Validate(); err != nil {
+			return nil, err
+		}
+		if known[o.ID] {
+			return nil, fmt.Errorf("core: duplicate optimization %d", o.ID)
+		}
+		known[o.ID] = true
+	}
+	byOpt := make(map[OptID]map[UserID]econ.Money, len(opts))
+	for _, b := range bids {
+		if !known[b.Opt] {
+			return nil, fmt.Errorf("core: bid by user %d for unknown optimization %d", b.User, b.Opt)
+		}
+		if b.Value < 0 {
+			return nil, fmt.Errorf("core: user %d bid negative value %v for optimization %d", b.User, b.Value, b.Opt)
+		}
+		m := byOpt[b.Opt]
+		if m == nil {
+			m = make(map[UserID]econ.Money)
+			byOpt[b.Opt] = m
+		}
+		if _, dup := m[b.User]; dup {
+			return nil, fmt.Errorf("core: duplicate bid by user %d for optimization %d", b.User, b.Opt)
+		}
+		m[b.User] = b.Value
+	}
+	return byOpt, nil
+}

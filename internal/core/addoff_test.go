@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+
+	"sharedopt/internal/econ"
+)
+
+func TestAddOffIndependentOptimizations(t *testing.T) {
+	opts := []Optimization{
+		{ID: 1, Cost: dollars(100)},
+		{ID: 2, Cost: dollars(60)},
+		{ID: 3, Cost: dollars(500)},
+	}
+	bids := []AdditiveBid{
+		{User: 1, Opt: 1, Value: dollars(70)},
+		{User: 2, Opt: 1, Value: dollars(70)},
+		{User: 1, Opt: 2, Value: dollars(20)},
+		{User: 2, Opt: 2, Value: dollars(30)},
+		{User: 3, Opt: 2, Value: dollars(35)},
+		{User: 1, Opt: 3, Value: dollars(100)},
+	}
+	out, err := AddOff(opts, bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Opt 1: both afford 50.
+	if !out.IsImplemented(1) || !usersEqual(out.Serviced[1], 1, 2) {
+		t.Errorf("opt 1: got %v", out.Serviced[1])
+	}
+	if out.Payment(1, 1) != dollars(50) || out.Payment(2, 1) != dollars(50) {
+		t.Errorf("opt 1 payments: %v / %v, want $50 each", out.Payment(1, 1), out.Payment(2, 1))
+	}
+	// Opt 2: 60/3=20, all three serviced at exactly 20? User 1 bids 20,
+	// boundary holds.
+	if !usersEqual(out.Serviced[2], 1, 2, 3) || out.Payment(3, 2) != dollars(20) {
+		t.Errorf("opt 2: serviced %v, payment %v", out.Serviced[2], out.Payment(3, 2))
+	}
+	// Opt 3: 100 < 500, not implemented.
+	if out.IsImplemented(3) {
+		t.Error("opt 3 should not be implemented")
+	}
+	// Totals: user 1 pays 50+20 = 70.
+	if got := out.TotalPayment(1); got != dollars(70) {
+		t.Errorf("user 1 total payment = %v, want $70", got)
+	}
+}
+
+// AddOff must behave exactly as an independent Shapley run per
+// optimization.
+func TestAddOffMatchesPerOptShapley(t *testing.T) {
+	opts := []Optimization{{ID: 10, Cost: dollars(33)}, {ID: 20, Cost: dollars(7)}}
+	bids := []AdditiveBid{
+		{User: 1, Opt: 10, Value: dollars(12)},
+		{User: 2, Opt: 10, Value: dollars(11)},
+		{User: 3, Opt: 10, Value: dollars(10)},
+		{User: 1, Opt: 20, Value: dollars(3)},
+		{User: 3, Opt: 20, Value: dollars(4)},
+	}
+	out, err := AddOff(opts, bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opt := range opts {
+		per := make(map[UserID]econ.Money)
+		for _, b := range bids {
+			if b.Opt == opt.ID {
+				per[b.User] = b.Value
+			}
+		}
+		res, err := Shapley(opt.Cost, per)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Implemented() != out.IsImplemented(opt.ID) {
+			t.Errorf("opt %d: implementation disagreement", opt.ID)
+		}
+		for _, u := range res.Serviced {
+			if out.Payment(u, opt.ID) != res.Share {
+				t.Errorf("opt %d user %d: payment %v, want %v",
+					opt.ID, u, out.Payment(u, opt.ID), res.Share)
+			}
+		}
+	}
+}
+
+func TestAddOffCostRecovery(t *testing.T) {
+	opts := []Optimization{{ID: 1, Cost: dollars(99)}}
+	bids := []AdditiveBid{
+		{User: 1, Opt: 1, Value: dollars(40)},
+		{User: 2, Opt: 1, Value: dollars(40)},
+		{User: 3, Opt: 1, Value: dollars(40)},
+	}
+	out, err := AddOff(opts, bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.IsImplemented(1) {
+		t.Fatal("should implement")
+	}
+	if rev := out.Revenue(1); rev < dollars(99) {
+		t.Errorf("revenue %v below cost", rev)
+	}
+}
+
+func TestAddOffValidation(t *testing.T) {
+	opt := []Optimization{{ID: 1, Cost: dollars(10)}}
+	cases := []struct {
+		name string
+		opts []Optimization
+		bids []AdditiveBid
+	}{
+		{"unknown opt", opt, []AdditiveBid{{User: 1, Opt: 99, Value: dollars(1)}}},
+		{"negative value", opt, []AdditiveBid{{User: 1, Opt: 1, Value: dollars(-1)}}},
+		{"duplicate bid", opt, []AdditiveBid{
+			{User: 1, Opt: 1, Value: dollars(1)},
+			{User: 1, Opt: 1, Value: dollars(2)},
+		}},
+		{"duplicate opt", []Optimization{{ID: 1, Cost: dollars(1)}, {ID: 1, Cost: dollars(2)}}, nil},
+		{"zero cost opt", []Optimization{{ID: 1, Cost: 0}}, nil},
+	}
+	for _, c := range cases {
+		if _, err := AddOff(c.opts, c.bids); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestAddOffEmptyGame(t *testing.T) {
+	out, err := AddOff(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Implemented) != 0 {
+		t.Errorf("empty game implemented %v", out.Implemented)
+	}
+}
+
+func TestOutcomeAccessors(t *testing.T) {
+	out := NewOutcome()
+	out.addGrants(5, []UserID{3, 1}, dollars(2))
+	if !usersEqual(out.Serviced[5], 1, 3) {
+		t.Errorf("grants not sorted: %v", out.Serviced[5])
+	}
+	if !out.IsServiced(1, 5) || out.IsServiced(2, 5) {
+		t.Error("IsServiced broken")
+	}
+	if opt, ok := out.GrantedOpt(3); !ok || opt != 5 {
+		t.Errorf("GrantedOpt(3) = %v, %v", opt, ok)
+	}
+	if _, ok := out.GrantedOpt(9); ok {
+		t.Error("GrantedOpt should report missing user")
+	}
+	if out.Revenue(5) != dollars(4) {
+		t.Errorf("Revenue = %v, want $4", out.Revenue(5))
+	}
+}

@@ -1,0 +1,352 @@
+package core
+
+import (
+	"testing"
+
+	"sharedopt/internal/econ"
+)
+
+func mustSubmit(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func grantsEqual(got []Grant, want ...Grant) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Paper Example 2: the naive online adaptation lets user 2 free-ride by
+// hiding her slot-1 value. Under AddOn, hiding strictly hurts her.
+func TestAddOnExample2NoFreeRide(t *testing.T) {
+	cost := dollars(100)
+
+	// Truthful play: both users are serviced at t=1 and share the cost.
+	game := NewAddOn(Optimization{ID: 1, Cost: cost})
+	mustSubmit(t, game.Submit(OnlineBid{User: 1, Start: 1, End: 1, Values: []econ.Money{dollars(101)}}))
+	mustSubmit(t, game.Submit(OnlineBid{User: 2, Start: 1, End: 2, Values: []econ.Money{dollars(26), dollars(26)}}))
+	r1 := game.AdvanceSlot()
+	if !grantsEqual(r1.NewGrants, Grant{1, 1}, Grant{2, 1}) {
+		t.Fatalf("slot 1 grants = %v", r1.NewGrants)
+	}
+	if p := r1.Departures[1]; p != dollars(50) {
+		t.Fatalf("user 1 pays %v, want $50", p)
+	}
+	r2 := game.AdvanceSlot()
+	if p := r2.Departures[2]; p != dollars(50) {
+		t.Fatalf("user 2 pays %v, want $50", p)
+	}
+	// User 2's truthful utility: 26+26-50 = 2.
+
+	// Cheating: user 2 hides her value until t=2. She is not serviced
+	// at all — her residual 26 is below the $50 share of joining CS={1}.
+	cheat := NewAddOn(Optimization{ID: 1, Cost: cost})
+	mustSubmit(t, cheat.Submit(OnlineBid{User: 1, Start: 1, End: 1, Values: []econ.Money{dollars(101)}}))
+	c1 := cheat.AdvanceSlot()
+	if p := c1.Departures[1]; p != dollars(100) {
+		t.Fatalf("alone, user 1 pays %v, want $100", p)
+	}
+	mustSubmit(t, cheat.Submit(OnlineBid{User: 2, Start: 2, End: 2, Values: []econ.Money{dollars(26)}}))
+	c2 := cheat.AdvanceSlot()
+	if len(c2.NewGrants) != 0 {
+		t.Fatalf("cheating user 2 should not be serviced, got %v", c2.NewGrants)
+	}
+	if p := c2.Departures[2]; p != 0 {
+		t.Fatalf("unserviced user 2 pays %v, want $0", p)
+	}
+	// Cheating utility 0 < truthful utility 2: no free ride.
+}
+
+// Paper Example 3: four users; CS grows over time; payments 100/25/25/25.
+func TestAddOnExample3(t *testing.T) {
+	cost := dollars(100)
+	game := NewAddOn(Optimization{ID: 1, Cost: cost})
+	mustSubmit(t, game.Submit(OnlineBid{User: 1, Start: 1, End: 1, Values: []econ.Money{dollars(101)}}))
+	mustSubmit(t, game.Submit(OnlineBid{User: 2, Start: 1, End: 3,
+		Values: []econ.Money{dollars(16), dollars(16), dollars(16)}}))
+
+	r1 := game.AdvanceSlot()
+	// CS(1) = {1}: user 2's residual 48 is below cost/2 = 50.
+	if !grantsEqual(r1.NewGrants, Grant{1, 1}) {
+		t.Fatalf("slot 1 grants = %v, want user 1 only", r1.NewGrants)
+	}
+	if !grantsEqual(r1.Active, Grant{1, 1}) {
+		t.Fatalf("slot 1 active = %v", r1.Active)
+	}
+	if at, ok := game.Implemented(); !ok || at != 1 {
+		t.Fatalf("implemented at %d, %v; want slot 1", at, ok)
+	}
+	if p := r1.Departures[1]; p != dollars(100) {
+		t.Fatalf("user 1 pays %v, want $100", p)
+	}
+
+	// Users 3 and 4 arrive for slot 2.
+	mustSubmit(t, game.Submit(OnlineBid{User: 3, Start: 2, End: 2, Values: []econ.Money{dollars(26)}}))
+	mustSubmit(t, game.Submit(OnlineBid{User: 4, Start: 2, End: 2, Values: []econ.Money{dollars(26)}}))
+	r2 := game.AdvanceSlot()
+	// CS(2) = {1,2,3,4}: with four users each share is 25 and user 2's
+	// remaining 32 now clears it.
+	if !grantsEqual(r2.NewGrants, Grant{2, 1}, Grant{3, 1}, Grant{4, 1}) {
+		t.Fatalf("slot 2 grants = %v", r2.NewGrants)
+	}
+	// User 1 left at slot 1; active users are 2, 3, 4.
+	if !grantsEqual(r2.Active, Grant{2, 1}, Grant{3, 1}, Grant{4, 1}) {
+		t.Fatalf("slot 2 active = %v", r2.Active)
+	}
+	if r2.Departures[3] != dollars(25) || r2.Departures[4] != dollars(25) {
+		t.Fatalf("slot 2 departures = %v", r2.Departures)
+	}
+
+	r3 := game.AdvanceSlot()
+	if !grantsEqual(r3.Active, Grant{2, 1}) {
+		t.Fatalf("slot 3 active = %v", r3.Active)
+	}
+	if p := r3.Departures[2]; p != dollars(25) {
+		t.Fatalf("user 2 pays %v, want $25", p)
+	}
+
+	// Total revenue 175 over a cost of 100: cost recovered.
+	if rev := game.TotalRevenue(); rev != dollars(175) {
+		t.Errorf("revenue = %v, want $175", rev)
+	}
+	if game.CostIncurred() != cost {
+		t.Errorf("cost incurred = %v, want %v", game.CostIncurred(), cost)
+	}
+}
+
+// Paper Example 4: in the model-free worst case (no future arrivals),
+// user 2 overbidding ends with negative utility while truth gives 0.
+func TestAddOnExample4WorstCaseTruthfulness(t *testing.T) {
+	cost := dollars(100)
+
+	// Overbid (1,3,[17,17,17]) with no future users: serviced at t=1,
+	// pays 50 against a true value of 48.
+	over := NewAddOn(Optimization{ID: 1, Cost: cost})
+	mustSubmit(t, over.Submit(OnlineBid{User: 1, Start: 1, End: 1, Values: []econ.Money{dollars(101)}}))
+	mustSubmit(t, over.Submit(OnlineBid{User: 2, Start: 1, End: 3,
+		Values: []econ.Money{dollars(17), dollars(17), dollars(17)}}))
+	r1 := over.AdvanceSlot()
+	if !grantsEqual(r1.NewGrants, Grant{1, 1}, Grant{2, 1}) {
+		t.Fatalf("overbidding user 2 should be serviced at t=1, got %v", r1.NewGrants)
+	}
+	over.AdvanceSlot()
+	r3 := over.AdvanceSlot()
+	if p := r3.Departures[2]; p != dollars(50) {
+		t.Fatalf("user 2 pays %v, want $50", p)
+	}
+	// True value 3×16 = 48 < 50: utility −2.
+
+	// Truthful (1,3,[16,16,16]) with no future users: never serviced,
+	// pays nothing: utility 0 > −2.
+	truth := NewAddOn(Optimization{ID: 1, Cost: cost})
+	mustSubmit(t, truth.Submit(OnlineBid{User: 1, Start: 1, End: 1, Values: []econ.Money{dollars(101)}}))
+	mustSubmit(t, truth.Submit(OnlineBid{User: 2, Start: 1, End: 3,
+		Values: []econ.Money{dollars(16), dollars(16), dollars(16)}}))
+	truth.AdvanceSlot()
+	truth.AdvanceSlot()
+	tr3 := truth.AdvanceSlot()
+	if p := tr3.Departures[2]; p != 0 {
+		t.Fatalf("truthful user 2 pays %v, want $0", p)
+	}
+}
+
+// A single user whose per-slot values individually cannot cover the cost
+// is still serviced when her residual (multi-slot) value can.
+func TestAddOnResidualAggregatesAcrossSlots(t *testing.T) {
+	game := NewAddOn(Optimization{ID: 1, Cost: dollars(15)})
+	mustSubmit(t, game.Submit(OnlineBid{User: 1, Start: 1, End: 2,
+		Values: []econ.Money{dollars(10), dollars(10)}}))
+	r1 := game.AdvanceSlot()
+	if !grantsEqual(r1.NewGrants, Grant{1, 1}) {
+		t.Fatalf("user should be serviced on residual value, got %v", r1.NewGrants)
+	}
+	r2 := game.AdvanceSlot()
+	if p := r2.Departures[1]; p != dollars(15) {
+		t.Fatalf("payment %v, want $15", p)
+	}
+}
+
+func TestAddOnNeverImplementsWhenUnaffordable(t *testing.T) {
+	game := NewAddOn(Optimization{ID: 1, Cost: dollars(1000)})
+	mustSubmit(t, game.Submit(OnlineBid{User: 1, Start: 1, End: 2,
+		Values: []econ.Money{dollars(10), dollars(10)}}))
+	for i := 0; i < 2; i++ {
+		r := game.AdvanceSlot()
+		if len(r.NewGrants) != 0 {
+			t.Fatalf("slot %d: unexpected grants %v", i+1, r.NewGrants)
+		}
+	}
+	if _, ok := game.Implemented(); ok {
+		t.Error("should not implement")
+	}
+	if game.TotalRevenue() != 0 || game.CostIncurred() != 0 {
+		t.Error("no service should mean no money movement")
+	}
+}
+
+func TestAddOnLateArrivalLowersShare(t *testing.T) {
+	// User 1 is serviced alone at t=1, then user 2 joins at t=2 and the
+	// share is recomputed downward for both.
+	game := NewAddOn(Optimization{ID: 1, Cost: dollars(100)})
+	mustSubmit(t, game.Submit(OnlineBid{User: 1, Start: 1, End: 2,
+		Values: []econ.Money{dollars(120), 0}}))
+	game.AdvanceSlot()
+	mustSubmit(t, game.Submit(OnlineBid{User: 2, Start: 2, End: 2, Values: []econ.Money{dollars(60)}}))
+	r2 := game.AdvanceSlot()
+	if !grantsEqual(r2.NewGrants, Grant{2, 1}) {
+		t.Fatalf("user 2 should join, got %v", r2.NewGrants)
+	}
+	if r2.Departures[1] != dollars(50) || r2.Departures[2] != dollars(50) {
+		t.Fatalf("departures = %v, want $50 each", r2.Departures)
+	}
+}
+
+func TestAddOnSubmitValidation(t *testing.T) {
+	game := NewAddOn(Optimization{ID: 1, Cost: dollars(10)})
+	bad := []OnlineBid{
+		{User: 1, Start: 0, End: 1, Values: []econ.Money{1, 1}},        // start < 1
+		{User: 1, Start: 2, End: 1, Values: []econ.Money{1}},           // end < start
+		{User: 1, Start: 1, End: 2, Values: []econ.Money{1}},           // wrong len
+		{User: 1, Start: 1, End: 1, Values: []econ.Money{dollars(-1)}}, // negative
+	}
+	for i, b := range bad {
+		if err := game.Submit(b); err == nil {
+			t.Errorf("bad bid %d accepted", i)
+		}
+	}
+	game.AdvanceSlot()
+	// Retroactive bid.
+	if err := game.Submit(OnlineBid{User: 9, Start: 1, End: 1, Values: []econ.Money{1}}); err == nil {
+		t.Error("retroactive bid accepted")
+	}
+}
+
+func TestAddOnRevisions(t *testing.T) {
+	game := NewAddOn(Optimization{ID: 1, Cost: dollars(100)})
+	mustSubmit(t, game.Submit(OnlineBid{User: 1, Start: 1, End: 3,
+		Values: []econ.Money{dollars(10), dollars(10), dollars(10)}}))
+	game.AdvanceSlot()
+
+	// Upward revision of future slots is allowed (paper Section 5.1:
+	// "at time t = 2 she may revise her bids as b(2)=20, b(3)=10").
+	mustSubmit(t, game.Submit(OnlineBid{User: 1, Start: 2, End: 3,
+		Values: []econ.Money{dollars(20), dollars(10)}}))
+
+	// Downward revision is rejected.
+	if err := game.Submit(OnlineBid{User: 1, Start: 2, End: 3,
+		Values: []econ.Money{dollars(5), dollars(10)}}); err == nil {
+		t.Error("downward revision accepted")
+	}
+	// Shrinking the interval is rejected.
+	if err := game.Submit(OnlineBid{User: 1, Start: 2, End: 2,
+		Values: []econ.Money{dollars(20)}}); err == nil {
+		t.Error("shrinking revision accepted")
+	}
+	// Extending the interval (ei can only increase) is allowed.
+	mustSubmit(t, game.Submit(OnlineBid{User: 1, Start: 2, End: 4,
+		Values: []econ.Money{dollars(20), dollars(10), dollars(7)}}))
+	// Withdrawing declared future value by starting later is rejected.
+	if err := game.Submit(OnlineBid{User: 1, Start: 4, End: 4,
+		Values: []econ.Money{dollars(7)}}); err == nil {
+		t.Error("revision that withdraws slot-2 value accepted")
+	}
+}
+
+func TestAddOnCloseSettlesActiveUsers(t *testing.T) {
+	game := NewAddOn(Optimization{ID: 1, Cost: dollars(60)})
+	mustSubmit(t, game.Submit(OnlineBid{User: 1, Start: 1, End: 5,
+		Values: []econ.Money{dollars(100), 0, 0, 0, 0}}))
+	game.AdvanceSlot() // serviced at slot 1; interval runs to 5
+	settled := game.Close()
+	if settled[1] != dollars(60) {
+		t.Fatalf("Close charged %v, want $60", settled[1])
+	}
+	if p, ok := game.Payment(1); !ok || p != dollars(60) {
+		t.Fatalf("Payment(1) = %v, %v", p, ok)
+	}
+	// Closing twice charges nothing more.
+	if again := game.Close(); len(again) != 0 {
+		t.Errorf("second Close settled %v", again)
+	}
+	// Bidding after departure is rejected.
+	if err := game.Submit(OnlineBid{User: 1, Start: 2, End: 5,
+		Values: []econ.Money{1, 1, 1, 1}}); err == nil {
+		t.Error("bid after departure accepted")
+	}
+}
+
+func TestAddOnPaymentsAreFinal(t *testing.T) {
+	game := NewAddOn(Optimization{ID: 1, Cost: dollars(100)})
+	mustSubmit(t, game.Submit(OnlineBid{User: 1, Start: 1, End: 1, Values: []econ.Money{dollars(101)}}))
+	r1 := game.AdvanceSlot()
+	if r1.Departures[1] != dollars(100) {
+		t.Fatal("user 1 should pay $100")
+	}
+	// A crowd arrives later; user 1's payment must not change.
+	for u := UserID(2); u <= 5; u++ {
+		mustSubmit(t, game.Submit(OnlineBid{User: u, Start: 2, End: 2, Values: []econ.Money{dollars(30)}}))
+	}
+	game.AdvanceSlot()
+	if p, ok := game.Payment(1); !ok || p != dollars(100) {
+		t.Errorf("user 1's payment changed to %v", p)
+	}
+	// But the newcomers pay the smaller share 100/5 = 20.
+	if p, _ := game.Payment(2); p != dollars(20) {
+		t.Errorf("user 2 pays %v, want $20", p)
+	}
+}
+
+func TestNewAddOnPanicsOnInvalidOpt(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero-cost optimization")
+		}
+	}()
+	NewAddOn(Optimization{ID: 1, Cost: 0})
+}
+
+func TestAdditiveGameMergesPerOptGames(t *testing.T) {
+	g := NewAdditiveGame([]Optimization{
+		{ID: 1, Cost: dollars(10)},
+		{ID: 2, Cost: dollars(20)},
+	})
+	mustSubmit(t, g.Submit(1, OnlineBid{User: 1, Start: 1, End: 1, Values: []econ.Money{dollars(10)}}))
+	mustSubmit(t, g.Submit(2, OnlineBid{User: 1, Start: 1, End: 1, Values: []econ.Money{dollars(25)}}))
+	if err := g.Submit(99, OnlineBid{User: 1, Start: 1, End: 1, Values: []econ.Money{1}}); err == nil {
+		t.Error("unknown optimization accepted")
+	}
+	r := g.AdvanceSlot()
+	if !grantsEqual(r.NewGrants, Grant{1, 1}, Grant{1, 2}) {
+		t.Fatalf("grants = %v", r.NewGrants)
+	}
+	if p := r.Departures[1]; p != dollars(30) {
+		t.Fatalf("merged departure payment = %v, want $30", p)
+	}
+	if g.TotalRevenue() != dollars(30) || g.CostIncurred() != dollars(30) {
+		t.Errorf("revenue %v, cost %v; want $30 each", g.TotalRevenue(), g.CostIncurred())
+	}
+	if _, ok := g.Game(1); !ok {
+		t.Error("Game(1) missing")
+	}
+	if len(g.Close()) != 0 {
+		t.Error("everyone already settled; Close should be empty")
+	}
+}
+
+func TestAdditiveGamePanicsOnDuplicateOpt(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for duplicate optimization")
+		}
+	}()
+	NewAdditiveGame([]Optimization{{ID: 1, Cost: 1}, {ID: 1, Cost: 2}})
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+
+	"sharedopt/internal/econ"
+)
+
+// This file computes the EFFICIENT (value-maximizing) outcome — the
+// alternative a0 = argmax Σ Vi(a) − C(a) of the paper's Equation 3 — with
+// full knowledge of true values. No truthful cost-recovering mechanism
+// can reach it in general (Moulin & Shenker's impossibility, cited in
+// Section 3); the ablation experiments use it as the upper bound against
+// which AddOn's and SubstOn's efficiency loss is measured.
+
+// EfficientAdditive returns the maximum achievable total utility of an
+// additive game: each optimization is implemented exactly when the sum of
+// all users' total values for it covers its cost, and then every
+// interested user is granted access.
+func EfficientAdditive(opts []Optimization, bids []AdditiveBid) (econ.Money, error) {
+	byOpt, err := groupAdditiveBids(opts, bids)
+	if err != nil {
+		return 0, err
+	}
+	var utility econ.Money
+	for _, opt := range opts {
+		var total econ.Money
+		for _, v := range byOpt[opt.ID] {
+			total += v
+		}
+		if total >= opt.Cost {
+			utility += total - opt.Cost
+		}
+	}
+	return utility, nil
+}
+
+// EfficientAdditiveOnline returns the maximum achievable total utility of
+// an online additive game with hindsight: every user's value is her full
+// declared stream, so the bound coincides with the offline optimum over
+// total values.
+func EfficientAdditiveOnline(opts []Optimization, bids map[OptID][]OnlineBid) (econ.Money, error) {
+	var flat []AdditiveBid
+	for opt, obs := range bids {
+		for _, b := range obs {
+			if err := b.Validate(); err != nil {
+				return 0, err
+			}
+			flat = append(flat, AdditiveBid{User: b.User, Opt: opt, Value: b.Total()})
+		}
+	}
+	return EfficientAdditive(opts, flat)
+}
+
+// EfficientSubstitutive returns the maximum total utility of a
+// substitutive game: choose a set of optimizations to implement and an
+// assignment of each user to one implemented member of her substitute
+// set (or none), maximizing Σ assigned values − Σ implemented costs.
+//
+// The exact optimum is found by enumerating implementation subsets, which
+// is exponential in the number of optimizations; it refuses games with
+// more than EfficientSubstMaxOpts optimizations. (For the evaluation's
+// 12-optimization games this is 4096 subsets — fine.) Within a subset the
+// assignment is trivial: a user contributes her value if any of her
+// substitutes is implemented.
+func EfficientSubstitutive(opts []Optimization, bids []SubstBid) (econ.Money, error) {
+	if len(opts) > EfficientSubstMaxOpts {
+		return 0, fmt.Errorf("core: efficient substitutive bound limited to %d optimizations, got %d",
+			EfficientSubstMaxOpts, len(opts))
+	}
+	if _, err := validateOpts(opts); err != nil {
+		return 0, err
+	}
+	for _, b := range bids {
+		if err := b.Validate(); err != nil {
+			return 0, err
+		}
+	}
+	n := len(opts)
+	var best econ.Money // the empty set achieves 0
+	for mask := 1; mask < 1<<n; mask++ {
+		var cost econ.Money
+		implemented := make(map[OptID]bool, n)
+		for i, o := range opts {
+			if mask&(1<<i) != 0 {
+				cost += o.Cost
+				implemented[o.ID] = true
+			}
+		}
+		var value econ.Money
+		for _, b := range bids {
+			for _, j := range b.Opts {
+				if implemented[j] {
+					value += b.Value
+					break
+				}
+			}
+		}
+		if u := value - cost; u > best {
+			best = u
+		}
+	}
+	return best, nil
+}
+
+// EfficientSubstMaxOpts bounds the exhaustive subset enumeration of
+// EfficientSubstitutive.
+const EfficientSubstMaxOpts = 20

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+
+	"sharedopt/internal/econ"
+	"sharedopt/internal/stats"
+)
+
+// Group strategyproofness (Moulin mechanisms with cross-monotonic shares
+// are GSP): no coalition's joint misreport can make every member weakly
+// better off and at least one strictly better off.
+func TestShapleyGroupStrategyproof(t *testing.T) {
+	r := stats.NewRNG(8081)
+	for trial := 0; trial < 500; trial++ {
+		n := 2 + r.Intn(6)
+		cost := econ.Money(r.Int63n(int64(10*econ.Dollar))) + 1
+		truth := make(map[UserID]econ.Money, n)
+		for u := 1; u <= n; u++ {
+			truth[UserID(u)] = econ.Money(r.Int63n(int64(5 * econ.Dollar)))
+		}
+		// A random coalition of 1..n members with random joint lies.
+		k := 1 + r.Intn(n)
+		coalition := make(map[UserID]bool, k)
+		for _, idx := range r.SampleK(n, k) {
+			coalition[UserID(idx+1)] = true
+		}
+		lies := make(map[UserID]econ.Money, n)
+		for u, v := range truth {
+			if coalition[u] {
+				lies[u] = econ.Money(r.Int63n(int64(5 * econ.Dollar)))
+			} else {
+				lies[u] = v
+			}
+		}
+
+		utility := func(bids map[UserID]econ.Money) map[UserID]econ.Money {
+			res, err := Shapley(cost, bids)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := make(map[UserID]econ.Money, n)
+			for _, u := range res.Serviced {
+				out[u] = truth[u] - res.Share
+			}
+			return out
+		}
+		uTruth := utility(truth)
+		uLie := utility(lies)
+
+		allWeaklyBetter := true
+		someStrictlyBetter := false
+		for u := range coalition {
+			if uLie[u] < uTruth[u] {
+				allWeaklyBetter = false
+				break
+			}
+			if uLie[u] > uTruth[u] {
+				someStrictlyBetter = true
+			}
+		}
+		if allWeaklyBetter && someStrictlyBetter {
+			t.Fatalf("trial %d: coalition %v profitably misreported\ncost %v\ntruth %v\nlies %v",
+				trial, coalition, cost, truth, lies)
+		}
+	}
+}
+
+// With a single slot, AddOn degenerates to the offline Shapley Value
+// Mechanism — the reduction the paper's Proposition 1 proof leans on.
+func TestAddOnSingleSlotEqualsOfflineShapley(t *testing.T) {
+	r := stats.NewRNG(8082)
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(8)
+		cost := econ.Money(r.Int63n(int64(10*econ.Dollar))) + 1
+		bids := make(map[UserID]econ.Money, n)
+		game := NewAddOn(Optimization{ID: 1, Cost: cost})
+		for u := 1; u <= n; u++ {
+			v := econ.Money(r.Int63n(int64(5 * econ.Dollar)))
+			bids[UserID(u)] = v
+			mustSubmit(t, game.Submit(OnlineBid{User: UserID(u), Start: 1, End: 1,
+				Values: []econ.Money{v}}))
+		}
+		offline, err := Shapley(cost, bids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := game.AdvanceSlot()
+
+		if len(rep.NewGrants) != len(offline.Serviced) {
+			t.Fatalf("trial %d: online serviced %d, offline %d",
+				trial, len(rep.NewGrants), len(offline.Serviced))
+		}
+		for i, g := range rep.NewGrants {
+			if g.User != offline.Serviced[i] {
+				t.Fatalf("trial %d: serviced sets differ: %v vs %v",
+					trial, rep.NewGrants, offline.Serviced)
+			}
+		}
+		for _, u := range offline.Serviced {
+			if rep.Departures[u] != offline.Share {
+				t.Fatalf("trial %d: user %d pays %v online, %v offline",
+					trial, u, rep.Departures[u], offline.Share)
+			}
+		}
+	}
+}
+
+// Cross-check between the two online mechanisms: when every user's
+// substitute set is a single optimization and the sets partition the
+// users, SubstOn must price each optimization exactly as an independent
+// AddOn would.
+func TestSubstOnSingletonSetsMatchAddOn(t *testing.T) {
+	r := stats.NewRNG(8083)
+	for trial := 0; trial < 200; trial++ {
+		nOpts := 1 + r.Intn(3)
+		opts := make([]Optimization, nOpts)
+		for j := range opts {
+			opts[j] = Optimization{ID: OptID(j + 1),
+				Cost: econ.Money(r.Int63n(int64(4*econ.Dollar))) + 1}
+		}
+		z := Slot(2 + r.Intn(4))
+		subst := NewSubstOn(opts)
+		addOns := make(map[OptID]*AddOn, nOpts)
+		for _, o := range opts {
+			addOns[o.ID] = NewAddOn(o)
+		}
+		nUsers := 1 + r.Intn(6)
+		assigned := make(map[UserID]OptID, nUsers)
+		for u := 1; u <= nUsers; u++ {
+			opt := opts[r.Intn(nOpts)].ID
+			start := Slot(1 + r.Intn(int(z)))
+			end := start + Slot(r.Intn(int(z-start)+1))
+			values := make([]econ.Money, end-start+1)
+			for i := range values {
+				values[i] = econ.Money(r.Int63n(int64(2 * econ.Dollar)))
+			}
+			assigned[UserID(u)] = opt
+			mustSubmit(t, subst.Submit(OnlineSubstBid{User: UserID(u), Opts: []OptID{opt},
+				Start: start, End: end, Values: values}))
+			mustSubmit(t, addOns[opt].Submit(OnlineBid{User: UserID(u), Start: start,
+				End: end, Values: values}))
+		}
+		for s := Slot(1); s <= z; s++ {
+			subst.AdvanceSlot()
+			for _, g := range addOns {
+				g.AdvanceSlot()
+			}
+		}
+		subst.Close()
+		for _, g := range addOns {
+			g.Close()
+		}
+		for u, opt := range assigned {
+			ps, oks := subst.Payment(u)
+			pa, oka := addOns[opt].Payment(u)
+			if ps != pa || oks != oka {
+				t.Fatalf("trial %d: user %d pays %v under SubstOn, %v under AddOn",
+					trial, u, ps, pa)
+			}
+		}
+	}
+}

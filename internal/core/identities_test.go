@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"sharedopt/internal/econ"
+)
+
+// Section 5.2, Alice's example, run through the online mechanism: Alice's
+// value is (1,1,[101]) and 99 other users value the optimization at 1.
+// With a single identity only Alice is serviced and she pays the whole
+// cost; with a second dummy identity all 101 identities are serviced at $1
+// and Alice's utility jumps from 0 to 99 — while nobody else is worse off
+// (Proposition 2).
+func TestAddOnAliceMultipleIdentities(t *testing.T) {
+	cost := dollars(101)
+	oneIdentity := NewAddOn(Optimization{ID: 1, Cost: cost})
+	mustSubmit(t, oneIdentity.Submit(OnlineBid{User: 0, Start: 1, End: 1, Values: []econ.Money{dollars(101)}}))
+	for u := UserID(1); u <= 99; u++ {
+		mustSubmit(t, oneIdentity.Submit(OnlineBid{User: u, Start: 1, End: 1, Values: []econ.Money{dollars(1)}}))
+	}
+	r := oneIdentity.AdvanceSlot()
+	if !grantsEqual(r.NewGrants, Grant{0, 1}) {
+		t.Fatalf("only Alice should be serviced, got %d grants", len(r.NewGrants))
+	}
+	if r.Departures[0] != dollars(101) {
+		t.Fatalf("Alice pays %v, want $101", r.Departures[0])
+	}
+	smallUserUtilityBefore := econ.Money(0) // not serviced, not charged
+
+	twoIdentities := NewAddOn(Optimization{ID: 1, Cost: cost})
+	mustSubmit(t, twoIdentities.Submit(OnlineBid{User: 0, Start: 1, End: 1, Values: []econ.Money{dollars(101)}}))
+	mustSubmit(t, twoIdentities.Submit(OnlineBid{User: 100, Start: 1, End: 1, Values: []econ.Money{dollars(101)}}))
+	for u := UserID(1); u <= 99; u++ {
+		mustSubmit(t, twoIdentities.Submit(OnlineBid{User: u, Start: 1, End: 1, Values: []econ.Money{dollars(1)}}))
+	}
+	r = twoIdentities.AdvanceSlot()
+	if len(r.NewGrants) != 101 {
+		t.Fatalf("%d grants, want 101", len(r.NewGrants))
+	}
+	alicePays := r.Departures[0] + r.Departures[100]
+	if alicePays != dollars(2) {
+		t.Fatalf("Alice pays %v across identities, want $2", alicePays)
+	}
+	// Alice's utility rises from 0 to 99.
+	if aliceUtility := dollars(101) - alicePays; aliceUtility != dollars(99) {
+		t.Errorf("Alice's utility = %v, want $99", aliceUtility)
+	}
+	// Proposition 2: no other user's utility decreases. Each small user
+	// now pays exactly her value — utility 0, same as before.
+	for u := UserID(1); u <= 99; u++ {
+		utility := dollars(1) - r.Departures[u]
+		if utility < smallUserUtilityBefore {
+			t.Fatalf("user %d's utility decreased to %v", u, utility)
+		}
+	}
+	// The cloud still recovers its cost.
+	if rev := twoIdentities.TotalRevenue(); rev < cost {
+		t.Errorf("revenue %v below cost %v", rev, cost)
+	}
+}
+
+// Section 6.2: with substitutable optimizations, dummy identities can hurt
+// other users. Users {1,2,3} bid ({1},5), ({1,2},2.51), ({2},7) for
+// optimizations with C1=6, C2=5. Without dummies user 3's utility is 4.5;
+// when user 1 splits into 1' and 1” bidding 2.5 each for optimization 1,
+// both optimizations are implemented and user 3's utility drops to 2.
+func TestSubstOffDummyIdentitiesCanHurtOthers(t *testing.T) {
+	opts := []Optimization{{ID: 1, Cost: dollars(6)}, {ID: 2, Cost: dollars(5)}}
+
+	// Baseline (no dummies) is covered by TestSubstOffSection62Baseline:
+	// opt 2 at 2.5 for users {2,3}; user 3's utility 7-2.5 = 4.5.
+
+	withDummies := []SubstBid{
+		{User: 10, Opts: []OptID{1}, Value: dollars(2.5)}, // identity 1'
+		{User: 11, Opts: []OptID{1}, Value: dollars(2.5)}, // identity 1''
+		{User: 2, Opts: []OptID{1, 2}, Value: dollars(2.51)},
+		{User: 3, Opts: []OptID{2}, Value: dollars(7)},
+	}
+	out, err := SubstOff(opts, withDummies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimization 1 now carries {1', 1'', 2} at 2 each.
+	if !usersEqual(out.Serviced[1], 2, 10, 11) {
+		t.Fatalf("opt 1 serviced = %v, want [2 10 11]", out.Serviced[1])
+	}
+	if out.Payment(10, 1) != dollars(2) || out.Payment(2, 1) != dollars(2) {
+		t.Errorf("opt 1 shares wrong: %v, %v", out.Payment(10, 1), out.Payment(2, 1))
+	}
+	// Optimization 2 is then implemented for user 3 alone at 5.
+	if !usersEqual(out.Serviced[2], 3) || out.Payment(3, 2) != dollars(5) {
+		t.Fatalf("opt 2: %v at %v, want user 3 at $5", out.Serviced[2], out.Payment(3, 2))
+	}
+	// User 1's combined utility: 5 − (2+2) = 1 > 0 (she gains).
+	if u1 := dollars(5) - out.Payment(10, 1) - out.Payment(11, 1); u1 != dollars(1) {
+		t.Errorf("user 1 utility = %v, want $1", u1)
+	}
+	// User 3's utility fell from 4.5 to 2 — the paper's point that
+	// substitutive dummies can hurt others (unlike the additive case),
+	// though doing so requires knowing everyone's bids.
+	if u3 := dollars(7) - out.Payment(3, 2); u3 != dollars(2) {
+		t.Errorf("user 3 utility = %v, want $2", u3)
+	}
+}

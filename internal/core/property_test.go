@@ -1,0 +1,371 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sharedopt/internal/econ"
+	"sharedopt/internal/stats"
+)
+
+// randomBids converts raw fuzz input into a valid bid map with values in
+// [0, $10).
+func randomBids(raws []int64) map[UserID]econ.Money {
+	bids := make(map[UserID]econ.Money, len(raws))
+	for i, r := range raws {
+		if r < 0 {
+			r = -r
+		}
+		bids[UserID(i+1)] = econ.Money(r % int64(10*econ.Dollar))
+	}
+	return bids
+}
+
+// Property: Shapley always recovers the cost when it implements, and the
+// share structure is a threshold: serviced bids ≥ share, dropped bids <
+// share.
+func TestShapleyCostRecoveryAndThreshold(t *testing.T) {
+	f := func(costRaw int64, raws []int64) bool {
+		if costRaw < 0 {
+			costRaw = -costRaw
+		}
+		cost := econ.Money(costRaw%int64(20*econ.Dollar)) + 1
+		bids := randomBids(raws)
+		res, err := Shapley(cost, bids)
+		if err != nil {
+			return false
+		}
+		if !res.Implemented() {
+			return res.Share == 0
+		}
+		if res.Revenue() < cost {
+			return false
+		}
+		serviced := make(map[UserID]bool)
+		for _, u := range res.Serviced {
+			serviced[u] = true
+			if bids[u] < res.Share {
+				return false // serviced below the price
+			}
+		}
+		for u, b := range bids {
+			if !serviced[u] && b >= res.Share {
+				// A dropped user bidding at least the final share would
+				// have been self-supporting — contradiction.
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (population monotonicity): adding one more bidder never shrinks
+// the serviced set and never raises the share.
+func TestShapleyPopulationMonotonicity(t *testing.T) {
+	f := func(costRaw, extraRaw int64, raws []int64) bool {
+		if costRaw < 0 {
+			costRaw = -costRaw
+		}
+		if extraRaw < 0 {
+			extraRaw = -extraRaw
+		}
+		cost := econ.Money(costRaw%int64(20*econ.Dollar)) + 1
+		bids := randomBids(raws)
+		before, err := Shapley(cost, bids)
+		if err != nil {
+			return false
+		}
+		grown := make(map[UserID]econ.Money, len(bids)+1)
+		for u, b := range bids {
+			grown[u] = b
+		}
+		grown[UserID(len(raws)+100)] = econ.Money(extraRaw % int64(10*econ.Dollar))
+		after, err := Shapley(cost, grown)
+		if err != nil {
+			return false
+		}
+		if !before.Implemented() {
+			return true
+		}
+		if !after.Implemented() || after.Share > before.Share {
+			return false
+		}
+		inAfter := make(map[UserID]bool, len(after.Serviced))
+		for _, u := range after.Serviced {
+			inAfter[u] = true
+		}
+		for _, u := range before.Serviced {
+			if !inAfter[u] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (offline truthfulness): no single-user deviation improves that
+// user's utility, for any profile of other bids.
+func TestShapleyTruthfulness(t *testing.T) {
+	f := func(costRaw, trueRaw, lieRaw int64, raws []int64) bool {
+		if costRaw < 0 {
+			costRaw = -costRaw
+		}
+		if trueRaw < 0 {
+			trueRaw = -trueRaw
+		}
+		if lieRaw < 0 {
+			lieRaw = -lieRaw
+		}
+		cost := econ.Money(costRaw%int64(20*econ.Dollar)) + 1
+		truth := econ.Money(trueRaw % int64(10*econ.Dollar))
+		lie := econ.Money(lieRaw % int64(10*econ.Dollar))
+		me := UserID(999)
+
+		utility := func(bid econ.Money) econ.Money {
+			bids := randomBids(raws)
+			bids[me] = bid
+			res, err := Shapley(cost, bids)
+			if err != nil {
+				panic(err)
+			}
+			for _, u := range res.Serviced {
+				if u == me {
+					return truth - res.Share
+				}
+			}
+			return 0
+		}
+		return utility(lie) <= utility(truth)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// onlineScenario is a randomly generated online additive game.
+type onlineScenario struct {
+	cost  econ.Money
+	z     Slot
+	users []OnlineBid
+}
+
+func genOnlineScenario(r *stats.RNG, nUsers int) onlineScenario {
+	z := Slot(4 + r.Intn(5))
+	sc := onlineScenario{
+		cost: econ.Money(r.Int63n(int64(6*econ.Dollar))) + 1,
+		z:    z,
+	}
+	for u := 0; u < nUsers; u++ {
+		start := Slot(1 + r.Intn(int(z)))
+		end := start + Slot(r.Intn(int(z-start)+1))
+		values := make([]econ.Money, end-start+1)
+		for i := range values {
+			values[i] = econ.Money(r.Int63n(int64(2 * econ.Dollar)))
+		}
+		sc.users = append(sc.users, OnlineBid{User: UserID(u + 1), Start: start, End: end, Values: values})
+	}
+	return sc
+}
+
+// runAddOn plays a scenario truthfully and returns the mechanism.
+func runAddOn(t *testing.T, sc onlineScenario) *AddOn {
+	t.Helper()
+	game := NewAddOn(Optimization{ID: 1, Cost: sc.cost})
+	for _, b := range sc.users {
+		mustSubmit(t, game.Submit(b))
+	}
+	for s := Slot(1); s <= sc.z; s++ {
+		game.AdvanceSlot()
+	}
+	game.Close()
+	return game
+}
+
+// Property: AddOn recovers the cost whenever it implements, and collects
+// nothing otherwise.
+func TestAddOnCostRecoveryRandomGames(t *testing.T) {
+	r := stats.NewRNG(1001)
+	for trial := 0; trial < 400; trial++ {
+		sc := genOnlineScenario(r, 1+r.Intn(6))
+		game := runAddOn(t, sc)
+		if _, ok := game.Implemented(); ok {
+			if game.TotalRevenue() < sc.cost {
+				t.Fatalf("trial %d: revenue %v < cost %v\nscenario: %+v",
+					trial, game.TotalRevenue(), sc.cost, sc)
+			}
+		} else if game.TotalRevenue() != 0 {
+			t.Fatalf("trial %d: collected %v without implementing", trial, game.TotalRevenue())
+		}
+	}
+}
+
+// Property: AddOn is deterministic — replaying the same scenario yields
+// identical payments (guards against map-iteration order leaks).
+func TestAddOnDeterministic(t *testing.T) {
+	r := stats.NewRNG(2002)
+	for trial := 0; trial < 50; trial++ {
+		sc := genOnlineScenario(r, 1+r.Intn(6))
+		a, b := runAddOn(t, sc), runAddOn(t, sc)
+		for _, u := range sc.users {
+			pa, oka := a.Payment(u.User)
+			pb, okb := b.Payment(u.User)
+			if pa != pb || oka != okb {
+				t.Fatalf("trial %d: nondeterministic payment for user %d: %v vs %v",
+					trial, u.User, pa, pb)
+			}
+		}
+	}
+}
+
+// deviations returns untruthful variants of a bid: scaled values, a
+// delayed start (hiding early value), and a truncated declaration.
+func deviations(b OnlineBid) []OnlineBid {
+	var devs []OnlineBid
+	for _, num := range []int64{0, 1, 3, 6} { // ×0, ×0.25, ×0.75, ×1.5
+		d := OnlineBid{User: b.User, Start: b.Start, End: b.End,
+			Values: make([]econ.Money, len(b.Values))}
+		for i, v := range b.Values {
+			d.Values[i] = v.MulInt(num) / 4
+		}
+		devs = append(devs, d)
+	}
+	if b.End > b.Start {
+		// Hide the first slot's value (paper Example 2's cheat).
+		d := OnlineBid{User: b.User, Start: b.Start + 1, End: b.End,
+			Values: append([]econ.Money(nil), b.Values[1:]...)}
+		devs = append(devs, d)
+		// Declare only the first slot.
+		d2 := OnlineBid{User: b.User, Start: b.Start, End: b.Start,
+			Values: []econ.Money{b.Values[0]}}
+		devs = append(devs, d2)
+	}
+	return devs
+}
+
+// Property (online truthfulness, model-free worst case): when the deviator
+// is the last arrival and no bids are submitted after hers — exactly the
+// worst case of the paper's Proposition 1 — no deviation beats truthful
+// bidding in realized utility.
+func TestAddOnWorstCaseTruthfulness(t *testing.T) {
+	r := stats.NewRNG(3003)
+	for trial := 0; trial < 300; trial++ {
+		sc := genOnlineScenario(r, 1+r.Intn(5))
+		// Make the last user the latest arrival.
+		latest := Slot(1)
+		for _, b := range sc.users[:len(sc.users)-1] {
+			if b.Start > latest {
+				latest = b.Start
+			}
+		}
+		dev := &sc.users[len(sc.users)-1]
+		if dev.Start < latest {
+			shift := latest - dev.Start
+			dev.Start += shift
+			dev.End += shift
+			if dev.End > sc.z {
+				dev.End = sc.z
+				if dev.Start > sc.z {
+					dev.Start = sc.z
+				}
+				dev.Values = dev.Values[:dev.End-dev.Start+1]
+			}
+		}
+		truth := *dev
+
+		play := func(declared OnlineBid) econ.Money {
+			game := NewAddOn(Optimization{ID: 1, Cost: sc.cost})
+			for _, b := range sc.users[:len(sc.users)-1] {
+				mustSubmit(t, game.Submit(b))
+			}
+			mustSubmit(t, game.Submit(declared))
+			var value econ.Money
+			for s := Slot(1); s <= sc.z; s++ {
+				rep := game.AdvanceSlot()
+				for _, g := range rep.Active {
+					if g.User == truth.User && s >= truth.Start && s <= truth.End {
+						value += truth.Values[s-truth.Start]
+					}
+				}
+			}
+			game.Close()
+			p, _ := game.Payment(truth.User)
+			return value - p
+		}
+
+		truthful := play(truth)
+		for di, d := range deviations(truth) {
+			if got := play(d); got > truthful {
+				t.Fatalf("trial %d deviation %d: utility %v beats truthful %v\nscenario %+v\ndeviation %+v",
+					trial, di, got, truthful, sc, d)
+			}
+		}
+	}
+}
+
+// Property: SubstOn recovers each implemented optimization's cost from the
+// users granted access to it.
+func TestSubstOnCostRecoveryRandomGames(t *testing.T) {
+	r := stats.NewRNG(4004)
+	for trial := 0; trial < 300; trial++ {
+		nOpts := 2 + r.Intn(4)
+		opts := make([]Optimization, nOpts)
+		for j := range opts {
+			opts[j] = Optimization{ID: OptID(j + 1), Cost: econ.Money(r.Int63n(int64(5*econ.Dollar))) + 1}
+		}
+		z := Slot(3 + r.Intn(4))
+		game := NewSubstOn(opts)
+		nUsers := 1 + r.Intn(6)
+		for u := 0; u < nUsers; u++ {
+			start := Slot(1 + r.Intn(int(z)))
+			end := start + Slot(r.Intn(int(z-start)+1))
+			values := make([]econ.Money, end-start+1)
+			for i := range values {
+				values[i] = econ.Money(r.Int63n(int64(2 * econ.Dollar)))
+			}
+			k := 1 + r.Intn(nOpts)
+			optIDs := make([]OptID, 0, k)
+			for _, idx := range r.SampleK(nOpts, k) {
+				optIDs = append(optIDs, opts[idx].ID)
+			}
+			bid := OnlineSubstBid{User: UserID(u + 1), Opts: optIDs, Start: start, End: end, Values: values}
+			mustSubmit(t, game.Submit(bid))
+		}
+		for s := Slot(1); s <= z; s++ {
+			game.AdvanceSlot()
+		}
+		game.Close()
+
+		// Per-optimization recovery: sum the payments of users granted
+		// each optimization.
+		revenue := make(map[OptID]econ.Money)
+		for u := 1; u <= nUsers; u++ {
+			id := UserID(u)
+			if j, ok := game.GrantedOpt(id); ok {
+				p, paid := game.Payment(id)
+				if !paid {
+					t.Fatalf("trial %d: user %d granted but never settled", trial, id)
+				}
+				revenue[j] += p
+			} else if p, _ := game.Payment(id); p != 0 {
+				t.Fatalf("trial %d: unserviced user %d paid %v", trial, id, p)
+			}
+		}
+		for _, o := range opts {
+			if _, implemented := game.Implemented(o.ID); implemented {
+				if revenue[o.ID] < o.Cost {
+					t.Fatalf("trial %d: opt %d revenue %v < cost %v",
+						trial, o.ID, revenue[o.ID], o.Cost)
+				}
+			} else if revenue[o.ID] != 0 {
+				t.Fatalf("trial %d: opt %d not implemented but collected %v",
+					trial, o.ID, revenue[o.ID])
+			}
+		}
+	}
+}

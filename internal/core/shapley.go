@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"sharedopt/internal/econ"
+)
+
+// ShapleyResult is the output of the Shapley Value Mechanism for a single
+// optimization: the serviced users and the uniform cost-share each pays.
+type ShapleyResult struct {
+	// Serviced lists the serviced users in ascending order. Empty means
+	// no subset of users bid enough to cover the cost: the optimization
+	// is not implemented.
+	Serviced []UserID
+	// Share is the per-user payment cost.DivCeil(len(Serviced)), or 0
+	// when Serviced is empty.
+	Share econ.Money
+}
+
+// Implemented reports whether the optimization should be implemented.
+func (r ShapleyResult) Implemented() bool { return len(r.Serviced) > 0 }
+
+// Revenue returns the total payment collected, Share × |Serviced|.
+func (r ShapleyResult) Revenue() econ.Money {
+	return r.Share.MulInt(int64(len(r.Serviced)))
+}
+
+// Shapley runs the Shapley Value Mechanism (paper, Mechanism 1) for a
+// single optimization with the given cost and one bid per user. It finds
+// the minimum uniform price p such that every serviced user bid at least p
+// and the serviced users jointly cover the cost: starting from all users,
+// it repeatedly divides the cost evenly and drops users whose bid is below
+// the current share, until the set stabilizes or empties.
+//
+// The mechanism is truthful (no user can improve her utility by bidding
+// anything other than her true value) and cost-recovering
+// (Share × |Serviced| ≥ cost, exactly, thanks to ceiling division).
+//
+// Users with negative bids are rejected with an error; users absent from
+// bids simply do not participate.
+func Shapley(cost econ.Money, bids map[UserID]econ.Money) (ShapleyResult, error) {
+	if cost <= 0 {
+		return ShapleyResult{}, fmt.Errorf("core: Shapley: cost must be positive, got %v", cost)
+	}
+	for u, b := range bids {
+		if b < 0 {
+			return ShapleyResult{}, fmt.Errorf("core: Shapley: user %d bid negative value %v", u, b)
+		}
+	}
+	return shapleyForced(cost, bids, nil), nil
+}
+
+// shapleyForced is the Shapley Value Mechanism with a set of forced users
+// who are always serviced regardless of their bids — the "b'ij ← ∞" step
+// of the online mechanisms (Mechanisms 2 and 4). Forced users need not
+// appear in bids. Inputs are assumed validated.
+func shapleyForced(cost econ.Money, bids map[UserID]econ.Money, forced map[UserID]bool) ShapleyResult {
+	// The serviced set starts as all forced users plus all bidders.
+	serviced := make(map[UserID]bool, len(bids)+len(forced))
+	for u := range forced {
+		serviced[u] = true
+	}
+	for u := range bids {
+		serviced[u] = true
+	}
+	for len(serviced) > 0 {
+		share := cost.DivCeil(len(serviced))
+		changed := false
+		for u := range serviced {
+			if forced[u] {
+				continue
+			}
+			if bids[u] < share {
+				delete(serviced, u)
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	if len(serviced) == 0 {
+		return ShapleyResult{}
+	}
+	users := make([]UserID, 0, len(serviced))
+	for u := range serviced {
+		users = append(users, u)
+	}
+	sortUsers(users)
+	return ShapleyResult{Serviced: users, Share: cost.DivCeil(len(users))}
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"testing"
+
+	"sharedopt/internal/econ"
+)
+
+func dollars(d float64) econ.Money { return econ.FromDollars(d) }
+
+func usersEqual(got []UserID, want ...UserID) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestShapleyAllAfford(t *testing.T) {
+	res, err := Shapley(dollars(100), map[UserID]econ.Money{
+		1: dollars(40), 2: dollars(40), 3: dollars(40),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !usersEqual(res.Serviced, 1, 2, 3) {
+		t.Fatalf("Serviced = %v, want [1 2 3]", res.Serviced)
+	}
+	// 100/3 with ceiling division in micro-dollars.
+	if want := dollars(100).DivCeil(3); res.Share != want {
+		t.Errorf("Share = %v, want %v", res.Share, want)
+	}
+	if res.Revenue() < dollars(100) {
+		t.Errorf("Revenue %v does not recover cost", res.Revenue())
+	}
+}
+
+// The walk-through of Mechanism 1: users are iteratively dropped as the
+// per-user share rises.
+func TestShapleyIterativeRemoval(t *testing.T) {
+	// cost 100 over bids 60, 30: at p=50 user 2 drops; at p=100 user 1
+	// cannot afford it either; nobody is serviced.
+	res, err := Shapley(dollars(100), map[UserID]econ.Money{1: dollars(60), 2: dollars(30)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Implemented() {
+		t.Fatalf("expected no service, got %+v", res)
+	}
+	if res.Share != 0 || res.Revenue() != 0 {
+		t.Errorf("empty result should have zero share and revenue, got %+v", res)
+	}
+
+	// cost 100 over bids 110, 30: user 2 drops at p=50, user 1 carries
+	// the full cost alone.
+	res, err = Shapley(dollars(100), map[UserID]econ.Money{1: dollars(110), 2: dollars(30)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !usersEqual(res.Serviced, 1) || res.Share != dollars(100) {
+		t.Fatalf("got %+v, want user 1 paying $100", res)
+	}
+}
+
+func TestShapleyExactBoundaryIsServiced(t *testing.T) {
+	// A bid exactly equal to the share is serviced ("p <= bij").
+	res, err := Shapley(dollars(100), map[UserID]econ.Money{1: dollars(50), 2: dollars(50)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !usersEqual(res.Serviced, 1, 2) || res.Share != dollars(50) {
+		t.Fatalf("got %+v, want both serviced at $50", res)
+	}
+}
+
+func TestShapleyNoBidders(t *testing.T) {
+	res, err := Shapley(dollars(10), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Implemented() {
+		t.Fatalf("no bidders should mean no service, got %+v", res)
+	}
+}
+
+func TestShapleyRejectsBadInputs(t *testing.T) {
+	if _, err := Shapley(0, map[UserID]econ.Money{1: dollars(1)}); err == nil {
+		t.Error("zero cost should be rejected")
+	}
+	if _, err := Shapley(dollars(-1), map[UserID]econ.Money{1: dollars(1)}); err == nil {
+		t.Error("negative cost should be rejected")
+	}
+	if _, err := Shapley(dollars(10), map[UserID]econ.Money{1: dollars(-1)}); err == nil {
+		t.Error("negative bid should be rejected")
+	}
+}
+
+// Paper Section 4.1: underbidding either changes nothing or drops the user
+// to zero utility; it never helps. This is the concrete two-case analysis
+// from the text.
+func TestShapleyUnderbiddingNeverHelps(t *testing.T) {
+	cost := dollars(100)
+	truth := map[UserID]econ.Money{1: dollars(60), 2: dollars(60), 3: dollars(60)}
+	res, err := Shapley(cost, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truthShare := res.Share // 100/3
+	if !usersEqual(res.Serviced, 1, 2, 3) {
+		t.Fatalf("truthful game should service everyone, got %v", res.Serviced)
+	}
+	truthUtility := dollars(60) - truthShare
+
+	// Case 1: underbid below the current share: dropped, utility 0.
+	lied := map[UserID]econ.Money{1: dollars(20), 2: dollars(60), 3: dollars(60)}
+	res, err = Shapley(cost, lied)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Implemented() {
+		for _, u := range res.Serviced {
+			if u == 1 {
+				t.Fatal("user 1 should have been dropped after underbidding")
+			}
+		}
+	}
+	// utility 0 < truthUtility.
+	if truthUtility <= 0 {
+		t.Fatalf("sanity: truthful utility should be positive, got %v", truthUtility)
+	}
+
+	// Case 2: underbid above the share: payment unchanged.
+	lied = map[UserID]econ.Money{1: dollars(40), 2: dollars(60), 3: dollars(60)}
+	res, err = Shapley(cost, lied)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !usersEqual(res.Serviced, 1, 2, 3) || res.Share != truthShare {
+		t.Fatalf("mild underbid should leave outcome unchanged, got %+v", res)
+	}
+}
+
+// Paper Example 1: the naive mechanism (pay your bid) invites shading your
+// bid; Shapley's uniform minimum price removes the incentive — overbidding
+// cannot lower the payment.
+func TestShapleyOverbiddingDoesNotLowerPayment(t *testing.T) {
+	cost := dollars(100)
+	truth := map[UserID]econ.Money{1: dollars(70), 2: dollars(70)}
+	res, err := Shapley(cost, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Share != dollars(50) {
+		t.Fatalf("share = %v, want $50", res.Share)
+	}
+	exaggerated := map[UserID]econ.Money{1: dollars(1000), 2: dollars(70)}
+	res2, err := Shapley(cost, exaggerated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Share != res.Share {
+		t.Errorf("overbid changed the share from %v to %v", res.Share, res2.Share)
+	}
+}
+
+// Section 5.2's Alice example, offline view: with one identity Alice pays
+// the whole cost; with two identities everyone is serviced.
+func TestShapleyAliceIdentities(t *testing.T) {
+	cost := dollars(101)
+	oneIdentity := map[UserID]econ.Money{0: dollars(101)}
+	for u := UserID(1); u <= 99; u++ {
+		oneIdentity[u] = dollars(1)
+	}
+	res, err := Shapley(cost, oneIdentity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 101/100 = $1.01 > $1, so the 99 small users drop; Alice pays all.
+	if !usersEqual(res.Serviced, 0) || res.Share != dollars(101) {
+		t.Fatalf("got %+v, want only Alice at $101", res)
+	}
+
+	twoIdentities := map[UserID]econ.Money{0: dollars(101), 100: dollars(101)}
+	for u := UserID(1); u <= 99; u++ {
+		twoIdentities[u] = dollars(1)
+	}
+	res, err = Shapley(cost, twoIdentities)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Serviced) != 101 {
+		t.Fatalf("with the dummy, all 101 identities should be serviced, got %d", len(res.Serviced))
+	}
+	if res.Share != dollars(1) {
+		t.Errorf("share = %v, want $1", res.Share)
+	}
+	// Alice pays 2 × $1 and keeps utility 101-2 = 99 > 0; every small
+	// user now pays exactly her value, utility 0 — nobody is worse off.
+}
+
+func TestShapleyForcedUsersAlwaysStay(t *testing.T) {
+	// A forced user with no bid at all is serviced and counted in the
+	// denominator.
+	res := shapleyForced(dollars(100), map[UserID]econ.Money{2: dollars(50)}, map[UserID]bool{1: true})
+	if !usersEqual(res.Serviced, 1, 2) || res.Share != dollars(50) {
+		t.Fatalf("got %+v, want forced user 1 and user 2 at $50", res)
+	}
+
+	// Even alone, a forced user stays: share is the full cost.
+	res = shapleyForced(dollars(100), nil, map[UserID]bool{7: true})
+	if !usersEqual(res.Serviced, 7) || res.Share != dollars(100) {
+		t.Fatalf("got %+v, want forced user 7 at $100", res)
+	}
+}
+
+func TestShapleyServicedSetIsMaximalFixpoint(t *testing.T) {
+	// Iterated removal keeps every "self-supporting" subset: with cost
+	// 90, bids {45, 45, 10}: p=30 drops user 3, then p=45 keeps 1 and 2.
+	res, err := Shapley(dollars(90), map[UserID]econ.Money{1: dollars(45), 2: dollars(45), 3: dollars(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !usersEqual(res.Serviced, 1, 2) || res.Share != dollars(45) {
+		t.Fatalf("got %+v, want users 1,2 at $45", res)
+	}
+}

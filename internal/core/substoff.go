@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+
+	"sharedopt/internal/econ"
+)
+
+// SubstBid is a user's bid in a substitutive game: she names the set Ji of
+// optimizations that are perfect substitutes for her and the single value
+// vi she obtains if granted access to at least one of them (paper,
+// Section 6). Access to additional optimizations in Ji adds nothing.
+type SubstBid struct {
+	User  UserID
+	Opts  []OptID
+	Value econ.Money
+}
+
+// Validate reports an error if the bid is structurally malformed.
+func (b SubstBid) Validate() error {
+	if len(b.Opts) == 0 {
+		return fmt.Errorf("core: user %d: empty substitute set", b.User)
+	}
+	seen := make(map[OptID]bool, len(b.Opts))
+	for _, j := range b.Opts {
+		if seen[j] {
+			return fmt.Errorf("core: user %d: duplicate optimization %d in substitute set", b.User, j)
+		}
+		seen[j] = true
+	}
+	if b.Value < 0 {
+		return fmt.Errorf("core: user %d: negative value %v", b.User, b.Value)
+	}
+	return nil
+}
+
+// SubstOff runs the SubstOff Mechanism (paper, Mechanism 3): the offline
+// cost-sharing mechanism for substitutive optimizations. It works in
+// phases: each phase runs the Shapley Value Mechanism independently for
+// every remaining optimization over the remaining users who want it,
+// implements the feasible optimization with the smallest cost-share,
+// grants it to its serviced users, and removes both from further phases.
+//
+// Cost-share ties between optimizations are broken deterministically in
+// favour of the lowest optimization ID (the paper breaks them randomly;
+// a fixed rule keeps runs reproducible and is equally truthful).
+//
+// Each user submits at most one bid. SubstOff is truthful when users do
+// not know the other users' bids, and cost-recovering (paper, Section 6.1).
+func SubstOff(opts []Optimization, bids []SubstBid) (*Outcome, error) {
+	optByID, err := validateOpts(opts)
+	if err != nil {
+		return nil, err
+	}
+	perUser := make(map[UserID]map[OptID]econ.Money, len(bids))
+	for _, b := range bids {
+		if err := b.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := perUser[b.User]; dup {
+			return nil, fmt.Errorf("core: duplicate bid by user %d", b.User)
+		}
+		m := make(map[OptID]econ.Money, len(b.Opts))
+		for _, j := range b.Opts {
+			if _, ok := optByID[j]; !ok {
+				return nil, fmt.Errorf("core: user %d bid for unknown optimization %d", b.User, j)
+			}
+			m[j] = b.Value
+		}
+		perUser[b.User] = m
+	}
+	phases := substPhases(opts, perUser, nil)
+	outcome := NewOutcome()
+	for _, j := range phases.order {
+		outcome.addGrants(j, phases.serviced[j], phases.share[j])
+	}
+	return outcome, nil
+}
+
+func validateOpts(opts []Optimization) (map[OptID]Optimization, error) {
+	byID := make(map[OptID]Optimization, len(opts))
+	for _, o := range opts {
+		if err := o.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := byID[o.ID]; dup {
+			return nil, fmt.Errorf("core: duplicate optimization %d", o.ID)
+		}
+		byID[o.ID] = o
+	}
+	return byID, nil
+}
+
+// phasesResult is the output of the SubstOff phase loop.
+type phasesResult struct {
+	// order lists implemented optimizations in implementation order.
+	order []OptID
+	// serviced maps each implemented optimization to all its serviced
+	// users, including forced (previously granted) ones, sorted.
+	serviced map[OptID][]UserID
+	// share maps each implemented optimization to its final per-user
+	// cost-share this run.
+	share map[OptID]econ.Money
+	// newGrants lists grants added this run (forced users excluded),
+	// sorted by (opt, user).
+	newGrants []Grant
+}
+
+// substPhases is the phase loop shared by SubstOff and SubstOn. bids maps
+// each active user to her per-optimization bid (identical for every
+// optimization in her substitute set). forced maps optimization → users
+// that must remain serviced by it (the "b'ij ← ∞" rows of Mechanism 4);
+// forced users must not appear in bids. Inputs are assumed validated.
+func substPhases(opts []Optimization, bids map[UserID]map[OptID]econ.Money, forced map[OptID]map[UserID]bool) phasesResult {
+	res := phasesResult{
+		serviced: make(map[OptID][]UserID),
+		share:    make(map[OptID]econ.Money),
+	}
+	available := append([]Optimization(nil), opts...)
+	// Sort by ID so that the arg-min scan breaks ties toward lower IDs.
+	for i := 1; i < len(available); i++ {
+		for k := i; k > 0 && available[k].ID < available[k-1].ID; k-- {
+			available[k], available[k-1] = available[k-1], available[k]
+		}
+	}
+	active := make(map[UserID]map[OptID]econ.Money, len(bids))
+	for u, m := range bids {
+		active[u] = m
+	}
+	for len(available) > 0 {
+		bestIdx := -1
+		var bestShare econ.Money
+		var bestResult ShapleyResult
+		for idx, opt := range available {
+			optBids := make(map[UserID]econ.Money)
+			for u, m := range active {
+				if v, ok := m[opt.ID]; ok {
+					optBids[u] = v
+				}
+			}
+			r := shapleyForced(opt.Cost, optBids, forced[opt.ID])
+			if !r.Implemented() {
+				continue
+			}
+			if bestIdx == -1 || r.Share < bestShare {
+				bestIdx, bestShare, bestResult = idx, r.Share, r
+			}
+		}
+		if bestIdx == -1 {
+			break
+		}
+		chosen := available[bestIdx]
+		available = append(available[:bestIdx], available[bestIdx+1:]...)
+		res.order = append(res.order, chosen.ID)
+		res.serviced[chosen.ID] = bestResult.Serviced
+		res.share[chosen.ID] = bestResult.Share
+		for _, u := range bestResult.Serviced {
+			if forced[chosen.ID][u] {
+				continue // already granted in an earlier slot
+			}
+			res.newGrants = append(res.newGrants, Grant{User: u, Opt: chosen.ID})
+			delete(active, u) // her bids for all optimizations drop to 0
+		}
+	}
+	sortGrants(res.newGrants)
+	return res
+}

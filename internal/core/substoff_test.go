@@ -1,0 +1,225 @@
+package core
+
+import (
+	"testing"
+)
+
+// The optimization set of paper Examples 5–7.
+func example5Opts() []Optimization {
+	return []Optimization{
+		{ID: 1, Cost: dollars(60)},
+		{ID: 2, Cost: dollars(180)},
+		{ID: 3, Cost: dollars(100)},
+	}
+}
+
+func example5Bids() []SubstBid {
+	return []SubstBid{
+		{User: 1, Opts: []OptID{1, 2}, Value: dollars(100)},
+		{User: 2, Opts: []OptID{3}, Value: dollars(101)},
+		{User: 3, Opts: []OptID{1, 2, 3}, Value: dollars(60)},
+		{User: 4, Opts: []OptID{2}, Value: dollars(70)},
+	}
+}
+
+// Paper Example 6: phase 1 implements optimization 1 for users {1,3} at a
+// share of 30; phase 2 implements optimization 3 for user 2 at 100; user 4
+// gets nothing.
+func TestSubstOffExample6(t *testing.T) {
+	out, err := SubstOff(example5Opts(), example5Bids())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !usersEqual(out.Serviced[1], 1, 3) {
+		t.Errorf("opt 1 serviced = %v, want [1 3]", out.Serviced[1])
+	}
+	if out.Payment(1, 1) != dollars(30) || out.Payment(3, 1) != dollars(30) {
+		t.Errorf("opt 1 shares: %v, %v; want $30 each", out.Payment(1, 1), out.Payment(3, 1))
+	}
+	if !usersEqual(out.Serviced[3], 2) || out.Payment(2, 3) != dollars(100) {
+		t.Errorf("opt 3: serviced %v at %v; want user 2 at $100", out.Serviced[3], out.Payment(2, 3))
+	}
+	if out.IsImplemented(2) {
+		t.Error("opt 2 should not be implemented")
+	}
+	if got := out.TotalPayment(4); got != 0 {
+		t.Errorf("user 4 pays %v, want $0", got)
+	}
+}
+
+// Paper Example 7, part 1: any bid in [30, ∞) by user 3 leaves the outcome
+// and her payment unchanged.
+func TestSubstOffExample7OverbidInvariance(t *testing.T) {
+	for _, v := range []float64{30, 45, 60, 1000} {
+		bids := example5Bids()
+		bids[2].Value = dollars(v)
+		out, err := SubstOff(example5Opts(), bids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !usersEqual(out.Serviced[1], 1, 3) || out.Payment(3, 1) != dollars(30) {
+			t.Errorf("bid %v: opt1 serviced %v, user 3 pays %v; want [1 3] at $30",
+				v, out.Serviced[1], out.Payment(3, 1))
+		}
+	}
+}
+
+// Paper Example 7, part 2: bidding below 30 drops user 3 entirely — she is
+// not serviced by any optimization (utility 0 instead of 30).
+func TestSubstOffExample7UnderbidLosesService(t *testing.T) {
+	bids := example5Bids()
+	bids[2].Value = dollars(29)
+	out, err := SubstOff(example5Opts(), bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out.GrantedOpt(3); ok {
+		t.Fatalf("underbidding user 3 should not be serviced; outcome %+v", out)
+	}
+	if out.TotalPayment(3) != 0 {
+		t.Errorf("unserviced user pays %v", out.TotalPayment(3))
+	}
+}
+
+// Paper Example 7, part 3: hiding optimization 1 from her substitute set
+// strictly lowers user 3's utility. (Running Mechanism 3 literally, user 2
+// and user 3 share optimization 3 at 50, so user 3's utility drops from
+// 60-30=30 to 60-50=10; the paper's prose reaches utility 0 via a
+// random-tie variant. Either way the lie strictly loses.)
+func TestSubstOffExample7HidingWantedOptLoses(t *testing.T) {
+	bids := example5Bids()
+	bids[2].Opts = []OptID{2, 3}
+	out, err := SubstOff(example5Opts(), bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, ok := out.GrantedOpt(3)
+	if !ok {
+		t.Fatal("user 3 should still be serviced by some optimization")
+	}
+	lyingPayment := out.Payment(3, opt)
+	if lyingPayment <= dollars(30) {
+		t.Errorf("lying payment %v should exceed the truthful $30 share", lyingPayment)
+	}
+}
+
+// The no-dummy baseline of the Section 6.2 identity example: optimization 2
+// is implemented for users {2,3} at 2.5; user 1 is left out.
+func TestSubstOffSection62Baseline(t *testing.T) {
+	opts := []Optimization{{ID: 1, Cost: dollars(6)}, {ID: 2, Cost: dollars(5)}}
+	bids := []SubstBid{
+		{User: 1, Opts: []OptID{1}, Value: dollars(5)},
+		{User: 2, Opts: []OptID{1, 2}, Value: dollars(2.51)},
+		{User: 3, Opts: []OptID{2}, Value: dollars(7)},
+	}
+	out, err := SubstOff(opts, bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.IsImplemented(1) {
+		t.Error("opt 1 should not be implemented without dummies")
+	}
+	if !usersEqual(out.Serviced[2], 2, 3) {
+		t.Fatalf("opt 2 serviced = %v, want [2 3]", out.Serviced[2])
+	}
+	if out.Payment(2, 2) != dollars(2.5) || out.Payment(3, 2) != dollars(2.5) {
+		t.Errorf("payments %v/%v, want $2.50 each", out.Payment(2, 2), out.Payment(3, 2))
+	}
+}
+
+// Cost-share ties are broken toward the lowest optimization ID.
+func TestSubstOffDeterministicTieBreak(t *testing.T) {
+	opts := []Optimization{{ID: 7, Cost: dollars(10)}, {ID: 3, Cost: dollars(10)}}
+	bids := []SubstBid{{User: 1, Opts: []OptID{3, 7}, Value: dollars(50)}}
+	out, err := SubstOff(opts, bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.IsImplemented(3) || out.IsImplemented(7) {
+		t.Errorf("tie should pick opt 3; got %v", out.Implemented)
+	}
+}
+
+// Once a user is granted an optimization, she stops contributing to all
+// others, even if that leaves them unimplemented.
+func TestSubstOffGrantedUsersLeaveOtherGames(t *testing.T) {
+	opts := []Optimization{{ID: 1, Cost: dollars(10)}, {ID: 2, Cost: dollars(30)}}
+	bids := []SubstBid{
+		{User: 1, Opts: []OptID{1, 2}, Value: dollars(20)},
+		{User: 2, Opts: []OptID{2}, Value: dollars(16)},
+	}
+	out, err := SubstOff(opts, bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1: opt 1 share 10 (user 1) vs opt 2 share 15 (both) — opt 1
+	// wins and takes user 1. Phase 2: user 2 alone cannot cover 30.
+	if !usersEqual(out.Serviced[1], 1) {
+		t.Fatalf("opt 1 serviced = %v", out.Serviced[1])
+	}
+	if out.IsImplemented(2) {
+		t.Error("opt 2 should fail once user 1 is serviced elsewhere")
+	}
+}
+
+func TestSubstOffMultiPhaseCascade(t *testing.T) {
+	// Three disjoint pairs of users each affording their own optimization:
+	// all three implemented, cheapest shares first.
+	opts := []Optimization{
+		{ID: 1, Cost: dollars(10)},
+		{ID: 2, Cost: dollars(20)},
+		{ID: 3, Cost: dollars(30)},
+	}
+	bids := []SubstBid{
+		{User: 1, Opts: []OptID{1}, Value: dollars(6)},
+		{User: 2, Opts: []OptID{1}, Value: dollars(6)},
+		{User: 3, Opts: []OptID{2}, Value: dollars(11)},
+		{User: 4, Opts: []OptID{2}, Value: dollars(11)},
+		{User: 5, Opts: []OptID{3}, Value: dollars(16)},
+		{User: 6, Opts: []OptID{3}, Value: dollars(16)},
+	}
+	out, err := SubstOff(opts, bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range []OptID{1, 2, 3} {
+		if !out.IsImplemented(j) {
+			t.Errorf("opt %d should be implemented", j)
+		}
+		if rev := out.Revenue(j); rev < dollars(float64(j)*10) {
+			t.Errorf("opt %d revenue %v below cost", j, rev)
+		}
+	}
+}
+
+func TestSubstOffValidation(t *testing.T) {
+	opts := []Optimization{{ID: 1, Cost: dollars(10)}}
+	cases := []struct {
+		name string
+		bids []SubstBid
+	}{
+		{"empty set", []SubstBid{{User: 1, Opts: nil, Value: dollars(1)}}},
+		{"duplicate opt in set", []SubstBid{{User: 1, Opts: []OptID{1, 1}, Value: dollars(1)}}},
+		{"negative value", []SubstBid{{User: 1, Opts: []OptID{1}, Value: dollars(-1)}}},
+		{"unknown opt", []SubstBid{{User: 1, Opts: []OptID{9}, Value: dollars(1)}}},
+		{"duplicate user", []SubstBid{
+			{User: 1, Opts: []OptID{1}, Value: dollars(1)},
+			{User: 1, Opts: []OptID{1}, Value: dollars(2)},
+		}},
+	}
+	for _, c := range cases {
+		if _, err := SubstOff(opts, c.bids); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestSubstOffEmptyGame(t *testing.T) {
+	out, err := SubstOff(example5Opts(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Implemented) != 0 {
+		t.Errorf("implemented %v with no bids", out.Implemented)
+	}
+}

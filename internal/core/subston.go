@@ -1,0 +1,304 @@
+package core
+
+import (
+	"fmt"
+
+	"sharedopt/internal/econ"
+)
+
+// OnlineSubstBid declares a user's substitutive demand in an online game:
+// the substitute set Ji, the service interval [Start, End], and per-slot
+// values obtained in each slot if she has access to at least one
+// optimization in Ji.
+type OnlineSubstBid struct {
+	User   UserID
+	Opts   []OptID
+	Start  Slot
+	End    Slot
+	Values []econ.Money
+}
+
+// Validate reports an error if the bid is structurally malformed.
+func (b OnlineSubstBid) Validate() error {
+	if err := (SubstBid{User: b.User, Opts: b.Opts}).Validate(); err != nil {
+		return err
+	}
+	return OnlineBid{User: b.User, Start: b.Start, End: b.End, Values: b.Values}.Validate()
+}
+
+// substUser is SubstOn's record of one user.
+type substUser struct {
+	opts       []OptID
+	start, end Slot
+	values     map[Slot]econ.Money
+	granted    bool
+	grantedOpt OptID
+	paid       bool
+	payment    econ.Money
+}
+
+func (u *substUser) residual(t Slot) econ.Money {
+	var r econ.Money
+	for s, v := range u.values {
+		if s >= t {
+			r += v
+		}
+	}
+	return r
+}
+
+// SubstOn is the SubstOn Mechanism (paper, Mechanism 4): the online
+// cost-sharing mechanism for substitutive optimizations. Each slot it runs
+// the SubstOff phase loop over the residual values of users seen so far,
+// forcing every previously granted (user, optimization) pair to stay
+// serviced by that same optimization — a user may never switch
+// optimizations, which is crucial for truthfulness (paper, Example 8).
+// Users pay the cost-share of their granted optimization in force when
+// their bid interval ends; as with AddOn, shares only fall over time, and
+// departed users keep counting toward the share denominator.
+type SubstOn struct {
+	opts        []Optimization
+	optByID     map[OptID]Optimization
+	now         Slot
+	users       map[UserID]*substUser
+	implemented map[OptID]Slot
+}
+
+// NewSubstOn returns a new online substitutive game over the given
+// optimizations. It panics on invalid or duplicate optimizations.
+func NewSubstOn(opts []Optimization) *SubstOn {
+	byID, err := validateOpts(opts)
+	if err != nil {
+		panic(err)
+	}
+	return &SubstOn{
+		opts:        append([]Optimization(nil), opts...),
+		optByID:     byID,
+		users:       make(map[UserID]*substUser),
+		implemented: make(map[OptID]Slot),
+	}
+}
+
+// Now returns the last processed slot (0 if none yet).
+func (s *SubstOn) Now() Slot { return s.now }
+
+// Implemented reports whether the optimization has been implemented and at
+// which slot.
+func (s *SubstOn) Implemented(opt OptID) (Slot, bool) {
+	at, ok := s.implemented[opt]
+	return at, ok
+}
+
+// Submit places or revises a bid. New bids must start after the last
+// processed slot. A revision may only increase per-slot values and extend
+// the interval, and may not change the substitute set.
+func (s *SubstOn) Submit(bid OnlineSubstBid) error {
+	if err := bid.Validate(); err != nil {
+		return err
+	}
+	for _, j := range bid.Opts {
+		if _, ok := s.optByID[j]; !ok {
+			return fmt.Errorf("core: user %d bid for unknown optimization %d", bid.User, j)
+		}
+	}
+	if bid.Start <= s.now {
+		return fmt.Errorf("core: user %d: retroactive bid starting at slot %d, current slot is %d",
+			bid.User, bid.Start, s.now)
+	}
+	u := s.users[bid.User]
+	if u == nil {
+		u = &substUser{
+			opts:   append([]OptID(nil), bid.Opts...),
+			start:  bid.Start,
+			end:    bid.End,
+			values: make(map[Slot]econ.Money),
+		}
+		for k, v := range bid.Values {
+			u.values[bid.Start+Slot(k)] = v
+		}
+		s.users[bid.User] = u
+		return nil
+	}
+	if u.paid {
+		return fmt.Errorf("core: user %d: bid after departure", bid.User)
+	}
+	if !sameOptSet(u.opts, bid.Opts) {
+		return fmt.Errorf("core: user %d: revision changes substitute set", bid.User)
+	}
+	if bid.End < u.end {
+		return fmt.Errorf("core: user %d: revision shrinks end from %d to %d", bid.User, u.end, bid.End)
+	}
+	for st := bid.Start; st <= u.end; st++ {
+		old := u.values[st]
+		var revised econ.Money
+		if st <= bid.End {
+			revised = bid.Values[st-bid.Start]
+		}
+		if revised < old {
+			return fmt.Errorf("core: user %d: revision lowers value at slot %d from %v to %v",
+				bid.User, st, old, revised)
+		}
+	}
+	for st, v := range u.values {
+		if st > s.now && st < bid.Start && v > 0 {
+			return fmt.Errorf("core: user %d: revision starting at %d withdraws value at slot %d",
+				bid.User, bid.Start, st)
+		}
+	}
+	for k, v := range bid.Values {
+		u.values[bid.Start+Slot(k)] = v
+	}
+	if bid.End > u.end {
+		u.end = bid.End
+	}
+	return nil
+}
+
+func sameOptSet(a, b []OptID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[OptID]bool, len(a))
+	for _, j := range a {
+		set[j] = true
+	}
+	for _, j := range b {
+		if !set[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// AdvanceSlot processes the next time slot by running the SubstOff phase
+// loop over residual bids with all existing grants forced, then charging
+// users whose interval ends at this slot.
+func (s *SubstOn) AdvanceSlot() SlotReport {
+	s.now++
+	t := s.now
+	report := SlotReport{Slot: t, Departures: make(map[UserID]econ.Money)}
+
+	bids := make(map[UserID]map[OptID]econ.Money)
+	forced := make(map[OptID]map[UserID]bool)
+	for id, u := range s.users {
+		if u.granted {
+			f := forced[u.grantedOpt]
+			if f == nil {
+				f = make(map[UserID]bool)
+				forced[u.grantedOpt] = f
+			}
+			f[id] = true
+			continue
+		}
+		if t < u.start {
+			continue
+		}
+		r := u.residual(t)
+		if r <= 0 {
+			continue
+		}
+		m := make(map[OptID]econ.Money, len(u.opts))
+		for _, j := range u.opts {
+			m[j] = r
+		}
+		bids[id] = m
+	}
+
+	phases := substPhases(s.opts, bids, forced)
+
+	for _, g := range phases.newGrants {
+		u := s.users[g.User]
+		u.granted = true
+		u.grantedOpt = g.Opt
+	}
+	report.NewGrants = phases.newGrants
+	for _, j := range phases.order {
+		if _, seen := s.implemented[j]; !seen {
+			s.implemented[j] = t
+			report.Implemented = append(report.Implemented, j)
+		}
+	}
+	sortOpts(report.Implemented)
+
+	for id, u := range s.users {
+		if u.granted && t >= u.start && t <= u.end {
+			report.Active = append(report.Active, Grant{User: id, Opt: u.grantedOpt})
+		}
+	}
+	sortGrants(report.Active)
+
+	for id, u := range s.users {
+		if u.paid || u.end != t {
+			continue
+		}
+		u.paid = true
+		if u.granted {
+			u.payment = phases.share[u.grantedOpt]
+		}
+		report.Departures[id] = u.payment
+	}
+	return report
+}
+
+// Close settles every user who has not yet paid at the current cost-share
+// of her granted optimization. It returns the payments charged by this
+// call.
+func (s *SubstOn) Close() map[UserID]econ.Money {
+	counts := make(map[OptID]int)
+	for _, u := range s.users {
+		if u.granted {
+			counts[u.grantedOpt]++
+		}
+	}
+	settled := make(map[UserID]econ.Money)
+	for id, u := range s.users {
+		if u.paid {
+			continue
+		}
+		u.paid = true
+		if u.granted {
+			u.payment = s.optByID[u.grantedOpt].Cost.DivCeil(counts[u.grantedOpt])
+		}
+		settled[id] = u.payment
+	}
+	return settled
+}
+
+// Payment returns the user's final payment and whether she has been
+// charged yet.
+func (s *SubstOn) Payment(u UserID) (econ.Money, bool) {
+	usr := s.users[u]
+	if usr == nil || !usr.paid {
+		return 0, false
+	}
+	return usr.payment, true
+}
+
+// GrantedOpt returns the optimization granted to the user, if any.
+func (s *SubstOn) GrantedOpt(u UserID) (OptID, bool) {
+	usr := s.users[u]
+	if usr == nil || !usr.granted {
+		return 0, false
+	}
+	return usr.grantedOpt, true
+}
+
+// TotalRevenue returns the sum of all payments charged so far.
+func (s *SubstOn) TotalRevenue() econ.Money {
+	var total econ.Money
+	for _, u := range s.users {
+		if u.paid {
+			total += u.payment
+		}
+	}
+	return total
+}
+
+// CostIncurred sums the costs of implemented optimizations.
+func (s *SubstOn) CostIncurred() econ.Money {
+	var total econ.Money
+	for j := range s.implemented {
+		total += s.optByID[j].Cost
+	}
+	return total
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"testing"
+
+	"sharedopt/internal/econ"
+)
+
+func example8Opts() []Optimization {
+	return []Optimization{
+		{ID: 1, Cost: dollars(60)},
+		{ID: 2, Cost: dollars(100)},
+		{ID: 3, Cost: dollars(50)},
+	}
+}
+
+// Paper Example 8, first part: user 1 implements optimization 1 at t=1;
+// user 2 joins it at t=2 (shares drop to 30); at t=3 user 3 implements
+// optimization 3 alone, and user 2 — already bound to optimization 1 —
+// does not switch. Final payments: user 1 pays 30, user 2 pays 30,
+// user 3 pays 50.
+func TestSubstOnExample8(t *testing.T) {
+	game := NewSubstOn(example8Opts())
+	mustSubmit(t, game.Submit(OnlineSubstBid{
+		User: 1, Opts: []OptID{1, 2}, Start: 1, End: 2,
+		Values: []econ.Money{dollars(100), dollars(100)},
+	}))
+	r1 := game.AdvanceSlot()
+	if !grantsEqual(r1.NewGrants, Grant{1, 1}) {
+		t.Fatalf("t=1 grants = %v, want user 1 on opt 1", r1.NewGrants)
+	}
+	if len(r1.Implemented) != 1 || r1.Implemented[0] != 1 {
+		t.Fatalf("t=1 implemented = %v, want [1]", r1.Implemented)
+	}
+
+	mustSubmit(t, game.Submit(OnlineSubstBid{
+		User: 2, Opts: []OptID{1, 2, 3}, Start: 2, End: 3,
+		Values: []econ.Money{dollars(100), dollars(100)},
+	}))
+	r2 := game.AdvanceSlot()
+	if !grantsEqual(r2.NewGrants, Grant{2, 1}) {
+		t.Fatalf("t=2 grants = %v, want user 2 on opt 1", r2.NewGrants)
+	}
+	if p := r2.Departures[1]; p != dollars(30) {
+		t.Fatalf("user 1 pays %v, want $30", p)
+	}
+
+	mustSubmit(t, game.Submit(OnlineSubstBid{
+		User: 3, Opts: []OptID{3}, Start: 3, End: 3,
+		Values: []econ.Money{dollars(100)},
+	}))
+	r3 := game.AdvanceSlot()
+	if !grantsEqual(r3.NewGrants, Grant{3, 3}) {
+		t.Fatalf("t=3 grants = %v, want user 3 on opt 3", r3.NewGrants)
+	}
+	if len(r3.Implemented) != 1 || r3.Implemented[0] != 3 {
+		t.Fatalf("t=3 implemented = %v, want [3]", r3.Implemented)
+	}
+	// User 2 must not have switched to optimization 3.
+	if opt, _ := game.GrantedOpt(2); opt != 1 {
+		t.Fatalf("user 2 switched to opt %d", opt)
+	}
+	if p := r3.Departures[2]; p != dollars(30) {
+		t.Errorf("user 2 pays %v, want $30", p)
+	}
+	if p := r3.Departures[3]; p != dollars(50) {
+		t.Errorf("user 3 pays %v, want $50", p)
+	}
+	// Optimization 2 is never implemented.
+	if _, ok := game.Implemented(2); ok {
+		t.Error("opt 2 should not be implemented")
+	}
+	// Cost recovery: revenue 30+30+50 = 110 >= 60+50.
+	if rev, cost := game.TotalRevenue(), game.CostIncurred(); rev < cost {
+		t.Errorf("revenue %v below cost %v", rev, cost)
+	}
+}
+
+// Paper Example 8, second part: a fourth user arriving at t=3 bidding only
+// for optimization 3 cannot lure user 2 off optimization 1; users 3 and 4
+// split optimization 3 at 25 each while user 2 still pays 30.
+func TestSubstOnExample8NoSwitch(t *testing.T) {
+	game := NewSubstOn(example8Opts())
+	mustSubmit(t, game.Submit(OnlineSubstBid{
+		User: 1, Opts: []OptID{1, 2}, Start: 1, End: 2,
+		Values: []econ.Money{dollars(100), dollars(100)},
+	}))
+	game.AdvanceSlot()
+	mustSubmit(t, game.Submit(OnlineSubstBid{
+		User: 2, Opts: []OptID{1, 2, 3}, Start: 2, End: 3,
+		Values: []econ.Money{dollars(100), dollars(100)},
+	}))
+	game.AdvanceSlot()
+	mustSubmit(t, game.Submit(OnlineSubstBid{
+		User: 3, Opts: []OptID{3}, Start: 3, End: 3,
+		Values: []econ.Money{dollars(100)},
+	}))
+	mustSubmit(t, game.Submit(OnlineSubstBid{
+		User: 4, Opts: []OptID{3}, Start: 3, End: 3,
+		Values: []econ.Money{dollars(100)},
+	}))
+	r3 := game.AdvanceSlot()
+	if p := r3.Departures[2]; p != dollars(30) {
+		t.Errorf("user 2 pays %v, want $30", p)
+	}
+	if r3.Departures[3] != dollars(25) || r3.Departures[4] != dollars(25) {
+		t.Errorf("users 3,4 pay %v/%v, want $25 each", r3.Departures[3], r3.Departures[4])
+	}
+}
+
+func TestSubstOnDepartedUsersStillCountInShares(t *testing.T) {
+	// User 1 implements opt 1 alone and leaves. User 2 joins later: her
+	// share is computed over both users even though user 1 is gone.
+	game := NewSubstOn([]Optimization{{ID: 1, Cost: dollars(60)}})
+	mustSubmit(t, game.Submit(OnlineSubstBid{
+		User: 1, Opts: []OptID{1}, Start: 1, End: 1, Values: []econ.Money{dollars(60)},
+	}))
+	r1 := game.AdvanceSlot()
+	if r1.Departures[1] != dollars(60) {
+		t.Fatalf("user 1 pays %v, want $60", r1.Departures[1])
+	}
+	mustSubmit(t, game.Submit(OnlineSubstBid{
+		User: 2, Opts: []OptID{1}, Start: 2, End: 2, Values: []econ.Money{dollars(30)},
+	}))
+	r2 := game.AdvanceSlot()
+	if p := r2.Departures[2]; p != dollars(30) {
+		t.Errorf("user 2 pays %v, want $30 (60/2)", p)
+	}
+}
+
+func TestSubstOnResidualValueImplementsLater(t *testing.T) {
+	// A user whose residual shrinks over time: affordable at t=1 only.
+	game := NewSubstOn([]Optimization{{ID: 1, Cost: dollars(18)}})
+	mustSubmit(t, game.Submit(OnlineSubstBid{
+		User: 1, Opts: []OptID{1}, Start: 1, End: 2,
+		Values: []econ.Money{dollars(10), dollars(10)},
+	}))
+	r1 := game.AdvanceSlot()
+	if !grantsEqual(r1.NewGrants, Grant{1, 1}) {
+		t.Fatalf("residual 20 >= 18 should grant at t=1, got %v", r1.NewGrants)
+	}
+	r2 := game.AdvanceSlot()
+	if r2.Departures[1] != dollars(18) {
+		t.Errorf("payment %v, want $18", r2.Departures[1])
+	}
+}
+
+func TestSubstOnPicksCheapestSubstitute(t *testing.T) {
+	game := NewSubstOn([]Optimization{
+		{ID: 1, Cost: dollars(90)},
+		{ID: 2, Cost: dollars(40)},
+	})
+	mustSubmit(t, game.Submit(OnlineSubstBid{
+		User: 1, Opts: []OptID{1, 2}, Start: 1, End: 1, Values: []econ.Money{dollars(95)},
+	}))
+	r := game.AdvanceSlot()
+	if !grantsEqual(r.NewGrants, Grant{1, 2}) {
+		t.Fatalf("grants = %v, want opt 2 (cheaper share)", r.NewGrants)
+	}
+	if r.Departures[1] != dollars(40) {
+		t.Errorf("payment %v, want $40", r.Departures[1])
+	}
+}
+
+func TestSubstOnCloseSettles(t *testing.T) {
+	game := NewSubstOn([]Optimization{{ID: 1, Cost: dollars(30)}})
+	mustSubmit(t, game.Submit(OnlineSubstBid{
+		User: 1, Opts: []OptID{1}, Start: 1, End: 9,
+		Values: []econ.Money{dollars(50), 0, 0, 0, 0, 0, 0, 0, 0},
+	}))
+	mustSubmit(t, game.Submit(OnlineSubstBid{
+		User: 2, Opts: []OptID{1}, Start: 1, End: 9,
+		Values: []econ.Money{dollars(50), 0, 0, 0, 0, 0, 0, 0, 0},
+	}))
+	game.AdvanceSlot()
+	settled := game.Close()
+	if settled[1] != dollars(15) || settled[2] != dollars(15) {
+		t.Fatalf("Close payments = %v, want $15 each", settled)
+	}
+	if again := game.Close(); len(again) != 0 {
+		t.Error("second Close should settle nothing")
+	}
+	// An unserviced user settles at zero.
+	game2 := NewSubstOn([]Optimization{{ID: 1, Cost: dollars(30)}})
+	mustSubmit(t, game2.Submit(OnlineSubstBid{
+		User: 5, Opts: []OptID{1}, Start: 1, End: 2, Values: []econ.Money{dollars(1), dollars(1)},
+	}))
+	game2.AdvanceSlot()
+	if p := game2.Close()[5]; p != 0 {
+		t.Errorf("unserviced user settled at %v", p)
+	}
+}
+
+func TestSubstOnSubmitValidation(t *testing.T) {
+	game := NewSubstOn(example8Opts())
+	if err := game.Submit(OnlineSubstBid{User: 1, Opts: []OptID{9}, Start: 1, End: 1,
+		Values: []econ.Money{1}}); err == nil {
+		t.Error("unknown optimization accepted")
+	}
+	if err := game.Submit(OnlineSubstBid{User: 1, Opts: nil, Start: 1, End: 1,
+		Values: []econ.Money{1}}); err == nil {
+		t.Error("empty substitute set accepted")
+	}
+	game.AdvanceSlot()
+	if err := game.Submit(OnlineSubstBid{User: 1, Opts: []OptID{1}, Start: 1, End: 1,
+		Values: []econ.Money{1}}); err == nil {
+		t.Error("retroactive bid accepted")
+	}
+}
+
+func TestSubstOnRevisionRules(t *testing.T) {
+	game := NewSubstOn(example8Opts())
+	mustSubmit(t, game.Submit(OnlineSubstBid{
+		User: 1, Opts: []OptID{1, 2}, Start: 1, End: 3,
+		Values: []econ.Money{dollars(1), dollars(1), dollars(1)},
+	}))
+	game.AdvanceSlot()
+	// Changing the substitute set is rejected.
+	if err := game.Submit(OnlineSubstBid{User: 1, Opts: []OptID{1}, Start: 2, End: 3,
+		Values: []econ.Money{dollars(2), dollars(2)}}); err == nil {
+		t.Error("substitute-set change accepted")
+	}
+	// Upward revision is fine.
+	mustSubmit(t, game.Submit(OnlineSubstBid{User: 1, Opts: []OptID{1, 2}, Start: 2, End: 3,
+		Values: []econ.Money{dollars(2), dollars(2)}}))
+	// Downward revision is rejected.
+	if err := game.Submit(OnlineSubstBid{User: 1, Opts: []OptID{1, 2}, Start: 2, End: 3,
+		Values: []econ.Money{dollars(1), dollars(2)}}); err == nil {
+		t.Error("downward revision accepted")
+	}
+	// Departed users may not bid again.
+	game.AdvanceSlot()
+	game.AdvanceSlot()
+	game.Close()
+	if err := game.Submit(OnlineSubstBid{User: 1, Opts: []OptID{1, 2}, Start: 4, End: 4,
+		Values: []econ.Money{dollars(2)}}); err == nil {
+		t.Error("bid after departure accepted")
+	}
+}
+
+func TestNewSubstOnPanicsOnBadOpts(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewSubstOn([]Optimization{{ID: 1, Cost: 0}})
+}

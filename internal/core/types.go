@@ -1,0 +1,197 @@
+// Package core implements the cost-sharing mechanisms of Upadhyaya,
+// Balazinska and Suciu, "How to Price Shared Optimizations in the Cloud"
+// (VLDB 2012): the Shapley Value Mechanism and the four mechanisms built
+// on it — AddOff and AddOn for additive optimizations (offline and online
+// games) and SubstOff and SubstOn for substitutive optimizations.
+//
+// All mechanisms are deterministic. Monetary amounts are econ.Money
+// (integer micro-dollars) and cost-shares use ceiling division, so the
+// cost-recovery guarantee Σ payments ≥ cost holds exactly, with no
+// floating-point slack.
+//
+// Offline mechanisms (AddOff, SubstOff) are plain functions from bids to
+// an Outcome. Online mechanisms (AddOn, SubstOn) are state machines: the
+// caller submits bids between slots and calls AdvanceSlot to process the
+// next time slot, receiving a SlotReport of new grants and departures'
+// payments.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sharedopt/internal/econ"
+)
+
+// UserID identifies a user (player) in a pricing game.
+type UserID int
+
+// OptID identifies an optimization the cloud can implement (an index, a
+// materialized view, a replica, ...).
+type OptID int
+
+// Slot is a discrete time slot of the online game, numbered from 1.
+type Slot int
+
+// Optimization describes one binary optimization the cloud may implement.
+type Optimization struct {
+	// ID must be unique within a game.
+	ID OptID
+	// Cost is the fixed cost Cj of implementing and maintaining the
+	// optimization for the whole period T. It must be positive.
+	Cost econ.Money
+}
+
+// Validate reports an error if the optimization is malformed.
+func (o Optimization) Validate() error {
+	if o.Cost <= 0 {
+		return fmt.Errorf("core: optimization %d: cost must be positive, got %v", o.ID, o.Cost)
+	}
+	return nil
+}
+
+// Grant is a pair (user, optimization) recording that the user has been
+// granted access to the optimization.
+type Grant struct {
+	User UserID
+	Opt  OptID
+}
+
+// Outcome is the alternative chosen by an offline mechanism: the set of
+// implemented optimizations, the users granted access to each, and every
+// user's cost-share payments.
+type Outcome struct {
+	// Implemented lists implemented optimizations in ascending ID order.
+	Implemented []OptID
+	// Serviced maps each implemented optimization to the users granted
+	// access, in ascending user order.
+	Serviced map[OptID][]UserID
+	// Payments maps user → optimization → cost-share. Only non-zero
+	// payments are recorded.
+	Payments map[UserID]map[OptID]econ.Money
+}
+
+// NewOutcome returns an empty outcome.
+func NewOutcome() *Outcome {
+	return &Outcome{
+		Serviced: make(map[OptID][]UserID),
+		Payments: make(map[UserID]map[OptID]econ.Money),
+	}
+}
+
+// addGrants records that the optimization was implemented with the given
+// serviced users, each paying share.
+func (o *Outcome) addGrants(opt OptID, users []UserID, share econ.Money) {
+	o.Implemented = append(o.Implemented, opt)
+	sorted := append([]UserID(nil), users...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	o.Serviced[opt] = sorted
+	for _, u := range sorted {
+		o.setPayment(u, opt, share)
+	}
+	sort.Slice(o.Implemented, func(i, j int) bool { return o.Implemented[i] < o.Implemented[j] })
+}
+
+func (o *Outcome) setPayment(u UserID, opt OptID, p econ.Money) {
+	if p == 0 {
+		return
+	}
+	m := o.Payments[u]
+	if m == nil {
+		m = make(map[OptID]econ.Money)
+		o.Payments[u] = m
+	}
+	m[opt] = p
+}
+
+// IsImplemented reports whether the optimization was implemented.
+func (o *Outcome) IsImplemented(opt OptID) bool {
+	_, ok := o.Serviced[opt]
+	return ok
+}
+
+// IsServiced reports whether the user was granted access to the
+// optimization.
+func (o *Outcome) IsServiced(u UserID, opt OptID) bool {
+	for _, s := range o.Serviced[opt] {
+		if s == u {
+			return true
+		}
+	}
+	return false
+}
+
+// Payment returns the user's cost-share for one optimization (0 if not
+// serviced).
+func (o *Outcome) Payment(u UserID, opt OptID) econ.Money {
+	return o.Payments[u][opt]
+}
+
+// TotalPayment returns the user's total payment Pi across optimizations.
+func (o *Outcome) TotalPayment(u UserID) econ.Money {
+	var total econ.Money
+	for _, p := range o.Payments[u] {
+		total += p
+	}
+	return total
+}
+
+// Revenue returns the total payments collected for one optimization.
+func (o *Outcome) Revenue(opt OptID) econ.Money {
+	var total econ.Money
+	for _, m := range o.Payments {
+		total += m[opt]
+	}
+	return total
+}
+
+// GrantedOpt returns the optimization granted to the user and true, or 0
+// and false if the user was granted nothing. It is meaningful for
+// substitutive outcomes, where each user is granted at most one
+// optimization.
+func (o *Outcome) GrantedOpt(u UserID) (OptID, bool) {
+	for opt, users := range o.Serviced {
+		for _, s := range users {
+			if s == u {
+				return opt, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// SlotReport describes what happened in one time slot of an online game.
+type SlotReport struct {
+	// Slot is the slot that was just processed.
+	Slot Slot
+	// Implemented lists optimizations first implemented in this slot,
+	// in ascending ID order.
+	Implemented []OptID
+	// NewGrants lists grants added in this slot, sorted by (opt, user).
+	NewGrants []Grant
+	// Active lists the grants of users actively serviced in this slot
+	// (serviced and within their requested interval), sorted by
+	// (opt, user). Value accrues to exactly these pairs.
+	Active []Grant
+	// Departures maps each user whose bid interval ended at this slot
+	// to the payment she owes on leaving (possibly 0 if never
+	// serviced). Payments are final: they never change afterwards.
+	Departures map[UserID]econ.Money
+}
+
+func sortGrants(gs []Grant) {
+	sort.Slice(gs, func(i, j int) bool {
+		if gs[i].Opt != gs[j].Opt {
+			return gs[i].Opt < gs[j].Opt
+		}
+		return gs[i].User < gs[j].User
+	})
+}
+
+func sortUsers(us []UserID) {
+	sort.Slice(us, func(i, j int) bool { return us[i] < us[j] })
+}
+
+func sortOpts(os []OptID) {
+	sort.Slice(os, func(i, j int) bool { return os[i] < os[j] })
+}

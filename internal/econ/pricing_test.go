@@ -1,0 +1,69 @@
+package econ
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDefaultPriceBookValid(t *testing.T) {
+	if err := DefaultPriceBook().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsNegativeRates(t *testing.T) {
+	cases := []PriceBook{
+		{HourlyCompute: -1},
+		{StorageGBMonth: -1},
+		{SubscriptionYear: -1},
+	}
+	for i, pb := range cases {
+		if err := pb.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+// The paper's headline conversion: a 2.5 minute saving is worth about one
+// cent of instance time (Section 7.2).
+func TestComputeCostMatchesPaperPerMinuteValue(t *testing.T) {
+	pb := DefaultPriceBook()
+	got := pb.ComputeCost(150 * time.Second) // 2.5 minutes
+	if got < FromDollars(0.009) || got > FromDollars(0.011) {
+		t.Errorf("2.5 min of compute = %v, want ≈ $0.01", got)
+	}
+}
+
+// The snapshot-27 view savings from the paper: 44 minutes should be worth
+// about 18 cents.
+func TestComputeCostSnapshot27Saving(t *testing.T) {
+	pb := DefaultPriceBook()
+	got := pb.ComputeCost(44 * time.Minute)
+	if got < FromDollars(0.17) || got > FromDollars(0.19) {
+		t.Errorf("44 min of compute = %v, want ≈ $0.18", got)
+	}
+}
+
+func TestStorageCostProRates(t *testing.T) {
+	pb := PriceBook{StorageGBMonth: Dollar}
+	oneMonth := 30 * 24 * time.Hour
+	if got := pb.StorageCost(1, oneMonth); got != Dollar {
+		t.Errorf("1 GB-month = %v, want $1", got)
+	}
+	if got := pb.StorageCost(2, oneMonth/2); got != Dollar {
+		t.Errorf("2 GB for half a month = %v, want $1", got)
+	}
+	if got := pb.StorageCost(0, oneMonth); got != 0 {
+		t.Errorf("0 GB = %v, want $0", got)
+	}
+}
+
+func TestYearlyViewCostNearPaperAverage(t *testing.T) {
+	pb := DefaultPriceBook()
+	// The paper's 27 astronomy views average $2.31/year. A view of
+	// ~1.7 GB at the default storage rate lands in that neighbourhood.
+	got := pb.YearlyViewCost(1.727)
+	if got < FromDollars(2.2) || got > FromDollars(2.4) {
+		t.Errorf("yearly cost of 1.727 GB view = %v, want ≈ $2.31", got)
+	}
+}

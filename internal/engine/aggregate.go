@@ -1,0 +1,131 @@
+package engine
+
+import "fmt"
+
+// AggFunc names a grouped aggregation function over an Int64 column.
+type AggFunc int
+
+const (
+	// AggCount counts rows per group (the input column is ignored).
+	AggCount AggFunc = iota
+	// AggSum sums the column per group.
+	AggSum
+	// AggMin takes the per-group minimum.
+	AggMin
+	// AggMax takes the per-group maximum.
+	AggMax
+)
+
+// String returns the function's lowercase name (also the output column
+// name it produces).
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", int(f))
+	}
+}
+
+// Aggregation pairs a function with its input column.
+type Aggregation struct {
+	Func AggFunc
+	// Col is the Int64 input column; ignored (may be empty) for
+	// AggCount.
+	Col string
+}
+
+// GroupBy groups by an Int64 key column and computes the given
+// aggregations. The output schema is (key, agg1, agg2, ...) with each
+// aggregate column named "fn(col)" (or "count" for AggCount). Each input
+// row charges one build unit, as in GroupCount.
+func (q *Query) GroupBy(key string, aggs ...Aggregation) *Query {
+	if q.err != nil {
+		return q
+	}
+	if len(aggs) == 0 {
+		q.err = fmt.Errorf("engine: group by: no aggregations")
+		return q
+	}
+	in := q.it.Schema()
+	ki := in.ColIndex(key)
+	if ki < 0 || in[ki].Type != Int64 {
+		q.err = fmt.Errorf("engine: group by: bad key column %q", key)
+		return q
+	}
+	cols := make([]int, len(aggs))
+	outSchema := Schema{{Name: in[ki].Name, Type: Int64}}
+	for a, agg := range aggs {
+		name := "count"
+		if agg.Func != AggCount {
+			ci := in.ColIndex(agg.Col)
+			if ci < 0 || in[ci].Type != Int64 {
+				q.err = fmt.Errorf("engine: group by: bad aggregate column %q", agg.Col)
+				return q
+			}
+			cols[a] = ci
+			name = fmt.Sprintf("%s(%s)", agg.Func, agg.Col)
+		}
+		outSchema = append(outSchema, Column{Name: name, Type: Int64})
+	}
+
+	type groupState struct {
+		accs []int64
+		seen bool
+	}
+	groups := make(map[int64]*groupState)
+	order := make([]int64, 0)
+	for {
+		row, ok := q.it.Next()
+		if !ok {
+			break
+		}
+		k := row[ki].Int
+		g := groups[k]
+		if g == nil {
+			g = &groupState{accs: make([]int64, len(aggs))}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for a, agg := range aggs {
+			v := row[cols[a]].Int
+			switch agg.Func {
+			case AggCount:
+				g.accs[a]++
+			case AggSum:
+				g.accs[a] += v
+			case AggMin:
+				if !g.seen || v < g.accs[a] {
+					g.accs[a] = v
+				}
+			case AggMax:
+				if !g.seen || v > g.accs[a] {
+					g.accs[a] = v
+				}
+			default:
+				q.err = fmt.Errorf("engine: group by: unknown function %v", agg.Func)
+				return q
+			}
+		}
+		g.seen = true
+		if q.meter != nil {
+			q.meter.RowsBuilt++
+		}
+	}
+	rows := make([]Row, 0, len(order))
+	for _, k := range order {
+		row := Row{I(k)}
+		for _, acc := range groups[k].accs {
+			row = append(row, I(acc))
+		}
+		rows = append(rows, row)
+	}
+	q.it = &sliceIter{rows: rows, schema: outSchema}
+	return q
+}

@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"testing"
+
+	"sharedopt/internal/stats"
+)
+
+func aggTable(t *testing.T) *Table {
+	t.Helper()
+	tbl := NewTable("sales", Schema{
+		{Name: "region", Type: Int64},
+		{Name: "amount", Type: Int64},
+	})
+	for _, r := range []Row{
+		{I(1), I(10)}, {I(1), I(30)}, {I(2), I(5)},
+		{I(2), I(7)}, {I(2), I(3)}, {I(3), I(100)},
+	} {
+		tbl.MustAppend(r)
+	}
+	return tbl
+}
+
+func TestGroupByAllFunctions(t *testing.T) {
+	tbl := aggTable(t)
+	rows, err := Scan(tbl, nil).GroupBy("region",
+		Aggregation{Func: AggCount},
+		Aggregation{Func: AggSum, Col: "amount"},
+		Aggregation{Func: AggMin, Col: "amount"},
+		Aggregation{Func: AggMax, Col: "amount"},
+	).Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int64][4]int64{
+		1: {2, 40, 10, 30},
+		2: {3, 15, 3, 7},
+		3: {1, 100, 100, 100},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("%d groups, want %d", len(rows), len(want))
+	}
+	for _, row := range rows {
+		w, ok := want[row[0].Int]
+		if !ok {
+			t.Fatalf("unexpected group %d", row[0].Int)
+		}
+		for i, v := range w {
+			if row[i+1].Int != v {
+				t.Errorf("group %d agg %d = %d, want %d", row[0].Int, i, row[i+1].Int, v)
+			}
+		}
+	}
+}
+
+func TestGroupBySchemaNames(t *testing.T) {
+	tbl := aggTable(t)
+	q := Scan(tbl, nil).GroupBy("region",
+		Aggregation{Func: AggCount},
+		Aggregation{Func: AggSum, Col: "amount"},
+	)
+	s := q.OutSchema()
+	if s[0].Name != "region" || s[1].Name != "count" || s[2].Name != "sum(amount)" {
+		t.Errorf("schema = %v", s)
+	}
+}
+
+func TestGroupByValidation(t *testing.T) {
+	tbl := aggTable(t)
+	if _, err := Scan(tbl, nil).GroupBy("region").Rows(); err == nil {
+		t.Error("no aggregations accepted")
+	}
+	if _, err := Scan(tbl, nil).GroupBy("ghost",
+		Aggregation{Func: AggCount}).Rows(); err == nil {
+		t.Error("missing key column accepted")
+	}
+	if _, err := Scan(tbl, nil).GroupBy("region",
+		Aggregation{Func: AggSum, Col: "ghost"}).Rows(); err == nil {
+		t.Error("missing aggregate column accepted")
+	}
+}
+
+func TestGroupByMatchesGroupCount(t *testing.T) {
+	r := stats.NewRNG(71)
+	for trial := 0; trial < 100; trial++ {
+		tbl := NewTable("t", Schema{{Name: "g", Type: Int64}})
+		for i := 0; i < r.Intn(80); i++ {
+			tbl.MustAppend(Row{I(r.Int63n(6))})
+		}
+		viaCount, err := Scan(tbl, nil).GroupCount("g").Rows()
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaGroupBy, err := Scan(tbl, nil).GroupBy("g", Aggregation{Func: AggCount}).Rows()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(viaCount) != len(viaGroupBy) {
+			t.Fatalf("trial %d: %d vs %d groups", trial, len(viaCount), len(viaGroupBy))
+		}
+		counts := map[int64]int64{}
+		for _, row := range viaCount {
+			counts[row[0].Int] = row[1].Int
+		}
+		for _, row := range viaGroupBy {
+			if counts[row[0].Int] != row[1].Int {
+				t.Fatalf("trial %d: group %d: %d vs %d",
+					trial, row[0].Int, row[1].Int, counts[row[0].Int])
+			}
+		}
+	}
+}
+
+// Property: per-group sum/min/max match a naive map-based computation.
+func TestGroupByMatchesNaive(t *testing.T) {
+	r := stats.NewRNG(72)
+	for trial := 0; trial < 100; trial++ {
+		tbl := NewTable("t", Schema{{Name: "g", Type: Int64}, {Name: "v", Type: Int64}})
+		sums := map[int64]int64{}
+		mins := map[int64]int64{}
+		maxs := map[int64]int64{}
+		for i := 0; i < r.Intn(80); i++ {
+			g := r.Int63n(5)
+			v := r.Int63n(100) - 50
+			tbl.MustAppend(Row{I(g), I(v)})
+			if _, ok := sums[g]; !ok {
+				mins[g], maxs[g] = v, v
+			} else {
+				if v < mins[g] {
+					mins[g] = v
+				}
+				if v > maxs[g] {
+					maxs[g] = v
+				}
+			}
+			sums[g] += v
+		}
+		rows, err := Scan(tbl, nil).GroupBy("g",
+			Aggregation{Func: AggSum, Col: "v"},
+			Aggregation{Func: AggMin, Col: "v"},
+			Aggregation{Func: AggMax, Col: "v"},
+		).Rows()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != len(sums) {
+			t.Fatalf("trial %d: %d groups, want %d", trial, len(rows), len(sums))
+		}
+		for _, row := range rows {
+			g := row[0].Int
+			if row[1].Int != sums[g] || row[2].Int != mins[g] || row[3].Int != maxs[g] {
+				t.Fatalf("trial %d group %d: got (%d,%d,%d), want (%d,%d,%d)",
+					trial, g, row[1].Int, row[2].Int, row[3].Int, sums[g], mins[g], maxs[g])
+			}
+		}
+	}
+}
+
+func TestAggFuncString(t *testing.T) {
+	cases := map[AggFunc]string{
+		AggCount: "count", AggSum: "sum", AggMin: "min", AggMax: "max",
+		AggFunc(9): "AggFunc(9)",
+	}
+	for f, want := range cases {
+		if got := f.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(f), got, want)
+		}
+	}
+}
+
+func TestGroupByMetersBuildWork(t *testing.T) {
+	tbl := aggTable(t)
+	meter := NewMeter(DefaultCostModel())
+	if _, err := Scan(tbl, meter).GroupBy("region",
+		Aggregation{Func: AggSum, Col: "amount"}).Rows(); err != nil {
+		t.Fatal(err)
+	}
+	if meter.RowsBuilt != int64(tbl.Len()) {
+		t.Errorf("RowsBuilt = %d, want %d", meter.RowsBuilt, tbl.Len())
+	}
+}

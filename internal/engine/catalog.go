@@ -1,0 +1,108 @@
+package engine
+
+import "fmt"
+
+// MaterializedView is a precomputed table registered in a catalog,
+// together with a hash index over its key column. Building one costs
+// real metered work (it is the optimization whose price the mechanisms
+// negotiate); once built, queries pay only index probes.
+type MaterializedView struct {
+	// Name identifies the view in the catalog.
+	Name string
+	// Data is the precomputed result.
+	Data *Table
+	// Index is a hash index over Data's key column.
+	Index *HashIndex
+	// BuildUnits records the metered work spent building the view, for
+	// cost accounting.
+	BuildUnits int64
+}
+
+// Catalog holds named tables, indexes and materialized views.
+type Catalog struct {
+	tables map[string]*Table
+	views  map[string]*MaterializedView
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		tables: make(map[string]*Table),
+		views:  make(map[string]*MaterializedView),
+	}
+}
+
+// AddTable registers a base table.
+func (c *Catalog) AddTable(t *Table) error {
+	if _, dup := c.tables[t.Name()]; dup {
+		return fmt.Errorf("engine: duplicate table %q", t.Name())
+	}
+	c.tables[t.Name()] = t
+	return nil
+}
+
+// Table returns a base table by name.
+func (c *Catalog) Table(name string) (*Table, bool) {
+	t, ok := c.tables[name]
+	return t, ok
+}
+
+// AddView registers a materialized view.
+func (c *Catalog) AddView(v *MaterializedView) error {
+	if _, dup := c.views[v.Name]; dup {
+		return fmt.Errorf("engine: duplicate view %q", v.Name)
+	}
+	c.views[v.Name] = v
+	return nil
+}
+
+// View returns a materialized view by name.
+func (c *Catalog) View(name string) (*MaterializedView, bool) {
+	v, ok := c.views[name]
+	return v, ok
+}
+
+// DropView removes a materialized view (e.g. when its subscription ends).
+func (c *Catalog) DropView(name string) {
+	delete(c.views, name)
+}
+
+// ViewNames returns the registered view names (unordered).
+func (c *Catalog) ViewNames() []string {
+	names := make([]string, 0, len(c.views))
+	for n := range c.views {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Materialize drains a query into a new view with a hash index on
+// keyCol, metering the build work and recording it in the view.
+func Materialize(name string, q *Query, keyCol string, meter *Meter) (*MaterializedView, error) {
+	before := int64(0)
+	if meter != nil {
+		before = meter.WorkUnits()
+	}
+	rows, err := q.Rows()
+	if err != nil {
+		return nil, fmt.Errorf("engine: materializing %q: %w", name, err)
+	}
+	t := NewTable(name, q.OutSchema())
+	for _, r := range rows {
+		if err := t.Append(r); err != nil {
+			return nil, err
+		}
+		if meter != nil {
+			meter.RowsBuilt++
+		}
+	}
+	idx, err := BuildHashIndex(t, keyCol, meter)
+	if err != nil {
+		return nil, err
+	}
+	var build int64
+	if meter != nil {
+		build = meter.WorkUnits() - before
+	}
+	return &MaterializedView{Name: name, Data: t, Index: idx, BuildUnits: build}, nil
+}

@@ -1,0 +1,82 @@
+package engine
+
+import "time"
+
+// CostModel weighs the primitive operations an execution performs into
+// abstract work units, and converts work units into simulated time. The
+// weights approximate relative CPU cost: a hash build (allocate + insert)
+// costs more than a probe, which costs more than a sequential scan step.
+type CostModel struct {
+	// ScanWeight is the work of reading one row sequentially.
+	ScanWeight int64
+	// BuildWeight is the work of inserting one row into a hash table.
+	BuildWeight int64
+	// ProbeWeight is the work of one hash lookup.
+	ProbeWeight int64
+	// EmitWeight is the work of materializing one output row.
+	EmitWeight int64
+	// WorkUnitsPerSecond converts work units to simulated wall time.
+	WorkUnitsPerSecond int64
+}
+
+// DefaultCostModel returns the model used by the astronomy workload.
+// The rate is calibrated so the paper-scale workloads land in the
+// paper-scale minutes (see internal/astro's calibration test).
+func DefaultCostModel() CostModel {
+	return CostModel{
+		ScanWeight:         1,
+		BuildWeight:        4,
+		ProbeWeight:        2,
+		EmitWeight:         1,
+		WorkUnitsPerSecond: 2_000_000,
+	}
+}
+
+// Meter accumulates the primitive-operation counts of one or more query
+// executions. The zero value is ready to use. Meters are not safe for
+// concurrent use.
+type Meter struct {
+	Model CostModel
+
+	RowsScanned int64
+	RowsBuilt   int64
+	RowsProbed  int64
+	RowsEmitted int64
+}
+
+// NewMeter returns a meter using the given cost model.
+func NewMeter(model CostModel) *Meter { return &Meter{Model: model} }
+
+// WorkUnits returns the weighted total work recorded so far.
+func (m *Meter) WorkUnits() int64 {
+	return m.RowsScanned*m.Model.ScanWeight +
+		m.RowsBuilt*m.Model.BuildWeight +
+		m.RowsProbed*m.Model.ProbeWeight +
+		m.RowsEmitted*m.Model.EmitWeight
+}
+
+// Elapsed returns the simulated execution time of the recorded work.
+func (m *Meter) Elapsed() time.Duration {
+	rate := m.Model.WorkUnitsPerSecond
+	if rate <= 0 {
+		rate = DefaultCostModel().WorkUnitsPerSecond
+	}
+	units := m.WorkUnits()
+	secs := units / rate
+	rem := units % rate
+	return time.Duration(secs)*time.Second +
+		time.Duration(rem*int64(time.Second)/rate)
+}
+
+// Reset zeroes the counters, keeping the model.
+func (m *Meter) Reset() {
+	m.RowsScanned, m.RowsBuilt, m.RowsProbed, m.RowsEmitted = 0, 0, 0, 0
+}
+
+// Add folds another meter's counts into m.
+func (m *Meter) Add(o *Meter) {
+	m.RowsScanned += o.RowsScanned
+	m.RowsBuilt += o.RowsBuilt
+	m.RowsProbed += o.RowsProbed
+	m.RowsEmitted += o.RowsEmitted
+}

@@ -1,0 +1,221 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"sharedopt/internal/stats"
+)
+
+// joinKey renders a row canonically for multiset comparison.
+func joinKey(r Row) string {
+	s := ""
+	for _, d := range r {
+		s += d.String() + "|"
+	}
+	return s
+}
+
+func multiset(rows []Row) map[string]int {
+	m := make(map[string]int, len(rows))
+	for _, r := range rows {
+		m[joinKey(r)]++
+	}
+	return m
+}
+
+// nestedLoopJoin is the trivially-correct reference implementation.
+func nestedLoopJoin(a, b *Table, aCol, bCol string) []Row {
+	ai := a.Schema().ColIndex(aCol)
+	bi := b.Schema().ColIndex(bCol)
+	var out []Row
+	for i := 0; i < a.Len(); i++ {
+		for j := 0; j < b.Len(); j++ {
+			if a.At(i, ai).Int == b.At(j, bi).Int {
+				row := append(append(Row{}, a.RowAt(i)...), b.RowAt(j)...)
+				out = append(out, row)
+			}
+		}
+	}
+	return out
+}
+
+func randomPair(r *stats.RNG) (*Table, *Table) {
+	a := NewTable("a", Schema{{Name: "k", Type: Int64}, {Name: "va", Type: Int64}})
+	b := NewTable("b", Schema{{Name: "k", Type: Int64}, {Name: "vb", Type: Int64}})
+	keyRange := int64(1 + r.Intn(8))
+	for i := 0; i < r.Intn(40); i++ {
+		a.MustAppend(Row{I(r.Int63n(keyRange)), I(int64(i))})
+	}
+	for i := 0; i < r.Intn(40); i++ {
+		b.MustAppend(Row{I(r.Int63n(keyRange)), I(int64(100 + i))})
+	}
+	return a, b
+}
+
+// Property: HashJoin produces exactly the nested-loop join's multiset.
+func TestHashJoinMatchesNestedLoop(t *testing.T) {
+	r := stats.NewRNG(101)
+	for trial := 0; trial < 200; trial++ {
+		a, b := randomPair(r)
+		got, err := Scan(a, nil).HashJoin(Scan(b, nil), "k", "k").Rows()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := nestedLoopJoin(a, b, "k", "k")
+		gm, wm := multiset(got), multiset(want)
+		if len(gm) != len(wm) {
+			t.Fatalf("trial %d: %d distinct rows, want %d", trial, len(gm), len(wm))
+		}
+		for k, n := range wm {
+			if gm[k] != n {
+				t.Fatalf("trial %d: row %q count %d, want %d", trial, k, gm[k], n)
+			}
+		}
+	}
+}
+
+// Property: IndexJoin produces the same multiset as HashJoin.
+func TestIndexJoinMatchesHashJoin(t *testing.T) {
+	r := stats.NewRNG(202)
+	for trial := 0; trial < 200; trial++ {
+		a, b := randomPair(r)
+		idx, err := BuildHashIndex(b, "k", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaIndex, err := Scan(a, nil).IndexJoin(idx, "k").Rows()
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaHash, err := Scan(a, nil).HashJoin(Scan(b, nil), "k", "k").Rows()
+		if err != nil {
+			t.Fatal(err)
+		}
+		im, hm := multiset(viaIndex), multiset(viaHash)
+		if len(im) != len(hm) {
+			t.Fatalf("trial %d: index %d vs hash %d distinct rows", trial, len(im), len(hm))
+		}
+		for k, n := range hm {
+			if im[k] != n {
+				t.Fatalf("trial %d: row %q: index %d, hash %d", trial, k, im[k], n)
+			}
+		}
+	}
+}
+
+// Property: GroupCount sums to the input cardinality and matches a naive
+// count.
+func TestGroupCountMatchesNaive(t *testing.T) {
+	r := stats.NewRNG(303)
+	for trial := 0; trial < 200; trial++ {
+		tbl := NewTable("t", Schema{{Name: "g", Type: Int64}})
+		naive := map[int64]int64{}
+		n := r.Intn(100)
+		for i := 0; i < n; i++ {
+			v := r.Int63n(10)
+			tbl.MustAppend(Row{I(v)})
+			naive[v]++
+		}
+		rows, err := Scan(tbl, nil).GroupCount("g").Rows()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		for _, row := range rows {
+			if naive[row[0].Int] != row[1].Int {
+				t.Fatalf("trial %d: group %d count %d, want %d",
+					trial, row[0].Int, row[1].Int, naive[row[0].Int])
+			}
+			total += row[1].Int
+		}
+		if total != int64(n) {
+			t.Fatalf("trial %d: counts sum to %d, want %d", trial, total, n)
+		}
+	}
+}
+
+// Property: OrderByInt emits a sorted permutation of its input.
+func TestOrderByIsSortedPermutation(t *testing.T) {
+	r := stats.NewRNG(404)
+	for trial := 0; trial < 100; trial++ {
+		tbl := NewTable("t", Schema{{Name: "x", Type: Int64}})
+		var vals []int64
+		for i := 0; i < r.Intn(60); i++ {
+			v := r.Int63n(50)
+			tbl.MustAppend(Row{I(v)})
+			vals = append(vals, v)
+		}
+		rows, err := Scan(tbl, nil).OrderByInt("x", false).Rows()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]int64, len(rows))
+		for i, row := range rows {
+			got[i] = row[0].Int
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		if fmt.Sprint(got) != fmt.Sprint(vals) {
+			t.Fatalf("trial %d: %v != %v", trial, got, vals)
+		}
+	}
+}
+
+// Property: the meter is additive — running two queries on one meter
+// equals the sum of running them on separate meters.
+func TestMeterAdditivity(t *testing.T) {
+	r := stats.NewRNG(505)
+	a, b := randomPair(r)
+
+	shared := NewMeter(DefaultCostModel())
+	if _, err := Scan(a, shared).Rows(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Scan(a, shared).HashJoin(Scan(b, shared), "k", "k").Rows(); err != nil {
+		t.Fatal(err)
+	}
+
+	m1 := NewMeter(DefaultCostModel())
+	if _, err := Scan(a, m1).Rows(); err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewMeter(DefaultCostModel())
+	if _, err := Scan(a, m2).HashJoin(Scan(b, m2), "k", "k").Rows(); err != nil {
+		t.Fatal(err)
+	}
+	m1.Add(m2)
+	if m1.WorkUnits() != shared.WorkUnits() {
+		t.Errorf("separate %d != shared %d", m1.WorkUnits(), shared.WorkUnits())
+	}
+}
+
+// Property: materialized views answer queries identically to recomputing
+// from base tables.
+func TestViewMatchesBaseComputation(t *testing.T) {
+	r := stats.NewRNG(606)
+	for trial := 0; trial < 50; trial++ {
+		a, b := randomPair(r)
+		mv, err := Materialize("j", Scan(a, nil).HashJoin(Scan(b, nil), "k", "k"), "k", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromView, err := Scan(mv.Data, nil).Rows()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromBase, err := Scan(a, nil).HashJoin(Scan(b, nil), "k", "k").Rows()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm, bm := multiset(fromView), multiset(fromBase)
+		if len(vm) != len(bm) {
+			t.Fatalf("trial %d: view has %d distinct rows, base %d", trial, len(vm), len(bm))
+		}
+		for k, n := range bm {
+			if vm[k] != n {
+				t.Fatalf("trial %d: row %q: view %d, base %d", trial, k, vm[k], n)
+			}
+		}
+	}
+}

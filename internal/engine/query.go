@@ -1,0 +1,446 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Iterator is a pull-based row stream.
+type Iterator interface {
+	// Schema describes the rows produced.
+	Schema() Schema
+	// Next returns the next row, or false when exhausted.
+	Next() (Row, bool)
+}
+
+// Query is a fluent builder over iterators. Construction errors are
+// carried along and surfaced by Rows, so call chains stay linear.
+type Query struct {
+	it    Iterator
+	meter *Meter
+	err   error
+}
+
+// Scan starts a query with a sequential scan of a table, charging one
+// scan unit per row read.
+func Scan(t *Table, meter *Meter) *Query {
+	return &Query{it: &scanIter{t: t, meter: meter}, meter: meter}
+}
+
+type scanIter struct {
+	t     *Table
+	meter *Meter
+	pos   int
+}
+
+func (s *scanIter) Schema() Schema { return s.t.Schema() }
+
+func (s *scanIter) Next() (Row, bool) {
+	if s.pos >= s.t.Len() {
+		return nil, false
+	}
+	row := s.t.RowAt(s.pos)
+	s.pos++
+	if s.meter != nil {
+		s.meter.RowsScanned++
+	}
+	return row, true
+}
+
+// Filter keeps rows satisfying pred.
+func (q *Query) Filter(pred func(Row) bool) *Query {
+	if q.err != nil {
+		return q
+	}
+	q.it = &filterIter{in: q.it, pred: pred}
+	return q
+}
+
+// FilterIntEq keeps rows whose Int64 column equals v.
+func (q *Query) FilterIntEq(col string, v int64) *Query {
+	if q.err != nil {
+		return q
+	}
+	i := q.it.Schema().ColIndex(col)
+	if i < 0 {
+		q.err = fmt.Errorf("engine: filter: no column %q", col)
+		return q
+	}
+	q.it = &filterIter{in: q.it, pred: func(r Row) bool { return r[i].Int == v }}
+	return q
+}
+
+type filterIter struct {
+	in   Iterator
+	pred func(Row) bool
+}
+
+func (f *filterIter) Schema() Schema { return f.in.Schema() }
+
+func (f *filterIter) Next() (Row, bool) {
+	for {
+		row, ok := f.in.Next()
+		if !ok {
+			return nil, false
+		}
+		if f.pred(row) {
+			return row, true
+		}
+	}
+}
+
+// Project keeps only the named columns, in the given order.
+func (q *Query) Project(cols ...string) *Query {
+	if q.err != nil {
+		return q
+	}
+	in := q.it.Schema()
+	idx := make([]int, len(cols))
+	out := make(Schema, len(cols))
+	for k, c := range cols {
+		i := in.ColIndex(c)
+		if i < 0 {
+			q.err = fmt.Errorf("engine: project: no column %q", c)
+			return q
+		}
+		idx[k] = i
+		out[k] = in[i]
+	}
+	q.it = &projectIter{in: q.it, idx: idx, schema: out}
+	return q
+}
+
+type projectIter struct {
+	in     Iterator
+	idx    []int
+	schema Schema
+}
+
+func (p *projectIter) Schema() Schema { return p.schema }
+
+func (p *projectIter) Next() (Row, bool) {
+	row, ok := p.in.Next()
+	if !ok {
+		return nil, false
+	}
+	out := make(Row, len(p.idx))
+	for k, i := range p.idx {
+		out[k] = row[i]
+	}
+	return out, true
+}
+
+// HashJoin equi-joins the query (probe side) with a fully materialized
+// build side on Int64 columns: build one hash table over build's rows
+// (charging build units), then probe it once per probe-side row (charging
+// probe units). The output schema is probe's columns followed by build's,
+// with build column names prefixed when they collide.
+func (q *Query) HashJoin(build *Query, probeCol, buildCol string) *Query {
+	if q.err != nil {
+		return q
+	}
+	if build.err != nil {
+		q.err = build.err
+		return q
+	}
+	pi := q.it.Schema().ColIndex(probeCol)
+	if pi < 0 || q.it.Schema()[pi].Type != Int64 {
+		q.err = fmt.Errorf("engine: hash join: bad probe column %q", probeCol)
+		return q
+	}
+	bSchema := build.it.Schema()
+	bi := bSchema.ColIndex(buildCol)
+	if bi < 0 || bSchema[bi].Type != Int64 {
+		q.err = fmt.Errorf("engine: hash join: bad build column %q", buildCol)
+		return q
+	}
+	// Materialize the build side.
+	ht := make(map[int64][]Row)
+	for {
+		row, ok := build.it.Next()
+		if !ok {
+			break
+		}
+		key := row[bi].Int
+		ht[key] = append(ht[key], row)
+		if q.meter != nil {
+			q.meter.RowsBuilt++
+		}
+	}
+	out := append(Schema{}, q.it.Schema()...)
+	probeNames := make(map[string]bool, len(out))
+	for _, c := range out {
+		probeNames[c.Name] = true
+	}
+	for _, c := range bSchema {
+		name := c.Name
+		if probeNames[name] {
+			name = "b." + name
+		}
+		out = append(out, Column{Name: name, Type: c.Type})
+	}
+	q.it = &hashJoinIter{in: q.it, ht: ht, probeIdx: pi, schema: out, meter: q.meter}
+	return q
+}
+
+type hashJoinIter struct {
+	in       Iterator
+	ht       map[int64][]Row
+	probeIdx int
+	schema   Schema
+	meter    *Meter
+
+	pending []Row
+	current Row
+}
+
+func (h *hashJoinIter) Schema() Schema { return h.schema }
+
+func (h *hashJoinIter) Next() (Row, bool) {
+	for {
+		if len(h.pending) > 0 {
+			match := h.pending[0]
+			h.pending = h.pending[1:]
+			out := make(Row, 0, len(h.schema))
+			out = append(out, h.current...)
+			out = append(out, match...)
+			return out, true
+		}
+		row, ok := h.in.Next()
+		if !ok {
+			return nil, false
+		}
+		if h.meter != nil {
+			h.meter.RowsProbed++
+		}
+		h.current = row
+		h.pending = h.ht[row[h.probeIdx].Int]
+	}
+}
+
+// IndexJoin joins the query with an indexed table: for each input row it
+// probes the hash index on the row's Int64 column value and emits the
+// concatenation with each matching table row. Unlike HashJoin, the build
+// cost was paid when the index was created (typically alongside a
+// materialized view), so queries pay probes only — that asymmetry is the
+// optimization being priced.
+func (q *Query) IndexJoin(idx *HashIndex, probeCol string) *Query {
+	if q.err != nil {
+		return q
+	}
+	pi := q.it.Schema().ColIndex(probeCol)
+	if pi < 0 || q.it.Schema()[pi].Type != Int64 {
+		q.err = fmt.Errorf("engine: index join: bad probe column %q", probeCol)
+		return q
+	}
+	out := append(Schema{}, q.it.Schema()...)
+	names := make(map[string]bool, len(out))
+	for _, c := range out {
+		names[c.Name] = true
+	}
+	for _, c := range idx.Table().Schema() {
+		name := c.Name
+		if names[name] {
+			name = "b." + name
+		}
+		out = append(out, Column{Name: name, Type: c.Type})
+	}
+	q.it = &indexJoinIter{in: q.it, idx: idx, probeIdx: pi, schema: out, meter: q.meter}
+	return q
+}
+
+type indexJoinIter struct {
+	in       Iterator
+	idx      *HashIndex
+	probeIdx int
+	schema   Schema
+	meter    *Meter
+
+	pending []int32
+	current Row
+}
+
+func (ij *indexJoinIter) Schema() Schema { return ij.schema }
+
+func (ij *indexJoinIter) Next() (Row, bool) {
+	for {
+		if len(ij.pending) > 0 {
+			pos := ij.pending[0]
+			ij.pending = ij.pending[1:]
+			out := make(Row, 0, len(ij.schema))
+			out = append(out, ij.current...)
+			out = append(out, ij.idx.Table().RowAt(int(pos))...)
+			return out, true
+		}
+		row, ok := ij.in.Next()
+		if !ok {
+			return nil, false
+		}
+		ij.current = row
+		ij.pending = ij.idx.Lookup(row[ij.probeIdx].Int, ij.meter)
+	}
+}
+
+// GroupCount groups by an Int64 column and counts rows per group. The
+// output schema is (col, "count"), both Int64. Each input row charges one
+// build unit (hash aggregation).
+func (q *Query) GroupCount(col string) *Query {
+	if q.err != nil {
+		return q
+	}
+	i := q.it.Schema().ColIndex(col)
+	if i < 0 || q.it.Schema()[i].Type != Int64 {
+		q.err = fmt.Errorf("engine: group count: bad column %q", col)
+		return q
+	}
+	counts := make(map[int64]int64)
+	order := make([]int64, 0)
+	for {
+		row, ok := q.it.Next()
+		if !ok {
+			break
+		}
+		k := row[i].Int
+		if _, seen := counts[k]; !seen {
+			order = append(order, k)
+		}
+		counts[k]++
+		if q.meter != nil {
+			q.meter.RowsBuilt++
+		}
+	}
+	name := q.it.Schema()[i].Name
+	rows := make([]Row, 0, len(order))
+	for _, k := range order {
+		rows = append(rows, Row{I(k), I(counts[k])})
+	}
+	q.it = &sliceIter{rows: rows, schema: Schema{{Name: name, Type: Int64}, {Name: "count", Type: Int64}}}
+	return q
+}
+
+type sliceIter struct {
+	rows   []Row
+	schema Schema
+	pos    int
+}
+
+func (s *sliceIter) Schema() Schema { return s.schema }
+
+func (s *sliceIter) Next() (Row, bool) {
+	if s.pos >= len(s.rows) {
+		return nil, false
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true
+}
+
+// Top1By keeps the single row with the largest Int64 value in the named
+// column (ties: first seen). The result has zero or one row.
+func (q *Query) Top1By(col string) *Query {
+	if q.err != nil {
+		return q
+	}
+	i := q.it.Schema().ColIndex(col)
+	if i < 0 || q.it.Schema()[i].Type != Int64 {
+		q.err = fmt.Errorf("engine: top1: bad column %q", col)
+		return q
+	}
+	var best Row
+	for {
+		row, ok := q.it.Next()
+		if !ok {
+			break
+		}
+		if best == nil || row[i].Int > best[i].Int {
+			best = row
+		}
+	}
+	rows := []Row{}
+	if best != nil {
+		rows = append(rows, best)
+	}
+	q.it = &sliceIter{rows: rows, schema: q.it.Schema()}
+	return q
+}
+
+// OrderByInt sorts (materializing) by an Int64 column, ascending or
+// descending.
+func (q *Query) OrderByInt(col string, desc bool) *Query {
+	if q.err != nil {
+		return q
+	}
+	i := q.it.Schema().ColIndex(col)
+	if i < 0 || q.it.Schema()[i].Type != Int64 {
+		q.err = fmt.Errorf("engine: order by: bad column %q", col)
+		return q
+	}
+	var rows []Row
+	for {
+		row, ok := q.it.Next()
+		if !ok {
+			break
+		}
+		rows = append(rows, row)
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		if desc {
+			return rows[a][i].Int > rows[b][i].Int
+		}
+		return rows[a][i].Int < rows[b][i].Int
+	})
+	q.it = &sliceIter{rows: rows, schema: q.it.Schema()}
+	return q
+}
+
+// Limit keeps the first n rows.
+func (q *Query) Limit(n int) *Query {
+	if q.err != nil {
+		return q
+	}
+	q.it = &limitIter{in: q.it, left: n}
+	return q
+}
+
+type limitIter struct {
+	in   Iterator
+	left int
+}
+
+func (l *limitIter) Schema() Schema { return l.in.Schema() }
+
+func (l *limitIter) Next() (Row, bool) {
+	if l.left <= 0 {
+		return nil, false
+	}
+	l.left--
+	return l.in.Next()
+}
+
+// Rows drains the query, charging one emit unit per output row, and
+// returns all rows or the first construction error.
+func (q *Query) Rows() ([]Row, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	var out []Row
+	for {
+		row, ok := q.it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, row)
+		if q.meter != nil {
+			q.meter.RowsEmitted++
+		}
+	}
+	return out, nil
+}
+
+// OutSchema returns the query's output schema (nil if the query errored).
+func (q *Query) OutSchema() Schema {
+	if q.err != nil {
+		return nil
+	}
+	return q.it.Schema()
+}

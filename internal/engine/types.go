@@ -1,0 +1,122 @@
+// Package engine is a small in-memory relational query engine with typed
+// columnar tables, hash indexes, hash joins, grouped aggregation,
+// materialized views, and a cost meter that converts the rows an
+// execution touches into simulated query time.
+//
+// It exists because the paper's motivating use-case (Section 2) runs real
+// halo-tracking queries over universe-simulation snapshots, sped up by
+// materialized (particleID, haloID) views. internal/astro builds that
+// workload on this engine; the per-optimization savings the pricing
+// mechanisms consume are derived from the meter's work counts, so the
+// "optimizations" being priced are real query-plan changes rather than
+// hard-coded constants.
+package engine
+
+import "fmt"
+
+// ColType is the type of a column.
+type ColType int
+
+const (
+	// Int64 is a 64-bit integer column.
+	Int64 ColType = iota
+	// Float64 is a 64-bit floating-point column.
+	Float64
+	// String is a variable-length string column.
+	String
+)
+
+// String returns the type's name.
+func (t ColType) String() string {
+	switch t {
+	case Int64:
+		return "int64"
+	case Float64:
+		return "float64"
+	case String:
+		return "string"
+	default:
+		return fmt.Sprintf("ColType(%d)", int(t))
+	}
+}
+
+// Column describes one column of a schema.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// ColIndex returns the position of the named column, or -1.
+func (s Schema) ColIndex(name string) int {
+	for i, c := range s {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate reports an error on empty names or duplicates.
+func (s Schema) Validate() error {
+	seen := make(map[string]bool, len(s))
+	for _, c := range s {
+		if c.Name == "" {
+			return fmt.Errorf("engine: empty column name")
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("engine: duplicate column %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return nil
+}
+
+// Datum is one typed value. Exactly the field matching Kind is meaningful.
+type Datum struct {
+	Kind  ColType
+	Int   int64
+	Float float64
+	Str   string
+}
+
+// I returns an Int64 datum.
+func I(v int64) Datum { return Datum{Kind: Int64, Int: v} }
+
+// F returns a Float64 datum.
+func F(v float64) Datum { return Datum{Kind: Float64, Float: v} }
+
+// S returns a String datum.
+func S(v string) Datum { return Datum{Kind: String, Str: v} }
+
+// Equal reports whether two datums have the same type and value.
+func (d Datum) Equal(o Datum) bool {
+	if d.Kind != o.Kind {
+		return false
+	}
+	switch d.Kind {
+	case Int64:
+		return d.Int == o.Int
+	case Float64:
+		return d.Float == o.Float
+	default:
+		return d.Str == o.Str
+	}
+}
+
+// String renders the datum's value.
+func (d Datum) String() string {
+	switch d.Kind {
+	case Int64:
+		return fmt.Sprintf("%d", d.Int)
+	case Float64:
+		return fmt.Sprintf("%g", d.Float)
+	default:
+		return d.Str
+	}
+}
+
+// Row is one tuple, positionally aligned with a Schema.
+type Row []Datum

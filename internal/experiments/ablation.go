@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sharedopt/internal/core"
+	"sharedopt/internal/econ"
+	"sharedopt/internal/simulate"
+	"sharedopt/internal/stats"
+	"sharedopt/internal/workload"
+)
+
+// Ablation experiments beyond the paper's figures. E1 and E2 quantify the
+// efficiency loss the paper proves must exist (truthfulness +
+// cost-recovery cannot be efficient, Section 3): they add the
+// hindsight-optimal utility as an upper-bound series. E3 quantifies why
+// the paper rejects the naive online adaptation (Example 2): it plays a
+// value-hiding strategy profile against both the naive strawman and
+// AddOn.
+
+// Ablation series names.
+const (
+	SeriesEfficientUtility = "Efficient Utility (hindsight bound)"
+	SeriesAddOnTruthful    = "AddOn (truthful)"
+	SeriesAddOnHiding      = "AddOn (value-hiding)"
+	SeriesNaiveTruthful    = "Naive (truthful)"
+	SeriesNaiveHiding      = "Naive (value-hiding)"
+)
+
+// AblationConfig parameterizes the ablation sweeps; the defaults mirror
+// Figure 2(a)'s small collaboration.
+type AblationConfig struct {
+	Users  int
+	Slots  int
+	Costs  []econ.Money
+	Trials int
+	Seed   uint64
+	// Duration stretches each bid over multiple slots for E3, giving
+	// users early value worth hiding (see workload.MultiSlot).
+	Duration int
+	// NOpts/SubsPerUser configure the substitutive ablation (E2).
+	NOpts, SubsPerUser int
+}
+
+// AblationDefaults returns the Figure 2(a)-shaped configuration.
+func AblationDefaults(trials int, seed uint64) AblationConfig {
+	return AblationConfig{
+		Users: 6, Slots: workload.DefaultSlots, Costs: SweepSmall,
+		Trials: trials, Seed: seed, Duration: 4, NOpts: 12, SubsPerUser: 3,
+	}
+}
+
+func (cfg AblationConfig) validate() error {
+	if cfg.Users < 1 || cfg.Slots < 1 || cfg.Trials < 1 || len(cfg.Costs) == 0 {
+		return fmt.Errorf("experiments: ablation: bad config %+v", cfg)
+	}
+	return nil
+}
+
+// AblationEfficiencyAdditive (figure id "E1") measures the efficiency
+// loss of AddOn on the Figure 2(a) workload: mean AddOn utility vs the
+// hindsight-optimal utility (implement exactly when total declared value
+// covers cost) and the Regret baseline for reference.
+func AblationEfficiencyAdditive(cfg AblationConfig) (*Figure, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "E1",
+		Title:  "Efficiency loss of AddOn (additive, hindsight-optimal bound)",
+		XLabel: "Optimization cost ($)",
+		SeriesNames: []string{SeriesEfficientUtility, SeriesAddOnUtility,
+			SeriesRegretUtility},
+	}
+	master := stats.NewRNG(cfg.Seed)
+	trialSeeds := make([]uint64, cfg.Trials)
+	for i := range trialSeeds {
+		trialSeeds[i] = master.Uint64()
+	}
+	for _, cost := range cfg.Costs {
+		var eff, mech, reg stats.Summary
+		for _, ts := range trialSeeds {
+			r := stats.NewRNG(ts)
+			sc := workload.Collaboration(r, cfg.Users, cfg.Slots, cost)
+			m, err := simulate.RunAddOn(sc)
+			if err != nil {
+				return nil, err
+			}
+			g, err := simulate.RunRegretAdditive(sc)
+			if err != nil {
+				return nil, err
+			}
+			bound, err := efficientBoundAdditive(sc)
+			if err != nil {
+				return nil, err
+			}
+			mech.Add(m.Utility().Dollars())
+			reg.Add(g.Utility().Dollars())
+			eff.Add(bound.Dollars())
+		}
+		fig.Add(cost.Dollars(), map[string]float64{
+			SeriesEfficientUtility: eff.Mean(),
+			SeriesAddOnUtility:     mech.Mean(),
+			SeriesRegretUtility:    reg.Mean(),
+		})
+	}
+	return fig, nil
+}
+
+func efficientBoundAdditive(sc simulate.AdditiveScenario) (econ.Money, error) {
+	byOpt := make(map[core.OptID][]core.OnlineBid)
+	for _, b := range sc.Bids {
+		byOpt[b.Opt] = append(byOpt[b.Opt], core.OnlineBid{
+			User: b.User, Start: b.Start, End: b.End, Values: b.Values,
+		})
+	}
+	return core.EfficientAdditiveOnline(sc.Opts, byOpt)
+}
+
+// AblationEfficiencySubstitutive (figure id "E2") is E1 for the
+// substitutive Figure 2(c) workload, with the exact subset-enumeration
+// optimum as the bound.
+func AblationEfficiencySubstitutive(cfg AblationConfig) (*Figure, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.NOpts < 1 || cfg.SubsPerUser < 1 || cfg.SubsPerUser > cfg.NOpts ||
+		cfg.NOpts > core.EfficientSubstMaxOpts {
+		return nil, fmt.Errorf("experiments: ablation: bad substitutive shape %d of %d",
+			cfg.SubsPerUser, cfg.NOpts)
+	}
+	fig := &Figure{
+		ID:     "E2",
+		Title:  "Efficiency loss of SubstOn (substitutive, exact optimum bound)",
+		XLabel: "Optimization cost ($)",
+		SeriesNames: []string{SeriesEfficientUtility, SeriesSubstOnUtility,
+			SeriesRegretUtility},
+	}
+	master := stats.NewRNG(cfg.Seed)
+	trialSeeds := make([]uint64, cfg.Trials)
+	for i := range trialSeeds {
+		trialSeeds[i] = master.Uint64()
+	}
+	for _, cost := range cfg.Costs {
+		var eff, mech, reg stats.Summary
+		for _, ts := range trialSeeds {
+			r := stats.NewRNG(ts)
+			sc := workload.Substitutes(r, cfg.Users, cfg.NOpts, cfg.SubsPerUser, cfg.Slots, cost)
+			m, err := simulate.RunSubstOn(sc)
+			if err != nil {
+				return nil, err
+			}
+			g, err := simulate.RunRegretSubst(sc)
+			if err != nil {
+				return nil, err
+			}
+			var offline []core.SubstBid
+			for _, b := range sc.Bids {
+				var total econ.Money
+				for _, v := range b.Values {
+					total += v
+				}
+				offline = append(offline, core.SubstBid{User: b.User, Opts: b.Opts, Value: total})
+			}
+			bound, err := core.EfficientSubstitutive(sc.Opts, offline)
+			if err != nil {
+				return nil, err
+			}
+			mech.Add(m.Utility().Dollars())
+			reg.Add(g.Utility().Dollars())
+			eff.Add(bound.Dollars())
+		}
+		fig.Add(cost.Dollars(), map[string]float64{
+			SeriesEfficientUtility: eff.Mean(),
+			SeriesSubstOnUtility:   mech.Mean(),
+			SeriesRegretUtility:    reg.Mean(),
+		})
+	}
+	return fig, nil
+}
+
+// AblationNaiveGaming (figure id "E3") plays the value-hiding strategy of
+// Example 2 against both the naive online strawman and AddOn on a
+// multi-slot workload: hiding collapses the naive mechanism's utility
+// (nobody triggers, or one user overpays while the rest ride free) while
+// AddOn makes hiding self-defeating, so its truthful series is the
+// relevant one.
+func AblationNaiveGaming(cfg AblationConfig) (*Figure, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Duration < 1 {
+		return nil, fmt.Errorf("experiments: ablation: duration %d", cfg.Duration)
+	}
+	fig := &Figure{
+		ID:     "E3",
+		Title:  "Naive online strawman vs AddOn under value hiding",
+		XLabel: "Optimization cost ($)",
+		SeriesNames: []string{SeriesAddOnTruthful, SeriesAddOnHiding,
+			SeriesNaiveTruthful, SeriesNaiveHiding},
+	}
+	master := stats.NewRNG(cfg.Seed)
+	trialSeeds := make([]uint64, cfg.Trials)
+	for i := range trialSeeds {
+		trialSeeds[i] = master.Uint64()
+	}
+	for _, cost := range cfg.Costs {
+		var addTruth, addHide, naiveTruth, naiveHide stats.Summary
+		for _, ts := range trialSeeds {
+			r := stats.NewRNG(ts)
+			truth := workload.MultiSlot(r, cfg.Users, cfg.Slots, cfg.Duration, cost)
+			hiding := workload.HideToLastSlot(truth)
+
+			at, err := simulate.RunAddOn(truth)
+			if err != nil {
+				return nil, err
+			}
+			ah, err := simulate.RunAddOnStrategic(hiding, truth)
+			if err != nil {
+				return nil, err
+			}
+			nt, err := simulate.RunNaive(truth)
+			if err != nil {
+				return nil, err
+			}
+			nh, err := simulate.RunNaiveStrategic(hiding, truth)
+			if err != nil {
+				return nil, err
+			}
+			addTruth.Add(at.Utility().Dollars())
+			addHide.Add(ah.Utility().Dollars())
+			naiveTruth.Add(nt.Utility().Dollars())
+			naiveHide.Add(nh.Utility().Dollars())
+		}
+		fig.Add(cost.Dollars(), map[string]float64{
+			SeriesAddOnTruthful: addTruth.Mean(),
+			SeriesAddOnHiding:   addHide.Mean(),
+			SeriesNaiveTruthful: naiveTruth.Mean(),
+			SeriesNaiveHiding:   naiveHide.Mean(),
+		})
+	}
+	return fig, nil
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import "testing"
+
+// E1: the hindsight-optimal bound dominates AddOn at every cost, AddOn
+// stays non-negative, and the absolute efficiency gap grows with cost in
+// the mid-range (the price of truthfulness + cost recovery).
+func TestAblationE1Shape(t *testing.T) {
+	fig := run(t, "E1", testEffort)
+	eff := fig.Series(SeriesEfficientUtility)
+	add := fig.Series(SeriesAddOnUtility)
+	for i := range fig.Points {
+		if eff[i] < add[i]-1e-9 {
+			t.Errorf("cost %v: bound %v below AddOn %v", fig.Points[i].X, eff[i], add[i])
+		}
+		if add[i] < 0 {
+			t.Errorf("cost %v: AddOn %v negative", fig.Points[i].X, add[i])
+		}
+	}
+	// At trivial cost there is almost nothing to lose; mid-sweep the
+	// gap is substantial.
+	gapFirst := eff[0] - add[0]
+	mid := len(fig.Points) / 2
+	gapMid := eff[mid] - add[mid]
+	if gapMid <= gapFirst {
+		t.Errorf("efficiency gap should grow: first %v, mid %v", gapFirst, gapMid)
+	}
+}
+
+// E2: same dominance for the substitutive mechanism against the exact
+// subset-enumeration optimum.
+func TestAblationE2Shape(t *testing.T) {
+	fig := run(t, "E2", testEffort/3)
+	eff := fig.Series(SeriesEfficientUtility)
+	sub := fig.Series(SeriesSubstOnUtility)
+	reg := fig.Series(SeriesRegretUtility)
+	for i := range fig.Points {
+		if eff[i] < sub[i]-1e-9 {
+			t.Errorf("cost %v: bound %v below SubstOn %v", fig.Points[i].X, eff[i], sub[i])
+		}
+		if sub[i] < reg[i] {
+			t.Errorf("cost %v: SubstOn %v below Regret %v", fig.Points[i].X, sub[i], reg[i])
+		}
+	}
+}
+
+// E3: value hiding collapses the naive strawman's utility while AddOn's
+// truthful play dominates; under AddOn, hiding never beats truth.
+func TestAblationE3Shape(t *testing.T) {
+	fig := run(t, "E3", testEffort)
+	addTruth := fig.Series(SeriesAddOnTruthful)
+	addHide := fig.Series(SeriesAddOnHiding)
+	naiveTruth := fig.Series(SeriesNaiveTruthful)
+	naiveHide := fig.Series(SeriesNaiveHiding)
+	var naiveDrops, addOnResists int
+	for i := range fig.Points {
+		if addHide[i] > addTruth[i]+1e-9 {
+			t.Errorf("cost %v: hiding beat truth under AddOn (%v > %v)",
+				fig.Points[i].X, addHide[i], addTruth[i])
+		}
+		if naiveHide[i] < naiveTruth[i]-1e-9 {
+			naiveDrops++
+		}
+		if addTruth[i] >= naiveHide[i]-1e-9 {
+			addOnResists++
+		}
+	}
+	if naiveDrops < len(fig.Points)/2 {
+		t.Errorf("hiding hurt the naive mechanism at only %d/%d costs",
+			naiveDrops, len(fig.Points))
+	}
+	if addOnResists < len(fig.Points)*3/4 {
+		t.Errorf("AddOn (truthful) beat gamed-naive at only %d/%d costs",
+			addOnResists, len(fig.Points))
+	}
+}
+
+func TestAblationValidation(t *testing.T) {
+	if _, err := AblationEfficiencyAdditive(AblationConfig{}); err == nil {
+		t.Error("empty config accepted by E1")
+	}
+	bad := AblationDefaults(1, 1)
+	bad.NOpts = 25 // beyond exact-enumeration bound
+	if _, err := AblationEfficiencySubstitutive(bad); err == nil {
+		t.Error("oversized enumeration accepted by E2")
+	}
+	bad2 := AblationDefaults(1, 1)
+	bad2.Duration = 0
+	if _, err := AblationNaiveGaming(bad2); err == nil {
+		t.Error("zero duration accepted by E3")
+	}
+}

@@ -1,0 +1,431 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Effort used by the shape tests: enough trials for the paper's
+// qualitative claims to hold robustly under the fixed seed, small enough
+// to keep the test suite fast.
+const testEffort = 150
+
+const testSeed = 42
+
+func run(t *testing.T, id string, effort int) *Figure {
+	t.Helper()
+	fig, err := Run(id, effort, testSeed)
+	if err != nil {
+		t.Fatalf("figure %s: %v", id, err)
+	}
+	if len(fig.Points) == 0 {
+		t.Fatalf("figure %s: no points", id)
+	}
+	return fig
+}
+
+// Figure 2(a) shape (paper Section 7.3.1): AddOn's utility is never
+// negative; Regret's turns negative past a crossover; Regret's balance is
+// never positive and eventually shows a real loss; on Regret's positive
+// range AddOn averages at least as much utility.
+func TestFig2aShape(t *testing.T) {
+	fig := run(t, "2a", testEffort)
+	addOn := fig.Series(SeriesAddOnUtility)
+	reg := fig.Series(SeriesRegretUtility)
+	bal := fig.Series(SeriesRegretBalance)
+
+	var regretWentNegative, regretLoss bool
+	var addOnSum, regSum float64
+	var posCount int
+	for i := range fig.Points {
+		if addOn[i] < 0 {
+			t.Errorf("cost %v: AddOn utility %v < 0", fig.Points[i].X, addOn[i])
+		}
+		if bal[i] > 1e-9 {
+			t.Errorf("cost %v: Regret balance %v > 0", fig.Points[i].X, bal[i])
+		}
+		if reg[i] < 0 {
+			regretWentNegative = true
+		}
+		if bal[i] < -0.1 {
+			regretLoss = true
+		}
+		if reg[i] > 0 {
+			addOnSum += addOn[i]
+			regSum += reg[i]
+			posCount++
+		}
+	}
+	if !regretWentNegative {
+		t.Error("Regret utility never went negative across the sweep")
+	}
+	if !regretLoss {
+		t.Error("Regret never showed a substantial cloud loss")
+	}
+	if posCount == 0 || addOnSum <= regSum {
+		t.Errorf("on Regret's positive range, AddOn avg %v should beat Regret avg %v",
+			addOnSum/float64(posCount), regSum/float64(posCount))
+	}
+	// Paper: AddOn's average is ≈1.43× Regret's there.
+	if addOnSum < 1.15*regSum {
+		t.Errorf("AddOn advantage too small: %v vs %v", addOnSum, regSum)
+	}
+	// Cheap optimizations benefit everyone: both start strongly positive.
+	if addOn[0] < 2 || reg[0] < 1 {
+		t.Errorf("cheapest cost should give high utilities, got %v / %v", addOn[0], reg[0])
+	}
+}
+
+// Figure 2(b) shape: with a large collaboration Regret outperforms AddOn
+// somewhere in the middle of the sweep (AddOn is more cautious), but
+// Regret still ends with losses and negative utility at high costs while
+// AddOn never goes below zero.
+func TestFig2bShape(t *testing.T) {
+	fig := run(t, "2b", testEffort)
+	addOn := fig.Series(SeriesAddOnUtility)
+	reg := fig.Series(SeriesRegretUtility)
+	bal := fig.Series(SeriesRegretBalance)
+
+	var regretBeatsAddOn, regretNegative bool
+	for i := range fig.Points {
+		if addOn[i] < 0 {
+			t.Errorf("cost %v: AddOn utility %v < 0", fig.Points[i].X, addOn[i])
+		}
+		if reg[i] > addOn[i]+1e-9 && bal[i] > -0.5 {
+			regretBeatsAddOn = true
+		}
+		if reg[i] < 0 {
+			regretNegative = true
+		}
+	}
+	if !regretBeatsAddOn {
+		t.Error("Regret should outperform AddOn somewhere in the large collaboration")
+	}
+	if !regretNegative {
+		t.Error("Regret should still turn negative at high costs")
+	}
+	// Both do well on the cheapest optimization.
+	if addOn[0] < 8 || reg[0] < 6 {
+		t.Errorf("cheapest cost utilities too low: %v / %v", addOn[0], reg[0])
+	}
+}
+
+// Figures 2(c)/2(d) shape (Section 7.3.2): SubstOn dominates Regret, both
+// achieve less than their additive counterparts, and Regret starts losing
+// money from the very beginning (fewer users per optimization).
+func TestFig2cdShape(t *testing.T) {
+	for _, id := range []string{"2c", "2d"} {
+		fig := run(t, id, testEffort)
+		sub := fig.Series(SeriesSubstOnUtility)
+		reg := fig.Series(SeriesRegretUtility)
+		bal := fig.Series(SeriesRegretBalance)
+		for i := range fig.Points {
+			if sub[i] < 0 {
+				t.Errorf("%s cost %v: SubstOn utility %v < 0", id, fig.Points[i].X, sub[i])
+			}
+			if sub[i] < reg[i] {
+				t.Errorf("%s cost %v: SubstOn %v below Regret %v",
+					id, fig.Points[i].X, sub[i], reg[i])
+			}
+		}
+		// Regret loses money early in the substitutive setting.
+		if bal[1] > -0.05 {
+			t.Errorf("%s: Regret balance at second cost = %v, want a loss", id, bal[1])
+		}
+	}
+}
+
+// Substitutive utilities are below the additive counterparts at matching
+// costs (paper: "both SubstOn and Regret achieve lower overall utility").
+func TestSubstitutiveLowerThanAdditive(t *testing.T) {
+	add := run(t, "2a", testEffort)
+	sub := run(t, "2c", testEffort)
+	// Compare the first few shared sweep positions.
+	for i := 0; i < 4; i++ {
+		a := add.Series(SeriesAddOnUtility)[i]
+		s := sub.Series(SeriesSubstOnUtility)[i]
+		if s > a+0.15 {
+			t.Errorf("cost %v: substitutive utility %v above additive %v",
+				add.Points[i].X, s, a)
+		}
+	}
+}
+
+// Figure 3(a) shape (Section 7.4): AddOn's advantage over Regret is
+// positive everywhere and larger when users concentrate in fewer slots.
+func TestFig3aShape(t *testing.T) {
+	fig := run(t, "3a", testEffort/3)
+	adv := fig.Series(SeriesAdvantage)
+	for i, v := range adv {
+		if v <= 0 {
+			t.Errorf("slots=%v: advantage %v should be positive", fig.Points[i].X, v)
+		}
+	}
+	// More overlap (fewer slots) means a bigger advantage: compare the
+	// average of the first three points against the last three.
+	head := (adv[0] + adv[1] + adv[2]) / 3
+	n := len(adv)
+	tail := (adv[n-1] + adv[n-2] + adv[n-3]) / 3
+	if head <= tail {
+		t.Errorf("advantage should shrink with more slots: head %v, tail %v", head, tail)
+	}
+}
+
+// Figure 3(b) shape: spreading each user's value across more slots
+// increases AddOn's advantage (easier to find a slot whose residual value
+// justifies the optimization).
+func TestFig3bShape(t *testing.T) {
+	fig := run(t, "3b", testEffort/3)
+	adv := fig.Series(SeriesAdvantage)
+	for i, v := range adv {
+		if v <= 0 {
+			t.Errorf("duration=%v: advantage %v should be positive", fig.Points[i].X, v)
+		}
+	}
+	n := len(adv)
+	if adv[n-1] <= adv[0] {
+		t.Errorf("advantage should grow with duration: d=1 %v, d=%d %v", adv[0], n, adv[n-1])
+	}
+}
+
+// Figure 4 shape (Section 7.5): AddOn improves with skew while Regret
+// worsens. Early-AddOn dominates every other setting, and Regret under
+// early arrivals is the worst.
+func TestFig4Shape(t *testing.T) {
+	_, raw, err := Fig4(Fig4DefaultConfig(testEffort, testSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, cost := range raw.Costs {
+		earlyAddOn := raw.Mean[SeriesEarlyAddOn][ci]
+		for _, name := range []string{SeriesUniformAddOn, SeriesLateAddOn,
+			SeriesUniformRegret, SeriesEarlyRegret, SeriesLateRegret} {
+			if raw.Mean[name][ci] > earlyAddOn+1e-9 {
+				t.Errorf("cost %v: %s (%v) beats Early-AddOn (%v)",
+					cost, name, raw.Mean[name][ci], earlyAddOn)
+			}
+		}
+		// Regret worsens with skew: early arrivals are its worst case.
+		if raw.Mean[SeriesEarlyRegret][ci] > raw.Mean[SeriesUniformRegret][ci]+0.05 {
+			t.Errorf("cost %v: Early-Regret (%v) should not beat Uniform-Regret (%v)",
+				cost, raw.Mean[SeriesEarlyRegret][ci], raw.Mean[SeriesUniformRegret][ci])
+		}
+	}
+	// At the upper end of the sweep, skewed AddOn is several times more
+	// efficient than uniform (the paper reports up to 6.7×).
+	last := len(raw.Costs) - 1
+	if raw.Mean[SeriesEarlyAddOn][last] < 2*raw.Mean[SeriesUniformAddOn][last] {
+		t.Errorf("at the costliest point Early-AddOn (%v) should dwarf Uniform-AddOn (%v)",
+			raw.Mean[SeriesEarlyAddOn][last], raw.Mean[SeriesUniformAddOn][last])
+	}
+	// Regret ends up negative under skew at high costs.
+	if raw.Mean[SeriesEarlyRegret][last] >= 0 {
+		t.Errorf("Early-Regret at the costliest point = %v, want negative",
+			raw.Mean[SeriesEarlyRegret][last])
+	}
+}
+
+// Figure 5 shape (Section 7.6): SubstOn dominates Regret at both
+// selectivities, and higher selectivity (3 of 12) lowers both algorithms'
+// utility relative to low selectivity (3 of 4).
+func TestFig5Shape(t *testing.T) {
+	low := run(t, "5a", testEffort)
+	high := run(t, "5b", testEffort)
+	for i := range low.Points {
+		ls := low.Series(SeriesSubstOnUtility)[i]
+		lr := low.Series(SeriesRegretUtility)[i]
+		hs := high.Series(SeriesSubstOnUtility)[i]
+		hr := high.Series(SeriesRegretUtility)[i]
+		if ls < hs-0.2 {
+			t.Errorf("cost %v: low-selectivity SubstOn %v should not trail high %v",
+				low.Points[i].X, ls, hs)
+		}
+		if hs < hr {
+			t.Errorf("cost %v: SubstOn %v below Regret %v at high selectivity",
+				high.Points[i].X, hs, hr)
+		}
+		if ls < lr {
+			t.Errorf("cost %v: SubstOn %v below Regret %v at low selectivity",
+				low.Points[i].X, ls, lr)
+		}
+	}
+	// SubstOn sustains a utility of 1.0 at far higher costs than Regret
+	// (paper: 2.5× and 12.5×). Find the largest cost where each still
+	// reaches 1.0.
+	lastAbove := func(series []float64, xs []Point) float64 {
+		best := 0.0
+		for i, v := range series {
+			if v >= 1.0 {
+				best = xs[i].X
+			}
+		}
+		return best
+	}
+	subCost := lastAbove(high.Series(SeriesSubstOnUtility), high.Points)
+	regCost := lastAbove(high.Series(SeriesRegretUtility), high.Points)
+	if subCost < 2*regCost {
+		t.Errorf("high selectivity: SubstOn sustains 1.0 to %v, Regret to %v — want ≥2× spread",
+			subCost, regCost)
+	}
+}
+
+// Figure 1 shape (Section 7.2): utilities grow with executions; AddOn
+// beats Regret; Regret's balance goes negative; the mechanism's utility
+// lands in the paper's 28%–47% band of the baseline cost at the upper end.
+func TestFig1Shape(t *testing.T) {
+	fig := run(t, "1", 200)
+	addOn := fig.Series(SeriesAddOnUtility)
+	reg := fig.Series(SeriesRegretUtility)
+	bal := fig.Series(SeriesRegretBalance)
+	base := fig.Series(SeriesBaselineCost)
+	n := len(fig.Points)
+
+	if addOn[n-1] <= addOn[1] {
+		t.Errorf("AddOn utility should grow with executions: %v ... %v", addOn[1], addOn[n-1])
+	}
+	var regretLoss bool
+	for i := range fig.Points {
+		if addOn[i] < reg[i]-1e-9 {
+			t.Errorf("x=%v: AddOn %v below Regret %v", fig.Points[i].X, addOn[i], reg[i])
+		}
+		if bal[i] < -0.5 {
+			regretLoss = true
+		}
+		if base[i] <= 0 && fig.Points[i].X > 0 {
+			t.Errorf("x=%v: baseline cost %v", fig.Points[i].X, base[i])
+		}
+	}
+	if !regretLoss {
+		t.Error("Regret should lose money somewhere on the astronomy workload")
+	}
+	// Baseline is linear in executions.
+	if base[n-1] < 80 || base[n-1] > 130 {
+		t.Errorf("baseline at 90 executions = %v, want ≈ $102", base[n-1])
+	}
+	// Paper: AddOn yields 28%–47% of baseline cost as utility. Allow a
+	// wide band around it (sampling and substitution differences).
+	frac := addOn[n-1] / base[n-1]
+	if frac < 0.2 || frac > 0.8 {
+		t.Errorf("AddOn utility fraction of baseline = %v, want within [0.2, 0.8]", frac)
+	}
+}
+
+// Figure 1e: the engine-derived variant must reproduce the same
+// qualitative story as the constants-based Figure 1 — the mechanism
+// dominates Regret and never loses money, and utility grows with usage.
+func TestFig1EngineDerivedShape(t *testing.T) {
+	cfg := Fig1EngineConfig(60, testSeed)
+	cfg.Executions = []int{1, 30, 60, 90}
+	fig, err := Fig1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "1e" {
+		t.Fatalf("figure ID = %s", fig.ID)
+	}
+	addOn := fig.Series(SeriesAddOnUtility)
+	reg := fig.Series(SeriesRegretUtility)
+	n := len(fig.Points)
+	if addOn[n-1] <= addOn[0] {
+		t.Errorf("utility should grow with executions: %v ... %v", addOn[0], addOn[n-1])
+	}
+	for i := range fig.Points {
+		if addOn[i] < reg[i]-1e-9 {
+			t.Errorf("x=%v: AddOn %v below Regret %v", fig.Points[i].X, addOn[i], reg[i])
+		}
+	}
+}
+
+func TestRegistryCoversAllFigures(t *testing.T) {
+	want := []string{"1", "1e", "2a", "2b", "2c", "2d", "3a", "3b", "4", "5a", "5b",
+		"E1", "E2", "E3"}
+	got := FigureIDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registry has %v, want %v", got, want)
+		}
+	}
+	if _, err := Run("nope", 1, 1); err == nil {
+		t.Error("unknown figure should error")
+	}
+}
+
+func TestRunIsDeterministic(t *testing.T) {
+	a := run(t, "2a", 30)
+	b := run(t, "2a", 30)
+	for i := range a.Points {
+		for _, s := range a.SeriesNames {
+			if a.Points[i].Y[s] != b.Points[i].Y[s] {
+				t.Fatalf("point %d series %s: %v != %v", i, s, a.Points[i].Y[s], b.Points[i].Y[s])
+			}
+		}
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	fig := &Figure{ID: "t", Title: "Test", XLabel: "x",
+		SeriesNames: []string{"a", "b"}}
+	fig.Add(1, map[string]float64{"a": 0.5, "b": -1.25})
+	fig.Add(2.5, map[string]float64{"a": 0, "b": 3})
+
+	table := fig.Table()
+	for _, want := range []string{"Figure t: Test", "x", "a", "b", "0.5", "-1.25", "2.5"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	csv := fig.CSV()
+	wantCSV := "x,a,b\n1,0.5,-1.25\n2.5,0,3\n"
+	if csv != wantCSV {
+		t.Errorf("CSV = %q, want %q", csv, wantCSV)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	fig := &Figure{XLabel: `cost, in "dollars"`, SeriesNames: []string{"u"}}
+	fig.Add(1, map[string]float64{"u": 2})
+	csv := fig.CSV()
+	if !strings.HasPrefix(csv, `"cost, in ""dollars""",u`) {
+		t.Errorf("CSV header not escaped: %q", csv)
+	}
+}
+
+func TestCostSweepsMatchPaperAxes(t *testing.T) {
+	if n := len(SweepSmall); n != 17 {
+		t.Errorf("small sweep has %d points, want 17", n)
+	}
+	if SweepSmall[0].Dollars() != 0.03 || SweepSmall[16].Dollars() != 2.91 {
+		t.Errorf("small sweep range %v..%v", SweepSmall[0], SweepSmall[16])
+	}
+	if SweepLarge[0].Dollars() != 0.12 || SweepLarge[16].Dollars() != 11.64 {
+		t.Errorf("large sweep range %v..%v", SweepLarge[0], SweepLarge[16])
+	}
+	if SweepSkew[0].Dollars() != 0.03 || SweepSkew[14].Dollars() != 1.71 {
+		t.Errorf("skew sweep range %v..%v", SweepSkew[0], SweepSkew[14])
+	}
+	if SweepSelectivity[0].Dollars() != 0.03 || SweepSelectivity[9].Dollars() != 2.73 {
+		t.Errorf("selectivity sweep range %v..%v", SweepSelectivity[0], SweepSelectivity[9])
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Fig2(Fig2Config{}); err == nil {
+		t.Error("empty Fig2Config accepted")
+	}
+	if _, err := Fig3(Fig3Config{ID: "9z", Users: 6, MaxX: 2, Costs: SweepSmall, Trials: 1}); err == nil {
+		t.Error("unknown Fig3 variant accepted")
+	}
+	if _, _, err := Fig4(Fig4Config{}); err == nil {
+		t.Error("empty Fig4Config accepted")
+	}
+	if _, err := Fig5(Fig5Config{ID: "5a", Users: 6, Slots: 12, NOpts: 2, SubsPerUser: 3,
+		Costs: SweepSelectivity, Trials: 1}); err == nil {
+		t.Error("substitutes exceeding optimizations accepted")
+	}
+	if _, err := Fig1(Fig1Config{}); err == nil {
+		t.Error("empty Fig1Config accepted")
+	}
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sharedopt/internal/astro"
+	"sharedopt/internal/econ"
+	"sharedopt/internal/engine"
+	"sharedopt/internal/simulate"
+	"sharedopt/internal/stats"
+	"sharedopt/internal/workload"
+)
+
+// Figure 1's series.
+const (
+	SeriesRegretUtilityStd = "Regret Utility StdDev"
+	SeriesAddOnUtilityStd  = "AddOn Utility StdDev"
+	SeriesBaselineCost     = "Baseline Cost"
+)
+
+// Fig1Config parameterizes the astronomy use-case experiment of
+// Section 7.2.
+type Fig1Config struct {
+	// Executions is the x axis: how many times each user executes her
+	// workload (the paper sweeps 1 and 10..90 step 10).
+	Executions []int
+	// Samples is the number of quarter-span assignments sampled from
+	// the 10^6 alternatives when Exhaustive is false.
+	Samples int
+	// Exhaustive enumerates all 10^6 assignments instead of sampling
+	// (matches the paper exactly; roughly a thousand times slower).
+	Exhaustive bool
+	// Seed makes sampled runs reproducible.
+	Seed uint64
+	// PriceBook supplies the baseline compute rate.
+	PriceBook econ.PriceBook
+	// EngineDerived replaces the paper's published per-execution
+	// savings (18/7/3/16/9/4 cents etc.) with a table measured by
+	// running the halo-tracking workload on the built-in query engine
+	// over a synthetic universe (DESIGN.md §3.5). Universe, LinkLen and
+	// MinMembers configure that measurement.
+	EngineDerived bool
+	Universe      astro.Config
+	LinkLen       float64
+	MinMembers    int
+}
+
+// Fig1DefaultConfig returns the published Figure 1 configuration with
+// Monte-Carlo sampling of the alternative space.
+func Fig1DefaultConfig(samples int, seed uint64) Fig1Config {
+	execs := []int{1}
+	for x := 10; x <= 90; x += 10 {
+		execs = append(execs, x)
+	}
+	return Fig1Config{Executions: execs, Samples: samples, Seed: seed,
+		PriceBook: econ.DefaultPriceBook()}
+}
+
+// Fig1EngineConfig returns the engine-derived variant ("1e"): like
+// Fig1DefaultConfig, but the user-value table comes out of the astro
+// substrate's measured savings on a compact synthetic universe instead of
+// the paper's constants.
+func Fig1EngineConfig(samples int, seed uint64) Fig1Config {
+	cfg := Fig1DefaultConfig(samples, seed)
+	cfg.EngineDerived = true
+	universe := astro.DefaultConfig()
+	universe.Particles = 1200
+	universe.Halos = 8
+	universe.Snapshots = 13 // smallest count preserving the cost shape
+	universe.Seed = seed
+	cfg.Universe = universe
+	cfg.LinkLen = 2.5
+	cfg.MinMembers = 5
+	return cfg
+}
+
+// Fig1 runs the astronomy use-case: for every execution count it
+// aggregates, across quarter-span assignments (all 10^6 or a uniform
+// sample), the total utility of AddOn and of Regret, Regret's cloud
+// balance, and the no-optimization baseline operating cost.
+func Fig1(cfg Fig1Config) (*Figure, error) {
+	if len(cfg.Executions) == 0 {
+		return nil, fmt.Errorf("experiments: fig1: empty execution sweep")
+	}
+	if !cfg.Exhaustive && cfg.Samples < 1 {
+		return nil, fmt.Errorf("experiments: fig1: %d samples", cfg.Samples)
+	}
+	if err := cfg.PriceBook.Validate(); err != nil {
+		return nil, err
+	}
+	id, title := "1", "Astronomy use-case: utility and balance vs workload executions"
+	build := func(assignment [workload.AstroUsers]workload.QuarterSpan, execs int) simulate.AdditiveScenario {
+		return workload.Astronomy(assignment, execs)
+	}
+	if cfg.EngineDerived {
+		id, title = "1e", "Astronomy use-case with engine-derived savings"
+		cents, err := deriveAstronomySavings(cfg)
+		if err != nil {
+			return nil, err
+		}
+		build = func(assignment [workload.AstroUsers]workload.QuarterSpan, execs int) simulate.AdditiveScenario {
+			return workload.AstronomyDerived(cents, assignment, execs, workload.AstroViewCost)
+		}
+	}
+	fig := &Figure{
+		ID:     id,
+		Title:  title,
+		XLabel: "Executions per user",
+		SeriesNames: []string{
+			SeriesAddOnUtility, SeriesAddOnUtilityStd,
+			SeriesRegretUtility, SeriesRegretUtilityStd,
+			SeriesRegretBalance, SeriesBaselineCost,
+		},
+	}
+	spans := workload.AllQuarterSpans(workload.AstroQuarters)
+	for _, execs := range cfg.Executions {
+		var addOn, regU, regB stats.Summary
+		eval := func(assignment [workload.AstroUsers]workload.QuarterSpan) error {
+			sc := build(assignment, execs)
+			m, err := simulate.RunAddOn(sc)
+			if err != nil {
+				return err
+			}
+			g, err := simulate.RunRegretAdditive(sc)
+			if err != nil {
+				return err
+			}
+			addOn.Add(m.Utility().Dollars())
+			regU.Add(g.Utility().Dollars())
+			regB.Add(g.Balance().Dollars())
+			return nil
+		}
+		if cfg.Exhaustive {
+			if err := enumerateAssignments(spans, eval); err != nil {
+				return nil, err
+			}
+		} else {
+			r := stats.NewRNG(cfg.Seed + uint64(execs))
+			for s := 0; s < cfg.Samples; s++ {
+				var assignment [workload.AstroUsers]workload.QuarterSpan
+				for u := range assignment {
+					assignment[u] = spans[r.Intn(len(spans))]
+				}
+				if err := eval(assignment); err != nil {
+					return nil, err
+				}
+			}
+		}
+		fig.Add(float64(execs), map[string]float64{
+			SeriesAddOnUtility:     addOn.Mean(),
+			SeriesAddOnUtilityStd:  addOn.StdDev(),
+			SeriesRegretUtility:    regU.Mean(),
+			SeriesRegretUtilityStd: regU.StdDev(),
+			SeriesRegretBalance:    regB.Mean(),
+			SeriesBaselineCost:     workload.AstroBaselineCost(cfg.PriceBook, execs).Dollars(),
+		})
+	}
+	return fig, nil
+}
+
+// deriveAstronomySavings measures the per-view savings of the six
+// astronomers' workloads on the configured synthetic universe and scales
+// them to cents, anchored at the paper's 18¢ final-snapshot saving.
+func deriveAstronomySavings(cfg Fig1Config) ([][]int64, error) {
+	u, err := astro.Generate(cfg.Universe)
+	if err != nil {
+		return nil, err
+	}
+	tr := astro.NewTracker(u, cfg.LinkLen, cfg.MinMembers)
+	users, err := astro.DefaultUsers(tr, 2)
+	if err != nil {
+		return nil, err
+	}
+	report, err := astro.MeasureSavings(u, users, cfg.LinkLen, cfg.MinMembers,
+		engine.DefaultCostModel())
+	if err != nil {
+		return nil, err
+	}
+	return report.DeriveSavingsCents(18)
+}
+
+// enumerateAssignments calls eval for every one of the |spans|^6
+// assignments of quarter spans to the six astronomers.
+func enumerateAssignments(spans []workload.QuarterSpan,
+	eval func([workload.AstroUsers]workload.QuarterSpan) error) error {
+	var assignment [workload.AstroUsers]workload.QuarterSpan
+	var rec func(u int) error
+	rec = func(u int) error {
+		if u == workload.AstroUsers {
+			return eval(assignment)
+		}
+		for _, sp := range spans {
+			assignment[u] = sp
+			if err := rec(u + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(0)
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sharedopt/internal/econ"
+	"sharedopt/internal/simulate"
+	"sharedopt/internal/stats"
+	"sharedopt/internal/workload"
+)
+
+// Series names shared by the cost-sweep figures.
+const (
+	SeriesAddOnUtility   = "AddOn Utility"
+	SeriesSubstOnUtility = "SubstOn Utility"
+	SeriesRegretUtility  = "Regret Utility"
+	SeriesRegretBalance  = "Regret Balance"
+)
+
+// Fig2Config parameterizes the collaboration-size experiment of
+// Section 7.3 (Figures 2(a)–2(d)).
+type Fig2Config struct {
+	// ID is the sub-figure label ("2a" ... "2d").
+	ID string
+	// Users is the collaboration size: 6 (small) or 24 (large).
+	Users int
+	// Slots is the number of time slots (12 in the paper).
+	Slots int
+	// Substitutive selects the substitutive variant (2(c)/2(d)).
+	Substitutive bool
+	// NOpts and SubsPerUser configure the substitutive variant: each
+	// user picks SubsPerUser substitutes from NOpts optimizations.
+	NOpts, SubsPerUser int
+	// Costs is the x axis: the per-optimization cost (additive) or the
+	// mean optimization cost (substitutive).
+	Costs []econ.Money
+	// Trials is the number of random scenarios averaged per cost.
+	Trials int
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+// Fig2aConfig returns the published configuration of Figure 2(a):
+// additive optimization, small collaboration of 6 users.
+func Fig2aConfig(trials int, seed uint64) Fig2Config {
+	return Fig2Config{ID: "2a", Users: 6, Slots: workload.DefaultSlots,
+		Costs: SweepSmall, Trials: trials, Seed: seed}
+}
+
+// Fig2bConfig returns Figure 2(b): additive, large collaboration of 24.
+func Fig2bConfig(trials int, seed uint64) Fig2Config {
+	return Fig2Config{ID: "2b", Users: 24, Slots: workload.DefaultSlots,
+		Costs: SweepLarge, Trials: trials, Seed: seed}
+}
+
+// Fig2cConfig returns Figure 2(c): substitutive, 6 users choosing 3 of 12.
+func Fig2cConfig(trials int, seed uint64) Fig2Config {
+	return Fig2Config{ID: "2c", Users: 6, Slots: workload.DefaultSlots,
+		Substitutive: true, NOpts: 12, SubsPerUser: 3,
+		Costs: SweepSmall, Trials: trials, Seed: seed}
+}
+
+// Fig2dConfig returns Figure 2(d): substitutive, 24 users choosing 3 of 12.
+func Fig2dConfig(trials int, seed uint64) Fig2Config {
+	return Fig2Config{ID: "2d", Users: 24, Slots: workload.DefaultSlots,
+		Substitutive: true, NOpts: 12, SubsPerUser: 3,
+		Costs: SweepLarge, Trials: trials, Seed: seed}
+}
+
+// Fig2 runs the collaboration-size experiment: total utility of the online
+// mechanism and of the Regret baseline (plus Regret's cloud balance) as a
+// function of optimization cost. Common random numbers are used across the
+// cost sweep: trial i replays the same user draws at every cost, so series
+// differences reflect the cost, not sampling noise.
+func Fig2(cfg Fig2Config) (*Figure, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	mechSeries := SeriesAddOnUtility
+	if cfg.Substitutive {
+		mechSeries = SeriesSubstOnUtility
+	}
+	kind := "additive"
+	if cfg.Substitutive {
+		kind = "substitutive"
+	}
+	fig := &Figure{
+		ID: cfg.ID,
+		Title: fmt.Sprintf("Total utility vs optimization cost (%s, %d users, %d slots)",
+			kind, cfg.Users, cfg.Slots),
+		XLabel:      "Optimization cost ($)",
+		SeriesNames: []string{mechSeries, SeriesRegretUtility, SeriesRegretBalance},
+	}
+	master := stats.NewRNG(cfg.Seed)
+	trialSeeds := make([]uint64, cfg.Trials)
+	for i := range trialSeeds {
+		trialSeeds[i] = master.Uint64()
+	}
+	for _, cost := range cfg.Costs {
+		var mech, regU, regB stats.Summary
+		for _, ts := range trialSeeds {
+			r := stats.NewRNG(ts)
+			if cfg.Substitutive {
+				sc := workload.Substitutes(r, cfg.Users, cfg.NOpts, cfg.SubsPerUser, cfg.Slots, cost)
+				m, err := simulate.RunSubstOn(sc)
+				if err != nil {
+					return nil, err
+				}
+				g, err := simulate.RunRegretSubst(sc)
+				if err != nil {
+					return nil, err
+				}
+				mech.Add(m.Utility().Dollars())
+				regU.Add(g.Utility().Dollars())
+				regB.Add(g.Balance().Dollars())
+			} else {
+				sc := workload.Collaboration(r, cfg.Users, cfg.Slots, cost)
+				m, err := simulate.RunAddOn(sc)
+				if err != nil {
+					return nil, err
+				}
+				g, err := simulate.RunRegretAdditive(sc)
+				if err != nil {
+					return nil, err
+				}
+				mech.Add(m.Utility().Dollars())
+				regU.Add(g.Utility().Dollars())
+				regB.Add(g.Balance().Dollars())
+			}
+		}
+		fig.Add(cost.Dollars(), map[string]float64{
+			mechSeries:          mech.Mean(),
+			SeriesRegretUtility: regU.Mean(),
+			SeriesRegretBalance: regB.Mean(),
+		})
+	}
+	return fig, nil
+}
+
+func (cfg Fig2Config) validate() error {
+	if cfg.Users < 1 {
+		return fmt.Errorf("experiments: fig2: users %d < 1", cfg.Users)
+	}
+	if cfg.Slots < 1 {
+		return fmt.Errorf("experiments: fig2: slots %d < 1", cfg.Slots)
+	}
+	if cfg.Trials < 1 {
+		return fmt.Errorf("experiments: fig2: trials %d < 1", cfg.Trials)
+	}
+	if len(cfg.Costs) == 0 {
+		return fmt.Errorf("experiments: fig2: empty cost sweep")
+	}
+	if cfg.Substitutive && (cfg.NOpts < 1 || cfg.SubsPerUser < 1 || cfg.SubsPerUser > cfg.NOpts) {
+		return fmt.Errorf("experiments: fig2: bad substitutive shape %d of %d",
+			cfg.SubsPerUser, cfg.NOpts)
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sharedopt/internal/econ"
+	"sharedopt/internal/simulate"
+	"sharedopt/internal/stats"
+	"sharedopt/internal/workload"
+)
+
+// SeriesAdvantage is the y series of Figure 3: AddOn's mean utility minus
+// Regret's mean utility.
+const SeriesAdvantage = "AddOn utility minus Regret utility"
+
+// Fig3Config parameterizes the usage-overlap experiment of Section 7.4
+// (Figures 3(a) and 3(b)).
+type Fig3Config struct {
+	// ID is "3a" (vary total slots, single-slot bids) or "3b" (vary bid
+	// duration over a fixed 12-slot base).
+	ID string
+	// Users is the collaboration size (6 in the paper).
+	Users int
+	// MaxX is the largest x value (12 in the paper): slot counts 1..MaxX
+	// for 3(a), durations 1..MaxX for 3(b).
+	MaxX int
+	// Costs is the sweep averaged over at each x (Figure 2(a)'s sweep).
+	Costs []econ.Money
+	// Trials per (x, cost) combination.
+	Trials int
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+// Fig3aConfig returns the published Figure 3(a) configuration.
+func Fig3aConfig(trials int, seed uint64) Fig3Config {
+	return Fig3Config{ID: "3a", Users: 6, MaxX: workload.DefaultSlots,
+		Costs: SweepSmall, Trials: trials, Seed: seed}
+}
+
+// Fig3bConfig returns the published Figure 3(b) configuration.
+func Fig3bConfig(trials int, seed uint64) Fig3Config {
+	return Fig3Config{ID: "3b", Users: 6, MaxX: workload.DefaultSlots,
+		Costs: SweepSmall, Trials: trials, Seed: seed}
+}
+
+// Fig3 runs the usage-overlap experiment. For 3(a) it shrinks the number
+// of available slots from MaxX down to 1 with single-slot bids — more
+// overlap on the left of the paper's figure means a larger AddOn
+// advantage. For 3(b) it stretches each bid across d contiguous slots,
+// splitting the user's value evenly. The y value at each x is the mean of
+// (AddOn utility − Regret utility) over the cost sweep and all trials.
+func Fig3(cfg Fig3Config) (*Figure, error) {
+	if cfg.Users < 1 || cfg.MaxX < 1 || cfg.Trials < 1 || len(cfg.Costs) == 0 {
+		return nil, fmt.Errorf("experiments: fig3: bad config %+v", cfg)
+	}
+	if cfg.ID != "3a" && cfg.ID != "3b" {
+		return nil, fmt.Errorf("experiments: fig3: unknown variant %q", cfg.ID)
+	}
+	xLabel := "Number of time slots available"
+	title := "AddOn advantage vs available slots (single-slot bids)"
+	if cfg.ID == "3b" {
+		xLabel = "Duration of slots serviced"
+		title = "AddOn advantage vs bid duration (value spread evenly)"
+	}
+	fig := &Figure{ID: cfg.ID, Title: title, XLabel: xLabel,
+		SeriesNames: []string{SeriesAdvantage}}
+
+	master := stats.NewRNG(cfg.Seed)
+	trialSeeds := make([]uint64, cfg.Trials)
+	for i := range trialSeeds {
+		trialSeeds[i] = master.Uint64()
+	}
+	for x := 1; x <= cfg.MaxX; x++ {
+		var adv stats.Summary
+		for _, cost := range cfg.Costs {
+			for _, ts := range trialSeeds {
+				r := stats.NewRNG(ts)
+				var sc simulate.AdditiveScenario
+				if cfg.ID == "3a" {
+					sc = workload.Collaboration(r, cfg.Users, x, cost)
+				} else {
+					sc = workload.MultiSlot(r, cfg.Users, workload.DefaultSlots, x, cost)
+				}
+				m, err := simulate.RunAddOn(sc)
+				if err != nil {
+					return nil, err
+				}
+				g, err := simulate.RunRegretAdditive(sc)
+				if err != nil {
+					return nil, err
+				}
+				adv.Add(m.Utility().Dollars() - g.Utility().Dollars())
+			}
+		}
+		fig.Add(float64(x), map[string]float64{SeriesAdvantage: adv.Mean()})
+	}
+	return fig, nil
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sharedopt/internal/econ"
+	"sharedopt/internal/simulate"
+	"sharedopt/internal/stats"
+	"sharedopt/internal/workload"
+)
+
+// Figure 4's six series: {arrival process} × {mechanism, baseline},
+// plotted as ratios to the Early-AddOn utility.
+const (
+	SeriesUniformAddOn  = "Uniform-AddOn"
+	SeriesUniformRegret = "Uniform-Regret"
+	SeriesEarlyAddOn    = "Early-AddOn"
+	SeriesEarlyRegret   = "Early-Regret"
+	SeriesLateAddOn     = "Late-AddOn"
+	SeriesLateRegret    = "Late-Regret"
+)
+
+// Fig4Config parameterizes the arrival-skew experiment of Section 7.5.
+type Fig4Config struct {
+	// Users is the collaboration size (6 in the paper).
+	Users int
+	// Slots is the number of time slots (12 in the paper).
+	Slots int
+	// Costs is the x axis (0.03 to 1.71 step 0.12 in the paper).
+	Costs []econ.Money
+	// Trials per (arrival, cost) combination.
+	Trials int
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+// Fig4DefaultConfig returns the published Figure 4 configuration.
+func Fig4DefaultConfig(trials int, seed uint64) Fig4Config {
+	return Fig4Config{Users: 6, Slots: workload.DefaultSlots,
+		Costs: SweepSkew, Trials: trials, Seed: seed}
+}
+
+// Fig4Raw holds the mean utilities (in dollars) for every arrival process
+// and approach at each cost, before the ratio normalization the paper
+// plots. Tests and the EXPERIMENTS.md shape checks use the raw values.
+type Fig4Raw struct {
+	Costs []econ.Money
+	// Mean[series][i] is the mean utility at Costs[i].
+	Mean map[string][]float64
+}
+
+// Fig4 runs the arrival-skew experiment and returns the paper's figure:
+// at every cost, each setting's mean utility divided by the Early-AddOn
+// mean utility at that cost. The raw means are returned alongside.
+func Fig4(cfg Fig4Config) (*Figure, *Fig4Raw, error) {
+	if cfg.Users < 1 || cfg.Slots < 1 || cfg.Trials < 1 || len(cfg.Costs) == 0 {
+		return nil, nil, fmt.Errorf("experiments: fig4: bad config %+v", cfg)
+	}
+	arrivals := []struct {
+		proc   stats.ArrivalProcess
+		mech   string
+		regret string
+	}{
+		{stats.ArrivalUniform, SeriesUniformAddOn, SeriesUniformRegret},
+		{stats.ArrivalEarly, SeriesEarlyAddOn, SeriesEarlyRegret},
+		{stats.ArrivalLate, SeriesLateAddOn, SeriesLateRegret},
+	}
+	order := []string{
+		SeriesUniformAddOn, SeriesUniformRegret,
+		SeriesEarlyAddOn, SeriesEarlyRegret,
+		SeriesLateAddOn, SeriesLateRegret,
+	}
+	raw := &Fig4Raw{Costs: cfg.Costs, Mean: make(map[string][]float64, len(order))}
+	for _, name := range order {
+		raw.Mean[name] = make([]float64, len(cfg.Costs))
+	}
+	master := stats.NewRNG(cfg.Seed)
+	trialSeeds := make([]uint64, cfg.Trials)
+	for i := range trialSeeds {
+		trialSeeds[i] = master.Uint64()
+	}
+	for ci, cost := range cfg.Costs {
+		for _, a := range arrivals {
+			var mech, reg stats.Summary
+			for _, ts := range trialSeeds {
+				r := stats.NewRNG(ts)
+				sc := workload.Skewed(r, cfg.Users, cfg.Slots, cost, a.proc)
+				m, err := simulate.RunAddOn(sc)
+				if err != nil {
+					return nil, nil, err
+				}
+				g, err := simulate.RunRegretAdditive(sc)
+				if err != nil {
+					return nil, nil, err
+				}
+				mech.Add(m.Utility().Dollars())
+				reg.Add(g.Utility().Dollars())
+			}
+			raw.Mean[a.mech][ci] = mech.Mean()
+			raw.Mean[a.regret][ci] = reg.Mean()
+		}
+	}
+	fig := &Figure{
+		ID:          "4",
+		Title:       "Effect of arrival skew on utility (ratio to Early-AddOn)",
+		XLabel:      "Cost of optimization ($)",
+		SeriesNames: order,
+	}
+	for ci, cost := range cfg.Costs {
+		denom := raw.Mean[SeriesEarlyAddOn][ci]
+		vals := make(map[string]float64, len(order))
+		for _, name := range order {
+			if denom != 0 {
+				vals[name] = raw.Mean[name][ci] / denom
+			} else {
+				vals[name] = 0
+			}
+		}
+		fig.Add(cost.Dollars(), vals)
+	}
+	return fig, raw, nil
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sharedopt/internal/econ"
+	"sharedopt/internal/simulate"
+	"sharedopt/internal/stats"
+	"sharedopt/internal/workload"
+)
+
+// Fig5Config parameterizes the substitute-selectivity experiment of
+// Section 7.6 (Figures 5(a) and 5(b)).
+type Fig5Config struct {
+	// ID is "5a" (low selectivity: 3 of 4) or "5b" (high: 3 of 12).
+	ID string
+	// Users is the collaboration size (6 in the paper).
+	Users int
+	// Slots is the number of time slots (12 in the paper).
+	Slots int
+	// NOpts is the total number of optimizations; SubsPerUser (3) are
+	// drawn per user. Selectivity = SubsPerUser / NOpts.
+	NOpts, SubsPerUser int
+	// Costs is the x axis of mean optimization costs.
+	Costs []econ.Money
+	// Trials per cost.
+	Trials int
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+// Fig5aConfig returns the published Figure 5(a): selectivity 0.75.
+func Fig5aConfig(trials int, seed uint64) Fig5Config {
+	return Fig5Config{ID: "5a", Users: 6, Slots: workload.DefaultSlots,
+		NOpts: 4, SubsPerUser: 3, Costs: SweepSelectivity, Trials: trials, Seed: seed}
+}
+
+// Fig5bConfig returns the published Figure 5(b): selectivity 0.25.
+func Fig5bConfig(trials int, seed uint64) Fig5Config {
+	return Fig5Config{ID: "5b", Users: 6, Slots: workload.DefaultSlots,
+		NOpts: 12, SubsPerUser: 3, Costs: SweepSelectivity, Trials: trials, Seed: seed}
+}
+
+// Fig5 runs the substitute-selectivity experiment: SubstOn's and Regret's
+// mean total utility as the mean optimization cost grows, for a fixed
+// selectivity of substitutes.
+func Fig5(cfg Fig5Config) (*Figure, error) {
+	if cfg.Users < 1 || cfg.Slots < 1 || cfg.Trials < 1 || len(cfg.Costs) == 0 ||
+		cfg.NOpts < 1 || cfg.SubsPerUser < 1 || cfg.SubsPerUser > cfg.NOpts {
+		return nil, fmt.Errorf("experiments: fig5: bad config %+v", cfg)
+	}
+	fig := &Figure{
+		ID: cfg.ID,
+		Title: fmt.Sprintf("Total utility vs mean cost (selectivity %d/%d, %d users)",
+			cfg.SubsPerUser, cfg.NOpts, cfg.Users),
+		XLabel:      "Optimization cost ($)",
+		SeriesNames: []string{SeriesSubstOnUtility, SeriesRegretUtility},
+	}
+	master := stats.NewRNG(cfg.Seed)
+	trialSeeds := make([]uint64, cfg.Trials)
+	for i := range trialSeeds {
+		trialSeeds[i] = master.Uint64()
+	}
+	for _, cost := range cfg.Costs {
+		var mech, reg stats.Summary
+		for _, ts := range trialSeeds {
+			r := stats.NewRNG(ts)
+			sc := workload.Substitutes(r, cfg.Users, cfg.NOpts, cfg.SubsPerUser, cfg.Slots, cost)
+			m, err := simulate.RunSubstOn(sc)
+			if err != nil {
+				return nil, err
+			}
+			g, err := simulate.RunRegretSubst(sc)
+			if err != nil {
+				return nil, err
+			}
+			mech.Add(m.Utility().Dollars())
+			reg.Add(g.Utility().Dollars())
+		}
+		fig.Add(cost.Dollars(), map[string]float64{
+			SeriesSubstOnUtility: mech.Mean(),
+			SeriesRegretUtility:  reg.Mean(),
+		})
+	}
+	return fig, nil
+}

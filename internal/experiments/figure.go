@@ -1,0 +1,148 @@
+// Package experiments regenerates every figure in the paper's evaluation
+// section (Section 7). Each FigNN function runs the corresponding
+// simulation sweep and returns a Figure holding the same series the paper
+// plots; the cmd/experiments binary renders them as text tables or CSV,
+// and bench_test.go at the module root wraps each one in a benchmark.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sharedopt/internal/econ"
+)
+
+// Point is one x-position of a figure with one value per series.
+type Point struct {
+	X float64
+	Y map[string]float64
+}
+
+// Figure is a reproduced paper figure: named series sampled at a common
+// set of x-positions.
+type Figure struct {
+	// ID is the paper's figure number, e.g. "2a".
+	ID string
+	// Title is the figure caption.
+	Title string
+	// XLabel names the x axis.
+	XLabel string
+	// SeriesNames lists the series in display order.
+	SeriesNames []string
+	// Points holds the sampled values in x order.
+	Points []Point
+}
+
+// Add appends a point. Every series name must be present in values.
+func (f *Figure) Add(x float64, values map[string]float64) {
+	y := make(map[string]float64, len(values))
+	for k, v := range values {
+		y[k] = v
+	}
+	f.Points = append(f.Points, Point{X: x, Y: y})
+}
+
+// Series returns the y values of one series in x order.
+func (f *Figure) Series(name string) []float64 {
+	out := make([]float64, len(f.Points))
+	for i, p := range f.Points {
+		out[i] = p.Y[name]
+	}
+	return out
+}
+
+// Table renders the figure as an aligned text table.
+func (f *Figure) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %s: %s\n", f.ID, f.Title)
+	widths := make([]int, len(f.SeriesNames)+1)
+	header := append([]string{f.XLabel}, f.SeriesNames...)
+	rows := make([][]string, 0, len(f.Points))
+	for _, p := range f.Points {
+		row := []string{trimFloat(p.X)}
+		for _, s := range f.SeriesNames {
+			row = append(row, trimFloat(p.Y[s]))
+		}
+		rows = append(rows, row)
+	}
+	for i, h := range header {
+		widths[i] = len(h)
+		for _, row := range rows {
+			if len(row[i]) > widths[i] {
+				widths[i] = len(row[i])
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the figure as comma-separated values with a header row.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(f.XLabel))
+	for _, s := range f.SeriesNames {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(s))
+	}
+	b.WriteByte('\n')
+	for _, p := range f.Points {
+		fmt.Fprintf(&b, "%g", p.X)
+		for _, s := range f.SeriesNames {
+			fmt.Fprintf(&b, ",%g", p.Y[s])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimSuffix(s, ".")
+	if s == "-0" || s == "" {
+		s = "0"
+	}
+	return s
+}
+
+// CostSweep returns n costs start, start+step, ..., matching the x axes of
+// the paper's figures.
+func CostSweep(start, step econ.Money, n int) []econ.Money {
+	out := make([]econ.Money, n)
+	for i := range out {
+		out[i] = start + step.MulInt(int64(i))
+	}
+	return out
+}
+
+// The paper's published sweeps.
+var (
+	// SweepSmall is Figure 2(a)/2(c)'s x axis: 0.03 to 2.91 step 0.18.
+	SweepSmall = CostSweep(econ.FromDollars(0.03), econ.FromDollars(0.18), 17)
+	// SweepLarge is Figure 2(b)/2(d)'s x axis: 0.12 to 11.64 step 0.72.
+	SweepLarge = CostSweep(econ.FromDollars(0.12), econ.FromDollars(0.72), 17)
+	// SweepSkew is Figure 4's x axis: 0.03 to 1.71 step 0.12.
+	SweepSkew = CostSweep(econ.FromDollars(0.03), econ.FromDollars(0.12), 15)
+	// SweepSelectivity is Figure 5's x axis: 0.03 to 2.73 step 0.30.
+	SweepSelectivity = CostSweep(econ.FromDollars(0.03), econ.FromDollars(0.30), 10)
+)

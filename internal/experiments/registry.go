@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner regenerates one figure with the given effort (trials for the
+// simulated figures, samples for Figure 1) and seed.
+type Runner func(effort int, seed uint64) (*Figure, error)
+
+// Registry maps figure IDs to their runners.
+var Registry = map[string]Runner{
+	"1": func(effort int, seed uint64) (*Figure, error) {
+		return Fig1(Fig1DefaultConfig(effort, seed))
+	},
+	"1e": func(effort int, seed uint64) (*Figure, error) {
+		return Fig1(Fig1EngineConfig(effort, seed))
+	},
+	"2a": func(effort int, seed uint64) (*Figure, error) {
+		return Fig2(Fig2aConfig(effort, seed))
+	},
+	"2b": func(effort int, seed uint64) (*Figure, error) {
+		return Fig2(Fig2bConfig(effort, seed))
+	},
+	"2c": func(effort int, seed uint64) (*Figure, error) {
+		return Fig2(Fig2cConfig(effort, seed))
+	},
+	"2d": func(effort int, seed uint64) (*Figure, error) {
+		return Fig2(Fig2dConfig(effort, seed))
+	},
+	"3a": func(effort int, seed uint64) (*Figure, error) {
+		return Fig3(Fig3aConfig(effort, seed))
+	},
+	"3b": func(effort int, seed uint64) (*Figure, error) {
+		return Fig3(Fig3bConfig(effort, seed))
+	},
+	"4": func(effort int, seed uint64) (*Figure, error) {
+		fig, _, err := Fig4(Fig4DefaultConfig(effort, seed))
+		return fig, err
+	},
+	"5a": func(effort int, seed uint64) (*Figure, error) {
+		return Fig5(Fig5aConfig(effort, seed))
+	},
+	"5b": func(effort int, seed uint64) (*Figure, error) {
+		return Fig5(Fig5bConfig(effort, seed))
+	},
+	"E1": func(effort int, seed uint64) (*Figure, error) {
+		return AblationEfficiencyAdditive(AblationDefaults(effort, seed))
+	},
+	"E2": func(effort int, seed uint64) (*Figure, error) {
+		return AblationEfficiencySubstitutive(AblationDefaults(effort, seed))
+	},
+	"E3": func(effort int, seed uint64) (*Figure, error) {
+		return AblationNaiveGaming(AblationDefaults(effort, seed))
+	},
+}
+
+// FigureIDs returns the registry's keys in display order.
+func FigureIDs() []string {
+	ids := make([]string, 0, len(Registry))
+	for id := range Registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run regenerates one figure by ID.
+func Run(id string, effort int, seed uint64) (*Figure, error) {
+	runner, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown figure %q (have %v)", id, FigureIDs())
+	}
+	return runner(effort, seed)
+}

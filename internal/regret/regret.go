@@ -1,0 +1,250 @@
+// Package regret implements the regret-based amortization baseline the
+// paper compares against (Section 7.1), abstracted from Dash, Kantere et
+// al. ("An economic model for self-tuned cloud caching", ICDE 2009, and
+// "Predicting cost amortization for query services", SIGMOD 2011).
+//
+// The baseline works as follows. The regret of optimization j at slot t is
+// the total value all users would have realized before t had j existed
+// from the start: Rj(t) = Σ_{τ<t} Σ_i vij(τ). The greedy policy implements
+// j at the first slot tr with Cj ≤ Rj(tr). Users in subsequent slots gain
+// access by paying a posted price pj, chosen — with perfect knowledge of
+// future values, which makes this an upper bound on how well Regret can do
+// — as the minimum price whose revenue covers the cost, or failing that, a
+// price that minimizes the cloud's loss.
+//
+// Unlike the mechanisms in internal/core, Regret trusts the reported
+// values (it is not truthful) and does not guarantee cost recovery: its
+// cloud balance (payments − costs) can be negative.
+package regret
+
+import (
+	"fmt"
+
+	"sharedopt/internal/core"
+	"sharedopt/internal/econ"
+)
+
+// User is one participant's value function for a single optimization.
+// Values[k] is the value realized in slot Start+k if the user has access
+// to the optimization in that slot.
+type User struct {
+	ID     core.UserID
+	Start  core.Slot
+	End    core.Slot
+	Values []econ.Money
+}
+
+// Validate reports an error if the user record is malformed.
+func (u User) Validate() error {
+	if u.Start < 1 {
+		return fmt.Errorf("regret: user %d: start slot %d < 1", u.ID, u.Start)
+	}
+	if u.End < u.Start {
+		return fmt.Errorf("regret: user %d: end %d before start %d", u.ID, u.End, u.Start)
+	}
+	if got, want := len(u.Values), int(u.End-u.Start+1); got != want {
+		return fmt.Errorf("regret: user %d: %d values for %d slots", u.ID, got, want)
+	}
+	for k, v := range u.Values {
+		if v < 0 {
+			return fmt.Errorf("regret: user %d: negative value %v at slot %d", u.ID, v, u.Start+core.Slot(k))
+		}
+	}
+	return nil
+}
+
+// valueAt returns the user's value in slot t (0 outside her interval).
+func (u User) valueAt(t core.Slot) econ.Money {
+	if t < u.Start || t > u.End {
+		return 0
+	}
+	return u.Values[t-u.Start]
+}
+
+// valueAfter returns Σ_{t>tr} of the user's values.
+func (u User) valueAfter(tr core.Slot) econ.Money {
+	var total econ.Money
+	for t := maxSlot(u.Start, tr+1); t <= u.End; t++ {
+		total += u.Values[t-u.Start]
+	}
+	return total
+}
+
+func maxSlot(a, b core.Slot) core.Slot {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Result summarizes a Regret run for one optimization.
+type Result struct {
+	// Implemented reports whether the greedy trigger fired within the
+	// horizon; ImplementedAt is the slot tr at which it fired.
+	Implemented   bool
+	ImplementedAt core.Slot
+	// Price is the posted price pj computed at tr (0 if never
+	// implemented or no future users exist).
+	Price econ.Money
+	// Serviced lists the users who paid the price and gained access,
+	// in ascending ID order.
+	Serviced []core.UserID
+	// RealizedValue is the total value serviced users obtained in slots
+	// after tr.
+	RealizedValue econ.Money
+	// Payments is the total amount collected (Price × |Serviced|).
+	Payments econ.Money
+	// Cost is the optimization cost if implemented, else 0.
+	Cost econ.Money
+}
+
+// Utility returns the total social utility: realized value minus cost.
+// It is negative when Regret implements an optimization whose remaining
+// value cannot justify it.
+func (r Result) Utility() econ.Money { return r.RealizedValue - r.Cost }
+
+// Balance returns the cloud balance: payments minus cost. Negative means
+// the cloud lost money (Regret does not guarantee cost recovery).
+func (r Result) Balance() econ.Money { return r.Payments - r.Cost }
+
+// RunAdditive simulates the Regret baseline for a single additive
+// optimization of the given cost over slots 1..horizon. For multiple
+// additive optimizations, run it once per optimization — exactly how the
+// mechanisms treat the additive case.
+func RunAdditive(cost econ.Money, users []User, horizon core.Slot) (Result, error) {
+	if cost <= 0 {
+		return Result{}, fmt.Errorf("regret: cost must be positive, got %v", cost)
+	}
+	if horizon < 1 {
+		return Result{}, fmt.Errorf("regret: horizon %d < 1", horizon)
+	}
+	for _, u := range users {
+		if err := u.Validate(); err != nil {
+			return Result{}, err
+		}
+	}
+	tr, fired := trigger(cost, users, horizon)
+	if !fired {
+		return Result{}, nil
+	}
+	res := Result{Implemented: true, ImplementedAt: tr, Cost: cost}
+	futures := make(map[core.UserID]econ.Money, len(users))
+	for _, u := range users {
+		if v := u.valueAfter(tr); v > 0 {
+			futures[u.ID] = v
+		}
+	}
+	price, payers := PostedPrice(cost, futures)
+	res.Price = price
+	res.Serviced = payers
+	res.Payments = price.MulInt(int64(len(payers)))
+	for _, u := range users {
+		if containsUser(payers, u.ID) {
+			res.RealizedValue += u.valueAfter(tr)
+		}
+	}
+	return res, nil
+}
+
+// trigger returns the first slot tr in [1, horizon] with
+// Rj(tr) = Σ_{τ<tr} Σ_i v(τ) ≥ cost.
+func trigger(cost econ.Money, users []User, horizon core.Slot) (core.Slot, bool) {
+	var cum econ.Money
+	for t := core.Slot(1); t <= horizon; t++ {
+		if cum >= cost {
+			return t, true
+		}
+		for _, u := range users {
+			cum += u.valueAt(t)
+		}
+	}
+	// Regret accumulated through the last slot can still fire at the
+	// final slot boundary only if a slot remains to implement in; by
+	// the paper's definition the trigger needs a slot t with Rj(t) ≥
+	// cost, so the horizon's end is the last chance.
+	return 0, false
+}
+
+// PostedPrice computes Regret's posted price given each future user's
+// remaining total value: the minimum price p whose revenue p·|{i: wi ≥ p}|
+// covers the cost; if no price recovers the cost, the price minimizing the
+// cloud's loss max(cost − revenue, 0), breaking ties toward the smallest
+// price so that user utilities are maximized. It also returns the users
+// who pay (those whose remaining value meets the price), sorted.
+func PostedPrice(cost econ.Money, futures map[core.UserID]econ.Money) (econ.Money, []core.UserID) {
+	if len(futures) == 0 {
+		return 0, nil
+	}
+	values := make([]econ.Money, 0, len(futures))
+	for _, w := range futures {
+		values = append(values, w)
+	}
+	// Sort descending: values[k-1] is the k-th largest remaining value.
+	for i := 1; i < len(values); i++ {
+		for j := i; j > 0 && values[j] > values[j-1]; j-- {
+			values[j], values[j-1] = values[j-1], values[j]
+		}
+	}
+	count := func(p econ.Money) int {
+		n := 0
+		for _, w := range values {
+			if w >= p {
+				n++
+			}
+		}
+		return n
+	}
+	// Smallest cost-recovering price: try the largest payer count first.
+	for k := len(values); k >= 1; k-- {
+		p := cost.DivCeil(k)
+		if values[k-1] >= p {
+			return p, payersAt(p, futures)
+		}
+	}
+	// No price recovers the cost: minimize the loss, i.e. maximize
+	// p·count(p) over candidate prices (each distinct remaining value);
+	// on ties prefer the smaller price.
+	var best econ.Money
+	var bestRevenue econ.Money = -1
+	for _, w := range values {
+		if w == 0 {
+			continue
+		}
+		revenue := w.MulInt(int64(count(w)))
+		if revenue > bestRevenue || (revenue == bestRevenue && w < best) {
+			best, bestRevenue = w, revenue
+		}
+	}
+	if bestRevenue <= 0 {
+		return 0, nil
+	}
+	return best, payersAt(best, futures)
+}
+
+func payersAt(p econ.Money, futures map[core.UserID]econ.Money) []core.UserID {
+	var payers []core.UserID
+	for id, w := range futures {
+		if w >= p && w > 0 {
+			payers = append(payers, id)
+		}
+	}
+	sortUserIDs(payers)
+	return payers
+}
+
+func sortUserIDs(us []core.UserID) {
+	for i := 1; i < len(us); i++ {
+		for j := i; j > 0 && us[j] < us[j-1]; j-- {
+			us[j], us[j-1] = us[j-1], us[j]
+		}
+	}
+}
+
+func containsUser(us []core.UserID, id core.UserID) bool {
+	for _, u := range us {
+		if u == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,274 @@
+package regret
+
+import (
+	"testing"
+
+	"sharedopt/internal/core"
+	"sharedopt/internal/econ"
+	"sharedopt/internal/stats"
+)
+
+func dollars(d float64) econ.Money { return econ.FromDollars(d) }
+
+func TestTriggerFiresWhenRegretReachesCost(t *testing.T) {
+	// One user worth $2 per slot in slots 1..6; cost $6. Regret reaches
+	// 6 after slot 3, so the trigger fires at t=4.
+	users := []User{{ID: 1, Start: 1, End: 6, Values: repeat(dollars(2), 6)}}
+	res, err := RunAdditive(dollars(6), users, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Implemented || res.ImplementedAt != 4 {
+		t.Fatalf("implemented=%v at %d, want slot 4", res.Implemented, res.ImplementedAt)
+	}
+	// Future value after t=4: slots 5,6 → $4. No price recovers $6:
+	// price = $4, revenue $4, loss $2.
+	if res.Price != dollars(4) {
+		t.Errorf("price = %v, want $4", res.Price)
+	}
+	if res.Balance() != dollars(-2) {
+		t.Errorf("balance = %v, want -$2", res.Balance())
+	}
+	// Realized value 4 minus cost 6: negative total utility, the
+	// paper's headline failure mode for costly optimizations.
+	if res.Utility() != dollars(-2) {
+		t.Errorf("utility = %v, want -$2", res.Utility())
+	}
+}
+
+func TestNeverTriggersWhenValueTooLow(t *testing.T) {
+	users := []User{{ID: 1, Start: 1, End: 12, Values: repeat(dollars(0.1), 12)}}
+	res, err := RunAdditive(dollars(100), users, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Implemented {
+		t.Fatal("should not implement")
+	}
+	if res.Utility() != 0 || res.Balance() != 0 {
+		t.Error("unimplemented run should have zero utility and balance")
+	}
+}
+
+// Regret wastes the value accumulated while building regret: users before
+// the trigger get nothing (the paper's first reason AddOn wins for cheap
+// optimizations).
+func TestValueBeforeTriggerIsLost(t *testing.T) {
+	// Two users, $5 each in slot 1 and slot 2; cost $5.
+	users := []User{
+		{ID: 1, Start: 1, End: 1, Values: []econ.Money{dollars(5)}},
+		{ID: 2, Start: 2, End: 2, Values: []econ.Money{dollars(5)}},
+	}
+	res, err := RunAdditive(dollars(5), users, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Regret reaches 5 after slot 1 → trigger at t=2; user 2's value is
+	// in slot 2, which is not strictly after tr=2: she gets nothing.
+	if !res.Implemented || res.ImplementedAt != 2 {
+		t.Fatalf("trigger at %d, want 2", res.ImplementedAt)
+	}
+	if res.RealizedValue != 0 {
+		t.Errorf("realized %v, want $0 — both users' value is gone", res.RealizedValue)
+	}
+	if res.Utility() != dollars(-5) {
+		t.Errorf("utility %v, want -$5", res.Utility())
+	}
+}
+
+func TestPostedPriceExactRecovery(t *testing.T) {
+	// Futures 9, 1×9 users: cost 10 → price 1 serves all ten.
+	futures := map[core.UserID]econ.Money{0: dollars(9)}
+	for i := 1; i <= 9; i++ {
+		futures[core.UserID(i)] = dollars(1)
+	}
+	price, payers := PostedPrice(dollars(10), futures)
+	if price != dollars(1) {
+		t.Fatalf("price = %v, want $1", price)
+	}
+	if len(payers) != 10 {
+		t.Fatalf("%d payers, want 10", len(payers))
+	}
+}
+
+func TestPostedPricePrefersSmallestRecoveringPrice(t *testing.T) {
+	// Futures {10, 10}: cost 6 → price 3 (both pay) rather than 6.
+	price, payers := PostedPrice(dollars(6), map[core.UserID]econ.Money{
+		1: dollars(10), 2: dollars(10),
+	})
+	if price != dollars(3) || len(payers) != 2 {
+		t.Fatalf("price %v with %d payers, want $3 with 2", price, len(payers))
+	}
+}
+
+func TestPostedPriceSkipsPoorUsers(t *testing.T) {
+	// Futures {10, 1}: cost 8. Price 4 would need both but user 2 can't
+	// pay; price 8 with one payer recovers.
+	price, payers := PostedPrice(dollars(8), map[core.UserID]econ.Money{
+		1: dollars(10), 2: dollars(1),
+	})
+	if price != dollars(8) || len(payers) != 1 || payers[0] != 1 {
+		t.Fatalf("price %v payers %v, want $8 for user 1", price, payers)
+	}
+}
+
+func TestPostedPriceMinimizesLossWhenUnrecoverable(t *testing.T) {
+	// Futures {3, 2}: cost 10. Candidates: p=3 → revenue 3; p=2 →
+	// revenue 4. Loss minimized at p=2 (both pay).
+	price, payers := PostedPrice(dollars(10), map[core.UserID]econ.Money{
+		1: dollars(3), 2: dollars(2),
+	})
+	if price != dollars(2) || len(payers) != 2 {
+		t.Fatalf("price %v payers %v, want $2 with both", price, payers)
+	}
+}
+
+func TestPostedPriceNoUsers(t *testing.T) {
+	price, payers := PostedPrice(dollars(10), nil)
+	if price != 0 || payers != nil {
+		t.Fatalf("got %v, %v; want zero price, no payers", price, payers)
+	}
+	price, payers = PostedPrice(dollars(10), map[core.UserID]econ.Money{1: 0})
+	if price != 0 || len(payers) != 0 {
+		t.Fatalf("all-zero futures: got %v, %v", price, payers)
+	}
+}
+
+// The Section 8 gaming anecdote, value-based: truthfully, nothing is ever
+// implemented (all value sits in the last slot, so regret stays 0 and the
+// user saves nothing). By fabricating early value a user triggers the
+// build and then pays only the posted price — Regret rewards lying.
+// AddOn gives the same users the same benefit without any lie.
+func TestRegretRewardsFabricatedEarlyValue(t *testing.T) {
+	cost := dollars(10)
+	horizon := core.Slot(12)
+
+	// Truthful world: liar's true value is $9 in slot 12; nine small
+	// users are worth $1 each in slot 12.
+	truthful := []User{{ID: 0, Start: 12, End: 12, Values: []econ.Money{dollars(9)}}}
+	for i := 1; i <= 9; i++ {
+		truthful = append(truthful, User{ID: core.UserID(i), Start: 12, End: 12,
+			Values: []econ.Money{dollars(1)}})
+	}
+	res, err := RunAdditive(cost, truthful, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Implemented {
+		t.Fatal("with all value in the last slot, regret never accumulates")
+	}
+
+	// Lying world: the liar reports a fake $1 in each of slots 1..10.
+	lying := append([]User(nil), truthful...)
+	vals := append(repeat(dollars(1), 10), []econ.Money{0, dollars(9)}...)
+	lying[0] = User{ID: 0, Start: 1, End: 12, Values: vals}
+	res, err = RunAdditive(cost, lying, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Implemented || res.ImplementedAt != 11 {
+		t.Fatalf("lie should trigger at t=11, got %v at %d", res.Implemented, res.ImplementedAt)
+	}
+	if res.Price != dollars(1) {
+		t.Fatalf("posted price %v, want $1", res.Price)
+	}
+	// The liar pays $1 for her $9 value: utility $8, bought by a lie.
+	if !containsUser(res.Serviced, 0) {
+		t.Fatal("liar should be serviced")
+	}
+
+	// AddOn delivers the same $8 utility to a truthful user: in slot 12
+	// all ten users share the $10 cost at $1 each.
+	game := core.NewAddOn(core.Optimization{ID: 1, Cost: cost})
+	if err := game.Submit(core.OnlineBid{User: 0, Start: 12, End: 12,
+		Values: []econ.Money{dollars(9)}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 9; i++ {
+		if err := game.Submit(core.OnlineBid{User: core.UserID(i), Start: 12, End: 12,
+			Values: []econ.Money{dollars(1)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s := core.Slot(1); s <= horizon; s++ {
+		game.AdvanceSlot()
+	}
+	if p, ok := game.Payment(0); !ok || p != dollars(1) {
+		t.Fatalf("truthful AddOn charges the big user %v, want $1", p)
+	}
+}
+
+func TestRunAdditiveValidation(t *testing.T) {
+	good := []User{{ID: 1, Start: 1, End: 1, Values: []econ.Money{dollars(1)}}}
+	if _, err := RunAdditive(0, good, 12); err == nil {
+		t.Error("zero cost accepted")
+	}
+	if _, err := RunAdditive(dollars(1), good, 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	bad := []User{{ID: 1, Start: 0, End: 1, Values: []econ.Money{1, 1}}}
+	if _, err := RunAdditive(dollars(1), bad, 12); err == nil {
+		t.Error("bad user accepted")
+	}
+	neg := []User{{ID: 1, Start: 1, End: 1, Values: []econ.Money{dollars(-1)}}}
+	if _, err := RunAdditive(dollars(1), neg, 12); err == nil {
+		t.Error("negative value accepted")
+	}
+}
+
+// Property: the balance is never positive beyond rounding (the posted
+// price is chosen to match the cost, never to profit), and when Regret
+// does not implement, no money moves.
+func TestRegretBalanceNeverProfits(t *testing.T) {
+	r := stats.NewRNG(555)
+	for trial := 0; trial < 400; trial++ {
+		horizon := core.Slot(4 + r.Intn(9))
+		cost := econ.Money(r.Int63n(int64(5*econ.Dollar))) + 1
+		var users []User
+		n := 1 + r.Intn(6)
+		for i := 0; i < n; i++ {
+			start := core.Slot(1 + r.Intn(int(horizon)))
+			end := start + core.Slot(r.Intn(int(horizon-start)+1))
+			vals := make([]econ.Money, end-start+1)
+			for k := range vals {
+				vals[k] = econ.Money(r.Int63n(int64(2 * econ.Dollar)))
+			}
+			users = append(users, User{ID: core.UserID(i + 1), Start: start, End: end, Values: vals})
+		}
+		res, err := RunAdditive(cost, users, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Implemented {
+			if res.Payments != 0 || res.Cost != 0 {
+				t.Fatalf("trial %d: money moved without implementation", trial)
+			}
+			continue
+		}
+		// Rounding slack: at most one micro-dollar per payer.
+		slack := econ.Money(len(res.Serviced))
+		if res.Balance() > slack {
+			t.Fatalf("trial %d: cloud profited: balance %v", trial, res.Balance())
+		}
+		// Serviced users can afford the price.
+		for _, id := range res.Serviced {
+			var u User
+			for _, cand := range users {
+				if cand.ID == id {
+					u = cand
+				}
+			}
+			if u.valueAfter(res.ImplementedAt) < res.Price {
+				t.Fatalf("trial %d: user %d serviced below price", trial, id)
+			}
+		}
+	}
+}
+
+func repeat(v econ.Money, n int) []econ.Money {
+	vals := make([]econ.Money, n)
+	for i := range vals {
+		vals[i] = v
+	}
+	return vals
+}

@@ -1,0 +1,173 @@
+package regret
+
+import (
+	"fmt"
+
+	"sharedopt/internal/core"
+	"sharedopt/internal/econ"
+)
+
+// SubstUser is a participant in a substitutive Regret game: she benefits
+// from (any one of) the optimizations in Opts and realizes Values[k] in
+// slot Start+k while she has access to one of them.
+type SubstUser struct {
+	ID     core.UserID
+	Opts   []core.OptID
+	Start  core.Slot
+	End    core.Slot
+	Values []econ.Money
+}
+
+// Validate reports an error if the record is malformed.
+func (u SubstUser) Validate() error {
+	if len(u.Opts) == 0 {
+		return fmt.Errorf("regret: user %d: empty substitute set", u.ID)
+	}
+	return User{ID: u.ID, Start: u.Start, End: u.End, Values: u.Values}.Validate()
+}
+
+func (u SubstUser) wants(j core.OptID) bool {
+	for _, o := range u.Opts {
+		if o == j {
+			return true
+		}
+	}
+	return false
+}
+
+func (u SubstUser) valueAt(t core.Slot) econ.Money {
+	return User{ID: u.ID, Start: u.Start, End: u.End, Values: u.Values}.valueAt(t)
+}
+
+func (u SubstUser) valueAfter(tr core.Slot) econ.Money {
+	return User{ID: u.ID, Start: u.Start, End: u.End, Values: u.Values}.valueAfter(tr)
+}
+
+// SubstResult summarizes a substitutive Regret run.
+type SubstResult struct {
+	// PerOpt holds the per-optimization outcome for every implemented
+	// optimization.
+	PerOpt map[core.OptID]Result
+	// ServicedBy maps each serviced user to the optimization she paid
+	// for.
+	ServicedBy map[core.UserID]core.OptID
+	// RealizedValue, Payments and Cost are totals across optimizations.
+	RealizedValue econ.Money
+	Payments      econ.Money
+	Cost          econ.Money
+}
+
+// Utility returns total realized value minus total cost.
+func (r SubstResult) Utility() econ.Money { return r.RealizedValue - r.Cost }
+
+// Balance returns total payments minus total cost (negative = cloud loss).
+func (r SubstResult) Balance() econ.Money { return r.Payments - r.Cost }
+
+// RunSubstitutive simulates the Regret baseline for substitutive
+// optimizations over slots 1..horizon. Regret accumulates per optimization
+// from the users that want it and have not yet been serviced elsewhere;
+// the greedy trigger and posted price work as in the additive case. Once a
+// user pays for an implemented optimization she stops benefiting from —
+// and stops accruing regret toward — every other optimization (paper,
+// Section 7.1).
+//
+// When several optimizations trigger in the same slot they are processed
+// in ascending ID order, each seeing the users claimed by the previous
+// ones removed.
+func RunSubstitutive(opts []core.Optimization, users []SubstUser, horizon core.Slot) (SubstResult, error) {
+	if horizon < 1 {
+		return SubstResult{}, fmt.Errorf("regret: horizon %d < 1", horizon)
+	}
+	byID := make(map[core.OptID]core.Optimization, len(opts))
+	order := make([]core.OptID, 0, len(opts))
+	for _, o := range opts {
+		if err := o.Validate(); err != nil {
+			return SubstResult{}, err
+		}
+		if _, dup := byID[o.ID]; dup {
+			return SubstResult{}, fmt.Errorf("regret: duplicate optimization %d", o.ID)
+		}
+		byID[o.ID] = o
+		order = append(order, o.ID)
+	}
+	sortOptIDs(order)
+	seen := make(map[core.UserID]bool, len(users))
+	for _, u := range users {
+		if err := u.Validate(); err != nil {
+			return SubstResult{}, err
+		}
+		if seen[u.ID] {
+			return SubstResult{}, fmt.Errorf("regret: duplicate user %d", u.ID)
+		}
+		seen[u.ID] = true
+		for _, j := range u.Opts {
+			if _, ok := byID[j]; !ok {
+				return SubstResult{}, fmt.Errorf("regret: user %d wants unknown optimization %d", u.ID, j)
+			}
+		}
+	}
+
+	res := SubstResult{
+		PerOpt:     make(map[core.OptID]Result),
+		ServicedBy: make(map[core.UserID]core.OptID),
+	}
+	cum := make(map[core.OptID]econ.Money, len(opts))
+	for t := core.Slot(1); t <= horizon; t++ {
+		// Fire triggers with the regret accumulated before slot t.
+		for _, j := range order {
+			if _, done := res.PerOpt[j]; done {
+				continue
+			}
+			cost := byID[j].Cost
+			if cum[j] < cost {
+				continue
+			}
+			r := Result{Implemented: true, ImplementedAt: t, Cost: cost}
+			futures := make(map[core.UserID]econ.Money)
+			for _, u := range users {
+				if _, taken := res.ServicedBy[u.ID]; taken || !u.wants(j) {
+					continue
+				}
+				if w := u.valueAfter(t); w > 0 {
+					futures[u.ID] = w
+				}
+			}
+			price, payers := PostedPrice(cost, futures)
+			r.Price = price
+			r.Serviced = payers
+			r.Payments = price.MulInt(int64(len(payers)))
+			for _, id := range payers {
+				res.ServicedBy[id] = j
+				r.RealizedValue += futures[id]
+			}
+			res.PerOpt[j] = r
+			res.RealizedValue += r.RealizedValue
+			res.Payments += r.Payments
+			res.Cost += r.Cost
+		}
+		// Accumulate slot t's values from users not yet serviced.
+		for _, u := range users {
+			if _, taken := res.ServicedBy[u.ID]; taken {
+				continue
+			}
+			v := u.valueAt(t)
+			if v == 0 {
+				continue
+			}
+			for _, j := range u.Opts {
+				if _, done := res.PerOpt[j]; !done {
+					cum[j] += v
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+func sortOptIDs(os []core.OptID) {
+	for i := 1; i < len(os); i++ {
+		for j := i; j > 0 && os[j] < os[j-1]; j-- {
+			os[j], os[j-1] = os[j-1], os[j]
+		}
+	}
+}

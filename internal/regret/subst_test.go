@@ -1,0 +1,198 @@
+package regret
+
+import (
+	"testing"
+
+	"sharedopt/internal/core"
+	"sharedopt/internal/econ"
+	"sharedopt/internal/stats"
+)
+
+func TestSubstitutiveBasicTriggerAndService(t *testing.T) {
+	opts := []core.Optimization{
+		{ID: 1, Cost: dollars(4)},
+		{ID: 2, Cost: dollars(100)},
+	}
+	users := []SubstUser{
+		{ID: 1, Opts: []core.OptID{1, 2}, Start: 1, End: 6, Values: repeat(dollars(2), 6)},
+		{ID: 2, Opts: []core.OptID{1}, Start: 1, End: 6, Values: repeat(dollars(1), 6)},
+	}
+	res, err := RunSubstitutive(opts, users, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Regret for opt 1 accrues $3/slot: reaches 4 after slot 2, trigger
+	// at t=3. Futures after 3: user 1 → $6, user 2 → $3.
+	r1, ok := res.PerOpt[1]
+	if !ok || r1.ImplementedAt != 3 {
+		t.Fatalf("opt 1: %+v, want trigger at 3", r1)
+	}
+	// Price: k=2 → 2 ≤ w2=3: price $2, both pay.
+	if r1.Price != dollars(2) || len(r1.Serviced) != 2 {
+		t.Fatalf("opt 1 price %v payers %v", r1.Price, r1.Serviced)
+	}
+	// Both users are now serviced; opt 2 accrues no further regret and
+	// never triggers.
+	if _, ok := res.PerOpt[2]; ok {
+		t.Error("opt 2 should never be implemented")
+	}
+	if res.ServicedBy[1] != 1 || res.ServicedBy[2] != 1 {
+		t.Errorf("ServicedBy = %v", res.ServicedBy)
+	}
+	// Realized: user1 $6 + user2 $3 = $9; cost $4; utility $5.
+	if res.Utility() != dollars(5) {
+		t.Errorf("utility = %v, want $5", res.Utility())
+	}
+	if res.Balance() != 0 {
+		t.Errorf("balance = %v, want $0", res.Balance())
+	}
+}
+
+// A serviced user stops feeding regret to the other optimizations in her
+// substitute set.
+func TestServicedUsersStopAccruingRegret(t *testing.T) {
+	opts := []core.Optimization{
+		{ID: 1, Cost: dollars(2)},
+		{ID: 2, Cost: dollars(8)},
+	}
+	// User 1 wants both; user 2 wants only opt 2 but is worth little.
+	users := []SubstUser{
+		{ID: 1, Opts: []core.OptID{1, 2}, Start: 1, End: 8, Values: repeat(dollars(1), 8)},
+		{ID: 2, Opts: []core.OptID{2}, Start: 1, End: 8, Values: repeat(dollars(0.25), 8)},
+	}
+	res, err := RunSubstitutive(opts, users, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, ok := res.PerOpt[1]
+	if !ok {
+		t.Fatal("opt 1 should trigger")
+	}
+	// Opt 1 triggers at t=3 (regret 2 after two slots); user 1 pays for
+	// it and leaves opt 2's pool. Opt 2's regret then grows only at
+	// $0.25/slot from user 2: 2×1.25 = 2.5 by the end — never 8.
+	if !containsUser(r1.Serviced, 1) {
+		t.Fatalf("user 1 should pay for opt 1: %+v", r1)
+	}
+	if _, ok := res.PerOpt[2]; ok {
+		t.Error("opt 2 should starve once user 1 is serviced")
+	}
+}
+
+// Two optimizations triggering in the same slot are processed in ID
+// order, the first claiming shared users.
+func TestSameSlotTriggersProcessedInIDOrder(t *testing.T) {
+	opts := []core.Optimization{
+		{ID: 1, Cost: dollars(2)},
+		{ID: 2, Cost: dollars(2)},
+	}
+	users := []SubstUser{
+		{ID: 1, Opts: []core.OptID{1, 2}, Start: 1, End: 4, Values: repeat(dollars(1), 4)},
+		{ID: 2, Opts: []core.OptID{1, 2}, Start: 1, End: 4, Values: repeat(dollars(1), 4)},
+	}
+	res, err := RunSubstitutive(opts, users, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both reach regret 2 after slot 1 (two users × $1), triggering at
+	// t=2. Opt 1 goes first and takes both users at price $1; opt 2
+	// then has nobody and implements at a total loss.
+	r1 := res.PerOpt[1]
+	if len(r1.Serviced) != 2 || r1.Price != dollars(1) {
+		t.Fatalf("opt 1: %+v", r1)
+	}
+	r2, ok := res.PerOpt[2]
+	if !ok {
+		t.Fatal("opt 2 still triggers — its regret was already banked")
+	}
+	if len(r2.Serviced) != 0 || r2.Payments != 0 {
+		t.Fatalf("opt 2 should find no remaining users: %+v", r2)
+	}
+	if res.Balance() != dollars(-2) {
+		t.Errorf("balance %v, want -$2 (opt 2 unrecovered)", res.Balance())
+	}
+}
+
+func TestRunSubstitutiveValidation(t *testing.T) {
+	opts := []core.Optimization{{ID: 1, Cost: dollars(1)}}
+	ok := []SubstUser{{ID: 1, Opts: []core.OptID{1}, Start: 1, End: 1, Values: []econ.Money{1}}}
+	if _, err := RunSubstitutive(opts, ok, 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := RunSubstitutive([]core.Optimization{{ID: 1, Cost: 0}}, ok, 4); err == nil {
+		t.Error("zero-cost optimization accepted")
+	}
+	if _, err := RunSubstitutive([]core.Optimization{{ID: 1, Cost: 1}, {ID: 1, Cost: 1}}, ok, 4); err == nil {
+		t.Error("duplicate optimization accepted")
+	}
+	bad := []SubstUser{{ID: 1, Opts: nil, Start: 1, End: 1, Values: []econ.Money{1}}}
+	if _, err := RunSubstitutive(opts, bad, 4); err == nil {
+		t.Error("empty substitute set accepted")
+	}
+	unknown := []SubstUser{{ID: 1, Opts: []core.OptID{9}, Start: 1, End: 1, Values: []econ.Money{1}}}
+	if _, err := RunSubstitutive(opts, unknown, 4); err == nil {
+		t.Error("unknown optimization accepted")
+	}
+	dup := []SubstUser{
+		{ID: 1, Opts: []core.OptID{1}, Start: 1, End: 1, Values: []econ.Money{1}},
+		{ID: 1, Opts: []core.OptID{1}, Start: 1, End: 1, Values: []econ.Money{1}},
+	}
+	if _, err := RunSubstitutive(opts, dup, 4); err == nil {
+		t.Error("duplicate user accepted")
+	}
+}
+
+// Property: substitutive Regret never profits, serviced users can afford
+// their price, and each user is serviced by at most one optimization from
+// her substitute set.
+func TestSubstitutiveInvariantsRandomGames(t *testing.T) {
+	r := stats.NewRNG(777)
+	for trial := 0; trial < 300; trial++ {
+		horizon := core.Slot(4 + r.Intn(9))
+		nOpts := 2 + r.Intn(4)
+		opts := make([]core.Optimization, nOpts)
+		for j := range opts {
+			opts[j] = core.Optimization{ID: core.OptID(j + 1),
+				Cost: econ.Money(r.Int63n(int64(3*econ.Dollar))) + 1}
+		}
+		var users []SubstUser
+		n := 1 + r.Intn(6)
+		for i := 0; i < n; i++ {
+			start := core.Slot(1 + r.Intn(int(horizon)))
+			end := start + core.Slot(r.Intn(int(horizon-start)+1))
+			vals := make([]econ.Money, end-start+1)
+			for k := range vals {
+				vals[k] = econ.Money(r.Int63n(int64(econ.Dollar)))
+			}
+			k := 1 + r.Intn(nOpts)
+			var set []core.OptID
+			for _, idx := range r.SampleK(nOpts, k) {
+				set = append(set, opts[idx].ID)
+			}
+			users = append(users, SubstUser{ID: core.UserID(i + 1), Opts: set,
+				Start: start, End: end, Values: vals})
+		}
+		res, err := RunSubstitutive(opts, users, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slack := econ.Money(len(users))
+		if res.Balance() > slack {
+			t.Fatalf("trial %d: cloud profited: %v", trial, res.Balance())
+		}
+		for id, j := range res.ServicedBy {
+			var u SubstUser
+			for _, cand := range users {
+				if cand.ID == id {
+					u = cand
+				}
+			}
+			if !u.wants(j) {
+				t.Fatalf("trial %d: user %d serviced by unwanted opt %d", trial, id, j)
+			}
+			if u.valueAfter(res.PerOpt[j].ImplementedAt) < res.PerOpt[j].Price {
+				t.Fatalf("trial %d: user %d cannot afford price", trial, id)
+			}
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package simulate
+
+import (
+	"fmt"
+
+	"sharedopt/internal/core"
+	"sharedopt/internal/econ"
+)
+
+// valueTable indexes a scenario's true per-slot values by grant and slot.
+type valueTable map[core.Grant]map[core.Slot]econ.Money
+
+func buildValueTable(sc AdditiveScenario) valueTable {
+	values := make(valueTable, len(sc.Bids))
+	for _, b := range sc.Bids {
+		g := core.Grant{User: b.User, Opt: b.Opt}
+		m := values[g]
+		if m == nil {
+			m = make(map[core.Slot]econ.Money, len(b.Values))
+			values[g] = m
+		}
+		for k, v := range b.Values {
+			m[b.Start+core.Slot(k)] += v
+		}
+	}
+	return values
+}
+
+// RunAddOnStrategic plays the declared bids through AddOn but accounts
+// realized value against the truth scenario — the harness for measuring
+// what a strategic (untruthful) declaration actually earns. Declared and
+// truth must cover the same horizon.
+func RunAddOnStrategic(declared, truth AdditiveScenario) (Result, error) {
+	if declared.Horizon != truth.Horizon {
+		return Result{}, fmt.Errorf("simulate: declared horizon %d != truth horizon %d",
+			declared.Horizon, truth.Horizon)
+	}
+	if declared.Horizon < 1 {
+		return Result{}, fmt.Errorf("simulate: horizon %d < 1", declared.Horizon)
+	}
+	game := core.NewAdditiveGame(declared.Opts)
+	for _, b := range declared.Bids {
+		if err := game.Submit(b.Opt, core.OnlineBid{
+			User: b.User, Start: b.Start, End: b.End, Values: b.Values,
+		}); err != nil {
+			return Result{}, err
+		}
+	}
+	trueValues := buildValueTable(truth)
+	var res Result
+	for t := core.Slot(1); t <= declared.Horizon; t++ {
+		rep := game.AdvanceSlot()
+		for _, g := range rep.Active {
+			res.TotalValue += trueValues[g][t]
+		}
+	}
+	game.Close()
+	res.Payments = game.TotalRevenue()
+	res.Cost = game.CostIncurred()
+	return res, nil
+}
+
+// RunNaive plays a scenario through the naive online strawman (paper,
+// Example 2's "run the offline mechanism until it implements, then free
+// for everyone"), with truthful declarations.
+func RunNaive(sc AdditiveScenario) (Result, error) {
+	return RunNaiveStrategic(sc, sc)
+}
+
+// RunNaiveStrategic plays declared bids through the naive strawman while
+// accounting value against the truth scenario. Crucially, the naive
+// mechanism does not gate access on having bid: once implemented, every
+// user inside her true interval is serviced, so hiding value is free.
+func RunNaiveStrategic(declared, truth AdditiveScenario) (Result, error) {
+	if declared.Horizon != truth.Horizon {
+		return Result{}, fmt.Errorf("simulate: declared horizon %d != truth horizon %d",
+			declared.Horizon, truth.Horizon)
+	}
+	if declared.Horizon < 1 {
+		return Result{}, fmt.Errorf("simulate: horizon %d < 1", declared.Horizon)
+	}
+	games := make(map[core.OptID]*core.NaiveOnline, len(declared.Opts))
+	for _, o := range declared.Opts {
+		if _, dup := games[o.ID]; dup {
+			return Result{}, fmt.Errorf("simulate: duplicate optimization %d", o.ID)
+		}
+		games[o.ID] = core.NewNaiveOnline(o)
+	}
+	for _, b := range declared.Bids {
+		game := games[b.Opt]
+		if game == nil {
+			return Result{}, fmt.Errorf("simulate: bid for unknown optimization %d", b.Opt)
+		}
+		if err := game.Submit(core.OnlineBid{
+			User: b.User, Start: b.Start, End: b.End, Values: b.Values,
+		}); err != nil {
+			return Result{}, err
+		}
+	}
+	trueValues := buildValueTable(truth)
+	// True intervals per (user, opt): the naive mechanism serves any
+	// present user post-implementation, bid or not.
+	var res Result
+	for t := core.Slot(1); t <= declared.Horizon; t++ {
+		for opt, game := range games {
+			rep := game.AdvanceSlot()
+			active := make(map[core.UserID]bool, len(rep.Active))
+			for _, g := range rep.Active {
+				active[g.User] = true
+			}
+			if _, implemented := game.Implemented(); implemented {
+				// Free riders: users with true value now but no
+				// declared presence still benefit.
+				for g, byslot := range trueValues {
+					if g.Opt == opt && byslot[t] > 0 {
+						active[g.User] = true
+					}
+				}
+			}
+			for u := range active {
+				res.TotalValue += trueValues[core.Grant{User: u, Opt: opt}][t]
+			}
+		}
+	}
+	for _, game := range games {
+		res.Payments += game.TotalRevenue()
+		res.Cost += game.CostIncurred()
+	}
+	return res, nil
+}

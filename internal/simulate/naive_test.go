@@ -1,0 +1,106 @@
+package simulate
+
+import (
+	"testing"
+
+	"sharedopt/internal/core"
+	"sharedopt/internal/econ"
+)
+
+func example2Scenario() AdditiveScenario {
+	return AdditiveScenario{
+		Opts:    []core.Optimization{{ID: 1, Cost: dollars(100)}},
+		Horizon: 2,
+		Bids: []AdditiveBid{
+			{User: 1, Opt: 1, Start: 1, End: 1, Values: []econ.Money{dollars(101)}},
+			{User: 2, Opt: 1, Start: 1, End: 2, Values: []econ.Money{dollars(26), dollars(26)}},
+		},
+	}
+}
+
+func TestRunNaiveTruthful(t *testing.T) {
+	res, err := RunNaive(example2Scenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Implemented at t=1; both users serviced for their intervals:
+	// value 101 + 52 = 153; payments 50+50.
+	if res.TotalValue != dollars(153) {
+		t.Errorf("TotalValue = %v, want $153", res.TotalValue)
+	}
+	if res.Payments != dollars(100) || res.Cost != dollars(100) {
+		t.Errorf("payments %v cost %v", res.Payments, res.Cost)
+	}
+	if res.Balance() != 0 {
+		t.Errorf("balance %v", res.Balance())
+	}
+}
+
+// Example 2's cheat through the strategic drivers: user 2 hides until
+// t=2. Under the naive mechanism she still collects her slot-2 value for
+// free; under AddOn she gets nothing.
+func TestStrategicHidingFreeRidesNaiveButNotAddOn(t *testing.T) {
+	truth := example2Scenario()
+	declared := AdditiveScenario{
+		Opts:    truth.Opts,
+		Horizon: truth.Horizon,
+		Bids: []AdditiveBid{
+			truth.Bids[0],
+			{User: 2, Opt: 1, Start: 2, End: 2, Values: []econ.Money{dollars(52)}},
+		},
+	}
+	naive, err := RunNaiveStrategic(declared, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// User 1 triggers alone and pays 100; user 2 rides free at both...
+	// she has true value at slots 1 and 2, and the naive mechanism does
+	// not gate access: slot 1 value 26 (implemented at slot 1) + slot 2
+	// value 26 + user 1's 101.
+	if naive.TotalValue != dollars(153) {
+		t.Errorf("naive strategic value = %v, want $153", naive.TotalValue)
+	}
+	if naive.Payments != dollars(100) {
+		t.Errorf("naive payments = %v, want $100 (all from user 1)", naive.Payments)
+	}
+
+	addOn, err := RunAddOnStrategic(declared, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under AddOn user 2's hidden declaration (52 at t=2) is measured
+	// against joining CS={1}: share 50 <= 52, so she is serviced at
+	// t=2 only, realizing just her slot-2 true value.
+	if addOn.TotalValue != dollars(127) {
+		t.Errorf("AddOn strategic value = %v, want $127 (101 + 26)", addOn.TotalValue)
+	}
+	if addOn.Balance() < 0 {
+		t.Errorf("AddOn lost money: %v", addOn.Balance())
+	}
+}
+
+func TestStrategicDriverValidation(t *testing.T) {
+	truth := example2Scenario()
+	short := truth
+	short.Horizon = 1
+	if _, err := RunAddOnStrategic(truth, short); err == nil {
+		t.Error("horizon mismatch accepted by RunAddOnStrategic")
+	}
+	if _, err := RunNaiveStrategic(truth, short); err == nil {
+		t.Error("horizon mismatch accepted by RunNaiveStrategic")
+	}
+	bad := truth
+	bad.Bids = []AdditiveBid{{User: 1, Opt: 9, Start: 1, End: 1, Values: []econ.Money{1}}}
+	if _, err := RunNaiveStrategic(bad, truth); err == nil {
+		t.Error("unknown optimization accepted by RunNaiveStrategic")
+	}
+	dup := truth
+	dup.Opts = []core.Optimization{{ID: 1, Cost: dollars(1)}, {ID: 1, Cost: dollars(2)}}
+	if _, err := RunNaive(dup); err == nil {
+		t.Error("duplicate optimization accepted by RunNaive")
+	}
+	zero := AdditiveScenario{Horizon: 0}
+	if _, err := RunNaiveStrategic(zero, zero); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}

@@ -1,0 +1,208 @@
+// Package simulate drives complete pricing games: it feeds a scenario's
+// bids into an online mechanism (or the Regret baseline) slot by slot and
+// accounts the realized user value, the cloud's cost, and the payments
+// collected. The experiment harness builds every figure of the paper's
+// evaluation on top of these drivers.
+//
+// All drivers assume truthful play: the scenario's declared values are the
+// users' true values. (Untruthful play is exercised by the mechanism-level
+// tests in internal/core; the paper's evaluation likewise measures
+// truthful utility.)
+package simulate
+
+import (
+	"fmt"
+
+	"sharedopt/internal/core"
+	"sharedopt/internal/econ"
+	"sharedopt/internal/regret"
+)
+
+// AdditiveBid is one user's declared per-slot value stream for one
+// optimization in an additive scenario.
+type AdditiveBid struct {
+	User   core.UserID
+	Opt    core.OptID
+	Start  core.Slot
+	End    core.Slot
+	Values []econ.Money
+}
+
+// AdditiveScenario is a complete additive game: optimizations, bids, and
+// the horizon (number of slots in the pricing period T).
+type AdditiveScenario struct {
+	Opts    []core.Optimization
+	Bids    []AdditiveBid
+	Horizon core.Slot
+}
+
+// SubstScenario is a complete substitutive game.
+type SubstScenario struct {
+	Opts    []core.Optimization
+	Bids    []core.OnlineSubstBid
+	Horizon core.Slot
+}
+
+// Result is the money accounting of one simulated game.
+type Result struct {
+	// TotalValue is the value users actually realized (only in slots
+	// where they were serviced, inside their declared intervals).
+	TotalValue econ.Money
+	// Cost is the summed cost of implemented optimizations.
+	Cost econ.Money
+	// Payments is the total amount users paid.
+	Payments econ.Money
+}
+
+// Utility returns the total social utility: realized value minus cost
+// (payments are transfers between users and the cloud and cancel out).
+func (r Result) Utility() econ.Money { return r.TotalValue - r.Cost }
+
+// Balance returns the cloud balance: payments minus cost. The mechanisms
+// guarantee Balance ≥ 0; Regret does not.
+func (r Result) Balance() econ.Money { return r.Payments - r.Cost }
+
+// RunAddOn plays the scenario through one AddOn game per optimization
+// (additive optimizations are independent) and returns the accounting.
+func RunAddOn(sc AdditiveScenario) (Result, error) {
+	if sc.Horizon < 1 {
+		return Result{}, fmt.Errorf("simulate: horizon %d < 1", sc.Horizon)
+	}
+	game := core.NewAdditiveGame(sc.Opts)
+	// True per-slot values, looked up when a grant is active.
+	values := make(map[core.Grant]map[core.Slot]econ.Money, len(sc.Bids))
+	for _, b := range sc.Bids {
+		if err := game.Submit(b.Opt, core.OnlineBid{
+			User: b.User, Start: b.Start, End: b.End, Values: b.Values,
+		}); err != nil {
+			return Result{}, err
+		}
+		g := core.Grant{User: b.User, Opt: b.Opt}
+		m := values[g]
+		if m == nil {
+			m = make(map[core.Slot]econ.Money, len(b.Values))
+			values[g] = m
+		}
+		for k, v := range b.Values {
+			m[b.Start+core.Slot(k)] = v
+		}
+	}
+	var res Result
+	for t := core.Slot(1); t <= sc.Horizon; t++ {
+		rep := game.AdvanceSlot()
+		for _, g := range rep.Active {
+			res.TotalValue += values[g][t]
+		}
+	}
+	game.Close()
+	res.Payments = game.TotalRevenue()
+	res.Cost = game.CostIncurred()
+	return res, nil
+}
+
+// RunRegretAdditive plays the same scenario through the Regret baseline,
+// one independent run per optimization.
+func RunRegretAdditive(sc AdditiveScenario) (Result, error) {
+	if sc.Horizon < 1 {
+		return Result{}, fmt.Errorf("simulate: horizon %d < 1", sc.Horizon)
+	}
+	perOpt := make(map[core.OptID][]regret.User)
+	costs := make(map[core.OptID]econ.Money, len(sc.Opts))
+	for _, o := range sc.Opts {
+		if err := o.Validate(); err != nil {
+			return Result{}, err
+		}
+		costs[o.ID] = o.Cost
+	}
+	for _, b := range sc.Bids {
+		if _, ok := costs[b.Opt]; !ok {
+			return Result{}, fmt.Errorf("simulate: bid for unknown optimization %d", b.Opt)
+		}
+		perOpt[b.Opt] = append(perOpt[b.Opt], regret.User{
+			ID: b.User, Start: b.Start, End: b.End, Values: b.Values,
+		})
+	}
+	var res Result
+	for opt, users := range perOpt {
+		r, err := regret.RunAdditive(costs[opt], users, sc.Horizon)
+		if err != nil {
+			return Result{}, err
+		}
+		res.TotalValue += r.RealizedValue
+		res.Cost += r.Cost
+		res.Payments += r.Payments
+	}
+	return res, nil
+}
+
+// RunSubstOn plays a substitutive scenario through the SubstOn mechanism.
+func RunSubstOn(sc SubstScenario) (Result, error) {
+	if sc.Horizon < 1 {
+		return Result{}, fmt.Errorf("simulate: horizon %d < 1", sc.Horizon)
+	}
+	game := core.NewSubstOn(sc.Opts)
+	values := make(map[core.UserID]map[core.Slot]econ.Money, len(sc.Bids))
+	for _, b := range sc.Bids {
+		if err := game.Submit(b); err != nil {
+			return Result{}, err
+		}
+		m := make(map[core.Slot]econ.Money, len(b.Values))
+		for k, v := range b.Values {
+			m[b.Start+core.Slot(k)] = v
+		}
+		values[b.User] = m
+	}
+	var res Result
+	for t := core.Slot(1); t <= sc.Horizon; t++ {
+		rep := game.AdvanceSlot()
+		for _, g := range rep.Active {
+			res.TotalValue += values[g.User][t]
+		}
+	}
+	game.Close()
+	res.Payments = game.TotalRevenue()
+	res.Cost = game.CostIncurred()
+	return res, nil
+}
+
+// RunRegretSubst plays a substitutive scenario through the Regret
+// baseline.
+func RunRegretSubst(sc SubstScenario) (Result, error) {
+	if sc.Horizon < 1 {
+		return Result{}, fmt.Errorf("simulate: horizon %d < 1", sc.Horizon)
+	}
+	users := make([]regret.SubstUser, 0, len(sc.Bids))
+	for _, b := range sc.Bids {
+		users = append(users, regret.SubstUser{
+			ID: b.User, Opts: b.Opts, Start: b.Start, End: b.End, Values: b.Values,
+		})
+	}
+	r, err := regret.RunSubstitutive(sc.Opts, users, sc.Horizon)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{TotalValue: r.RealizedValue, Cost: r.Cost, Payments: r.Payments}, nil
+}
+
+// TotalDeclaredValue sums every declared per-slot value in the scenario —
+// the upper bound any outcome's realized value can reach.
+func (sc AdditiveScenario) TotalDeclaredValue() econ.Money {
+	var total econ.Money
+	for _, b := range sc.Bids {
+		for _, v := range b.Values {
+			total += v
+		}
+	}
+	return total
+}
+
+// TotalDeclaredValue sums every declared per-slot value in the scenario.
+func (sc SubstScenario) TotalDeclaredValue() econ.Money {
+	var total econ.Money
+	for _, b := range sc.Bids {
+		for _, v := range b.Values {
+			total += v
+		}
+	}
+	return total
+}

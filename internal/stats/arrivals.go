@@ -1,0 +1,69 @@
+package stats
+
+import "fmt"
+
+// ArrivalProcess names one of the three user-arrival distributions used in
+// the arrival-skew experiment (paper Section 7.5).
+type ArrivalProcess int
+
+const (
+	// ArrivalUniform draws the arrival slot uniformly at random from
+	// the available slots.
+	ArrivalUniform ArrivalProcess = iota
+	// ArrivalEarly clusters arrivals near the first slot, following an
+	// exponential distribution with mean 1.2 slots (simulating datasets
+	// that become stale).
+	ArrivalEarly
+	// ArrivalLate clusters arrivals near the last slot, as 12 - t with
+	// t exponential with mean 1.2 (simulating datasets that become
+	// popular over time).
+	ArrivalLate
+)
+
+// String returns the process name used in figure legends.
+func (a ArrivalProcess) String() string {
+	switch a {
+	case ArrivalUniform:
+		return "Uniform"
+	case ArrivalEarly:
+		return "Early"
+	case ArrivalLate:
+		return "Late"
+	default:
+		return fmt.Sprintf("ArrivalProcess(%d)", int(a))
+	}
+}
+
+// ExpSkewMean is the exponential mean (in slots) the paper uses for the
+// early and late arrival processes.
+const ExpSkewMean = 1.2
+
+// Arrival samples an arrival slot in [1, slots] from the process.
+// It panics if slots < 1.
+func (a ArrivalProcess) Arrival(r *RNG, slots int) int {
+	if slots < 1 {
+		panic("stats: Arrival with no slots")
+	}
+	switch a {
+	case ArrivalUniform:
+		return 1 + r.Intn(slots)
+	case ArrivalEarly:
+		t := int(r.ExpFloat64(ExpSkewMean))
+		return clampSlot(1+t, slots)
+	case ArrivalLate:
+		t := int(r.ExpFloat64(ExpSkewMean))
+		return clampSlot(slots-t, slots)
+	default:
+		panic(fmt.Sprintf("stats: unknown arrival process %d", int(a)))
+	}
+}
+
+func clampSlot(s, slots int) int {
+	if s < 1 {
+		return 1
+	}
+	if s > slots {
+		return slots
+	}
+	return s
+}

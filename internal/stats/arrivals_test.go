@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"testing"
+)
+
+func TestArrivalBoundsAllProcesses(t *testing.T) {
+	r := NewRNG(31)
+	for _, proc := range []ArrivalProcess{ArrivalUniform, ArrivalEarly, ArrivalLate} {
+		for _, slots := range []int{1, 2, 12} {
+			for i := 0; i < 5000; i++ {
+				s := proc.Arrival(r, slots)
+				if s < 1 || s > slots {
+					t.Fatalf("%v.Arrival(%d) = %d out of [1,%d]", proc, slots, s, slots)
+				}
+			}
+		}
+	}
+}
+
+func TestArrivalUniformCoversAllSlots(t *testing.T) {
+	r := NewRNG(37)
+	const slots = 12
+	counts := make(map[int]int)
+	for i := 0; i < 12000; i++ {
+		counts[ArrivalUniform.Arrival(r, slots)]++
+	}
+	for s := 1; s <= slots; s++ {
+		if counts[s] < 700 || counts[s] > 1300 {
+			t.Errorf("slot %d drawn %d times, want ≈ 1000", s, counts[s])
+		}
+	}
+}
+
+// Mirrors the paper's footnote: with mean 1.2, the maximum starting slot of
+// 6 users in 1000 runs was 12 — i.e. early arrivals cluster hard at slot 1.
+func TestArrivalEarlyClustersAtStart(t *testing.T) {
+	r := NewRNG(41)
+	var early Summary
+	firstSlot := 0
+	const draws = 6000
+	for i := 0; i < draws; i++ {
+		s := ArrivalEarly.Arrival(r, 12)
+		early.Add(float64(s))
+		if s == 1 {
+			firstSlot++
+		}
+	}
+	if early.Mean() > 2.5 {
+		t.Errorf("early arrival mean slot = %v, want < 2.5", early.Mean())
+	}
+	// P(Exp(1.2) < 1) ≈ 0.57, so well over a third land on slot 1.
+	if firstSlot < draws/3 {
+		t.Errorf("only %d/%d early arrivals at slot 1", firstSlot, draws)
+	}
+}
+
+func TestArrivalLateClustersAtEnd(t *testing.T) {
+	r := NewRNG(43)
+	var late Summary
+	for i := 0; i < 6000; i++ {
+		late.Add(float64(ArrivalLate.Arrival(r, 12)))
+	}
+	if late.Mean() < 10.5 {
+		t.Errorf("late arrival mean slot = %v, want > 10.5", late.Mean())
+	}
+}
+
+// Early and late are mirror images: their means should be symmetric about
+// the midpoint of the slot range.
+func TestArrivalSkewSymmetry(t *testing.T) {
+	const slots = 12
+	re, rl := NewRNG(47), NewRNG(47)
+	var early, late Summary
+	for i := 0; i < 20000; i++ {
+		early.Add(float64(ArrivalEarly.Arrival(re, slots)))
+		late.Add(float64(ArrivalLate.Arrival(rl, slots)))
+	}
+	mid := float64(slots+1) / 2
+	if d := (early.Mean() - mid) + (late.Mean() - mid); d > 0.2 || d < -0.2 {
+		t.Errorf("early mean %v and late mean %v are not symmetric about %v",
+			early.Mean(), late.Mean(), mid)
+	}
+}
+
+func TestArrivalPanicsOnNoSlots(t *testing.T) {
+	r := NewRNG(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Arrival with 0 slots should panic")
+		}
+	}()
+	ArrivalUniform.Arrival(r, 0)
+}
+
+func TestArrivalProcessString(t *testing.T) {
+	cases := map[ArrivalProcess]string{
+		ArrivalUniform:    "Uniform",
+		ArrivalEarly:      "Early",
+		ArrivalLate:       "Late",
+		ArrivalProcess(9): "ArrivalProcess(9)",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), got, want)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package stats provides the deterministic randomness and summary
+// statistics substrate for the simulation experiments.
+//
+// Every experiment in the paper's evaluation section is a Monte-Carlo
+// simulation; to make the reproduction bit-for-bit repeatable across
+// machines and Go versions, stats implements its own xoshiro256★★
+// generator (seeded via SplitMix64) instead of relying on math/rand's
+// unspecified stream. All distribution samplers take an explicit *RNG.
+package stats
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator implementing
+// xoshiro256★★ (Blackman & Vigna). It is not safe for concurrent use;
+// create one per goroutine, or derive independent streams with Split.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from the given seed using SplitMix64,
+// which guarantees a well-mixed, non-zero internal state for any seed,
+// including 0.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		sm, r.s[i] = splitMix64(sm)
+	}
+	return r
+}
+
+// splitMix64 advances a SplitMix64 state and returns (newState, output).
+func splitMix64(state uint64) (uint64, uint64) {
+	state += 0x9E3779B97F4A7C15
+	z := state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return state, z
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Split returns a new generator whose stream is independent of r's
+// continuation, for deterministic fan-out to parallel trials.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64())
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("stats: Int63n with non-positive bound")
+	}
+	// Rejection sampling to avoid modulo bias.
+	max := uint64(n)
+	limit := -max % max // = 2^64 mod n in uint64 arithmetic
+	for {
+		v := r.Uint64()
+		if v >= limit {
+			return int64(v % max)
+		}
+	}
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int { return int(r.Int63n(int64(n))) }
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// ExpFloat64 returns an exponentially distributed float64 with the given
+// mean (rate 1/mean), via inversion sampling. It panics if mean <= 0.
+func (r *RNG) ExpFloat64(mean float64) float64 {
+	if mean <= 0 {
+		panic("stats: ExpFloat64 with non-positive mean")
+	}
+	// 1 - Float64() is in (0, 1], so the log is finite.
+	return -mean * math.Log(1-r.Float64())
+}
+
+// NormFloat64 returns a normally distributed float64 with the given mean
+// and standard deviation, via the Marsaglia polar method.
+func (r *RNG) NormFloat64(mean, stddev float64) float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return mean + stddev*u*math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n) (Fisher–Yates).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// SampleK returns k distinct values drawn uniformly from [0, n) in random
+// order. It panics if k > n or k < 0.
+func (r *RNG) SampleK(n, k int) []int {
+	if k < 0 || k > n {
+		panic("stats: SampleK with k out of range")
+	}
+	// Partial Fisher–Yates over an index array.
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p[:k]
+}

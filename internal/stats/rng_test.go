@@ -1,0 +1,217 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical draws of 100", same)
+	}
+}
+
+func TestRNGZeroSeedWorks(t *testing.T) {
+	r := NewRNG(0)
+	var allZero = true
+	for i := 0; i < 10; i++ {
+		if r.Uint64() != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Error("zero seed produced a stuck all-zero stream")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(7)
+	child := r.Split()
+	// The child stream must differ from the parent's continuation.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("split stream collided %d/100 times with parent", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64MeanNearHalf(t *testing.T) {
+	r := NewRNG(11)
+	var s Summary
+	for i := 0; i < 100000; i++ {
+		s.Add(r.Float64())
+	}
+	if math.Abs(s.Mean()-0.5) > 0.005 {
+		t.Errorf("uniform mean = %v, want ≈ 0.5", s.Mean())
+	}
+	// Variance of U[0,1) is 1/12.
+	if math.Abs(s.Var()-1.0/12) > 0.005 {
+		t.Errorf("uniform variance = %v, want ≈ %v", s.Var(), 1.0/12)
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := NewRNG(5)
+	const n, draws = 12, 120000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		v := r.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn(%d) = %d out of range", n, v)
+		}
+		counts[v]++
+	}
+	want := draws / n
+	for v, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Errorf("value %d drawn %d times, want ≈ %d", v, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnBadBound(t *testing.T) {
+	r := NewRNG(1)
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Intn(%d) should panic", n)
+				}
+			}()
+			r.Intn(n)
+		}()
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRNG(9)
+	var s Summary
+	const mean = 1.2
+	for i := 0; i < 200000; i++ {
+		x := r.ExpFloat64(mean)
+		if x < 0 {
+			t.Fatalf("ExpFloat64 returned negative %v", x)
+		}
+		s.Add(x)
+	}
+	if math.Abs(s.Mean()-mean) > 0.02 {
+		t.Errorf("exponential mean = %v, want ≈ %v", s.Mean(), mean)
+	}
+	// stddev of Exp(mean) equals mean.
+	if math.Abs(s.StdDev()-mean) > 0.05 {
+		t.Errorf("exponential stddev = %v, want ≈ %v", s.StdDev(), mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(13)
+	var s Summary
+	const mean, sd = 3.0, 2.0
+	for i := 0; i < 200000; i++ {
+		s.Add(r.NormFloat64(mean, sd))
+	}
+	if math.Abs(s.Mean()-mean) > 0.03 {
+		t.Errorf("normal mean = %v, want ≈ %v", s.Mean(), mean)
+	}
+	if math.Abs(s.StdDev()-sd) > 0.03 {
+		t.Errorf("normal stddev = %v, want ≈ %v", s.StdDev(), sd)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(17)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw % 50)
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleKDistinct(t *testing.T) {
+	r := NewRNG(19)
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%30) + 1
+		k := int(kRaw) % (n + 1)
+		s := r.SampleK(n, k)
+		if len(s) != k {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleKCoversAllWhenKEqualsN(t *testing.T) {
+	r := NewRNG(23)
+	s := r.SampleK(5, 5)
+	seen := map[int]bool{}
+	for _, v := range s {
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("SampleK(5,5) = %v, want a permutation of 0..4", s)
+	}
+}
+
+func TestSampleKPanics(t *testing.T) {
+	r := NewRNG(29)
+	defer func() {
+		if recover() == nil {
+			t.Error("SampleK(2,3) should panic")
+		}
+	}()
+	r.SampleK(2, 3)
+}

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.StdDev() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("zero-value summary should report zeros")
+	}
+	s.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N() != 8 {
+		t.Errorf("N = %d, want 8", s.N())
+	}
+	if !almostEqual(s.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	if !almostEqual(s.StdDev(), 2, 1e-12) { // classic example: stddev 2
+		t.Errorf("StdDev = %v, want 2", s.StdDev())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+}
+
+func TestSummarySingleObservation(t *testing.T) {
+	var s Summary
+	s.Add(3.5)
+	if s.Mean() != 3.5 || s.Var() != 0 || s.Min() != 3.5 || s.Max() != 3.5 {
+		t.Errorf("single observation summary wrong: %+v", s)
+	}
+}
+
+// Property: Welford mean/variance match the naive two-pass computation.
+func TestSummaryMatchesNaive(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			// Bound magnitude to keep the naive computation stable.
+			xs = append(xs, math.Mod(x, 1e6))
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		var s Summary
+		s.AddAll(xs)
+		mean := Mean(xs)
+		var m2 float64
+		for _, x := range xs {
+			m2 += (x - mean) * (x - mean)
+		}
+		naiveVar := m2 / float64(len(xs))
+		scale := math.Max(1, math.Abs(naiveVar))
+		return almostEqual(s.Mean(), mean, 1e-9*math.Max(1, math.Abs(mean))) &&
+			almostEqual(s.Var(), naiveVar, 1e-6*scale)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: merging two summaries equals summarizing the concatenation.
+func TestSummaryMergeEquivalent(t *testing.T) {
+	f := func(rawA, rawB []float64) bool {
+		clean := func(raw []float64) []float64 {
+			xs := make([]float64, 0, len(raw))
+			for _, x := range raw {
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					continue
+				}
+				xs = append(xs, math.Mod(x, 1e6))
+			}
+			return xs
+		}
+		a, b := clean(rawA), clean(rawB)
+		var sa, sb, sAll Summary
+		sa.AddAll(a)
+		sb.AddAll(b)
+		sAll.AddAll(a)
+		sAll.AddAll(b)
+		sa.Merge(&sb)
+		if sa.N() != sAll.N() {
+			return false
+		}
+		if sa.N() == 0 {
+			return true
+		}
+		scale := math.Max(1, math.Abs(sAll.Var()))
+		return almostEqual(sa.Mean(), sAll.Mean(), 1e-9*math.Max(1, math.Abs(sAll.Mean()))) &&
+			almostEqual(sa.Var(), sAll.Var(), 1e-6*scale) &&
+			sa.Min() == sAll.Min() && sa.Max() == sAll.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeIntoEmpty(t *testing.T) {
+	var empty, full Summary
+	full.AddAll([]float64{1, 2, 3})
+	empty.Merge(&full)
+	if empty.N() != 3 || !almostEqual(empty.Mean(), 2, 1e-12) {
+		t.Errorf("merge into empty: N=%d Mean=%v", empty.N(), empty.Mean())
+	}
+	// Merging an empty summary is a no-op.
+	var empty2 Summary
+	full.Merge(&empty2)
+	if full.N() != 3 {
+		t.Errorf("merge of empty changed N to %d", full.N())
+	}
+}
+
+func TestMeanStdDevHelpers(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) should be 0")
+	}
+	if StdDev(nil) != 0 {
+		t.Error("StdDev(nil) should be 0")
+	}
+	if !almostEqual(Mean([]float64{1, 2, 3, 4}), 2.5, 1e-12) {
+		t.Error("Mean broken")
+	}
+	if !almostEqual(StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), 2, 1e-12) {
+		t.Error("StdDev broken")
+	}
+}

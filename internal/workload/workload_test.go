@@ -1,0 +1,212 @@
+package workload
+
+import (
+	"testing"
+
+	"sharedopt/internal/core"
+	"sharedopt/internal/econ"
+	"sharedopt/internal/simulate"
+	"sharedopt/internal/stats"
+)
+
+func TestCollaborationShape(t *testing.T) {
+	r := stats.NewRNG(1)
+	sc := Collaboration(r, 6, 12, econ.FromDollars(0.5))
+	if len(sc.Opts) != 1 || sc.Opts[0].Cost != econ.FromDollars(0.5) {
+		t.Fatalf("opts = %+v", sc.Opts)
+	}
+	if sc.Horizon != 12 || len(sc.Bids) != 6 {
+		t.Fatalf("horizon %d, %d bids", sc.Horizon, len(sc.Bids))
+	}
+	for _, b := range sc.Bids {
+		if b.Start != b.End {
+			t.Errorf("user %d bids multi-slot %d..%d", b.User, b.Start, b.End)
+		}
+		if b.Start < 1 || b.Start > 12 {
+			t.Errorf("slot %d out of range", b.Start)
+		}
+		if len(b.Values) != 1 || b.Values[0] < 0 || b.Values[0] >= econ.Dollar {
+			t.Errorf("value %v outside [0,$1)", b.Values)
+		}
+	}
+}
+
+func TestCollaborationValuesAverageHalf(t *testing.T) {
+	r := stats.NewRNG(2)
+	var s stats.Summary
+	for i := 0; i < 2000; i++ {
+		sc := Collaboration(r, 6, 12, econ.Dollar)
+		for _, b := range sc.Bids {
+			s.Add(b.Values[0].Dollars())
+		}
+	}
+	if s.Mean() < 0.48 || s.Mean() > 0.52 {
+		t.Errorf("mean user value %v, want ≈ 0.5", s.Mean())
+	}
+}
+
+func TestMultiSlotSplitsValue(t *testing.T) {
+	r := stats.NewRNG(3)
+	for _, d := range []int{1, 2, 5, 12} {
+		sc := MultiSlot(r, 6, 12, d, econ.Dollar)
+		if sc.Horizon != core.Slot(12+d-1) {
+			t.Errorf("d=%d: horizon %d", d, sc.Horizon)
+		}
+		for _, b := range sc.Bids {
+			if int(b.End-b.Start)+1 != d {
+				t.Errorf("d=%d: interval %d..%d", d, b.Start, b.End)
+			}
+			var total econ.Money
+			for _, v := range b.Values {
+				total += v
+			}
+			if total >= econ.Dollar {
+				t.Errorf("total %v outside [0,$1)", total)
+			}
+			// Values differ by at most one micro-dollar (even split).
+			for _, v := range b.Values {
+				if v < b.Values[d-1] || v > b.Values[0] {
+					t.Errorf("uneven split %v", b.Values)
+				}
+			}
+		}
+	}
+}
+
+func TestSkewedUsesArrivalProcess(t *testing.T) {
+	rEarly, rLate := stats.NewRNG(4), stats.NewRNG(4)
+	var early, late stats.Summary
+	for i := 0; i < 500; i++ {
+		for _, b := range Skewed(rEarly, 6, 12, econ.Dollar, stats.ArrivalEarly).Bids {
+			early.Add(float64(b.Start))
+		}
+		for _, b := range Skewed(rLate, 6, 12, econ.Dollar, stats.ArrivalLate).Bids {
+			late.Add(float64(b.Start))
+		}
+	}
+	if early.Mean() >= 3 {
+		t.Errorf("early arrivals mean slot %v, want < 3", early.Mean())
+	}
+	if late.Mean() <= 10 {
+		t.Errorf("late arrivals mean slot %v, want > 10", late.Mean())
+	}
+}
+
+func TestSubstitutesShape(t *testing.T) {
+	r := stats.NewRNG(5)
+	mean := econ.FromDollars(1.0)
+	sc := Substitutes(r, 24, 12, 3, 12, mean)
+	if len(sc.Opts) != 12 || len(sc.Bids) != 24 {
+		t.Fatalf("%d opts, %d bids", len(sc.Opts), len(sc.Bids))
+	}
+	for _, o := range sc.Opts {
+		if o.Cost < 1 || o.Cost > 2*mean {
+			t.Errorf("cost %v outside (0, $2]", o.Cost)
+		}
+	}
+	for _, b := range sc.Bids {
+		if len(b.Opts) != 3 {
+			t.Errorf("user %d has %d substitutes", b.User, len(b.Opts))
+		}
+		seen := map[core.OptID]bool{}
+		for _, j := range b.Opts {
+			if seen[j] || j < 1 || j > 12 {
+				t.Errorf("bad substitute set %v", b.Opts)
+			}
+			seen[j] = true
+		}
+	}
+}
+
+func TestSubstitutesCostsAverageMean(t *testing.T) {
+	r := stats.NewRNG(6)
+	mean := econ.FromDollars(1.5)
+	var s stats.Summary
+	for i := 0; i < 1000; i++ {
+		for _, o := range Substitutes(r, 6, 12, 3, 12, mean).Opts {
+			s.Add(o.Cost.Dollars())
+		}
+	}
+	if s.Mean() < 1.45 || s.Mean() > 1.55 {
+		t.Errorf("mean cost %v, want ≈ 1.5", s.Mean())
+	}
+}
+
+func TestSubstitutesPanicsWhenSetTooBig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for 5 substitutes of 4")
+		}
+	}()
+	Substitutes(stats.NewRNG(1), 6, 4, 5, 12, econ.Dollar)
+}
+
+func TestSplitEvenly(t *testing.T) {
+	cases := []struct {
+		total econ.Money
+		n     int
+	}{
+		{econ.FromDollars(1), 3},
+		{econ.Money(7), 3},
+		{0, 4},
+		{econ.FromDollars(0.99), 12},
+	}
+	for _, c := range cases {
+		parts := SplitEvenly(c.total, c.n)
+		if len(parts) != c.n {
+			t.Fatalf("SplitEvenly(%v,%d): %d parts", c.total, c.n, len(parts))
+		}
+		var sum econ.Money
+		for _, p := range parts {
+			if p < 0 {
+				t.Fatalf("negative part %v", p)
+			}
+			sum += p
+		}
+		if sum != c.total {
+			t.Errorf("SplitEvenly(%v,%d) sums to %v", c.total, c.n, sum)
+		}
+	}
+}
+
+func TestSplitEvenlyPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero parts": func() { SplitEvenly(1, 0) },
+		"negative":   func() { SplitEvenly(-1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Scenarios from every generator must be playable by both the mechanism
+// and the Regret baseline without errors.
+func TestGeneratedScenariosArePlayable(t *testing.T) {
+	r := stats.NewRNG(7)
+	for i := 0; i < 30; i++ {
+		add := Collaboration(r, 6, 12, econ.FromDollars(0.75))
+		if _, err := simulate.RunAddOn(add); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := simulate.RunRegretAdditive(add); err != nil {
+			t.Fatal(err)
+		}
+		multi := MultiSlot(r, 6, 12, 4, econ.FromDollars(0.75))
+		if _, err := simulate.RunAddOn(multi); err != nil {
+			t.Fatal(err)
+		}
+		sub := Substitutes(r, 6, 12, 3, 12, econ.FromDollars(0.75))
+		if _, err := simulate.RunSubstOn(sub); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := simulate.RunRegretSubst(sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package sharedopt
+
+import "testing"
+
+func TestPeriodManagerLifecycle(t *testing.T) {
+	catalog := []Optimization{{ID: 1, Cost: FromDollars(100)}}
+	pm, err := NewPeriodManager(Additive, catalog, 2, FixedCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.Period() != 0 {
+		t.Fatalf("period = %d before start", pm.Period())
+	}
+
+	// Period 1: one user carries the whole cost.
+	svc, err := pm.StartPeriod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.Period() != 1 {
+		t.Fatalf("period = %d", pm.Period())
+	}
+	if err := svc.SubmitAdditiveBid(1, OnlineBid{User: 1, Start: 1, End: 2,
+		Values: []Money{FromDollars(150), 0}}); err != nil {
+		t.Fatal(err)
+	}
+	// Starting a new period while this one runs is rejected.
+	if _, err := svc.AdvanceSlot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pm.StartPeriod(); err != ErrPeriodOpen {
+		t.Fatalf("expected ErrPeriodOpen, got %v", err)
+	}
+	if _, err := svc.AdvanceSlot(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Period 2 re-prices and runs independently.
+	svc2, err := pm.StartPeriod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc2 == svc {
+		t.Fatal("new period should be a fresh service")
+	}
+	if err := svc2.SubmitAdditiveBid(1, OnlineBid{User: 2, Start: 1, End: 2,
+		Values: []Money{FromDollars(150), 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc2.AdvanceSlot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc2.AdvanceSlot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pm.StartPeriod(); err != nil { // harvest period 2
+		t.Fatal(err)
+	}
+	revenue, cost := pm.Totals()
+	if revenue != FromDollars(200) || cost != FromDollars(200) {
+		t.Errorf("totals: revenue %v cost %v, want $200 each", revenue, cost)
+	}
+}
+
+func TestMaintenanceDiscountRepricesAfterImplementation(t *testing.T) {
+	policy, err := MaintenanceDiscount(1, 4) // 25% of cost once built
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog := []Optimization{{ID: 1, Cost: FromDollars(100)}}
+	pm, err := NewPeriodManager(Additive, catalog, 1, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Period 1: full price; a user pays $100.
+	svc, err := pm.StartPeriod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.SubmitAdditiveBid(1, OnlineBid{User: 1, Start: 1, End: 1,
+		Values: []Money{FromDollars(120)}}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := svc.AdvanceSlot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Departures[1] != FromDollars(100) {
+		t.Fatalf("period 1 payment %v, want $100", r.Departures[1])
+	}
+
+	// Period 2: the view is maintained, so the cost drops to $25.
+	svc2, err := pm.StartPeriod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc2.SubmitAdditiveBid(1, OnlineBid{User: 1, Start: 1, End: 1,
+		Values: []Money{FromDollars(120)}}); err != nil {
+		t.Fatal(err)
+	}
+	r, err = svc2.AdvanceSlot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Departures[1] != FromDollars(25) {
+		t.Fatalf("period 2 payment %v, want $25", r.Departures[1])
+	}
+
+	// Period 3: nobody bought it in period 2? They did — still cheap.
+	// But if a period passes with no implementation, the price resets.
+	svc3, err := pm.StartPeriod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc3.AdvanceSlot(); err != nil { // nobody bids
+		t.Fatal(err)
+	}
+	svc4, err := pm.StartPeriod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc4.SubmitAdditiveBid(1, OnlineBid{User: 1, Start: 1, End: 1,
+		Values: []Money{FromDollars(120)}}); err != nil {
+		t.Fatal(err)
+	}
+	r, err = svc4.AdvanceSlot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Departures[1] != FromDollars(100) {
+		t.Fatalf("period 4 payment %v, want full $100 after a lapsed period", r.Departures[1])
+	}
+}
+
+func TestMaintenanceDiscountValidation(t *testing.T) {
+	for _, c := range []struct{ num, den int64 }{{-1, 2}, {3, 2}, {1, 0}} {
+		if _, err := MaintenanceDiscount(c.num, c.den); err == nil {
+			t.Errorf("MaintenanceDiscount(%d,%d) accepted", c.num, c.den)
+		}
+	}
+	// A 0/1 discount must still keep costs positive.
+	policy, err := MaintenanceDiscount(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := policy(Optimization{ID: 1, Cost: FromDollars(5)}, 2, true); got < 1 {
+		t.Errorf("discounted cost %v must stay positive", got)
+	}
+}
+
+func TestNewPeriodManagerValidation(t *testing.T) {
+	good := []Optimization{{ID: 1, Cost: Dollar}}
+	if _, err := NewPeriodManager(Additive, nil, 2, nil); err == nil {
+		t.Error("empty catalog accepted")
+	}
+	if _, err := NewPeriodManager(GameKind(7), good, 2, nil); err == nil {
+		t.Error("bad kind accepted")
+	}
+	if _, err := NewPeriodManager(Substitutive, good, 0, nil); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	// nil policy defaults to FixedCost.
+	pm, err := NewPeriodManager(Substitutive, good, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pm.StartPeriod(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+// Package sharedopt selects and prices shared optimizations (indexes,
+// materialized views, replicas, ...) in a multi-tenant data service,
+// implementing the cost-sharing mechanisms of Upadhyaya, Balazinska and
+// Suciu, "How to Price Shared Optimizations in the Cloud" (VLDB 2012).
+//
+// The mechanisms decide which optimizations a provider should build, who
+// may use them, and what each user pays, with two guarantees that hold
+// even against selfish users:
+//
+//   - truthfulness: no user can improve her (worst-case) utility by
+//     misreporting her value, her timing, or which optimizations she
+//     wants;
+//   - cost recovery: the provider never loses money on an optimization
+//     it builds — payments always cover the cost, exactly (all money is
+//     integer micro-dollars).
+//
+// Four games are supported, combining additive vs substitutive user
+// values with offline (single period) vs online (users come and go)
+// play. Offline games are one-shot function calls (PriceOne, RunAddOff,
+// RunSubstOff); online games run through a Service that accepts bids and
+// advances billing slots.
+//
+//	svc, _ := sharedopt.NewAdditiveService([]sharedopt.Optimization{
+//		{ID: 1, Cost: sharedopt.FromDollars(100)},
+//	}, 3)
+//	svc.SubmitAdditiveBid(1, sharedopt.OnlineBid{
+//		User: 7, Start: 1, End: 2,
+//		Values: []sharedopt.Money{sharedopt.FromDollars(30), sharedopt.FromDollars(30)},
+//	})
+//	report, _ := svc.AdvanceSlot()
+//
+// The experiments subcommand surface (RunFigure) regenerates every
+// figure of the paper's evaluation section.
+package sharedopt
+
+import (
+	"sharedopt/internal/core"
+	"sharedopt/internal/econ"
+	"sharedopt/internal/experiments"
+	"sharedopt/internal/workload"
+)
+
+// Money is an exact amount of US dollars in integer micro-dollars.
+type Money = econ.Money
+
+// Common denominations, re-exported for bid construction.
+const (
+	// Cent is one hundredth of a dollar.
+	Cent = econ.Cent
+	// Dollar is one dollar.
+	Dollar = econ.Dollar
+)
+
+// FromDollars converts a float dollar amount to Money (rounding to the
+// nearest micro-dollar).
+func FromDollars(d float64) Money { return econ.FromDollars(d) }
+
+// FromCents converts whole cents to Money.
+func FromCents(c int64) Money { return econ.FromCents(c) }
+
+// ParseMoney parses strings like "2.31", "$0.03", "-$1.5".
+func ParseMoney(s string) (Money, error) { return econ.ParseMoney(s) }
+
+// Core game types, re-exported from the mechanism implementation.
+type (
+	// UserID identifies a user (player).
+	UserID = core.UserID
+	// OptID identifies an optimization.
+	OptID = core.OptID
+	// Slot is a discrete billing time slot, numbered from 1.
+	Slot = core.Slot
+	// Optimization is one binary optimization with its period cost.
+	Optimization = core.Optimization
+	// Grant is a (user, optimization) access pair.
+	Grant = core.Grant
+	// Outcome is an offline mechanism's chosen alternative.
+	Outcome = core.Outcome
+	// ShapleyResult is the Shapley Value Mechanism's output for a
+	// single optimization.
+	ShapleyResult = core.ShapleyResult
+	// AdditiveBid is an offline additive bid for one optimization.
+	AdditiveBid = core.AdditiveBid
+	// SubstBid is an offline substitutive bid: a set of equivalent
+	// optimizations and one value.
+	SubstBid = core.SubstBid
+	// OnlineBid is a per-slot value stream for one optimization.
+	OnlineBid = core.OnlineBid
+	// OnlineSubstBid is a per-slot value stream over a substitute set.
+	OnlineSubstBid = core.OnlineSubstBid
+	// SlotReport describes one processed slot of an online game.
+	SlotReport = core.SlotReport
+	// Figure is a regenerated paper figure (series over x positions).
+	Figure = experiments.Figure
+)
+
+// PriceOne runs the Shapley Value Mechanism for a single optimization:
+// given its cost and one bid per user, it returns who is serviced and the
+// uniform cost-share each serviced user pays. It is truthful and
+// cost-recovering.
+func PriceOne(cost Money, bids map[UserID]Money) (ShapleyResult, error) {
+	return core.Shapley(cost, bids)
+}
+
+// RunAddOff runs the offline mechanism for additive optimizations
+// (paper Section 4.2): an independent Shapley game per optimization.
+func RunAddOff(opts []Optimization, bids []AdditiveBid) (*Outcome, error) {
+	return core.AddOff(opts, bids)
+}
+
+// RunSubstOff runs the offline mechanism for substitutive optimizations
+// (paper Section 6.1): repeated Shapley phases, implementing the
+// cheapest-share feasible optimization each round.
+func RunSubstOff(opts []Optimization, bids []SubstBid) (*Outcome, error) {
+	return core.SubstOff(opts, bids)
+}
+
+// RunFigure regenerates one of the paper's evaluation figures ("1", "2a"
+// ... "5b") or ablations ("1e", "E1"–"E3"). effort is the number of
+// Monte-Carlo trials (or sampled alternatives for figure 1); seed fixes
+// the randomness.
+func RunFigure(id string, effort int, seed uint64) (*Figure, error) {
+	return experiments.Run(id, effort, seed)
+}
+
+// FigureIDs lists the regenerable figures in display order.
+func FigureIDs() []string { return experiments.FigureIDs() }
+
+// QuarterSpan is a contiguous span of quarters an astronomer subscribes
+// for in the astronomy use-case scenario.
+type QuarterSpan = workload.QuarterSpan
+
+// AstronomyUsers is the number of astronomers in the use-case.
+const AstronomyUsers = workload.AstroUsers
+
+// AstronomyScenario builds the paper's Section 7.2 use-case as a playable
+// additive game: 27 materialized-view optimizations at $2.31 each over 4
+// quarter slots, with each astronomer's bids derived from her workload's
+// measured per-execution savings. Submit the returned bids to an additive
+// Service over the returned optimizations and horizon.
+func AstronomyScenario(spans [AstronomyUsers]QuarterSpan, executions int) (opts []Optimization, bids []AstronomyBid, horizon Slot) {
+	sc := workload.Astronomy(spans, executions)
+	out := make([]AstronomyBid, len(sc.Bids))
+	for i, b := range sc.Bids {
+		out[i] = AstronomyBid{Opt: b.Opt, Bid: OnlineBid{
+			User: b.User, Start: b.Start, End: b.End, Values: b.Values,
+		}}
+	}
+	return sc.Opts, out, sc.Horizon
+}
+
+// AstronomyBid pairs an astronomer's online bid with the optimization
+// (per-snapshot view) it targets.
+type AstronomyBid struct {
+	Opt OptID
+	Bid OnlineBid
+}

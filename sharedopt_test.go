@@ -1,0 +1,299 @@
+package sharedopt
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPriceOne(t *testing.T) {
+	res, err := PriceOne(FromDollars(100), map[UserID]Money{
+		1: FromDollars(70), 2: FromDollars(70),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Serviced) != 2 || res.Share != FromDollars(50) {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestRunAddOffAndSubstOff(t *testing.T) {
+	out, err := RunAddOff(
+		[]Optimization{{ID: 1, Cost: FromDollars(10)}},
+		[]AdditiveBid{{User: 1, Opt: 1, Value: FromDollars(12)}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.IsImplemented(1) || out.Payment(1, 1) != FromDollars(10) {
+		t.Fatalf("outcome = %+v", out)
+	}
+
+	sub, err := RunSubstOff(
+		[]Optimization{{ID: 1, Cost: FromDollars(10)}, {ID: 2, Cost: FromDollars(4)}},
+		[]SubstBid{{User: 1, Opts: []OptID{1, 2}, Value: FromDollars(12)}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sub.IsImplemented(2) || sub.IsImplemented(1) {
+		t.Fatalf("substitutive outcome = %+v", sub)
+	}
+}
+
+func TestMoneyHelpers(t *testing.T) {
+	if FromCents(231) != FromDollars(2.31) {
+		t.Error("FromCents broken")
+	}
+	m, err := ParseMoney("$2.31")
+	if err != nil || m != FromDollars(2.31) {
+		t.Errorf("ParseMoney: %v, %v", m, err)
+	}
+	if Dollar != 100*Cent {
+		t.Error("denominations broken")
+	}
+}
+
+// The full paper Example 3 through the public Service.
+func TestAdditiveServiceLifecycle(t *testing.T) {
+	svc, err := NewAdditiveService([]Optimization{{ID: 1, Cost: FromDollars(100)}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Kind() != Additive || svc.Horizon() != 3 || svc.Now() != 0 {
+		t.Fatalf("fresh service state: kind=%v horizon=%d now=%d", svc.Kind(), svc.Horizon(), svc.Now())
+	}
+	mustBid := func(opt OptID, b OnlineBid) {
+		t.Helper()
+		if err := svc.SubmitAdditiveBid(opt, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustBid(1, OnlineBid{User: 1, Start: 1, End: 1, Values: []Money{FromDollars(101)}})
+	mustBid(1, OnlineBid{User: 2, Start: 1, End: 3,
+		Values: []Money{FromDollars(16), FromDollars(16), FromDollars(16)}})
+
+	r1, err := svc.AdvanceSlot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Departures[1] != FromDollars(100) {
+		t.Fatalf("user 1 pays %v", r1.Departures[1])
+	}
+	mustBid(1, OnlineBid{User: 3, Start: 2, End: 2, Values: []Money{FromDollars(26)}})
+	mustBid(1, OnlineBid{User: 4, Start: 2, End: 2, Values: []Money{FromDollars(26)}})
+	if _, err := svc.AdvanceSlot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.AdvanceSlot(); err != nil {
+		t.Fatal(err)
+	}
+	// Horizon reached: the service is closed.
+	if _, err := svc.AdvanceSlot(); err != ErrPeriodOver {
+		t.Fatalf("expected ErrPeriodOver, got %v", err)
+	}
+	if err := svc.SubmitAdditiveBid(1, OnlineBid{User: 9, Start: 4, End: 4,
+		Values: []Money{Dollar}}); err != ErrPeriodOver {
+		t.Fatalf("bid after close: %v", err)
+	}
+
+	for u, want := range map[UserID]Money{1: FromDollars(100), 2: FromDollars(25),
+		3: FromDollars(25), 4: FromDollars(25)} {
+		got, ok := svc.Invoice(u)
+		if !ok || got != want {
+			t.Errorf("invoice %d = %v (%v), want %v", u, got, ok, want)
+		}
+	}
+	if svc.Revenue() != FromDollars(175) || svc.CostIncurred() != FromDollars(100) {
+		t.Errorf("revenue %v cost %v", svc.Revenue(), svc.CostIncurred())
+	}
+	if svc.Surplus() != FromDollars(75) {
+		t.Errorf("surplus %v", svc.Surplus())
+	}
+}
+
+// Paper Example 8 through the public substitutive Service.
+func TestSubstitutiveServiceLifecycle(t *testing.T) {
+	svc, err := NewSubstitutiveService([]Optimization{
+		{ID: 1, Cost: FromDollars(60)},
+		{ID: 2, Cost: FromDollars(100)},
+		{ID: 3, Cost: FromDollars(50)},
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustBid := func(b OnlineSubstBid) {
+		t.Helper()
+		if err := svc.SubmitSubstitutiveBid(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustBid(OnlineSubstBid{User: 1, Opts: []OptID{1, 2}, Start: 1, End: 2,
+		Values: []Money{FromDollars(100), FromDollars(100)}})
+	if _, err := svc.AdvanceSlot(); err != nil {
+		t.Fatal(err)
+	}
+	mustBid(OnlineSubstBid{User: 2, Opts: []OptID{1, 2, 3}, Start: 2, End: 3,
+		Values: []Money{FromDollars(100), FromDollars(100)}})
+	if _, err := svc.AdvanceSlot(); err != nil {
+		t.Fatal(err)
+	}
+	mustBid(OnlineSubstBid{User: 3, Opts: []OptID{3}, Start: 3, End: 3,
+		Values: []Money{FromDollars(100)}})
+	if _, err := svc.AdvanceSlot(); err != nil {
+		t.Fatal(err)
+	}
+	for u, want := range map[UserID]Money{1: FromDollars(30), 2: FromDollars(30),
+		3: FromDollars(50)} {
+		if got, _ := svc.Invoice(u); got != want {
+			t.Errorf("invoice %d = %v, want %v", u, got, want)
+		}
+	}
+	if svc.Surplus() < 0 {
+		t.Errorf("negative surplus %v", svc.Surplus())
+	}
+}
+
+func TestServiceKindMismatch(t *testing.T) {
+	add, _ := NewAdditiveService([]Optimization{{ID: 1, Cost: Dollar}}, 2)
+	if err := add.SubmitSubstitutiveBid(OnlineSubstBid{User: 1, Opts: []OptID{1},
+		Start: 1, End: 1, Values: []Money{Dollar}}); err == nil {
+		t.Error("substitutive bid on additive service accepted")
+	}
+	sub, _ := NewSubstitutiveService([]Optimization{{ID: 1, Cost: Dollar}}, 2)
+	if err := sub.SubmitAdditiveBid(1, OnlineBid{User: 1, Start: 1, End: 1,
+		Values: []Money{Dollar}}); err == nil {
+		t.Error("additive bid on substitutive service accepted")
+	}
+}
+
+func TestServiceConstructorValidation(t *testing.T) {
+	if _, err := NewAdditiveService(nil, 2); err == nil {
+		t.Error("no optimizations accepted")
+	}
+	if _, err := NewAdditiveService([]Optimization{{ID: 1, Cost: Dollar}}, 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := NewAdditiveService([]Optimization{{ID: 1, Cost: 0}}, 2); err == nil {
+		t.Error("zero-cost optimization accepted")
+	}
+	if _, err := NewSubstitutiveService([]Optimization{{ID: 1, Cost: Dollar},
+		{ID: 1, Cost: Dollar}}, 2); err == nil {
+		t.Error("duplicate optimization accepted")
+	}
+}
+
+func TestClosePeriodEarly(t *testing.T) {
+	svc, _ := NewAdditiveService([]Optimization{{ID: 1, Cost: FromDollars(10)}}, 10)
+	if err := svc.SubmitAdditiveBid(1, OnlineBid{User: 1, Start: 1, End: 10,
+		Values: []Money{FromDollars(20), 0, 0, 0, 0, 0, 0, 0, 0, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.AdvanceSlot(); err != nil {
+		t.Fatal(err)
+	}
+	settled, err := svc.ClosePeriod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if settled[1] != FromDollars(10) {
+		t.Fatalf("settled = %v", settled)
+	}
+	// Idempotent.
+	again, err := svc.ClosePeriod()
+	if err != nil || len(again) != 0 {
+		t.Errorf("second close: %v, %v", again, err)
+	}
+	if _, err := svc.AdvanceSlot(); err != ErrPeriodOver {
+		t.Errorf("advance after close: %v", err)
+	}
+}
+
+// The service must be safe under concurrent submissions.
+func TestServiceConcurrentBids(t *testing.T) {
+	svc, _ := NewAdditiveService([]Optimization{{ID: 1, Cost: FromDollars(50)}}, 2)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for u := 1; u <= 64; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			errs <- svc.SubmitAdditiveBid(1, OnlineBid{
+				User: UserID(u), Start: 1, End: 2,
+				Values: []Money{Dollar, Dollar},
+			})
+		}(u)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := svc.AdvanceSlot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64 users × $2 residual each, share 50/64 < 1: all serviced.
+	if len(r.NewGrants) != 64 {
+		t.Errorf("%d grants, want 64", len(r.NewGrants))
+	}
+}
+
+func TestGameKindString(t *testing.T) {
+	if Additive.String() != "additive" || Substitutive.String() != "substitutive" {
+		t.Error("GameKind.String broken")
+	}
+	if GameKind(9).String() != "GameKind(9)" {
+		t.Error("unknown kind string broken")
+	}
+}
+
+func TestAstronomyScenarioFacade(t *testing.T) {
+	spans := [AstronomyUsers]QuarterSpan{
+		{Start: 1, Len: 4}, {Start: 1, Len: 2}, {Start: 3, Len: 2},
+		{Start: 2, Len: 3}, {Start: 2, Len: 1}, {Start: 4, Len: 1},
+	}
+	opts, bids, horizon := AstronomyScenario(spans, 60)
+	if len(opts) != 27 || horizon != 4 || len(bids) == 0 {
+		t.Fatalf("scenario shape: %d opts, %d bids, horizon %d", len(opts), len(bids), horizon)
+	}
+	svc, err := NewAdditiveService(opts, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bids {
+		if err := svc.SubmitAdditiveBid(b.Opt, b.Bid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for q := Slot(1); q <= horizon; q++ {
+		if _, err := svc.AdvanceSlot(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if svc.Surplus() < 0 {
+		t.Errorf("surplus %v", svc.Surplus())
+	}
+	if svc.CostIncurred() == 0 {
+		t.Error("60 executions should justify at least one view")
+	}
+}
+
+func TestRunFigureFacade(t *testing.T) {
+	ids := FigureIDs()
+	if len(ids) != 14 {
+		t.Fatalf("FigureIDs = %v", ids)
+	}
+	fig, err := RunFigure("2a", 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "2a" || len(fig.Points) != 17 {
+		t.Errorf("figure %s with %d points", fig.ID, len(fig.Points))
+	}
+	if _, err := RunFigure("zz", 5, 1); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
