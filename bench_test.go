@@ -9,8 +9,8 @@ import (
 	"testing"
 
 	"sharedopt/internal/astro"
+	"sharedopt/internal/benchkit"
 	"sharedopt/internal/core"
-	"sharedopt/internal/econ"
 	"sharedopt/internal/engine"
 	"sharedopt/internal/experiments"
 	"sharedopt/internal/stats"
@@ -77,63 +77,29 @@ func BenchmarkAblationE2EfficiencySubst(b *testing.B) { benchFigure(b, "E2") }
 // online strawman vs AddOn under value hiding.
 func BenchmarkAblationE3NaiveGaming(b *testing.B) { benchFigure(b, "E3") }
 
+// The mechanism micro-benchmarks delegate to internal/benchkit so that
+// cmd/benchjson measures exactly the same bodies when emitting the
+// BENCH_*.json perf snapshots. All of them report allocations; the sorted-
+// prefix Shapley rewrite is held to O(1) allocs per call by the regression
+// tests in internal/core/alloc_test.go.
+
 // BenchmarkShapley measures one Shapley Value Mechanism run over 1000
 // bidders — the inner loop of every mechanism.
-func BenchmarkShapley(b *testing.B) {
-	r := stats.NewRNG(1)
-	bids := make(map[UserID]Money, 1000)
-	for u := 1; u <= 1000; u++ {
-		bids[UserID(u)] = Money(r.Int63n(int64(econ.Dollar)))
-	}
-	cost := FromDollars(300)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := core.Shapley(cost, bids); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkShapley(b *testing.B) { benchkit.Shapley(1_000)(b) }
+
+// BenchmarkShapley10k scales the Shapley benchmark to 10k bidders.
+func BenchmarkShapley10k(b *testing.B) { benchkit.Shapley(10_000)(b) }
+
+// BenchmarkShapley100k scales the Shapley benchmark to 100k bidders.
+func BenchmarkShapley100k(b *testing.B) { benchkit.Shapley(100_000)(b) }
 
 // BenchmarkAddOnGame measures a complete 12-slot AddOn game with 24
 // users — one Figure 2(b) trial.
-func BenchmarkAddOnGame(b *testing.B) {
-	r := stats.NewRNG(2)
-	sc := workload.Collaboration(r, 24, 12, FromDollars(1.5))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		game := core.NewAddOn(sc.Opts[0])
-		for _, bid := range sc.Bids {
-			if err := game.Submit(core.OnlineBid{User: bid.User, Start: bid.Start,
-				End: bid.End, Values: bid.Values}); err != nil {
-				b.Fatal(err)
-			}
-		}
-		for t := Slot(1); t <= sc.Horizon; t++ {
-			game.AdvanceSlot()
-		}
-		game.Close()
-	}
-}
+func BenchmarkAddOnGame(b *testing.B) { benchkit.AddOnGame()(b) }
 
 // BenchmarkSubstOnGame measures a complete 12-slot SubstOn game with 24
 // users over 12 optimizations — one Figure 2(d) trial.
-func BenchmarkSubstOnGame(b *testing.B) {
-	r := stats.NewRNG(3)
-	sc := workload.Substitutes(r, 24, 12, 3, 12, FromDollars(1.5))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		game := core.NewSubstOn(sc.Opts)
-		for _, bid := range sc.Bids {
-			if err := game.Submit(bid); err != nil {
-				b.Fatal(err)
-			}
-		}
-		for t := Slot(1); t <= sc.Horizon; t++ {
-			game.AdvanceSlot()
-		}
-		game.Close()
-	}
-}
+func BenchmarkSubstOnGame(b *testing.B) { benchkit.SubstOnGame()(b) }
 
 // BenchmarkEngineHashJoin measures a 10k × 10k hash join through the
 // query engine.

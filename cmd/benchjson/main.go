@@ -1,0 +1,54 @@
+// Command benchjson runs the repo's key mechanism micro-benchmarks
+// in-process (the same bodies bench_test.go wraps) and writes the
+// measurements as JSON, so every PR can commit a BENCH_*.json snapshot
+// and the perf trajectory stays machine-readable.
+//
+// Usage:
+//
+//	benchjson                 # JSON to stdout
+//	benchjson -o BENCH.json   # JSON to a file
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"sharedopt/internal/benchkit"
+)
+
+// snapshot is the file format of a BENCH_*.json perf snapshot.
+type snapshot struct {
+	GoVersion  string            `json:"go_version"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Results    []benchkit.Result `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string) error {
+	snap := snapshot{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Results:    benchkit.RunKey(),
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sharedopt/internal/benchkit"
+)
+
+// The full benchmark sweep takes seconds per entry, so the test exercises
+// only the file plumbing and the snapshot schema round-trip.
+func TestSnapshotRoundTrip(t *testing.T) {
+	snap := snapshot{
+		GoVersion:  "go1.24",
+		GOMAXPROCS: 4,
+		Results: []benchkit.Result{
+			{Name: "Shapley1k", Iterations: 100, NsPerOp: 12345.6, BytesPerOp: 64, AllocsPerOp: 2},
+		},
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != 1 || back.Results[0].Name != "Shapley1k" {
+		t.Fatalf("round trip lost results: %+v", back)
+	}
+	if back.Results[0].AllocsPerOp != 2 {
+		t.Fatalf("allocs = %d, want 2", back.Results[0].AllocsPerOp)
+	}
+}
+
+// The benchmark registry must contain the five tracked benchmarks so a
+// future edit cannot silently drop one from the perf trajectory.
+func TestKeyBenchmarksRegistered(t *testing.T) {
+	want := map[string]bool{
+		"Shapley1k": true, "Shapley10k": true, "Shapley100k": true,
+		"AddOnGame": true, "SubstOnGame": true,
+	}
+	for _, kb := range benchkit.Key() {
+		if !want[kb.Name] {
+			t.Errorf("unexpected benchmark %q", kb.Name)
+		}
+		delete(want, kb.Name)
+		if kb.Body == nil {
+			t.Errorf("benchmark %q has no body", kb.Name)
+		}
+	}
+	for name := range want {
+		t.Errorf("benchmark %q missing from Key()", name)
+	}
+}

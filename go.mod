@@ -1,0 +1,3 @@
+module sharedopt
+
+go 1.24

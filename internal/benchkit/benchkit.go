@@ -1,0 +1,134 @@
+// Package benchkit defines the repo's key mechanism micro-benchmarks as
+// reusable bodies, so that bench_test.go at the module root can wrap them
+// in go-test benchmarks and cmd/benchjson can run the same code in-process
+// via testing.Benchmark to emit BENCH_*.json perf snapshots. Keeping one
+// definition for both consumers guarantees the JSON trajectory tracks
+// exactly what `go test -bench` measures.
+package benchkit
+
+import (
+	"testing"
+
+	"sharedopt/internal/core"
+	"sharedopt/internal/econ"
+	"sharedopt/internal/stats"
+	"sharedopt/internal/workload"
+)
+
+// Result is one benchmark measurement, shaped for JSON serialization.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Shapley returns the benchmark body for one Shapley Value Mechanism run
+// over the given number of bidders with uniformly random dollar bids. The
+// cost scales with the bidder count at $0.20 per bidder: for uniform
+// [0,$1) bids that implements the optimization with roughly the top 70%
+// of bidders serviced at every scale, so the benchmark exercises the full
+// path — sort, prefix scan, and serviced-set extraction — not the
+// degenerate nobody-serviced early return.
+func Shapley(bidders int) func(b *testing.B) {
+	return func(b *testing.B) {
+		r := stats.NewRNG(1)
+		bids := make(map[core.UserID]econ.Money, bidders)
+		for u := 1; u <= bidders; u++ {
+			bids[core.UserID(u)] = econ.Money(r.Int63n(int64(econ.Dollar)))
+		}
+		cost := econ.FromDollars(0.2).MulInt(int64(bidders))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := core.Shapley(cost, bids)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Implemented() {
+				b.Fatal("benchmark scenario must service a positive prefix")
+			}
+		}
+	}
+}
+
+// AddOnGame returns the benchmark body for a complete 12-slot AddOn game
+// with 24 users — one Figure 2(b) trial.
+func AddOnGame() func(b *testing.B) {
+	return func(b *testing.B) {
+		r := stats.NewRNG(2)
+		sc := workload.Collaboration(r, 24, 12, econ.FromDollars(1.5))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			game := core.NewAddOn(sc.Opts[0])
+			for _, bid := range sc.Bids {
+				if err := game.Submit(core.OnlineBid{User: bid.User, Start: bid.Start,
+					End: bid.End, Values: bid.Values}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for t := core.Slot(1); t <= sc.Horizon; t++ {
+				game.AdvanceSlot()
+			}
+			game.Close()
+		}
+	}
+}
+
+// SubstOnGame returns the benchmark body for a complete 12-slot SubstOn
+// game with 24 users over 12 optimizations — one Figure 2(d) trial.
+func SubstOnGame() func(b *testing.B) {
+	return func(b *testing.B) {
+		r := stats.NewRNG(3)
+		sc := workload.Substitutes(r, 24, 12, 3, 12, econ.FromDollars(1.5))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			game := core.NewSubstOn(sc.Opts)
+			for _, bid := range sc.Bids {
+				if err := game.Submit(bid); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for t := core.Slot(1); t <= sc.Horizon; t++ {
+				game.AdvanceSlot()
+			}
+			game.Close()
+		}
+	}
+}
+
+// Key lists the benchmarks tracked in the BENCH_*.json perf trajectory.
+func Key() []struct {
+	Name string
+	Body func(b *testing.B)
+} {
+	return []struct {
+		Name string
+		Body func(b *testing.B)
+	}{
+		{"Shapley1k", Shapley(1_000)},
+		{"Shapley10k", Shapley(10_000)},
+		{"Shapley100k", Shapley(100_000)},
+		{"AddOnGame", AddOnGame()},
+		{"SubstOnGame", SubstOnGame()},
+	}
+}
+
+// RunKey measures every benchmark in Key with testing.Benchmark.
+func RunKey() []Result {
+	var out []Result
+	for _, kb := range Key() {
+		r := testing.Benchmark(kb.Body)
+		out = append(out, Result{
+			Name:        kb.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	return out
+}

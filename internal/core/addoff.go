@@ -21,7 +21,9 @@ type AdditiveBid struct {
 // additive, it runs the Shapley Value Mechanism independently for every
 // optimization and combines the results into a single Outcome. AddOff
 // inherits truthfulness and cost-recovery from the Shapley Value
-// Mechanism.
+// Mechanism. Each per-optimization run uses the sorted-prefix form of the
+// mechanism directly: bids are grouped into per-optimization slices,
+// sorted once, and scanned.
 //
 // Optimizations with no serviced users are not implemented and charge
 // nobody. Duplicate bids by the same user for the same optimization are an
@@ -33,10 +35,9 @@ func AddOff(opts []Optimization, bids []AdditiveBid) (*Outcome, error) {
 	}
 	outcome := NewOutcome()
 	for _, opt := range opts {
-		res, err := Shapley(opt.Cost, byOpt[opt.ID])
-		if err != nil {
-			return nil, fmt.Errorf("core: AddOff: optimization %d: %w", opt.ID, err)
-		}
+		sorted := byOpt[opt.ID]
+		sortBidsDesc(sorted)
+		res := shapleyFromSorted(opt.Cost, sorted, nil)
 		if res.Implemented() {
 			outcome.addGrants(opt.ID, res.Serviced, res.Share)
 		}
@@ -46,7 +47,7 @@ func AddOff(opts []Optimization, bids []AdditiveBid) (*Outcome, error) {
 
 // groupAdditiveBids validates opts and bids and groups bids per
 // optimization.
-func groupAdditiveBids(opts []Optimization, bids []AdditiveBid) (map[OptID]map[UserID]econ.Money, error) {
+func groupAdditiveBids(opts []Optimization, bids []AdditiveBid) (map[OptID][]userBid, error) {
 	known := make(map[OptID]bool, len(opts))
 	for _, o := range opts {
 		if err := o.Validate(); err != nil {
@@ -57,7 +58,8 @@ func groupAdditiveBids(opts []Optimization, bids []AdditiveBid) (map[OptID]map[U
 		}
 		known[o.ID] = true
 	}
-	byOpt := make(map[OptID]map[UserID]econ.Money, len(opts))
+	byOpt := make(map[OptID][]userBid, len(opts))
+	seen := make(map[Grant]bool, len(bids))
 	for _, b := range bids {
 		if !known[b.Opt] {
 			return nil, fmt.Errorf("core: bid by user %d for unknown optimization %d", b.User, b.Opt)
@@ -65,15 +67,11 @@ func groupAdditiveBids(opts []Optimization, bids []AdditiveBid) (map[OptID]map[U
 		if b.Value < 0 {
 			return nil, fmt.Errorf("core: user %d bid negative value %v for optimization %d", b.User, b.Value, b.Opt)
 		}
-		m := byOpt[b.Opt]
-		if m == nil {
-			m = make(map[UserID]econ.Money)
-			byOpt[b.Opt] = m
-		}
-		if _, dup := m[b.User]; dup {
+		if seen[Grant{User: b.User, Opt: b.Opt}] {
 			return nil, fmt.Errorf("core: duplicate bid by user %d for optimization %d", b.User, b.Opt)
 		}
-		m[b.User] = b.Value
+		seen[Grant{User: b.User, Opt: b.Opt}] = true
+		byOpt[b.Opt] = append(byOpt[b.Opt], userBid{user: b.User, bid: b.Value})
 	}
 	return byOpt, nil
 }

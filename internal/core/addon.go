@@ -46,24 +46,13 @@ func (b OnlineBid) Total() econ.Money {
 }
 
 // onlineUser is the mechanism's record of one user's declared value
-// function and service status.
+// function and service status. The value function is a dense valueCurve,
+// so residual lookups in AdvanceSlot are O(1).
 type onlineUser struct {
-	start, end Slot
-	values     map[Slot]econ.Money
-	serviced   bool       // member of the cumulative serviced set CSj
-	paid       bool       // departed and charged
-	payment    econ.Money // final payment, set when paid
-}
-
-// residual returns the user's remaining declared value Σ_{τ≥t} b(τ).
-func (u *onlineUser) residual(t Slot) econ.Money {
-	var r econ.Money
-	for s, v := range u.values {
-		if s >= t {
-			r += v
-		}
-	}
-	return r
+	valueCurve
+	serviced bool       // member of the cumulative serviced set CSj
+	paid     bool       // departed and charged
+	payment  econ.Money // final payment, set when paid
 }
 
 // AddOn is the AddOn Mechanism (paper, Mechanism 2): the online
@@ -83,6 +72,10 @@ func (u *onlineUser) residual(t Slot) econ.Money {
 // share in force when her bid interval ends. The mechanism is truthful in
 // the model-free sense and cost-recovering (paper, Section 5.2).
 //
+// AdvanceSlot runs the mechanism on the sorted-prefix form of the Shapley
+// mechanism over a scratch buffer reused across slots, so a warm game
+// allocates only its per-slot report.
+//
 // Because optimizations are additive, a game with several optimizations is
 // a set of independent AddOn instances; see AdditiveGame.
 type AddOn struct {
@@ -92,6 +85,9 @@ type AddOn struct {
 
 	implemented   bool
 	implementedAt Slot
+	servicedCount int // |CSj|, maintained incrementally
+
+	scratch []userBid // per-slot bidder buffer, reused across AdvanceSlot
 }
 
 // NewAddOn returns a new online game for one optimization. It panics if
@@ -129,49 +125,13 @@ func (a *AddOn) Submit(bid OnlineBid) error {
 	}
 	u := a.users[bid.User]
 	if u == nil {
-		u = &onlineUser{start: bid.Start, end: bid.End, values: make(map[Slot]econ.Money)}
-		for k, v := range bid.Values {
-			u.values[bid.Start+Slot(k)] = v
-		}
-		a.users[bid.User] = u
+		a.users[bid.User] = &onlineUser{valueCurve: newValueCurve(bid)}
 		return nil
 	}
 	if u.paid {
 		return fmt.Errorf("core: user %d: bid after departure", bid.User)
 	}
-	// Revision: values may only go up, the interval may only extend.
-	if bid.End < u.end {
-		return fmt.Errorf("core: user %d: revision shrinks end from %d to %d", bid.User, u.end, bid.End)
-	}
-	for s := bid.Start; s <= u.end; s++ {
-		old := u.values[s]
-		var revised econ.Money
-		if s <= bid.End {
-			revised = bid.Values[s-bid.Start]
-		}
-		if revised < old {
-			return fmt.Errorf("core: user %d: revision lowers value at slot %d from %v to %v",
-				bid.User, s, old, revised)
-		}
-	}
-	// Check the revision does not silently drop declared future value
-	// before its start.
-	for s, v := range u.values {
-		if s > a.now && s < bid.Start && v > 0 {
-			return fmt.Errorf("core: user %d: revision starting at %d withdraws value at slot %d",
-				bid.User, bid.Start, s)
-		}
-	}
-	for k, v := range bid.Values {
-		u.values[bid.Start+Slot(k)] = v
-	}
-	if bid.End > u.end {
-		u.end = bid.End
-	}
-	if bid.Start < u.start {
-		u.start = bid.Start
-	}
-	return nil
+	return u.revise(bid, a.now)
 }
 
 // AdvanceSlot processes the next time slot: it recomputes the serviced set
@@ -183,32 +143,33 @@ func (a *AddOn) AdvanceSlot() SlotReport {
 	t := a.now
 	report := SlotReport{Slot: t, Departures: make(map[UserID]econ.Money)}
 
-	bids := make(map[UserID]econ.Money)
-	forced := make(map[UserID]bool)
+	// Collect residual bids of not-yet-serviced users into the reusable
+	// scratch buffer; previously serviced users are the forced set and
+	// only contribute their count.
+	bidders := a.scratch[:0]
 	for id, u := range a.users {
-		switch {
-		case u.serviced:
-			forced[id] = true
-		case t >= u.start:
-			if r := u.residual(t); r > 0 {
-				bids[id] = r
-			}
+		if u.serviced || t < u.start {
+			continue
+		}
+		if r := u.residual(t); r > 0 {
+			bidders = append(bidders, userBid{user: id, bid: r})
 		}
 	}
-	res := shapleyForced(a.opt.Cost, bids, forced)
+	sortBidsDesc(bidders)
+	k := servicedPrefix(a.opt.Cost, bidders, a.servicedCount)
 
-	if res.Implemented() && !a.implemented {
+	if k+a.servicedCount > 0 && !a.implemented {
 		a.implemented = true
 		a.implementedAt = t
 		report.Implemented = []OptID{a.opt.ID}
 	}
-	for _, id := range res.Serviced {
-		u := a.users[id]
-		if !u.serviced {
-			u.serviced = true
-			report.NewGrants = append(report.NewGrants, Grant{User: id, Opt: a.opt.ID})
-		}
-		if t <= u.end && t >= u.start {
+	for _, ub := range bidders[:k] {
+		a.users[ub.user].serviced = true
+		a.servicedCount++
+		report.NewGrants = append(report.NewGrants, Grant{User: ub.user, Opt: a.opt.ID})
+	}
+	for id, u := range a.users {
+		if u.serviced && t >= u.start && t <= u.end {
 			report.Active = append(report.Active, Grant{User: id, Opt: a.opt.ID})
 		}
 	}
@@ -217,16 +178,18 @@ func (a *AddOn) AdvanceSlot() SlotReport {
 
 	// Charge users whose bid interval ends now. Serviced users pay the
 	// current (lowest so far) share; never-serviced users pay nothing.
+	share := a.currentShare()
 	for id, u := range a.users {
 		if u.paid || u.end != t {
 			continue
 		}
 		u.paid = true
 		if u.serviced {
-			u.payment = res.Share
+			u.payment = share
 		}
 		report.Departures[id] = u.payment
 	}
+	a.scratch = bidders
 	return report
 }
 
@@ -252,16 +215,10 @@ func (a *AddOn) Close() map[UserID]econ.Money {
 // currentShare returns the cost-share implied by the cumulative serviced
 // set, or 0 if nobody has been serviced.
 func (a *AddOn) currentShare() econ.Money {
-	n := 0
-	for _, u := range a.users {
-		if u.serviced {
-			n++
-		}
-	}
-	if n == 0 {
+	if a.servicedCount == 0 {
 		return 0
 	}
-	return a.opt.Cost.DivCeil(n)
+	return a.opt.Cost.DivCeil(a.servicedCount)
 }
 
 // Payment returns the user's final payment and whether she has been

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"sharedopt/internal/econ"
+)
+
+// Allocation-regression tests: the sorted-prefix Shapley rewrite and the
+// scratch-buffer reuse in AddOn are performance guarantees, so they are
+// asserted with testing.AllocsPerRun and fail if a change silently brings
+// back per-call allocation.
+
+// One Shapley run over pre-sorted scratch allocates only the result's
+// Serviced slice.
+func TestShapleyFromSortedAllocBudget(t *testing.T) {
+	const n = 1000
+	sorted := make([]userBid, n)
+	for i := range sorted {
+		sorted[i] = userBid{user: UserID(i + 1), bid: econ.Money(n - i)}
+	}
+	cost := econ.Money(n) // share 1 micro-dollar at full population
+	allocs := testing.AllocsPerRun(100, func() {
+		res := shapleyFromSorted(cost, sorted, nil)
+		if !res.Implemented() {
+			t.Fatal("benchmark scenario should implement")
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("shapleyFromSorted allocated %.1f times per run, budget 1", allocs)
+	}
+}
+
+// The prefix scan itself is allocation-free.
+func TestServicedPrefixAllocFree(t *testing.T) {
+	const n = 1000
+	sorted := make([]userBid, n)
+	for i := range sorted {
+		sorted[i] = userBid{user: UserID(i + 1), bid: econ.Money(n - i)}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if k := servicedPrefix(econ.Money(n), sorted, 0); k == 0 {
+			t.Fatal("scenario should service someone")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("servicedPrefix allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// A warm AddOn game — scratch grown, all users serviced, intervals still
+// open — allocates only its per-slot SlotReport (the Departures map and
+// the Active slice), not per-user or per-bid state. The budget is a fixed
+// small constant well below the map-per-slot implementation it replaced.
+func TestAddOnAdvanceSlotAllocBudget(t *testing.T) {
+	game := NewAddOn(Optimization{ID: 1, Cost: econ.FromDollars(10)})
+	const users = 24
+	values := make([]econ.Money, 100_000)
+	for i := range values {
+		values[i] = econ.Money(econ.Cent)
+	}
+	for u := UserID(1); u <= users; u++ {
+		if err := game.Submit(OnlineBid{User: u, Start: 1, End: Slot(len(values)),
+			Values: values}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm up: first slot services everyone and grows the scratch buffer.
+	if r := game.AdvanceSlot(); len(r.NewGrants) != users {
+		t.Fatalf("warm-up slot serviced %d users, want %d", len(r.NewGrants), users)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		game.AdvanceSlot()
+	})
+	const budget = 12
+	if allocs > budget {
+		t.Errorf("warm AdvanceSlot allocated %.1f times per run, budget %d", allocs, budget)
+	}
+}

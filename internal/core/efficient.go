@@ -25,8 +25,8 @@ func EfficientAdditive(opts []Optimization, bids []AdditiveBid) (econ.Money, err
 	var utility econ.Money
 	for _, opt := range opts {
 		var total econ.Money
-		for _, v := range byOpt[opt.ID] {
-			total += v
+		for _, ub := range byOpt[opt.ID] {
+			total += ub.bid
 		}
 		if total >= opt.Cost {
 			utility += total - opt.Cost

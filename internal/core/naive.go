@@ -55,11 +55,7 @@ func (n *NaiveOnline) Submit(bid OnlineBid) error {
 	if _, dup := n.users[bid.User]; dup {
 		return fmt.Errorf("core: user %d: naive mechanism does not support revisions", bid.User)
 	}
-	u := &onlineUser{start: bid.Start, end: bid.End, values: make(map[Slot]econ.Money)}
-	for k, v := range bid.Values {
-		u.values[bid.Start+Slot(k)] = v
-	}
-	n.users[bid.User] = u
+	n.users[bid.User] = &onlineUser{valueCurve: newValueCurve(bid)}
 	return nil
 }
 
@@ -90,11 +86,7 @@ func (n *NaiveOnline) AdvanceSlot() SlotReport {
 		bids := make(map[UserID]econ.Money)
 		for id, u := range n.users {
 			if t >= u.start && t <= u.end {
-				var total econ.Money
-				for _, v := range u.values {
-					total += v
-				}
-				if total > 0 {
+				if total := u.total(); total > 0 {
 					bids[id] = total
 				}
 			}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"slices"
+	"sync"
 
 	"sharedopt/internal/econ"
 )
@@ -26,12 +28,94 @@ func (r ShapleyResult) Revenue() econ.Money {
 	return r.Share.MulInt(int64(len(r.Serviced)))
 }
 
+// userBid pairs a bidder with her bid; the mechanisms' hot paths operate on
+// slices of userBid sorted by sortBidsDesc instead of map[UserID]econ.Money.
+type userBid struct {
+	user UserID
+	bid  econ.Money
+}
+
+// compareBidDesc is the canonical bidder ordering of every mechanism hot
+// path: descending bid, ties broken by ascending user ID so runs are
+// deterministic regardless of input order. sortBidsDesc and substPhases
+// both sort with it; the order-preserving merge removal in substPhases
+// relies on the two orderings agreeing.
+func compareBidDesc(aBid, bBid econ.Money, aUser, bUser UserID) int {
+	switch {
+	case aBid > bBid:
+		return -1
+	case aBid < bBid:
+		return 1
+	case aUser < bUser:
+		return -1
+	case aUser > bUser:
+		return 1
+	}
+	return 0
+}
+
+// sortBidsDesc sorts bids by compareBidDesc.
+func sortBidsDesc(bids []userBid) {
+	slices.SortFunc(bids, func(a, b userBid) int {
+		return compareBidDesc(a.bid, b.bid, a.user, b.user)
+	})
+}
+
+// servicedPrefix returns the number of serviced bidders: the largest k such
+// that the k highest bidders each bid at least cost.DivCeil(k+forced),
+// where forced counts always-serviced users outside sorted.
+//
+// This closed form is equivalent to the paper's drop-until-stable loop:
+// survival under iterated dropping is monotone in the bid (shares only rise
+// as the set shrinks), so the surviving set is always a prefix of the
+// descending order, and the fixed point reached from the full set is the
+// largest self-supporting prefix. A tie can never straddle the prefix
+// boundary, because if bid k+1 equals bid k then prefix k+1 is
+// self-supporting whenever prefix k is, contradicting maximality of k.
+// The scan is O(n) with zero allocations; the predicate is not monotone in
+// k, so the scan starts from the full prefix and returns the first hit.
+func servicedPrefix(cost econ.Money, sorted []userBid, forced int) int {
+	for k := len(sorted); k >= 1; k-- {
+		if sorted[k-1].bid >= cost.DivCeil(k+forced) {
+			return k
+		}
+	}
+	return 0
+}
+
+// shapleyFromSorted runs the mechanism over bidders already sorted in
+// descending bid order (see sortBidsDesc) plus a set of always-serviced
+// forced users that must not appear in sorted. It allocates only the
+// result's Serviced slice.
+func shapleyFromSorted(cost econ.Money, sorted []userBid, forced []UserID) ShapleyResult {
+	k := servicedPrefix(cost, sorted, len(forced))
+	n := k + len(forced)
+	if n == 0 {
+		return ShapleyResult{}
+	}
+	users := make([]UserID, 0, n)
+	users = append(users, forced...)
+	for _, ub := range sorted[:k] {
+		users = append(users, ub.user)
+	}
+	sortUsers(users)
+	return ShapleyResult{Serviced: users, Share: cost.DivCeil(n)}
+}
+
 // Shapley runs the Shapley Value Mechanism (paper, Mechanism 1) for a
 // single optimization with the given cost and one bid per user. It finds
 // the minimum uniform price p such that every serviced user bid at least p
-// and the serviced users jointly cover the cost: starting from all users,
-// it repeatedly divides the cost evenly and drops users whose bid is below
-// the current share, until the set stabilizes or empties.
+// and the serviced users jointly cover the cost. The implementation sorts
+// the bid values once and takes the largest self-supporting prefix, which
+// is equivalent to the paper's drop-until-stable iteration (see
+// servicedPrefix) but runs in O(n log n).
+//
+// Only the raw values are sorted — an ascending radix sort over
+// econ.Money, branch-free and O(n), which is several times faster than a
+// comparison sort of (user, bid) pairs — because the serviced set can be
+// recovered afterwards as the value-threshold set {u : bid ≥ final
+// share}: the prefix invariant guarantees exactly the k highest bidders
+// clear that threshold.
 //
 // The mechanism is truthful (no user can improve her utility by bidding
 // anything other than her true value) and cost-recovering
@@ -43,50 +127,117 @@ func Shapley(cost econ.Money, bids map[UserID]econ.Money) (ShapleyResult, error)
 	if cost <= 0 {
 		return ShapleyResult{}, fmt.Errorf("core: Shapley: cost must be positive, got %v", cost)
 	}
+	sp := shapleyScratch.Get().(*moneyScratch)
+	defer shapleyScratch.Put(sp)
+	vals := sp.vals[:0]
 	for u, b := range bids {
 		if b < 0 {
 			return ShapleyResult{}, fmt.Errorf("core: Shapley: user %d bid negative value %v", u, b)
 		}
+		vals = append(vals, b)
 	}
-	return shapleyForced(cost, bids, nil), nil
+	sp.vals = vals[:0] // keep the grown buffer for the next call
+	vals = sp.sortAscending(vals)
+	n := len(vals) // vals[n-k] is the k-th highest bid
+	k := 0
+	for m := n; m >= 1; m-- {
+		if vals[n-m] >= cost.DivCeil(m) {
+			k = m
+			break
+		}
+	}
+	if k == 0 {
+		return ShapleyResult{}, nil
+	}
+	share := cost.DivCeil(k)
+	users := make([]UserID, 0, k)
+	for u, b := range bids {
+		if b >= share {
+			users = append(users, u)
+		}
+	}
+	sortUsers(users)
+	return ShapleyResult{Serviced: users, Share: share}, nil
+}
+
+// shapleyScratch pools the bid-value scratch of Shapley so concurrent
+// experiment trials each reuse buffers instead of allocating per call.
+var shapleyScratch = sync.Pool{New: func() any { return new(moneyScratch) }}
+
+// moneyScratch is a pooled pair of value buffers: the collected bids and
+// the radix sort's swap space.
+type moneyScratch struct {
+	vals, swap []econ.Money
+}
+
+// sortAscending sorts the non-negative amounts ascending and returns the
+// sorted slice, which aliases either vals or the scratch swap buffer. For
+// large inputs it uses a least-significant-digit radix sort over only the
+// significant bytes of the maximum value: O(passes·n), branch-free, and
+// substantially faster than a comparison sort, whose branch misses
+// dominate the mechanism at scale.
+func (s *moneyScratch) sortAscending(vals []econ.Money) []econ.Money {
+	const radixMin = 128
+	if len(vals) < radixMin {
+		slices.Sort(vals)
+		return vals
+	}
+	var maxv econ.Money
+	for _, v := range vals {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	if cap(s.swap) < len(vals) {
+		s.swap = make([]econ.Money, len(vals))
+	}
+	src, dst := vals, s.swap[:len(vals)]
+	var counts [256]int
+	for shift := uint(0); maxv>>shift > 0; shift += 8 {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, v := range src {
+			counts[(v>>shift)&0xff]++
+		}
+		if counts[(maxv>>shift)&0xff] == len(src) {
+			// Every value shares this digit; the pass would be the
+			// identity permutation.
+			continue
+		}
+		total := 0
+		for i := range counts {
+			c := counts[i]
+			counts[i] = total
+			total += c
+		}
+		for _, v := range src {
+			d := (v >> shift) & 0xff
+			dst[counts[d]] = v
+			counts[d]++
+		}
+		src, dst = dst, src
+	}
+	return src
 }
 
 // shapleyForced is the Shapley Value Mechanism with a set of forced users
 // who are always serviced regardless of their bids — the "b'ij ← ∞" step
 // of the online mechanisms (Mechanisms 2 and 4). Forced users need not
-// appear in bids. Inputs are assumed validated.
+// appear in bids; if one does, her bid is ignored. Inputs are assumed
+// validated.
 func shapleyForced(cost econ.Money, bids map[UserID]econ.Money, forced map[UserID]bool) ShapleyResult {
-	// The serviced set starts as all forced users plus all bidders.
-	serviced := make(map[UserID]bool, len(bids)+len(forced))
+	sorted := make([]userBid, 0, len(bids))
+	for u, b := range bids {
+		if forced[u] {
+			continue
+		}
+		sorted = append(sorted, userBid{user: u, bid: b})
+	}
+	sortBidsDesc(sorted)
+	forcedIDs := make([]UserID, 0, len(forced))
 	for u := range forced {
-		serviced[u] = true
+		forcedIDs = append(forcedIDs, u)
 	}
-	for u := range bids {
-		serviced[u] = true
-	}
-	for len(serviced) > 0 {
-		share := cost.DivCeil(len(serviced))
-		changed := false
-		for u := range serviced {
-			if forced[u] {
-				continue
-			}
-			if bids[u] < share {
-				delete(serviced, u)
-				changed = true
-			}
-		}
-		if !changed {
-			break
-		}
-	}
-	if len(serviced) == 0 {
-		return ShapleyResult{}
-	}
-	users := make([]UserID, 0, len(serviced))
-	for u := range serviced {
-		users = append(users, u)
-	}
-	sortUsers(users)
-	return ShapleyResult{Serviced: users, Share: cost.DivCeil(len(users))}
+	return shapleyFromSorted(cost, sorted, forcedIDs)
 }

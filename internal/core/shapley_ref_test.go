@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"sharedopt/internal/econ"
+	"sharedopt/internal/stats"
+)
+
+// referenceShapley is the paper's drop-until-stable loop, kept verbatim as
+// a differential oracle for the sorted-prefix implementation.
+func referenceShapley(cost econ.Money, bids map[UserID]econ.Money) ShapleyResult {
+	serviced := make(map[UserID]bool, len(bids))
+	for u := range bids {
+		serviced[u] = true
+	}
+	for len(serviced) > 0 {
+		share := cost.DivCeil(len(serviced))
+		changed := false
+		for u := range serviced {
+			if bids[u] < share {
+				delete(serviced, u)
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	if len(serviced) == 0 {
+		return ShapleyResult{}
+	}
+	users := make([]UserID, 0, len(serviced))
+	for u := range serviced {
+		users = append(users, u)
+	}
+	sortUsers(users)
+	return ShapleyResult{Serviced: users, Share: cost.DivCeil(len(users))}
+}
+
+// The sorted-prefix (radix) implementation must agree with the reference
+// loop on every population size, including the large ones that take the
+// radix-sort path, with duplicate-heavy and boundary-tied bids.
+func TestShapleyMatchesReferenceLoop(t *testing.T) {
+	r := stats.NewRNG(4242)
+	sizes := []int{1, 2, 7, 64, 127, 128, 129, 500, 2000}
+	for trial := 0; trial < 40; trial++ {
+		for _, n := range sizes {
+			cost := econ.Money(r.Int63n(int64(econ.Dollar.MulInt(int64(n))))) + 1
+			bids := make(map[UserID]econ.Money, n)
+			for u := 1; u <= n; u++ {
+				var b econ.Money
+				switch r.Intn(4) {
+				case 0: // heavy duplicates
+					b = econ.FromCents(int64(r.Intn(4)) * 25)
+				case 1: // exact share boundaries
+					b = cost.DivCeil(1 + r.Intn(n))
+				default:
+					b = econ.Money(r.Int63n(int64(econ.Dollar)))
+				}
+				bids[UserID(u)] = b
+			}
+			got, err := Shapley(cost, bids)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := referenceShapley(cost, bids)
+			if got.Share != want.Share || !usersEqual(got.Serviced, want.Serviced...) {
+				t.Fatalf("n=%d cost=%v: sorted-prefix %+v, reference %+v",
+					n, cost, got, want)
+			}
+		}
+	}
+}
+
+// Zero-valued and all-equal bids exercise the radix sort's degenerate
+// digit distributions (identity passes).
+func TestShapleyRadixDegenerateInputs(t *testing.T) {
+	n := 300
+	allZero := make(map[UserID]econ.Money, n)
+	allEqual := make(map[UserID]econ.Money, n)
+	for u := 1; u <= n; u++ {
+		allZero[UserID(u)] = 0
+		allEqual[UserID(u)] = econ.FromCents(50)
+	}
+	res, err := Shapley(econ.FromDollars(10), allZero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Implemented() {
+		t.Fatalf("all-zero bids must not implement, got %+v", res)
+	}
+	res, err = Shapley(econ.FromDollars(10), allEqual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 300 users × 50¢ covers $10 easily: everyone serviced at the
+	// ceiling share.
+	if len(res.Serviced) != n || res.Share != econ.FromDollars(10).DivCeil(n) {
+		t.Fatalf("all-equal bids: got %d serviced at %v", len(res.Serviced), res.Share)
+	}
+}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 
 	"sharedopt/internal/econ"
 )
@@ -52,24 +54,24 @@ func SubstOff(opts []Optimization, bids []SubstBid) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	perUser := make(map[UserID]map[OptID]econ.Money, len(bids))
+	bidders := make([]substBidder, 0, len(bids))
+	seen := make(map[UserID]bool, len(bids))
 	for _, b := range bids {
 		if err := b.Validate(); err != nil {
 			return nil, err
 		}
-		if _, dup := perUser[b.User]; dup {
+		if seen[b.User] {
 			return nil, fmt.Errorf("core: duplicate bid by user %d", b.User)
 		}
-		m := make(map[OptID]econ.Money, len(b.Opts))
+		seen[b.User] = true
 		for _, j := range b.Opts {
 			if _, ok := optByID[j]; !ok {
 				return nil, fmt.Errorf("core: user %d bid for unknown optimization %d", b.User, j)
 			}
-			m[j] = b.Value
 		}
-		perUser[b.User] = m
+		bidders = append(bidders, substBidder{user: b.User, bid: b.Value, opts: b.Opts})
 	}
-	phases := substPhases(opts, perUser, nil)
+	phases := substPhases(opts, bidders, nil, nil)
 	outcome := NewOutcome()
 	for _, j := range phases.order {
 		outcome.addGrants(j, phases.serviced[j], phases.share[j])
@@ -91,6 +93,33 @@ func validateOpts(opts []Optimization) (map[OptID]Optimization, error) {
 	return byID, nil
 }
 
+// substBidder is one active (not yet granted) user in a phase run: her
+// current bid — identical for every optimization in her substitute set —
+// and the set itself. The opts slice is borrowed from the caller and never
+// mutated.
+type substBidder struct {
+	user UserID
+	bid  econ.Money
+	opts []OptID
+}
+
+func (b substBidder) wants(j OptID) bool {
+	for _, o := range b.opts {
+		if o == j {
+			return true
+		}
+	}
+	return false
+}
+
+// substScratch holds the phase loop's reusable buffers so an online game
+// can run substPhases every slot without rebuilding them.
+type substScratch struct {
+	active    []substBidder
+	available []Optimization
+	optBids   []userBid
+}
+
 // phasesResult is the output of the SubstOff phase loop.
 type phasesResult struct {
 	// order lists implemented optimizations in implementation order.
@@ -106,44 +135,45 @@ type phasesResult struct {
 	newGrants []Grant
 }
 
-// substPhases is the phase loop shared by SubstOff and SubstOn. bids maps
-// each active user to her per-optimization bid (identical for every
-// optimization in her substitute set). forced maps optimization → users
-// that must remain serviced by it (the "b'ij ← ∞" rows of Mechanism 4);
-// forced users must not appear in bids. Inputs are assumed validated.
-func substPhases(opts []Optimization, bids map[UserID]map[OptID]econ.Money, forced map[OptID]map[UserID]bool) phasesResult {
+// substPhases is the phase loop shared by SubstOff and SubstOn. bidders
+// are the active users with their residual bids; forced maps optimization
+// → users that must remain serviced by it (the "b'ij ← ∞" rows of
+// Mechanism 4); forced users must not appear in bidders. scratch may be
+// nil for one-shot callers. Inputs are assumed validated.
+//
+// The active set is sorted once in descending bid order; each phase then
+// evaluates every remaining optimization with a zero-allocation
+// sorted-prefix scan (see servicedPrefix) over the subset of active users
+// that want it, and serviced users are removed with an order-preserving
+// merge so no re-sort is ever needed.
+func substPhases(opts []Optimization, bidders []substBidder, forced map[OptID][]UserID, scratch *substScratch) phasesResult {
+	if scratch == nil {
+		scratch = &substScratch{}
+	}
 	res := phasesResult{
 		serviced: make(map[OptID][]UserID),
 		share:    make(map[OptID]econ.Money),
 	}
-	available := append([]Optimization(nil), opts...)
 	// Sort by ID so that the arg-min scan breaks ties toward lower IDs.
-	for i := 1; i < len(available); i++ {
-		for k := i; k > 0 && available[k].ID < available[k-1].ID; k-- {
-			available[k], available[k-1] = available[k-1], available[k]
-		}
-	}
-	active := make(map[UserID]map[OptID]econ.Money, len(bids))
-	for u, m := range bids {
-		active[u] = m
-	}
+	available := append(scratch.available[:0], opts...)
+	slices.SortFunc(available, func(a, b Optimization) int { return cmp.Compare(a.ID, b.ID) })
+	active := append(scratch.active[:0], bidders...)
+	slices.SortFunc(active, func(a, b substBidder) int {
+		return compareBidDesc(a.bid, b.bid, a.user, b.user)
+	})
 	for len(available) > 0 {
-		bestIdx := -1
+		bestIdx, bestK := -1, 0
 		var bestShare econ.Money
-		var bestResult ShapleyResult
 		for idx, opt := range available {
-			optBids := make(map[UserID]econ.Money)
-			for u, m := range active {
-				if v, ok := m[opt.ID]; ok {
-					optBids[u] = v
-				}
-			}
-			r := shapleyForced(opt.Cost, optBids, forced[opt.ID])
-			if !r.Implemented() {
+			f := len(forced[opt.ID])
+			optBids := collectOptBids(scratch, active, opt.ID)
+			k := servicedPrefix(opt.Cost, optBids, f)
+			if k+f == 0 {
 				continue
 			}
-			if bestIdx == -1 || r.Share < bestShare {
-				bestIdx, bestShare, bestResult = idx, r.Share, r
+			share := opt.Cost.DivCeil(k + f)
+			if bestIdx == -1 || share < bestShare {
+				bestIdx, bestShare, bestK = idx, share, k
 			}
 		}
 		if bestIdx == -1 {
@@ -151,17 +181,49 @@ func substPhases(opts []Optimization, bids map[UserID]map[OptID]econ.Money, forc
 		}
 		chosen := available[bestIdx]
 		available = append(available[:bestIdx], available[bestIdx+1:]...)
+		optBids := collectOptBids(scratch, active, chosen.ID)
+		servicedUsers := make([]UserID, 0, len(forced[chosen.ID])+bestK)
+		servicedUsers = append(servicedUsers, forced[chosen.ID]...)
+		for _, ub := range optBids[:bestK] {
+			servicedUsers = append(servicedUsers, ub.user)
+			res.newGrants = append(res.newGrants, Grant{User: ub.user, Opt: chosen.ID})
+		}
+		sortUsers(servicedUsers)
 		res.order = append(res.order, chosen.ID)
-		res.serviced[chosen.ID] = bestResult.Serviced
-		res.share[chosen.ID] = bestResult.Share
-		for _, u := range bestResult.Serviced {
-			if forced[chosen.ID][u] {
-				continue // already granted in an earlier slot
+		res.serviced[chosen.ID] = servicedUsers
+		res.share[chosen.ID] = bestShare
+		// Drop the newly serviced bidders from the active set — their
+		// bids for every other optimization fall to 0. optBids[:bestK]
+		// is an ordered subsequence of active, so a single merge pass
+		// removes them while preserving the sort order.
+		if bestK > 0 {
+			w, r := 0, 0
+			for _, b := range active {
+				if r < bestK && b.user == optBids[r].user {
+					r++
+					continue
+				}
+				active[w] = b
+				w++
 			}
-			res.newGrants = append(res.newGrants, Grant{User: u, Opt: chosen.ID})
-			delete(active, u) // her bids for all optimizations drop to 0
+			active = active[:w]
 		}
 	}
 	sortGrants(res.newGrants)
+	scratch.available = available[:0]
+	scratch.active = active[:0]
 	return res
+}
+
+// collectOptBids gathers the bids of active users who want optimization j
+// into the reusable scratch buffer, preserving the descending sort order.
+func collectOptBids(scratch *substScratch, active []substBidder, j OptID) []userBid {
+	out := scratch.optBids[:0]
+	for _, b := range active {
+		if b.wants(j) {
+			out = append(out, userBid{user: b.user, bid: b.bid})
+		}
+	}
+	scratch.optBids = out
+	return out
 }

@@ -26,25 +26,17 @@ func (b OnlineSubstBid) Validate() error {
 	return OnlineBid{User: b.User, Start: b.Start, End: b.End, Values: b.Values}.Validate()
 }
 
-// substUser is SubstOn's record of one user.
+// substUser is SubstOn's record of one user. start is the first bid's
+// start slot and gates participation; the curve's own interval may begin
+// earlier after a revision, matching the original mechanism's behavior.
 type substUser struct {
 	opts       []OptID
-	start, end Slot
-	values     map[Slot]econ.Money
+	start      Slot
+	curve      valueCurve
 	granted    bool
 	grantedOpt OptID
 	paid       bool
 	payment    econ.Money
-}
-
-func (u *substUser) residual(t Slot) econ.Money {
-	var r econ.Money
-	for s, v := range u.values {
-		if s >= t {
-			r += v
-		}
-	}
-	return r
 }
 
 // SubstOn is the SubstOn Mechanism (paper, Mechanism 4): the online
@@ -56,12 +48,19 @@ func (u *substUser) residual(t Slot) econ.Money {
 // Users pay the cost-share of their granted optimization in force when
 // their bid interval ends; as with AddOn, shares only fall over time, and
 // departed users keep counting toward the share denominator.
+//
+// The per-slot phase loop runs on scratch buffers reused across
+// AdvanceSlot calls and on O(1) suffix-sum residual lookups.
 type SubstOn struct {
 	opts        []Optimization
 	optByID     map[OptID]Optimization
 	now         Slot
 	users       map[UserID]*substUser
 	implemented map[OptID]Slot
+	granted     map[OptID][]UserID // forced sets, maintained incrementally
+
+	bidders []substBidder // per-slot buffer, reused across AdvanceSlot
+	scratch substScratch
 }
 
 // NewSubstOn returns a new online substitutive game over the given
@@ -76,6 +75,7 @@ func NewSubstOn(opts []Optimization) *SubstOn {
 		optByID:     byID,
 		users:       make(map[UserID]*substUser),
 		implemented: make(map[OptID]Slot),
+		granted:     make(map[OptID][]UserID),
 	}
 }
 
@@ -105,18 +105,14 @@ func (s *SubstOn) Submit(bid OnlineSubstBid) error {
 		return fmt.Errorf("core: user %d: retroactive bid starting at slot %d, current slot is %d",
 			bid.User, bid.Start, s.now)
 	}
+	online := OnlineBid{User: bid.User, Start: bid.Start, End: bid.End, Values: bid.Values}
 	u := s.users[bid.User]
 	if u == nil {
-		u = &substUser{
-			opts:   append([]OptID(nil), bid.Opts...),
-			start:  bid.Start,
-			end:    bid.End,
-			values: make(map[Slot]econ.Money),
+		s.users[bid.User] = &substUser{
+			opts:  append([]OptID(nil), bid.Opts...),
+			start: bid.Start,
+			curve: newValueCurve(online),
 		}
-		for k, v := range bid.Values {
-			u.values[bid.Start+Slot(k)] = v
-		}
-		s.users[bid.User] = u
 		return nil
 	}
 	if u.paid {
@@ -125,33 +121,7 @@ func (s *SubstOn) Submit(bid OnlineSubstBid) error {
 	if !sameOptSet(u.opts, bid.Opts) {
 		return fmt.Errorf("core: user %d: revision changes substitute set", bid.User)
 	}
-	if bid.End < u.end {
-		return fmt.Errorf("core: user %d: revision shrinks end from %d to %d", bid.User, u.end, bid.End)
-	}
-	for st := bid.Start; st <= u.end; st++ {
-		old := u.values[st]
-		var revised econ.Money
-		if st <= bid.End {
-			revised = bid.Values[st-bid.Start]
-		}
-		if revised < old {
-			return fmt.Errorf("core: user %d: revision lowers value at slot %d from %v to %v",
-				bid.User, st, old, revised)
-		}
-	}
-	for st, v := range u.values {
-		if st > s.now && st < bid.Start && v > 0 {
-			return fmt.Errorf("core: user %d: revision starting at %d withdraws value at slot %d",
-				bid.User, bid.Start, st)
-		}
-	}
-	for k, v := range bid.Values {
-		u.values[bid.Start+Slot(k)] = v
-	}
-	if bid.End > u.end {
-		u.end = bid.End
-	}
-	return nil
+	return u.curve.revise(online, s.now)
 }
 
 func sameOptSet(a, b []OptID) bool {
@@ -178,38 +148,25 @@ func (s *SubstOn) AdvanceSlot() SlotReport {
 	t := s.now
 	report := SlotReport{Slot: t, Departures: make(map[UserID]econ.Money)}
 
-	bids := make(map[UserID]map[OptID]econ.Money)
-	forced := make(map[OptID]map[UserID]bool)
+	bidders := s.bidders[:0]
 	for id, u := range s.users {
-		if u.granted {
-			f := forced[u.grantedOpt]
-			if f == nil {
-				f = make(map[UserID]bool)
-				forced[u.grantedOpt] = f
-			}
-			f[id] = true
+		if u.granted || t < u.start {
 			continue
 		}
-		if t < u.start {
-			continue
-		}
-		r := u.residual(t)
+		r := u.curve.residual(t)
 		if r <= 0 {
 			continue
 		}
-		m := make(map[OptID]econ.Money, len(u.opts))
-		for _, j := range u.opts {
-			m[j] = r
-		}
-		bids[id] = m
+		bidders = append(bidders, substBidder{user: id, bid: r, opts: u.opts})
 	}
-
-	phases := substPhases(s.opts, bids, forced)
+	phases := substPhases(s.opts, bidders, s.granted, &s.scratch)
+	s.bidders = bidders[:0]
 
 	for _, g := range phases.newGrants {
 		u := s.users[g.User]
 		u.granted = true
 		u.grantedOpt = g.Opt
+		s.granted[g.Opt] = append(s.granted[g.Opt], g.User)
 	}
 	report.NewGrants = phases.newGrants
 	for _, j := range phases.order {
@@ -221,14 +178,14 @@ func (s *SubstOn) AdvanceSlot() SlotReport {
 	sortOpts(report.Implemented)
 
 	for id, u := range s.users {
-		if u.granted && t >= u.start && t <= u.end {
+		if u.granted && t >= u.start && t <= u.curve.end {
 			report.Active = append(report.Active, Grant{User: id, Opt: u.grantedOpt})
 		}
 	}
 	sortGrants(report.Active)
 
 	for id, u := range s.users {
-		if u.paid || u.end != t {
+		if u.paid || u.curve.end != t {
 			continue
 		}
 		u.paid = true
@@ -244,12 +201,6 @@ func (s *SubstOn) AdvanceSlot() SlotReport {
 // of her granted optimization. It returns the payments charged by this
 // call.
 func (s *SubstOn) Close() map[UserID]econ.Money {
-	counts := make(map[OptID]int)
-	for _, u := range s.users {
-		if u.granted {
-			counts[u.grantedOpt]++
-		}
-	}
 	settled := make(map[UserID]econ.Money)
 	for id, u := range s.users {
 		if u.paid {
@@ -257,7 +208,7 @@ func (s *SubstOn) Close() map[UserID]econ.Money {
 		}
 		u.paid = true
 		if u.granted {
-			u.payment = s.optByID[u.grantedOpt].Cost.DivCeil(counts[u.grantedOpt])
+			u.payment = s.optByID[u.grantedOpt].Cost.DivCeil(len(s.granted[u.grantedOpt]))
 		}
 		settled[id] = u.payment
 	}

@@ -14,11 +14,35 @@
 // caller submits bids between slots and calls AdvanceSlot to process the
 // next time slot, receiving a SlotReport of new grants and departures'
 // payments.
+//
+// # Performance architecture
+//
+// Every mechanism bottoms out in the Shapley Value Mechanism, so its inner
+// loop is engineered to be allocation-free:
+//
+//   - Sorted-prefix Shapley invariant: the serviced set is always the
+//     largest k such that the k highest bidders (after forced users) each
+//     bid at least cost.DivCeil(k+forced). One descending sort plus an
+//     O(n) prefix scan (servicedPrefix) replaces the paper's
+//     drop-until-stable iteration; the two are provably equivalent because
+//     survival under iterated dropping is monotone in the bid.
+//   - Suffix-sum residuals: online users store their declared value
+//     function as a dense valueCurve with a cached suffix-sum array, so
+//     the residual Σ_{τ≥t} b(τ) needed every slot is an O(1) lookup.
+//   - Scratch reuse: AddOn and SubstOn keep per-game scratch buffers and
+//     rebuild nothing per slot; a warm AdvanceSlot allocates only its
+//     SlotReport (see the allocation-regression tests in alloc_test.go).
+//
+// The experiments harness layers deterministic parallel trials on top:
+// per-trial RNG seeds are drawn up front from the master seed and trial
+// results are reduced in trial order, so a parallel run is bit-identical
+// to a sequential one.
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"sharedopt/internal/econ"
 )
@@ -80,16 +104,22 @@ func NewOutcome() *Outcome {
 }
 
 // addGrants records that the optimization was implemented with the given
-// serviced users, each paying share.
+// serviced users, each paying share. It takes ownership of users: callers
+// pass freshly allocated slices, which are stored directly when already
+// sorted. The optimization is inserted into Implemented in ID order, so no
+// per-call re-sort of the whole slice is needed.
 func (o *Outcome) addGrants(opt OptID, users []UserID, share econ.Money) {
-	o.Implemented = append(o.Implemented, opt)
-	sorted := append([]UserID(nil), users...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at, _ := slices.BinarySearch(o.Implemented, opt)
+	o.Implemented = slices.Insert(o.Implemented, at, opt)
+	sorted := users
+	if !slices.IsSorted(sorted) {
+		sorted = append([]UserID(nil), users...)
+		sortUsers(sorted)
+	}
 	o.Serviced[opt] = sorted
 	for _, u := range sorted {
 		o.setPayment(u, opt, share)
 	}
-	sort.Slice(o.Implemented, func(i, j int) bool { return o.Implemented[i] < o.Implemented[j] })
 }
 
 func (o *Outcome) setPayment(u UserID, opt OptID, p econ.Money) {
@@ -179,19 +209,19 @@ type SlotReport struct {
 	Departures map[UserID]econ.Money
 }
 
+// The sort helpers use the generic slices package rather than sort.Slice:
+// the generic form does not box a comparison closure, so sorting stays
+// allocation-free on the mechanisms' hot paths.
+
 func sortGrants(gs []Grant) {
-	sort.Slice(gs, func(i, j int) bool {
-		if gs[i].Opt != gs[j].Opt {
-			return gs[i].Opt < gs[j].Opt
+	slices.SortFunc(gs, func(a, b Grant) int {
+		if c := cmp.Compare(a.Opt, b.Opt); c != 0 {
+			return c
 		}
-		return gs[i].User < gs[j].User
+		return cmp.Compare(a.User, b.User)
 	})
 }
 
-func sortUsers(us []UserID) {
-	sort.Slice(us, func(i, j int) bool { return us[i] < us[j] })
-}
+func sortUsers(us []UserID) { slices.Sort(us) }
 
-func sortOpts(os []OptID) {
-	sort.Slice(os, func(i, j int) bool { return os[i] < os[j] })
-}
+func sortOpts(os []OptID) { slices.Sort(os) }

@@ -72,31 +72,34 @@ func AblationEfficiencyAdditive(cfg AblationConfig) (*Figure, error) {
 		SeriesNames: []string{SeriesEfficientUtility, SeriesAddOnUtility,
 			SeriesRegretUtility},
 	}
-	master := stats.NewRNG(cfg.Seed)
-	trialSeeds := make([]uint64, cfg.Trials)
-	for i := range trialSeeds {
-		trialSeeds[i] = master.Uint64()
-	}
+	seeds := trialSeeds(cfg.Seed, cfg.Trials)
+	type trial struct{ eff, mech, reg float64 }
 	for _, cost := range cfg.Costs {
-		var eff, mech, reg stats.Summary
-		for _, ts := range trialSeeds {
-			r := stats.NewRNG(ts)
+		results, err := forEachIndex(len(seeds), func(i int) (trial, error) {
+			r := stats.NewRNG(seeds[i])
 			sc := workload.Collaboration(r, cfg.Users, cfg.Slots, cost)
 			m, err := simulate.RunAddOn(sc)
 			if err != nil {
-				return nil, err
+				return trial{}, err
 			}
 			g, err := simulate.RunRegretAdditive(sc)
 			if err != nil {
-				return nil, err
+				return trial{}, err
 			}
 			bound, err := efficientBoundAdditive(sc)
 			if err != nil {
-				return nil, err
+				return trial{}, err
 			}
-			mech.Add(m.Utility().Dollars())
-			reg.Add(g.Utility().Dollars())
-			eff.Add(bound.Dollars())
+			return trial{bound.Dollars(), m.Utility().Dollars(), g.Utility().Dollars()}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var eff, mech, reg stats.Summary
+		for _, tr := range results {
+			eff.Add(tr.eff)
+			mech.Add(tr.mech)
+			reg.Add(tr.reg)
 		}
 		fig.Add(cost.Dollars(), map[string]float64{
 			SeriesEfficientUtility: eff.Mean(),
@@ -136,23 +139,19 @@ func AblationEfficiencySubstitutive(cfg AblationConfig) (*Figure, error) {
 		SeriesNames: []string{SeriesEfficientUtility, SeriesSubstOnUtility,
 			SeriesRegretUtility},
 	}
-	master := stats.NewRNG(cfg.Seed)
-	trialSeeds := make([]uint64, cfg.Trials)
-	for i := range trialSeeds {
-		trialSeeds[i] = master.Uint64()
-	}
+	seeds := trialSeeds(cfg.Seed, cfg.Trials)
+	type trial struct{ eff, mech, reg float64 }
 	for _, cost := range cfg.Costs {
-		var eff, mech, reg stats.Summary
-		for _, ts := range trialSeeds {
-			r := stats.NewRNG(ts)
+		results, err := forEachIndex(len(seeds), func(i int) (trial, error) {
+			r := stats.NewRNG(seeds[i])
 			sc := workload.Substitutes(r, cfg.Users, cfg.NOpts, cfg.SubsPerUser, cfg.Slots, cost)
 			m, err := simulate.RunSubstOn(sc)
 			if err != nil {
-				return nil, err
+				return trial{}, err
 			}
 			g, err := simulate.RunRegretSubst(sc)
 			if err != nil {
-				return nil, err
+				return trial{}, err
 			}
 			var offline []core.SubstBid
 			for _, b := range sc.Bids {
@@ -164,11 +163,18 @@ func AblationEfficiencySubstitutive(cfg AblationConfig) (*Figure, error) {
 			}
 			bound, err := core.EfficientSubstitutive(sc.Opts, offline)
 			if err != nil {
-				return nil, err
+				return trial{}, err
 			}
-			mech.Add(m.Utility().Dollars())
-			reg.Add(g.Utility().Dollars())
-			eff.Add(bound.Dollars())
+			return trial{bound.Dollars(), m.Utility().Dollars(), g.Utility().Dollars()}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var eff, mech, reg stats.Summary
+		for _, tr := range results {
+			eff.Add(tr.eff)
+			mech.Add(tr.mech)
+			reg.Add(tr.reg)
 		}
 		fig.Add(cost.Dollars(), map[string]float64{
 			SeriesEfficientUtility: eff.Mean(),
@@ -199,38 +205,42 @@ func AblationNaiveGaming(cfg AblationConfig) (*Figure, error) {
 		SeriesNames: []string{SeriesAddOnTruthful, SeriesAddOnHiding,
 			SeriesNaiveTruthful, SeriesNaiveHiding},
 	}
-	master := stats.NewRNG(cfg.Seed)
-	trialSeeds := make([]uint64, cfg.Trials)
-	for i := range trialSeeds {
-		trialSeeds[i] = master.Uint64()
-	}
+	seeds := trialSeeds(cfg.Seed, cfg.Trials)
+	type trial struct{ addTruth, addHide, naiveTruth, naiveHide float64 }
 	for _, cost := range cfg.Costs {
-		var addTruth, addHide, naiveTruth, naiveHide stats.Summary
-		for _, ts := range trialSeeds {
-			r := stats.NewRNG(ts)
+		results, err := forEachIndex(len(seeds), func(i int) (trial, error) {
+			r := stats.NewRNG(seeds[i])
 			truth := workload.MultiSlot(r, cfg.Users, cfg.Slots, cfg.Duration, cost)
 			hiding := workload.HideToLastSlot(truth)
 
 			at, err := simulate.RunAddOn(truth)
 			if err != nil {
-				return nil, err
+				return trial{}, err
 			}
 			ah, err := simulate.RunAddOnStrategic(hiding, truth)
 			if err != nil {
-				return nil, err
+				return trial{}, err
 			}
 			nt, err := simulate.RunNaive(truth)
 			if err != nil {
-				return nil, err
+				return trial{}, err
 			}
 			nh, err := simulate.RunNaiveStrategic(hiding, truth)
 			if err != nil {
-				return nil, err
+				return trial{}, err
 			}
-			addTruth.Add(at.Utility().Dollars())
-			addHide.Add(ah.Utility().Dollars())
-			naiveTruth.Add(nt.Utility().Dollars())
-			naiveHide.Add(nh.Utility().Dollars())
+			return trial{at.Utility().Dollars(), ah.Utility().Dollars(),
+				nt.Utility().Dollars(), nh.Utility().Dollars()}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var addTruth, addHide, naiveTruth, naiveHide stats.Summary
+		for _, tr := range results {
+			addTruth.Add(tr.addTruth)
+			addHide.Add(tr.addHide)
+			naiveTruth.Add(tr.naiveTruth)
+			naiveHide.Add(tr.naiveHide)
 		}
 		fig.Add(cost.Dollars(), map[string]float64{
 			SeriesAddOnTruthful: addTruth.Mean(),

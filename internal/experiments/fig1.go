@@ -113,38 +113,67 @@ func Fig1(cfg Fig1Config) (*Figure, error) {
 		},
 	}
 	spans := workload.AllQuarterSpans(workload.AstroQuarters)
+	type trial struct{ addOn, regU, regB float64 }
 	for _, execs := range cfg.Executions {
-		var addOn, regU, regB stats.Summary
-		eval := func(assignment [workload.AstroUsers]workload.QuarterSpan) error {
+		eval := func(assignment [workload.AstroUsers]workload.QuarterSpan) (trial, error) {
 			sc := build(assignment, execs)
 			m, err := simulate.RunAddOn(sc)
 			if err != nil {
-				return err
+				return trial{}, err
 			}
 			g, err := simulate.RunRegretAdditive(sc)
 			if err != nil {
-				return err
+				return trial{}, err
 			}
-			addOn.Add(m.Utility().Dollars())
-			regU.Add(g.Utility().Dollars())
-			regB.Add(g.Balance().Dollars())
-			return nil
+			return trial{m.Utility().Dollars(), g.Utility().Dollars(), g.Balance().Dollars()}, nil
 		}
+		var results []trial
 		if cfg.Exhaustive {
-			if err := enumerateAssignments(spans, eval); err != nil {
+			// Assignment i is the mixed-radix decoding of i over the
+			// span table, user 0 most significant — the same order the
+			// old recursive enumeration visited, so the reduction below
+			// is bit-identical to it. Decoding per index keeps the
+			// parallel fan-out allocation-free.
+			total := 1
+			for u := 0; u < workload.AstroUsers; u++ {
+				total *= len(spans)
+			}
+			var err error
+			results, err = forEachIndex(total, func(i int) (trial, error) {
+				var assignment [workload.AstroUsers]workload.QuarterSpan
+				x := i
+				for u := workload.AstroUsers - 1; u >= 0; u-- {
+					assignment[u] = spans[x%len(spans)]
+					x /= len(spans)
+				}
+				return eval(assignment)
+			})
+			if err != nil {
 				return nil, err
 			}
 		} else {
+			// Draw all sampled assignments sequentially from the single
+			// RNG first, then evaluate them in parallel.
 			r := stats.NewRNG(cfg.Seed + uint64(execs))
-			for s := 0; s < cfg.Samples; s++ {
-				var assignment [workload.AstroUsers]workload.QuarterSpan
-				for u := range assignment {
-					assignment[u] = spans[r.Intn(len(spans))]
-				}
-				if err := eval(assignment); err != nil {
-					return nil, err
+			assignments := make([][workload.AstroUsers]workload.QuarterSpan, cfg.Samples)
+			for s := range assignments {
+				for u := range assignments[s] {
+					assignments[s][u] = spans[r.Intn(len(spans))]
 				}
 			}
+			var err error
+			results, err = forEachIndex(len(assignments), func(i int) (trial, error) {
+				return eval(assignments[i])
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		var addOn, regU, regB stats.Summary
+		for _, tr := range results {
+			addOn.Add(tr.addOn)
+			regU.Add(tr.regU)
+			regB.Add(tr.regB)
 		}
 		fig.Add(float64(execs), map[string]float64{
 			SeriesAddOnUtility:     addOn.Mean(),
@@ -177,25 +206,4 @@ func deriveAstronomySavings(cfg Fig1Config) ([][]int64, error) {
 		return nil, err
 	}
 	return report.DeriveSavingsCents(18)
-}
-
-// enumerateAssignments calls eval for every one of the |spans|^6
-// assignments of quarter spans to the six astronomers.
-func enumerateAssignments(spans []workload.QuarterSpan,
-	eval func([workload.AstroUsers]workload.QuarterSpan) error) error {
-	var assignment [workload.AstroUsers]workload.QuarterSpan
-	var rec func(u int) error
-	rec = func(u int) error {
-		if u == workload.AstroUsers {
-			return eval(assignment)
-		}
-		for _, sp := range spans {
-			assignment[u] = sp
-			if err := rec(u + 1); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	return rec(0)
 }

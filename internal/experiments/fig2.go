@@ -71,7 +71,9 @@ func Fig2dConfig(trials int, seed uint64) Fig2Config {
 // mechanism and of the Regret baseline (plus Regret's cloud balance) as a
 // function of optimization cost. Common random numbers are used across the
 // cost sweep: trial i replays the same user draws at every cost, so series
-// differences reflect the cost, not sampling noise.
+// differences reflect the cost, not sampling noise. Trials run across all
+// cores; results are reduced in trial order, so the output is bit-identical
+// to a sequential run (see forEachIndex).
 func Fig2(cfg Fig2Config) (*Figure, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -91,42 +93,42 @@ func Fig2(cfg Fig2Config) (*Figure, error) {
 		XLabel:      "Optimization cost ($)",
 		SeriesNames: []string{mechSeries, SeriesRegretUtility, SeriesRegretBalance},
 	}
-	master := stats.NewRNG(cfg.Seed)
-	trialSeeds := make([]uint64, cfg.Trials)
-	for i := range trialSeeds {
-		trialSeeds[i] = master.Uint64()
-	}
+	seeds := trialSeeds(cfg.Seed, cfg.Trials)
+	type trial struct{ mech, regU, regB float64 }
 	for _, cost := range cfg.Costs {
-		var mech, regU, regB stats.Summary
-		for _, ts := range trialSeeds {
-			r := stats.NewRNG(ts)
+		results, err := forEachIndex(len(seeds), func(i int) (trial, error) {
+			r := stats.NewRNG(seeds[i])
 			if cfg.Substitutive {
 				sc := workload.Substitutes(r, cfg.Users, cfg.NOpts, cfg.SubsPerUser, cfg.Slots, cost)
 				m, err := simulate.RunSubstOn(sc)
 				if err != nil {
-					return nil, err
+					return trial{}, err
 				}
 				g, err := simulate.RunRegretSubst(sc)
 				if err != nil {
-					return nil, err
+					return trial{}, err
 				}
-				mech.Add(m.Utility().Dollars())
-				regU.Add(g.Utility().Dollars())
-				regB.Add(g.Balance().Dollars())
-			} else {
-				sc := workload.Collaboration(r, cfg.Users, cfg.Slots, cost)
-				m, err := simulate.RunAddOn(sc)
-				if err != nil {
-					return nil, err
-				}
-				g, err := simulate.RunRegretAdditive(sc)
-				if err != nil {
-					return nil, err
-				}
-				mech.Add(m.Utility().Dollars())
-				regU.Add(g.Utility().Dollars())
-				regB.Add(g.Balance().Dollars())
+				return trial{m.Utility().Dollars(), g.Utility().Dollars(), g.Balance().Dollars()}, nil
 			}
+			sc := workload.Collaboration(r, cfg.Users, cfg.Slots, cost)
+			m, err := simulate.RunAddOn(sc)
+			if err != nil {
+				return trial{}, err
+			}
+			g, err := simulate.RunRegretAdditive(sc)
+			if err != nil {
+				return trial{}, err
+			}
+			return trial{m.Utility().Dollars(), g.Utility().Dollars(), g.Balance().Dollars()}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var mech, regU, regB stats.Summary
+		for _, tr := range results {
+			mech.Add(tr.mech)
+			regU.Add(tr.regU)
+			regB.Add(tr.regB)
 		}
 		fig.Add(cost.Dollars(), map[string]float64{
 			mechSeries:          mech.Mean(),

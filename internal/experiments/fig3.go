@@ -66,32 +66,36 @@ func Fig3(cfg Fig3Config) (*Figure, error) {
 	fig := &Figure{ID: cfg.ID, Title: title, XLabel: xLabel,
 		SeriesNames: []string{SeriesAdvantage}}
 
-	master := stats.NewRNG(cfg.Seed)
-	trialSeeds := make([]uint64, cfg.Trials)
-	for i := range trialSeeds {
-		trialSeeds[i] = master.Uint64()
-	}
+	seeds := trialSeeds(cfg.Seed, cfg.Trials)
 	for x := 1; x <= cfg.MaxX; x++ {
-		var adv stats.Summary
-		for _, cost := range cfg.Costs {
-			for _, ts := range trialSeeds {
-				r := stats.NewRNG(ts)
-				var sc simulate.AdditiveScenario
-				if cfg.ID == "3a" {
-					sc = workload.Collaboration(r, cfg.Users, x, cost)
-				} else {
-					sc = workload.MultiSlot(r, cfg.Users, workload.DefaultSlots, x, cost)
-				}
-				m, err := simulate.RunAddOn(sc)
-				if err != nil {
-					return nil, err
-				}
-				g, err := simulate.RunRegretAdditive(sc)
-				if err != nil {
-					return nil, err
-				}
-				adv.Add(m.Utility().Dollars() - g.Utility().Dollars())
+		// One parallel sweep over the whole (cost, trial) grid at this
+		// x; the reduction below walks results in the sequential
+		// cost-major, trial-minor order, so means are bit-identical.
+		results, err := forEachIndex(len(cfg.Costs)*len(seeds), func(i int) (float64, error) {
+			cost := cfg.Costs[i/len(seeds)]
+			r := stats.NewRNG(seeds[i%len(seeds)])
+			var sc simulate.AdditiveScenario
+			if cfg.ID == "3a" {
+				sc = workload.Collaboration(r, cfg.Users, x, cost)
+			} else {
+				sc = workload.MultiSlot(r, cfg.Users, workload.DefaultSlots, x, cost)
 			}
+			m, err := simulate.RunAddOn(sc)
+			if err != nil {
+				return 0, err
+			}
+			g, err := simulate.RunRegretAdditive(sc)
+			if err != nil {
+				return 0, err
+			}
+			return m.Utility().Dollars() - g.Utility().Dollars(), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var adv stats.Summary
+		for _, d := range results {
+			adv.Add(d)
 		}
 		fig.Add(float64(x), map[string]float64{SeriesAdvantage: adv.Mean()})
 	}

@@ -74,27 +74,30 @@ func Fig4(cfg Fig4Config) (*Figure, *Fig4Raw, error) {
 	for _, name := range order {
 		raw.Mean[name] = make([]float64, len(cfg.Costs))
 	}
-	master := stats.NewRNG(cfg.Seed)
-	trialSeeds := make([]uint64, cfg.Trials)
-	for i := range trialSeeds {
-		trialSeeds[i] = master.Uint64()
-	}
+	seeds := trialSeeds(cfg.Seed, cfg.Trials)
+	type trial struct{ mech, reg float64 }
 	for ci, cost := range cfg.Costs {
 		for _, a := range arrivals {
-			var mech, reg stats.Summary
-			for _, ts := range trialSeeds {
-				r := stats.NewRNG(ts)
+			results, err := forEachIndex(len(seeds), func(i int) (trial, error) {
+				r := stats.NewRNG(seeds[i])
 				sc := workload.Skewed(r, cfg.Users, cfg.Slots, cost, a.proc)
 				m, err := simulate.RunAddOn(sc)
 				if err != nil {
-					return nil, nil, err
+					return trial{}, err
 				}
 				g, err := simulate.RunRegretAdditive(sc)
 				if err != nil {
-					return nil, nil, err
+					return trial{}, err
 				}
-				mech.Add(m.Utility().Dollars())
-				reg.Add(g.Utility().Dollars())
+				return trial{m.Utility().Dollars(), g.Utility().Dollars()}, nil
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			var mech, reg stats.Summary
+			for _, tr := range results {
+				mech.Add(tr.mech)
+				reg.Add(tr.reg)
 			}
 			raw.Mean[a.mech][ci] = mech.Mean()
 			raw.Mean[a.regret][ci] = reg.Mean()

@@ -56,26 +56,29 @@ func Fig5(cfg Fig5Config) (*Figure, error) {
 		XLabel:      "Optimization cost ($)",
 		SeriesNames: []string{SeriesSubstOnUtility, SeriesRegretUtility},
 	}
-	master := stats.NewRNG(cfg.Seed)
-	trialSeeds := make([]uint64, cfg.Trials)
-	for i := range trialSeeds {
-		trialSeeds[i] = master.Uint64()
-	}
+	seeds := trialSeeds(cfg.Seed, cfg.Trials)
+	type trial struct{ mech, reg float64 }
 	for _, cost := range cfg.Costs {
-		var mech, reg stats.Summary
-		for _, ts := range trialSeeds {
-			r := stats.NewRNG(ts)
+		results, err := forEachIndex(len(seeds), func(i int) (trial, error) {
+			r := stats.NewRNG(seeds[i])
 			sc := workload.Substitutes(r, cfg.Users, cfg.NOpts, cfg.SubsPerUser, cfg.Slots, cost)
 			m, err := simulate.RunSubstOn(sc)
 			if err != nil {
-				return nil, err
+				return trial{}, err
 			}
 			g, err := simulate.RunRegretSubst(sc)
 			if err != nil {
-				return nil, err
+				return trial{}, err
 			}
-			mech.Add(m.Utility().Dollars())
-			reg.Add(g.Utility().Dollars())
+			return trial{m.Utility().Dollars(), g.Utility().Dollars()}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var mech, reg stats.Summary
+		for _, tr := range results {
+			mech.Add(tr.mech)
+			reg.Add(tr.reg)
 		}
 		fig.Add(cost.Dollars(), map[string]float64{
 			SeriesSubstOnUtility: mech.Mean(),

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sharedopt/internal/stats"
+)
+
+// forEachIndex runs fn(i) for every i in [0, n) across up to
+// runtime.GOMAXPROCS workers and returns the results in index order.
+//
+// This is the determinism backbone of the parallel experiment harness:
+// each trial's randomness comes from its own RNG seeded deterministically
+// from (master seed, trial index) before the fan-out, and the caller
+// reduces the returned slice in index order, so floating-point summaries
+// accumulate in exactly the same order as a sequential loop and the
+// parallel run is bit-identical to it.
+//
+// If any fn returns an error, the error with the lowest index is returned
+// (again matching what a sequential loop would have reported first).
+func forEachIndex[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// trialSeeds derives one RNG seed per trial from the master seed. Seeds
+// are drawn sequentially up front so that trial i's stream is a pure
+// function of (seed, i), independent of how trials are later scheduled
+// across workers.
+func trialSeeds(seed uint64, trials int) []uint64 {
+	master := stats.NewRNG(seed)
+	out := make([]uint64, trials)
+	for i := range out {
+		out[i] = master.Uint64()
+	}
+	return out
+}
