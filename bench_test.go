@@ -8,12 +8,9 @@ package sharedopt
 import (
 	"testing"
 
-	"sharedopt/internal/astro"
 	"sharedopt/internal/benchkit"
 	"sharedopt/internal/core"
-	"sharedopt/internal/engine"
 	"sharedopt/internal/experiments"
-	"sharedopt/internal/stats"
 	"sharedopt/internal/workload"
 )
 
@@ -101,43 +98,23 @@ func BenchmarkAddOnGame(b *testing.B) { benchkit.AddOnGame()(b) }
 // users over 12 optimizations — one Figure 2(d) trial.
 func BenchmarkSubstOnGame(b *testing.B) { benchkit.SubstOnGame()(b) }
 
-// BenchmarkEngineHashJoin measures a 10k × 10k hash join through the
-// query engine.
-func BenchmarkEngineHashJoin(b *testing.B) {
-	r := stats.NewRNG(4)
-	left := engine.NewTable("l", engine.Schema{{Name: "k", Type: engine.Int64}})
-	right := engine.NewTable("r", engine.Schema{{Name: "k", Type: engine.Int64},
-		{Name: "v", Type: engine.Int64}})
-	for i := 0; i < 10_000; i++ {
-		left.MustAppend(engine.Row{engine.I(r.Int63n(5000))})
-		right.MustAppend(engine.Row{engine.I(r.Int63n(5000)), engine.I(int64(i))})
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		meter := engine.NewMeter(engine.DefaultCostModel())
-		if _, err := engine.Scan(left, meter).
-			HashJoin(engine.Scan(right, meter), "k", "k").
-			GroupCount("k").Rows(); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+// BenchmarkEngineHashJoin measures a 10k × 10k hash join plus grouped
+// count through the columnar query engine.
+func BenchmarkEngineHashJoin(b *testing.B) { benchkit.EngineHashJoin()(b) }
 
 // BenchmarkHaloFinder measures friends-of-friends clustering of one
-// 4000-particle snapshot.
-func BenchmarkHaloFinder(b *testing.B) {
-	cfg := astro.DefaultConfig()
-	u, err := astro.Generate(cfg)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := astro.FindHalos(u.Tables[0], 1.8, 8, nil); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+// 4000-particle snapshot with a freshly constructed finder per call.
+func BenchmarkHaloFinder(b *testing.B) { benchkit.HaloFinder(false)(b) }
+
+// BenchmarkHaloFinderWarm measures the same clustering with one reused
+// HaloFinder — the tracking workload's per-snapshot call pattern, where
+// the grid, union-find, and component scratch persist.
+func BenchmarkHaloFinderWarm(b *testing.B) { benchkit.HaloFinder(true)(b) }
+
+// BenchmarkAstroWorkload measures one end-to-end astronomy tracking
+// workload (fresh tracker, every snapshot clustered, stride-1 progenitor
+// and chain queries) on a reduced universe.
+func BenchmarkAstroWorkload(b *testing.B) { benchkit.AstroWorkload()(b) }
 
 // BenchmarkAstronomyScenario measures pricing one full astronomy-year
 // scenario (27 views, 4 quarters, 6 users) with AddOn.

@@ -1,12 +1,17 @@
-// Command benchjson runs the repo's key mechanism micro-benchmarks
-// in-process (the same bodies bench_test.go wraps) and writes the
-// measurements as JSON, so every PR can commit a BENCH_*.json snapshot
-// and the perf trajectory stays machine-readable.
+// Command benchjson runs the repo's key benchmarks in-process (the same
+// bodies bench_test.go wraps) and writes the measurements as JSON, so
+// every PR can commit a BENCH_*.json snapshot and the perf trajectory
+// stays machine-readable. With -baseline it additionally diffs the fresh
+// run against a committed snapshot and exits nonzero on any ns/op
+// regression beyond the threshold — the CI guard against silently
+// losing a hot-path win.
 //
 // Usage:
 //
-//	benchjson                 # JSON to stdout
-//	benchjson -o BENCH.json   # JSON to a file
+//	benchjson                                  # JSON to stdout
+//	benchjson -o BENCH.json                    # JSON to a file
+//	benchjson -baseline BENCH_PR2.json         # fail on >30% regressions
+//	benchjson -baseline B.json -threshold 0.5  # custom threshold
 package main
 
 import (
@@ -19,23 +24,33 @@ import (
 	"sharedopt/internal/benchkit"
 )
 
-// snapshot is the file format of a BENCH_*.json perf snapshot.
+// snapshot is the file format of a BENCH_*.json perf snapshot. Committed
+// snapshots may carry extra hand-written fields (method notes,
+// before/after tables); only these keys are machine-read.
 type snapshot struct {
 	GoVersion  string            `json:"go_version"`
 	GOMAXPROCS int               `json:"gomaxprocs"`
 	Results    []benchkit.Result `json:"results"`
 }
 
+// errRegression signals a baseline diff failure already reported to
+// stderr.
+var errRegression = fmt.Errorf("benchmark regression against baseline")
+
 func main() {
-	out := flag.String("o", "", "output file (default stdout)")
+	var (
+		out       = flag.String("o", "", "output file (default stdout)")
+		baseline  = flag.String("baseline", "", "committed BENCH_*.json snapshot to diff against")
+		threshold = flag.Float64("threshold", 0.30, "ns/op regression tolerance as a fraction (with -baseline)")
+	)
 	flag.Parse()
-	if err := run(*out); err != nil {
+	if err := run(*out, *baseline, *threshold); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string) error {
+func run(out, baseline string, threshold float64) error {
 	snap := snapshot{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -47,8 +62,49 @@ func run(out string) error {
 	}
 	data = append(data, '\n')
 	if out == "" {
-		_, err = os.Stdout.Write(data)
+		if _, err := os.Stdout.Write(data); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(out, data, 0o644); err != nil {
 		return err
 	}
-	return os.WriteFile(out, data, 0o644)
+	if baseline == "" {
+		return nil
+	}
+	base, err := loadSnapshot(baseline)
+	if err != nil {
+		return err
+	}
+	return diffAgainst(os.Stderr, base.Results, snap.Results, threshold)
+}
+
+// loadSnapshot reads a committed BENCH_*.json file.
+func loadSnapshot(path string) (snapshot, error) {
+	var snap snapshot
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return snap, err
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return snap, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	if len(snap.Results) == 0 {
+		return snap, fmt.Errorf("baseline %s has no machine-readable results", path)
+	}
+	return snap, nil
+}
+
+// diffAgainst reports regressions of current vs baseline to w and
+// returns errRegression if any exceeded the threshold.
+func diffAgainst(w *os.File, baseline, current []benchkit.Result, threshold float64) error {
+	msgs := benchkit.Regressions(baseline, current, threshold)
+	for _, m := range msgs {
+		fmt.Fprintln(w, "benchjson: regression:", m)
+	}
+	if len(msgs) > 0 {
+		return errRegression
+	}
+	fmt.Fprintf(w, "benchjson: no ns/op regression beyond %.0f%% against baseline (%d benchmarks)\n",
+		threshold*100, len(baseline))
+	return nil
 }

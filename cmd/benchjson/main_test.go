@@ -43,12 +43,45 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	}
 }
 
-// The benchmark registry must contain the five tracked benchmarks so a
+// Loading a baseline tolerates the extra hand-written fields committed
+// snapshots carry, and rejects files with no machine-readable results.
+func TestLoadSnapshotHandWrittenFields(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_X.json")
+	blob := `{
+  "pr": 2,
+  "method": "notes for humans",
+  "go_version": "go1.24",
+  "gomaxprocs": 1,
+  "benchmarks": [{"name": "ignored", "before": {}, "after": {}}],
+  "results": [{"name": "SubstOnGame", "iterations": 10, "ns_per_op": 100.0}]
+}`
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := loadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Results) != 1 || snap.Results[0].Name != "SubstOnGame" {
+		t.Fatalf("results = %+v", snap.Results)
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"results": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadSnapshot(empty); err == nil {
+		t.Fatal("baseline without results accepted")
+	}
+}
+
+// The benchmark registry must contain every tracked benchmark so a
 // future edit cannot silently drop one from the perf trajectory.
 func TestKeyBenchmarksRegistered(t *testing.T) {
 	want := map[string]bool{
 		"Shapley1k": true, "Shapley10k": true, "Shapley100k": true,
 		"AddOnGame": true, "SubstOnGame": true,
+		"EngineHashJoin": true, "HaloFinder": true, "HaloFinderWarm": true,
+		"AstroWorkload": true,
 	}
 	for _, kb := range benchkit.Key() {
 		if !want[kb.Name] {

@@ -21,23 +21,73 @@ type Assignment struct {
 // NumHalos returns the number of halos found.
 func (a *Assignment) NumHalos() int { return len(a.Sizes) }
 
-// FindHalos runs a grid-accelerated friends-of-friends clustering over a
-// particle snapshot: particles within linkLen of each other belong to the
-// same group, and groups with at least minMembers particles become halos.
-// The search hashes particles into cells of side linkLen and only tests
-// pairs in adjacent cells, the standard FoF accelerator.
+// HaloFinder runs grid-accelerated friends-of-friends clustering over
+// particle snapshots: particles within LinkLen of each other belong to
+// the same group, and groups with at least MinMembers particles become
+// halos. The search hashes particles into cells of side LinkLen and only
+// tests pairs in adjacent cells, the standard FoF accelerator.
 //
-// Work is metered: one scan per particle (reading positions), one build
-// per particle (cell hashing and union-find bookkeeping), one probe per
-// candidate pair distance test. Clustering dominates the cost of tracking
-// queries when no materialized assignment view exists — that expense is
-// exactly what the paper's optimizations remove.
-func FindHalos(tbl *engine.Table, linkLen float64, minMembers int, meter *engine.Meter) (*Assignment, error) {
+// The grid is a flat sorted cell-key array (not a map): particles are
+// sorted by packed cell key, neighbor cells are found by binary search,
+// and the three z-adjacent cells of each (dx,dy) column share one search
+// because their keys are consecutive. All grid, union-find, and
+// component scratch is retained inside the finder, so reusing one finder
+// across snapshots — the tracking workload calls it once per snapshot —
+// makes a warm Find allocate only its result.
+//
+// Work is metered exactly as the original per-call implementation: one
+// scan per particle (reading positions), one build per particle (cell
+// hashing and union-find bookkeeping), one probe per candidate pair
+// distance test. Clustering dominates the cost of tracking queries when
+// no materialized assignment view exists — that expense is exactly what
+// the paper's optimizations remove.
+type HaloFinder struct {
+	// LinkLen is the friends-of-friends linking length.
+	LinkLen float64
+	// MinMembers is the minimum group size that counts as a halo.
+	MinMembers int
+
+	// Per-call scratch, reused across Find calls.
+	cx, cy, cz []int32  // per-particle cell coordinates
+	keys       []uint64 // per-particle packed (biased) cell key
+	order      []int32  // particle ids sorted by (key, id)
+	cellKeys   []uint64 // unique sorted cell keys
+	cellStart  []int32  // cellKeys[i]'s range in order is [cellStart[i], cellStart[i+1])
+	gx, gy, gz []float64 // coordinates gathered into cell-sorted order
+	orderTmp   []int32   // radix-sort scratch
+	cellIdx    []int32   // per-particle index into cellKeys
+	ranges     []int32   // per-cell 9 neighbor-column ranges in order space
+	uf         unionFind // union-find forest, reset per call
+	rootSize   []int32   // component size per root
+	comps      []haloComp
+	haloOf     []int32 // root -> halo id, -1 otherwise
+}
+
+type haloComp struct {
+	root, size int32
+}
+
+// NewHaloFinder returns a finder with the given FoF parameters. The
+// finder is not safe for concurrent use; create one per goroutine.
+func NewHaloFinder(linkLen float64, minMembers int) *HaloFinder {
+	return &HaloFinder{LinkLen: linkLen, MinMembers: minMembers}
+}
+
+// keyBits is the per-axis width of a packed cell coordinate: the cell
+// grid of one snapshot may span at most 2^21−3 cells per axis (with
+// coordinates measured in units of LinkLen, far beyond any physical
+// snapshot).
+const keyBits = 21
+
+// Find clusters one snapshot and returns a freshly allocated Assignment;
+// everything else lives in the finder's reusable scratch.
+func (f *HaloFinder) Find(tbl *engine.Table, meter *engine.Meter) (*Assignment, error) {
+	linkLen := f.LinkLen
 	if linkLen <= 0 {
 		return nil, fmt.Errorf("astro: linking length %v", linkLen)
 	}
-	if minMembers < 1 {
-		return nil, fmt.Errorf("astro: min members %d", minMembers)
+	if f.MinMembers < 1 {
+		return nil, fmt.Errorf("astro: min members %d", f.MinMembers)
 	}
 	xs, err := tbl.FloatCol("x")
 	if err != nil {
@@ -56,37 +106,161 @@ func FindHalos(tbl *engine.Table, linkLen float64, minMembers int, meter *engine
 		meter.RowsScanned += int64(n)
 	}
 
-	type cell struct{ cx, cy, cz int32 }
-	grid := make(map[cell][]int32, n)
-	at := func(p int32) cell {
-		return cell{int32(xs[p] / linkLen), int32(ys[p] / linkLen), int32(zs[p] / linkLen)}
+	// Cell coordinates (truncated toward zero, as the original map grid
+	// did) and packed keys biased so neighbor offsets of ±1 stay in
+	// range.
+	f.cx = grow(f.cx, n)
+	f.cy = grow(f.cy, n)
+	f.cz = grow(f.cz, n)
+	f.keys = grow(f.keys, n)
+	var minX, minY, minZ, maxX, maxY, maxZ int32
+	for p := 0; p < n; p++ {
+		x, y, z := int32(xs[p]/linkLen), int32(ys[p]/linkLen), int32(zs[p]/linkLen)
+		f.cx[p], f.cy[p], f.cz[p] = x, y, z
+		if p == 0 {
+			minX, minY, minZ = x, y, z
+			maxX, maxY, maxZ = x, y, z
+			continue
+		}
+		minX, maxX = min(minX, x), max(maxX, x)
+		minY, maxY = min(minY, y), max(maxY, y)
+		minZ, maxZ = min(minZ, z), max(maxZ, z)
 	}
-	for p := int32(0); p < int32(n); p++ {
-		c := at(p)
-		grid[c] = append(grid[c], p)
+	const maxExtent = 1<<keyBits - 3
+	if n > 0 && (int64(maxX)-int64(minX) > maxExtent ||
+		int64(maxY)-int64(minY) > maxExtent ||
+		int64(maxZ)-int64(minZ) > maxExtent) {
+		return nil, fmt.Errorf("astro: snapshot spans more than 2^%d-3 cells per axis", keyBits)
 	}
+	// Bias leaves room for the −1 neighbor offset.
+	biasX, biasY, biasZ := minX-1, minY-1, minZ-1
+	pack := func(x, y, z int32) uint64 {
+		return uint64(x-biasX)<<(2*keyBits) | uint64(y-biasY)<<keyBits | uint64(z-biasZ)
+	}
+	var maxKey uint64
+	for p := 0; p < n; p++ {
+		k := pack(f.cx[p], f.cy[p], f.cz[p])
+		f.keys[p] = k
+		if k > maxKey {
+			maxKey = k
+		}
+	}
+
+	// Sort particles by cell key, ties by particle id, so each cell's
+	// run lists its particles in ascending id order — the same order the
+	// map grid's append produced. LSD radix over the used key bytes is
+	// stable, so starting from ascending ids preserves the id tie-break
+	// without a comparator.
+	f.order = grow(f.order, n)
+	for p := range f.order {
+		f.order[p] = int32(p)
+	}
+	f.orderTmp = grow(f.orderTmp, n)
+	keys := f.keys
+	src, dst := f.order, f.orderTmp
+	for shift := 0; n > 0 && (shift == 0 || maxKey>>shift != 0); shift += 8 {
+		var counts [257]int32
+		for _, p := range src {
+			counts[byte(keys[p]>>shift)+1]++
+		}
+		for b := 1; b < len(counts); b++ {
+			counts[b] += counts[b-1]
+		}
+		for _, p := range src {
+			b := byte(keys[p] >> shift)
+			dst[counts[b]] = p
+			counts[b]++
+		}
+		src, dst = dst, src
+	}
+	if n > 0 && &src[0] != &f.order[0] {
+		copy(f.order, src)
+	}
+	// Unique cells and their ranges in order.
+	f.cellKeys = f.cellKeys[:0]
+	f.cellStart = f.cellStart[:0]
+	for i := 0; i < n; i++ {
+		k := keys[f.order[i]]
+		if len(f.cellKeys) == 0 || f.cellKeys[len(f.cellKeys)-1] != k {
+			f.cellKeys = append(f.cellKeys, k)
+			f.cellStart = append(f.cellStart, int32(i))
+		}
+	}
+	f.cellStart = append(f.cellStart, int32(n))
 	if meter != nil {
 		meter.RowsBuilt += int64(n)
 	}
 
-	uf := newUnionFind(n)
+	// Gather coordinates into cell-sorted order so the candidate loop
+	// reads contiguous memory, and record each particle's cell so the
+	// nine neighbor-column ranges can be memoized per cell rather than
+	// re-searched per particle.
+	f.gx = grow(f.gx, n)
+	f.gy = grow(f.gy, n)
+	f.gz = grow(f.gz, n)
+	for i, q := range f.order {
+		f.gx[i], f.gy[i], f.gz[i] = xs[q], ys[q], zs[q]
+	}
+	numCells := len(f.cellKeys)
+	f.cellIdx = grow(f.cellIdx, n)
+	for ci := 0; ci < numCells; ci++ {
+		for _, q := range f.order[f.cellStart[ci]:f.cellStart[ci+1]] {
+			f.cellIdx[q] = int32(ci)
+		}
+	}
+	f.ranges = grow(f.ranges, numCells*18)
+	f.computeAllRanges()
+
+	// Union-find over all candidate pairs. Particles sorted by packed
+	// key list each (dx,dy) column's three z-adjacent cells — and hence
+	// its candidates — as one contiguous run of order, because their
+	// keys are consecutive; the run bounds are found once per cell. The
+	// iteration visits exactly the pairs, in exactly the order, of the
+	// original per-particle 27-cell map walk, so the probe count and the
+	// union-find link decisions (which fix halo numbering) are
+	// byte-for-byte reproducible.
+	f.uf.reset(n)
 	link2 := linkLen * linkLen
 	var pairTests int64
+	order, gx, gy, gz := f.order, f.gx, f.gy, f.gz
+	ranges, parent := f.ranges, f.uf.parent
 	for p := int32(0); p < int32(n); p++ {
-		c := at(p)
-		for dx := int32(-1); dx <= 1; dx++ {
-			for dy := int32(-1); dy <= 1; dy++ {
-				for dz := int32(-1); dz <= 1; dz++ {
-					for _, q := range grid[cell{c.cx + dx, c.cy + dy, c.cz + dz}] {
-						if q <= p {
-							continue // test each pair once
-						}
-						pairTests++
-						ddx := xs[p] - xs[q]
-						ddy := ys[p] - ys[q]
-						ddz := zs[p] - zs[q]
-						if ddx*ddx+ddy*ddy+ddz*ddz <= link2 {
-							uf.union(int(p), int(q))
+		base := int(f.cellIdx[p]) * 18
+		px, py, pz := xs[p], ys[p], zs[p]
+		rp := int32(-1) // p's root, found lazily on first link
+		for col := 0; col < 9; col++ {
+			a, b := ranges[base+2*col], ranges[base+2*col+1]
+			for i := a; i < b; i++ {
+				q := order[i]
+				if q <= p {
+					continue // test each pair once
+				}
+				pairTests++
+				ddx := px - gx[i]
+				ddy := py - gy[i]
+				ddz := pz - gz[i]
+				if ddx*ddx+ddy*ddy+ddz*ddz <= link2 {
+					if rp < 0 {
+						rp = int32(f.uf.find(int(p)))
+					}
+					if parent[q] == rp {
+						continue // already in p's component
+					}
+					rq := int32(f.uf.find(int(q)))
+					if rp != rq {
+						// Inline rank link, keeping rp current: path
+						// compression never changes roots, so caching
+						// p's root preserves the reference's exact
+						// link decisions.
+						switch {
+						case f.uf.rank[rp] < f.uf.rank[rq]:
+							parent[rp] = rq
+							rp = rq
+						case f.uf.rank[rp] > f.uf.rank[rq]:
+							parent[rq] = rp
+						default:
+							parent[rq] = rp
+							f.uf.rank[rp]++
 						}
 					}
 				}
@@ -99,54 +273,100 @@ func FindHalos(tbl *engine.Table, linkLen float64, minMembers int, meter *engine
 
 	// Collect components of sufficient size, ordered by size descending
 	// (ties by smallest root for determinism).
-	counts := make(map[int]int)
+	f.rootSize = grow(f.rootSize, n)
+	clear(f.rootSize)
 	for p := 0; p < n; p++ {
-		counts[uf.find(p)]++
+		f.rootSize[f.uf.find(p)]++
 	}
-	type comp struct {
-		root, size int
-	}
-	comps := make([]comp, 0, len(counts))
-	for root, size := range counts {
-		if size >= minMembers {
-			comps = append(comps, comp{root, size})
+	f.comps = f.comps[:0]
+	for root, size := range f.rootSize {
+		if int(size) >= f.MinMembers {
+			f.comps = append(f.comps, haloComp{root: int32(root), size: size})
 		}
 	}
-	sort.Slice(comps, func(i, j int) bool {
-		if comps[i].size != comps[j].size {
-			return comps[i].size > comps[j].size
+	sort.Slice(f.comps, func(i, j int) bool {
+		if f.comps[i].size != f.comps[j].size {
+			return f.comps[i].size > f.comps[j].size
 		}
-		return comps[i].root < comps[j].root
+		return f.comps[i].root < f.comps[j].root
 	})
-	haloOf := make(map[int]int32, len(comps))
-	sizes := make([]int, len(comps))
-	for h, cmp := range comps {
-		haloOf[cmp.root] = int32(h)
-		sizes[h] = cmp.size
+	f.haloOf = grow(f.haloOf, n)
+	for i := range f.haloOf {
+		f.haloOf[i] = -1
+	}
+	sizes := make([]int, len(f.comps))
+	for h, cmp := range f.comps {
+		f.haloOf[cmp.root] = int32(h)
+		sizes[h] = int(cmp.size)
 	}
 	assign := &Assignment{Halo: make([]int32, n), Sizes: sizes}
 	for p := 0; p < n; p++ {
-		if h, ok := haloOf[uf.find(p)]; ok {
-			assign.Halo[p] = h
-		} else {
-			assign.Halo[p] = -1
-		}
+		assign.Halo[p] = f.haloOf[f.uf.find(p)]
 	}
 	return assign, nil
 }
 
-// unionFind is a weighted quick-union with path halving.
+// computeAllRanges fills every cell's nine neighbor-column ranges: for
+// each (dx,dy) offset, the contiguous span of order covering the three
+// z-adjacent cells, whose packed keys are lo..lo+2. Because cellKeys is
+// sorted and each column's lo is cellKeys[ci] plus a fixed delta, each
+// of the nine columns is one monotone two-pointer sweep — no binary
+// searches.
+func (f *HaloFinder) computeAllRanges() {
+	numCells := len(f.cellKeys)
+	col := 0
+	for dx := int64(-1); dx <= 1; dx++ {
+		for dy := int64(-1); dy <= 1; dy++ {
+			delta := dx<<(2*keyBits) + dy<<keyBits - 1
+			cj, ck := 0, 0
+			for ci := 0; ci < numCells; ci++ {
+				lo := uint64(int64(f.cellKeys[ci]) + delta)
+				for cj < numCells && f.cellKeys[cj] < lo {
+					cj++
+				}
+				if ck < cj {
+					ck = cj
+				}
+				for ck < numCells && f.cellKeys[ck] <= lo+2 {
+					ck++
+				}
+				f.ranges[ci*18+2*col] = f.cellStart[cj]
+				f.ranges[ci*18+2*col+1] = f.cellStart[ck]
+			}
+			col++
+		}
+	}
+}
+
+// grow returns s resized to n, reusing capacity.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// unionFind is a weighted quick-union with path halving. The zero value
+// is ready for reset.
 type unionFind struct {
 	parent []int32
 	rank   []int8
 }
 
 func newUnionFind(n int) *unionFind {
-	uf := &unionFind{parent: make([]int32, n), rank: make([]int8, n)}
+	uf := &unionFind{}
+	uf.reset(n)
+	return uf
+}
+
+// reset reinitializes the forest to n singletons, reusing capacity.
+func (uf *unionFind) reset(n int) {
+	uf.parent = grow(uf.parent, n)
+	uf.rank = grow(uf.rank, n)
 	for i := range uf.parent {
 		uf.parent[i] = int32(i)
+		uf.rank[i] = 0
 	}
-	return uf
 }
 
 func (uf *unionFind) find(p int) int {
@@ -171,6 +391,14 @@ func (uf *unionFind) union(p, q int) {
 		uf.parent[rq] = int32(rp)
 		uf.rank[rp]++
 	}
+}
+
+// FindHalos clusters one snapshot with a freshly constructed finder —
+// the one-shot convenience wrapper around HaloFinder, kept for callers
+// that cluster a single snapshot. Reuse a HaloFinder when clustering
+// many snapshots.
+func FindHalos(tbl *engine.Table, linkLen float64, minMembers int, meter *engine.Meter) (*Assignment, error) {
+	return NewHaloFinder(linkLen, minMembers).Find(tbl, meter)
 }
 
 // AssignmentTable converts an assignment into the (pid, haloID) relation

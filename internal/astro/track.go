@@ -23,7 +23,11 @@ type Tracker struct {
 	// MinMembers is the minimum FoF group size that counts as a halo.
 	MinMembers int
 
-	cache map[int]*cachedAssignment
+	// finder is reused across snapshots so its grid, union-find, and
+	// component scratch is allocated once per tracker, not once per
+	// clustering.
+	finder *HaloFinder
+	cache  map[int]*cachedAssignment
 }
 
 type cachedAssignment struct {
@@ -41,6 +45,7 @@ func NewTracker(u *Universe, linkLen float64, minMembers int) *Tracker {
 		catalog:    engine.NewCatalog(),
 		LinkLen:    linkLen,
 		MinMembers: minMembers,
+		finder:     NewHaloFinder(linkLen, minMembers),
 		cache:      make(map[int]*cachedAssignment),
 	}
 }
@@ -97,7 +102,8 @@ func (tr *Tracker) assignment(snapshot int, meter *engine.Meter) (*engine.Table,
 		return nil, err
 	}
 	var cost engine.Meter
-	assign, err := FindHalos(tbl, tr.LinkLen, tr.MinMembers, &cost)
+	tr.finder.LinkLen, tr.finder.MinMembers = tr.LinkLen, tr.MinMembers
+	assign, err := tr.finder.Find(tbl, &cost)
 	if err != nil {
 		return nil, err
 	}

@@ -1,16 +1,21 @@
-// Package benchkit defines the repo's key mechanism micro-benchmarks as
-// reusable bodies, so that bench_test.go at the module root can wrap them
-// in go-test benchmarks and cmd/benchjson can run the same code in-process
-// via testing.Benchmark to emit BENCH_*.json perf snapshots. Keeping one
-// definition for both consumers guarantees the JSON trajectory tracks
-// exactly what `go test -bench` measures.
+// Package benchkit defines the repo's key mechanism, engine, and
+// workload benchmarks as reusable bodies, so that bench_test.go at the
+// module root can wrap them in go-test benchmarks and cmd/benchjson can
+// run the same code in-process via testing.Benchmark to emit BENCH_*.json
+// perf snapshots. Keeping one definition for both consumers guarantees
+// the JSON trajectory tracks exactly what `go test -bench` measures, and
+// Regressions lets CI diff a fresh run against a committed snapshot.
 package benchkit
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
+	"sharedopt/internal/astro"
 	"sharedopt/internal/core"
 	"sharedopt/internal/econ"
+	"sharedopt/internal/engine"
 	"sharedopt/internal/stats"
 	"sharedopt/internal/workload"
 )
@@ -100,6 +105,93 @@ func SubstOnGame() func(b *testing.B) {
 	}
 }
 
+// EngineHashJoin returns the benchmark body for a 10k × 10k hash join
+// plus grouped count through the columnar query engine.
+func EngineHashJoin() func(b *testing.B) {
+	return func(b *testing.B) {
+		r := stats.NewRNG(4)
+		left := engine.NewTable("l", engine.Schema{{Name: "k", Type: engine.Int64}})
+		right := engine.NewTable("r", engine.Schema{{Name: "k", Type: engine.Int64},
+			{Name: "v", Type: engine.Int64}})
+		for i := 0; i < 10_000; i++ {
+			left.MustAppend(engine.Row{engine.I(r.Int63n(5000))})
+			right.MustAppend(engine.Row{engine.I(r.Int63n(5000)), engine.I(int64(i))})
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			meter := engine.NewMeter(engine.DefaultCostModel())
+			if _, err := engine.Scan(left, meter).
+				HashJoin(engine.Scan(right, meter), "k", "k").
+				GroupCount("k").Rows(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchUniverse lazily generates the default 4000-particle universe the
+// halo-finder benchmarks cluster, so its (expensive) generation is paid
+// once per process rather than once per measurement.
+var benchUniverse = sync.OnceValues(func() (*astro.Universe, error) {
+	return astro.Generate(astro.DefaultConfig())
+})
+
+// HaloFinder returns the benchmark body for friends-of-friends
+// clustering of one 4000-particle snapshot. warm reuses one HaloFinder
+// (grid, union-find, and component scratch retained) across iterations —
+// the tracking workload's per-snapshot call pattern; fresh constructs a
+// finder per call.
+func HaloFinder(warm bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		u, err := benchUniverse()
+		if err != nil {
+			b.Fatal(err)
+		}
+		f := astro.NewHaloFinder(1.8, 8)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !warm {
+				f = astro.NewHaloFinder(1.8, 8)
+			}
+			if _, err := f.Find(u.Tables[0], nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// AstroWorkload returns the benchmark body for one end-to-end astronomy
+// tracking workload: a fresh tracker clusters every snapshot of a
+// reduced universe and runs one stride-1 astronomer's progenitor and
+// chain queries through the engine — the workload whose metered cost
+// feeds the pricing experiments.
+func AstroWorkload() func(b *testing.B) {
+	cfg := astro.DefaultConfig()
+	cfg.Particles = 1500
+	cfg.Snapshots = 8
+	var once sync.Once
+	var u *astro.Universe
+	var genErr error
+	return func(b *testing.B) {
+		once.Do(func() { u, genErr = astro.Generate(cfg) })
+		if genErr != nil {
+			b.Fatal(genErr)
+		}
+		spec := astro.UserSpec{Name: "bench", Stride: 1, Halos: []int32{0, 1}}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr := astro.NewTracker(u, 1.8, 8)
+			meter := engine.NewMeter(engine.DefaultCostModel())
+			if err := tr.RunWorkload(spec, meter); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // Key lists the benchmarks tracked in the BENCH_*.json perf trajectory.
 func Key() []struct {
 	Name string
@@ -114,7 +206,41 @@ func Key() []struct {
 		{"Shapley100k", Shapley(100_000)},
 		{"AddOnGame", AddOnGame()},
 		{"SubstOnGame", SubstOnGame()},
+		{"EngineHashJoin", EngineHashJoin()},
+		{"HaloFinder", HaloFinder(false)},
+		{"HaloFinderWarm", HaloFinder(true)},
+		{"AstroWorkload", AstroWorkload()},
 	}
+}
+
+// Regressions compares current results against a committed baseline
+// snapshot's, returning one message per benchmark whose ns/op exceeds
+// the baseline by more than threshold (fractional: 0.30 = 30% slower),
+// or that disappeared from the current run. Benchmarks new in current
+// (absent from the baseline) pass: they have no trajectory yet. An empty
+// return means no regression.
+func Regressions(baseline, current []Result, threshold float64) []string {
+	byName := make(map[string]Result, len(current))
+	for _, r := range current {
+		byName[r.Name] = r
+	}
+	var msgs []string
+	for _, base := range baseline {
+		cur, ok := byName[base.Name]
+		if !ok {
+			msgs = append(msgs, fmt.Sprintf("%s: present in baseline but not measured", base.Name))
+			continue
+		}
+		if base.NsPerOp <= 0 {
+			continue
+		}
+		ratio := cur.NsPerOp / base.NsPerOp
+		if ratio > 1+threshold {
+			msgs = append(msgs, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%.0f%% slower, threshold %.0f%%)",
+				base.Name, cur.NsPerOp, base.NsPerOp, (ratio-1)*100, threshold*100))
+		}
+	}
+	return msgs
 }
 
 // RunKey measures every benchmark in Key with testing.Benchmark.

@@ -1,0 +1,45 @@
+package benchkit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegressionsThreshold(t *testing.T) {
+	baseline := []Result{
+		{Name: "A", NsPerOp: 1000},
+		{Name: "B", NsPerOp: 1000},
+		{Name: "C", NsPerOp: 1000},
+	}
+	current := []Result{
+		{Name: "A", NsPerOp: 1250}, // +25%: within a 30% threshold
+		{Name: "B", NsPerOp: 1500}, // +50%: regression
+		{Name: "C", NsPerOp: 800},  // faster: fine
+		{Name: "D", NsPerOp: 9999}, // new benchmark: no trajectory yet
+	}
+	msgs := Regressions(baseline, current, 0.30)
+	if len(msgs) != 1 || !strings.HasPrefix(msgs[0], "B:") {
+		t.Fatalf("msgs = %v, want exactly one for B", msgs)
+	}
+	if msgs := Regressions(baseline, current, 0.60); len(msgs) != 0 {
+		t.Fatalf("loose threshold still flagged: %v", msgs)
+	}
+}
+
+func TestRegressionsMissingBenchmark(t *testing.T) {
+	baseline := []Result{{Name: "A", NsPerOp: 1000}, {Name: "Gone", NsPerOp: 5}}
+	current := []Result{{Name: "A", NsPerOp: 1000}}
+	msgs := Regressions(baseline, current, 0.30)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "Gone") {
+		t.Fatalf("msgs = %v, want missing-benchmark report for Gone", msgs)
+	}
+}
+
+// A zero-ns baseline entry (hand-written or corrupt) must not divide by
+// zero or flag spuriously.
+func TestRegressionsZeroBaseline(t *testing.T) {
+	msgs := Regressions([]Result{{Name: "Z", NsPerOp: 0}}, []Result{{Name: "Z", NsPerOp: 100}}, 0.30)
+	if len(msgs) != 0 {
+		t.Fatalf("msgs = %v", msgs)
+	}
+}

@@ -77,3 +77,47 @@ func TestAddOnAdvanceSlotAllocBudget(t *testing.T) {
 		t.Errorf("warm AdvanceSlot allocated %.1f times per run, budget %d", allocs, budget)
 	}
 }
+
+// A warm SubstOn game — every user granted, phase results recorded in
+// the scratch-backed position-indexed slices rather than per-slot maps —
+// is held to the same kind of fixed budget as AddOn: only the per-slot
+// SlotReport (Departures map, Active slice) allocates, not the phase
+// loop.
+func TestSubstOnAdvanceSlotAllocBudget(t *testing.T) {
+	const (
+		users = 24
+		nOpts = 12
+	)
+	opts := make([]Optimization, nOpts)
+	for i := range opts {
+		opts[i] = Optimization{ID: OptID(i + 1), Cost: econ.FromDollars(0.5)}
+	}
+	game := NewSubstOn(opts)
+	values := make([]econ.Money, 100_000)
+	for i := range values {
+		values[i] = econ.Money(econ.Cent)
+	}
+	for u := UserID(1); u <= users; u++ {
+		bid := OnlineSubstBid{
+			User:   u,
+			Opts:   []OptID{OptID(int(u-1)%nOpts + 1), OptID(int(u)%nOpts + 1)},
+			Start:  1,
+			End:    Slot(len(values)),
+			Values: values,
+		}
+		if err := game.Submit(bid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm up: the first slot grants every user and grows all scratch.
+	if r := game.AdvanceSlot(); len(r.NewGrants) != users {
+		t.Fatalf("warm-up slot granted %d users, want %d", len(r.NewGrants), users)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		game.AdvanceSlot()
+	})
+	const budget = 14
+	if allocs > budget {
+		t.Errorf("warm SubstOn AdvanceSlot allocated %.1f times per run, budget %d", allocs, budget)
+	}
+}

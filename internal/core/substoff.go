@@ -73,8 +73,8 @@ func SubstOff(opts []Optimization, bids []SubstBid) (*Outcome, error) {
 	}
 	phases := substPhases(opts, bidders, nil, nil)
 	outcome := NewOutcome()
-	for _, j := range phases.order {
-		outcome.addGrants(j, phases.serviced[j], phases.share[j])
+	for _, pos := range phases.order {
+		outcome.addGrants(opts[pos].ID, phases.serviced[pos], phases.share[pos])
 	}
 	return outcome, nil
 }
@@ -112,26 +112,44 @@ func (b substBidder) wants(j OptID) bool {
 	return false
 }
 
-// substScratch holds the phase loop's reusable buffers so an online game
-// can run substPhases every slot without rebuilding them.
-type substScratch struct {
-	active    []substBidder
-	available []Optimization
-	optBids   []userBid
+// availOpt is one not-yet-implemented optimization in the phase loop,
+// carrying its position in the caller's opts slice so results can be
+// recorded in position-indexed slices instead of maps.
+type availOpt struct {
+	opt Optimization
+	pos int32
 }
 
-// phasesResult is the output of the SubstOff phase loop.
+// substScratch holds the phase loop's reusable buffers so an online game
+// can run substPhases every slot without rebuilding them. The serviced,
+// share, and order buffers back the returned phasesResult, so a result
+// is valid only until the next substPhases call with the same scratch.
+type substScratch struct {
+	active    []substBidder
+	available []availOpt
+	optBids   []userBid
+	serviced  [][]UserID
+	share     []econ.Money
+	order     []int32
+}
+
+// phasesResult is the output of the SubstOff phase loop. The serviced
+// and share slices are indexed by position in the opts slice passed to
+// substPhases (not by OptID), which keeps a warm online slot free of
+// per-slot map allocation.
 type phasesResult struct {
-	// order lists implemented optimizations in implementation order.
-	order []OptID
-	// serviced maps each implemented optimization to all its serviced
-	// users, including forced (previously granted) ones, sorted.
-	serviced map[OptID][]UserID
-	// share maps each implemented optimization to its final per-user
-	// cost-share this run.
-	share map[OptID]econ.Money
+	// order lists implemented optimizations, as positions into opts, in
+	// implementation order.
+	order []int32
+	// serviced[pos] lists opts[pos]'s serviced users — including forced
+	// (previously granted) ones, sorted — when pos appears in order.
+	serviced [][]UserID
+	// share[pos] is opts[pos]'s final per-user cost-share this run, or 0
+	// when pos was not implemented.
+	share []econ.Money
 	// newGrants lists grants added this run (forced users excluded),
-	// sorted by (opt, user).
+	// sorted by (opt, user). It is freshly allocated per run (callers
+	// retain it in SlotReports), or nil when no grants were added.
 	newGrants []Grant
 }
 
@@ -150,13 +168,29 @@ func substPhases(opts []Optimization, bidders []substBidder, forced map[OptID][]
 	if scratch == nil {
 		scratch = &substScratch{}
 	}
+	// Size the position-indexed result buffers, reusing backing arrays.
+	if cap(scratch.share) < len(opts) {
+		scratch.share = make([]econ.Money, len(opts))
+	}
+	if cap(scratch.serviced) < len(opts) {
+		serviced := make([][]UserID, len(opts))
+		copy(serviced, scratch.serviced)
+		scratch.serviced = serviced
+	}
+	scratch.share = scratch.share[:len(opts)]
+	clear(scratch.share)
+	scratch.serviced = scratch.serviced[:len(opts)]
+	scratch.order = scratch.order[:0]
 	res := phasesResult{
-		serviced: make(map[OptID][]UserID),
-		share:    make(map[OptID]econ.Money),
+		serviced: scratch.serviced,
+		share:    scratch.share,
 	}
 	// Sort by ID so that the arg-min scan breaks ties toward lower IDs.
-	available := append(scratch.available[:0], opts...)
-	slices.SortFunc(available, func(a, b Optimization) int { return cmp.Compare(a.ID, b.ID) })
+	available := scratch.available[:0]
+	for pos, opt := range opts {
+		available = append(available, availOpt{opt: opt, pos: int32(pos)})
+	}
+	slices.SortFunc(available, func(a, b availOpt) int { return cmp.Compare(a.opt.ID, b.opt.ID) })
 	active := append(scratch.active[:0], bidders...)
 	slices.SortFunc(active, func(a, b substBidder) int {
 		return compareBidDesc(a.bid, b.bid, a.user, b.user)
@@ -164,14 +198,14 @@ func substPhases(opts []Optimization, bidders []substBidder, forced map[OptID][]
 	for len(available) > 0 {
 		bestIdx, bestK := -1, 0
 		var bestShare econ.Money
-		for idx, opt := range available {
-			f := len(forced[opt.ID])
-			optBids := collectOptBids(scratch, active, opt.ID)
-			k := servicedPrefix(opt.Cost, optBids, f)
+		for idx, av := range available {
+			f := len(forced[av.opt.ID])
+			optBids := collectOptBids(scratch, active, av.opt.ID)
+			k := servicedPrefix(av.opt.Cost, optBids, f)
 			if k+f == 0 {
 				continue
 			}
-			share := opt.Cost.DivCeil(k + f)
+			share := av.opt.Cost.DivCeil(k + f)
 			if bestIdx == -1 || share < bestShare {
 				bestIdx, bestShare, bestK = idx, share, k
 			}
@@ -181,17 +215,16 @@ func substPhases(opts []Optimization, bidders []substBidder, forced map[OptID][]
 		}
 		chosen := available[bestIdx]
 		available = append(available[:bestIdx], available[bestIdx+1:]...)
-		optBids := collectOptBids(scratch, active, chosen.ID)
-		servicedUsers := make([]UserID, 0, len(forced[chosen.ID])+bestK)
-		servicedUsers = append(servicedUsers, forced[chosen.ID]...)
+		optBids := collectOptBids(scratch, active, chosen.opt.ID)
+		servicedUsers := append(scratch.serviced[chosen.pos][:0], forced[chosen.opt.ID]...)
 		for _, ub := range optBids[:bestK] {
 			servicedUsers = append(servicedUsers, ub.user)
-			res.newGrants = append(res.newGrants, Grant{User: ub.user, Opt: chosen.ID})
+			res.newGrants = append(res.newGrants, Grant{User: ub.user, Opt: chosen.opt.ID})
 		}
 		sortUsers(servicedUsers)
-		res.order = append(res.order, chosen.ID)
-		res.serviced[chosen.ID] = servicedUsers
-		res.share[chosen.ID] = bestShare
+		scratch.order = append(scratch.order, chosen.pos)
+		res.serviced[chosen.pos] = servicedUsers
+		res.share[chosen.pos] = bestShare
 		// Drop the newly serviced bidders from the active set — their
 		// bids for every other optimization fall to 0. optBids[:bestK]
 		// is an ordered subsequence of active, so a single merge pass
@@ -210,6 +243,7 @@ func substPhases(opts []Optimization, bidders []substBidder, forced map[OptID][]
 		}
 	}
 	sortGrants(res.newGrants)
+	res.order = scratch.order
 	scratch.available = available[:0]
 	scratch.active = active[:0]
 	return res

@@ -52,8 +52,11 @@ type substUser struct {
 // The per-slot phase loop runs on scratch buffers reused across
 // AdvanceSlot calls and on O(1) suffix-sum residual lookups.
 type SubstOn struct {
-	opts        []Optimization
-	optByID     map[OptID]Optimization
+	opts []Optimization
+	// optPos maps each optimization to its position in opts — the index
+	// space of the phase loop's slice-indexed results and the single
+	// source for by-ID lookups (the optimization itself is opts[pos]).
+	optPos      map[OptID]int
 	now         Slot
 	users       map[UserID]*substUser
 	implemented map[OptID]Slot
@@ -66,13 +69,16 @@ type SubstOn struct {
 // NewSubstOn returns a new online substitutive game over the given
 // optimizations. It panics on invalid or duplicate optimizations.
 func NewSubstOn(opts []Optimization) *SubstOn {
-	byID, err := validateOpts(opts)
-	if err != nil {
+	if _, err := validateOpts(opts); err != nil {
 		panic(err)
+	}
+	optPos := make(map[OptID]int, len(opts))
+	for pos, o := range opts {
+		optPos[o.ID] = pos
 	}
 	return &SubstOn{
 		opts:        append([]Optimization(nil), opts...),
-		optByID:     byID,
+		optPos:      optPos,
 		users:       make(map[UserID]*substUser),
 		implemented: make(map[OptID]Slot),
 		granted:     make(map[OptID][]UserID),
@@ -97,7 +103,7 @@ func (s *SubstOn) Submit(bid OnlineSubstBid) error {
 		return err
 	}
 	for _, j := range bid.Opts {
-		if _, ok := s.optByID[j]; !ok {
+		if _, ok := s.optPos[j]; !ok {
 			return fmt.Errorf("core: user %d bid for unknown optimization %d", bid.User, j)
 		}
 	}
@@ -169,7 +175,8 @@ func (s *SubstOn) AdvanceSlot() SlotReport {
 		s.granted[g.Opt] = append(s.granted[g.Opt], g.User)
 	}
 	report.NewGrants = phases.newGrants
-	for _, j := range phases.order {
+	for _, pos := range phases.order {
+		j := s.opts[pos].ID
 		if _, seen := s.implemented[j]; !seen {
 			s.implemented[j] = t
 			report.Implemented = append(report.Implemented, j)
@@ -190,7 +197,7 @@ func (s *SubstOn) AdvanceSlot() SlotReport {
 		}
 		u.paid = true
 		if u.granted {
-			u.payment = phases.share[u.grantedOpt]
+			u.payment = phases.share[s.optPos[u.grantedOpt]]
 		}
 		report.Departures[id] = u.payment
 	}
@@ -208,7 +215,7 @@ func (s *SubstOn) Close() map[UserID]econ.Money {
 		}
 		u.paid = true
 		if u.granted {
-			u.payment = s.optByID[u.grantedOpt].Cost.DivCeil(len(s.granted[u.grantedOpt]))
+			u.payment = s.opts[s.optPos[u.grantedOpt]].Cost.DivCeil(len(s.granted[u.grantedOpt]))
 		}
 		settled[id] = u.payment
 	}
@@ -249,7 +256,7 @@ func (s *SubstOn) TotalRevenue() econ.Money {
 func (s *SubstOn) CostIncurred() econ.Money {
 	var total econ.Money
 	for j := range s.implemented {
-		total += s.optByID[j].Cost
+		total += s.opts[s.optPos[j]].Cost
 	}
 	return total
 }

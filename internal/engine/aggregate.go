@@ -75,57 +75,67 @@ func (q *Query) GroupBy(key string, aggs ...Aggregation) *Query {
 		outSchema = append(outSchema, Column{Name: name, Type: Int64})
 	}
 
-	type groupState struct {
-		accs []int64
-		seen bool
+	for _, agg := range aggs {
+		switch agg.Func {
+		case AggCount, AggSum, AggMin, AggMax:
+		default:
+			q.err = fmt.Errorf("engine: group by: unknown function %v", agg.Func)
+			return q
+		}
 	}
-	groups := make(map[int64]*groupState)
-	order := make([]int64, 0)
+	// Columnar aggregation: one dense accumulator slice per aggregate,
+	// indexed by first-seen group slot.
+	slots := make(map[int64]int)
+	var keys []int64
+	accs := make([][]int64, len(aggs))
 	for {
-		row, ok := q.it.Next()
-		if !ok {
+		b := q.it.nextBatch(0)
+		if b == nil {
 			break
 		}
-		k := row[ki].Int
-		g := groups[k]
-		if g == nil {
-			g = &groupState{accs: make([]int64, len(aggs))}
-			groups[k] = g
-			order = append(order, k)
-		}
-		for a, agg := range aggs {
-			v := row[cols[a]].Int
-			switch agg.Func {
-			case AggCount:
-				g.accs[a]++
-			case AggSum:
-				g.accs[a] += v
-			case AggMin:
-				if !g.seen || v < g.accs[a] {
-					g.accs[a] = v
+		keyVec := b.cols[ki].Ints
+		b.forEachActive(func(pos int) {
+			k := keyVec[pos]
+			s, seen := slots[k]
+			if !seen {
+				s = len(keys)
+				slots[k] = s
+				keys = append(keys, k)
+				for a := range accs {
+					init := int64(0)
+					switch aggs[a].Func {
+					case AggMin, AggMax:
+						init = b.cols[cols[a]].Ints[pos]
+					}
+					accs[a] = append(accs[a], init)
 				}
-			case AggMax:
-				if !g.seen || v > g.accs[a] {
-					g.accs[a] = v
-				}
-			default:
-				q.err = fmt.Errorf("engine: group by: unknown function %v", agg.Func)
-				return q
 			}
-		}
-		g.seen = true
+			for a, agg := range aggs {
+				switch agg.Func {
+				case AggCount:
+					accs[a][s]++
+				case AggSum:
+					accs[a][s] += b.cols[cols[a]].Ints[pos]
+				case AggMin:
+					if v := b.cols[cols[a]].Ints[pos]; v < accs[a][s] {
+						accs[a][s] = v
+					}
+				case AggMax:
+					if v := b.cols[cols[a]].Ints[pos]; v > accs[a][s] {
+						accs[a][s] = v
+					}
+				}
+			}
+		})
 		if q.meter != nil {
-			q.meter.RowsBuilt++
+			q.meter.RowsBuilt += int64(b.Len())
 		}
 	}
-	rows := make([]Row, 0, len(order))
-	for _, k := range order {
-		row := Row{I(k)}
-		for _, acc := range groups[k].accs {
-			row = append(row, I(acc))
-		}
-		rows = append(rows, row)
+	outCols := make([]Vector, 0, 1+len(aggs))
+	outCols = append(outCols, Vector{Kind: Int64, Ints: keys})
+	for _, acc := range accs {
+		outCols = append(outCols, Vector{Kind: Int64, Ints: acc})
 	}
-	q.it = &sliceIter{rows: rows, schema: outSchema}
+	q.it = &batchSlice{cols: outCols, rows: len(keys), schema: outSchema}
 	return q
 }

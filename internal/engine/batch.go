@@ -1,0 +1,652 @@
+package engine
+
+// Columnar batch execution. Operators pass a Batch — column vectors plus
+// an optional selection vector — instead of one Row at a time, so the hot
+// loops (scans, hash probes, aggregation) run over typed slices with no
+// per-row interface calls and no per-row Datum materialization.
+//
+// Metering contract: batch operators charge the meter for exactly the
+// same unit counts, in the same places, as the retained row-at-a-time
+// reference in rowref.go — one scan per row a Scan produces, one build
+// per row entering a hash build or aggregation, one probe per probe-side
+// row reaching a join, one emit per row leaving Rows/ForEachBatch. When a
+// Limit bounds the query, operators propagate the remaining row budget
+// upstream and pull exactly the rows a row-at-a-time engine would have
+// pulled, so lazy early-exit metering is also identical.
+
+// batchSize is the number of rows an unbounded batch carries. 1024 keeps
+// a batch of a few int64 columns inside L2 while amortizing per-batch
+// overhead to noise.
+const batchSize = 1024
+
+// Vector is one column of a Batch. Exactly the slice matching Kind is
+// populated, aligned with the batch's physical row positions.
+type Vector struct {
+	Kind   ColType
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+}
+
+// datum returns the vector's value at physical position i as a Datum.
+func (v *Vector) datum(i int) Datum {
+	switch v.Kind {
+	case Int64:
+		return I(v.Ints[i])
+	case Float64:
+		return F(v.Floats[i])
+	default:
+		return S(v.Strs[i])
+	}
+}
+
+// Batch is a columnar set of rows flowing between operators: one Vector
+// per output column plus an optional selection vector. A batch returned
+// by an iterator is valid only until the next pull from that iterator;
+// consumers must copy what they retain.
+type Batch struct {
+	cols []Vector
+	sel  []int32 // active physical positions, ascending; nil = all
+	n    int     // physical row count of every vector
+}
+
+// Len returns the number of active (selected) rows.
+func (b *Batch) Len() int {
+	if b.sel != nil {
+		return len(b.sel)
+	}
+	return b.n
+}
+
+// Col returns column i's vector. Positions in it are physical: apply
+// Sel() when one is present.
+func (b *Batch) Col(i int) *Vector { return &b.cols[i] }
+
+// Sel returns the selection vector (active physical positions in
+// ascending order), or nil when every physical row is active.
+func (b *Batch) Sel() []int32 { return b.sel }
+
+// forEachActive calls fn for each active physical position, in order.
+func (b *Batch) forEachActive(fn func(pos int)) {
+	if b.sel != nil {
+		for _, p := range b.sel {
+			fn(int(p))
+		}
+		return
+	}
+	for p := 0; p < b.n; p++ {
+		fn(p)
+	}
+}
+
+// batchIterator is the pull interface between batch operators. nextBatch
+// returns nil when exhausted. limit > 0 is a row budget: produce at most
+// limit rows and pull from upstream only what a row-at-a-time engine
+// serving limit rows would have pulled (meters depend on this); limit <= 0
+// means unbounded.
+type batchIterator interface {
+	Schema() Schema
+	nextBatch(limit int) *Batch
+}
+
+// batchScan streams a table's columns as zero-copy vector views.
+type batchScan struct {
+	t     *Table
+	meter *Meter
+	pos   int
+	out   Batch
+}
+
+func (s *batchScan) Schema() Schema { return s.t.Schema() }
+
+func (s *batchScan) nextBatch(limit int) *Batch {
+	remaining := s.t.Len() - s.pos
+	if remaining <= 0 {
+		return nil
+	}
+	n := batchSize
+	if remaining < n {
+		n = remaining
+	}
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	lo, hi := s.pos, s.pos+n
+	s.pos = hi
+	t := s.t
+	if s.out.cols == nil {
+		s.out.cols = make([]Vector, len(t.schema))
+	}
+	for i, c := range t.schema {
+		slot := t.colSlot[i]
+		v := &s.out.cols[i]
+		v.Kind = c.Type
+		switch c.Type {
+		case Int64:
+			v.Ints = t.ints[slot][lo:hi:hi]
+		case Float64:
+			v.Floats = t.floats[slot][lo:hi:hi]
+		default:
+			v.Strs = t.strs[slot][lo:hi:hi]
+		}
+	}
+	s.out.sel = nil
+	s.out.n = n
+	if s.meter != nil {
+		s.meter.RowsScanned += int64(n)
+	}
+	return &s.out
+}
+
+// batchFilter applies a predicate, narrowing the selection vector.
+// intEq != -1 makes it a columnar int64-equality filter; otherwise pred
+// runs over a scratch row (reused across calls — predicates must not
+// retain it).
+type batchFilter struct {
+	in    batchIterator
+	intEq int // column index for the fast path, or -1
+	eqVal int64
+	pred  func(Row) bool
+
+	selBuf  []int32
+	scratch Row
+	out     Batch
+
+	// gather buffers for the bounded path (limit > 0), where passing rows
+	// are copied out one upstream pull at a time.
+	gather    []Vector
+	gatherLen int
+}
+
+func (f *batchFilter) Schema() Schema { return f.in.Schema() }
+
+func (f *batchFilter) passes(b *Batch, pos int) bool {
+	if f.intEq >= 0 {
+		return b.cols[f.intEq].Ints[pos] == f.eqVal
+	}
+	if f.scratch == nil {
+		f.scratch = make(Row, len(f.in.Schema()))
+	}
+	for c := range b.cols {
+		f.scratch[c] = b.cols[c].datum(pos)
+	}
+	return f.pred(f.scratch)
+}
+
+func (f *batchFilter) nextBatch(limit int) *Batch {
+	if limit > 0 {
+		return f.nextBounded(limit)
+	}
+	for {
+		b := f.in.nextBatch(0)
+		if b == nil {
+			return nil
+		}
+		sel := f.selBuf[:0]
+		b.forEachActive(func(pos int) {
+			if f.passes(b, pos) {
+				sel = append(sel, int32(pos))
+			}
+		})
+		f.selBuf = sel
+		if len(sel) == 0 {
+			continue
+		}
+		f.out = Batch{cols: b.cols, sel: sel, n: b.n}
+		return &f.out
+	}
+}
+
+// nextBounded pulls upstream rows one at a time until it has limit
+// passing rows (or upstream is dry), exactly like a row-at-a-time filter
+// under a limit, and copies them into gather buffers.
+func (f *batchFilter) nextBounded(limit int) *Batch {
+	schema := f.in.Schema()
+	if f.gather == nil {
+		f.gather = make([]Vector, len(schema))
+		for i, c := range schema {
+			f.gather[i].Kind = c.Type
+		}
+	}
+	for i := range f.gather {
+		v := &f.gather[i]
+		v.Ints, v.Floats, v.Strs = v.Ints[:0], v.Floats[:0], v.Strs[:0]
+	}
+	f.gatherLen = 0
+	for f.gatherLen < limit {
+		b := f.in.nextBatch(1)
+		if b == nil {
+			break
+		}
+		got := false
+		b.forEachActive(func(pos int) {
+			if got || !f.passes(b, pos) {
+				return
+			}
+			got = true
+			for c := range b.cols {
+				appendValue(&f.gather[c], &b.cols[c], pos)
+			}
+		})
+		if got {
+			f.gatherLen++
+		}
+	}
+	if f.gatherLen == 0 {
+		return nil
+	}
+	f.out = Batch{cols: f.gather, sel: nil, n: f.gatherLen}
+	return &f.out
+}
+
+// appendValue copies src's value at physical position pos onto dst.
+func appendValue(dst, src *Vector, pos int) {
+	switch src.Kind {
+	case Int64:
+		dst.Ints = append(dst.Ints, src.Ints[pos])
+	case Float64:
+		dst.Floats = append(dst.Floats, src.Floats[pos])
+	default:
+		dst.Strs = append(dst.Strs, src.Strs[pos])
+	}
+}
+
+// batchProject reorders column views; the selection vector passes
+// through untouched, so projection costs nothing per row.
+type batchProject struct {
+	in     batchIterator
+	idx    []int
+	schema Schema
+	out    Batch
+}
+
+func (p *batchProject) Schema() Schema { return p.schema }
+
+func (p *batchProject) nextBatch(limit int) *Batch {
+	b := p.in.nextBatch(limit)
+	if b == nil {
+		return nil
+	}
+	if p.out.cols == nil {
+		p.out.cols = make([]Vector, len(p.idx))
+	}
+	for k, i := range p.idx {
+		p.out.cols[k] = b.cols[i]
+	}
+	p.out.sel = b.sel
+	p.out.n = b.n
+	return &p.out
+}
+
+// joinTable is an open-addressing int64 → row-positions hash table for
+// the batch hash join: linear probing over power-of-two slots, with
+// per-key row chains threaded through next so duplicate build keys are
+// emitted in build order (matching the reference's map[int64][]Row).
+type joinTable struct {
+	mask int
+	keys []int64
+	head []int32 // first build row for the slot's key, -1 = empty slot
+	tail []int32
+	next []int32 // next build row with the same key, -1 = end
+}
+
+func newJoinTable(rows int) *joinTable {
+	cap := 16
+	for cap < 2*rows {
+		cap *= 2
+	}
+	jt := &joinTable{
+		mask: cap - 1,
+		keys: make([]int64, cap),
+		head: make([]int32, cap),
+		tail: make([]int32, cap),
+		next: make([]int32, 0, rows),
+	}
+	for i := range jt.head {
+		jt.head[i] = -1
+	}
+	return jt
+}
+
+// hashKey mixes an int64 key (splitmix64 finalizer) so sequential keys
+// spread across slots.
+func hashKey(k int64) uint64 {
+	x := uint64(k)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// insert records that build row `row` (the next sequential row index)
+// has the given key. Rows must be inserted in build order.
+func (jt *joinTable) insert(key int64, row int32) {
+	jt.next = append(jt.next, -1)
+	slot := int(hashKey(key)) & jt.mask
+	for {
+		if jt.head[slot] < 0 {
+			jt.keys[slot] = key
+			jt.head[slot] = row
+			jt.tail[slot] = row
+			return
+		}
+		if jt.keys[slot] == key {
+			jt.next[jt.tail[slot]] = row
+			jt.tail[slot] = row
+			return
+		}
+		slot = (slot + 1) & jt.mask
+	}
+}
+
+// lookup returns the first build row with the key, or -1.
+func (jt *joinTable) lookup(key int64) int32 {
+	slot := int(hashKey(key)) & jt.mask
+	for {
+		h := jt.head[slot]
+		if h < 0 {
+			return -1
+		}
+		if jt.keys[slot] == key {
+			return h
+		}
+		slot = (slot + 1) & jt.mask
+	}
+}
+
+// buildSide is a join's materialized build input: its columns as flat
+// vectors plus the hash table over the join key.
+type buildSide struct {
+	cols []Vector
+	rows int
+	jt   *joinTable
+}
+
+// materializeBuild drains a query's batches into flat vectors, inserting
+// keyIdx into the hash table and charging one build unit per row — the
+// same charge point as the reference join's build drain.
+func materializeBuild(in batchIterator, keyIdx int, meter *Meter) *buildSide {
+	schema := in.Schema()
+	bs := &buildSide{cols: make([]Vector, len(schema))}
+	for i, c := range schema {
+		bs.cols[i].Kind = c.Type
+	}
+	var keys []int64
+	for {
+		b := in.nextBatch(0)
+		if b == nil {
+			break
+		}
+		b.forEachActive(func(pos int) {
+			for c := range b.cols {
+				appendValue(&bs.cols[c], &b.cols[c], pos)
+			}
+			keys = append(keys, b.cols[keyIdx].Ints[pos])
+			bs.rows++
+		})
+		if meter != nil {
+			meter.RowsBuilt += int64(b.Len())
+		}
+	}
+	bs.jt = newJoinTable(bs.rows)
+	for i, k := range keys {
+		bs.jt.insert(k, int32(i))
+	}
+	return bs
+}
+
+// batchHashJoin probes the build side once per probe row, gathering
+// matched probe and build columns into output vectors without ever
+// materializing an intermediate Row.
+type batchHashJoin struct {
+	in       batchIterator
+	build    *buildSide
+	probeIdx int
+	schema   Schema
+	meter    *Meter
+
+	cur     *Batch // current probe batch
+	curPos  int    // index into cur's active rows
+	pending int32  // next matching build row for the current probe row, -1 = none
+	curRow  int    // physical position of the current probe row
+
+	out Batch
+}
+
+func (h *batchHashJoin) Schema() Schema { return h.schema }
+
+// activeAt returns the physical position of active row i in b.
+func activeAt(b *Batch, i int) int {
+	if b.sel != nil {
+		return int(b.sel[i])
+	}
+	return i
+}
+
+func (h *batchHashJoin) nextBatch(limit int) *Batch {
+	nProbe := len(h.in.Schema())
+	if h.out.cols == nil {
+		h.out.cols = make([]Vector, len(h.schema))
+		for i, c := range h.schema {
+			h.out.cols[i].Kind = c.Type
+		}
+	}
+	for i := range h.out.cols {
+		v := &h.out.cols[i]
+		v.Ints, v.Floats, v.Strs = v.Ints[:0], v.Floats[:0], v.Strs[:0]
+	}
+	max := batchSize
+	if limit > 0 && limit < max {
+		max = limit
+	}
+	emitted := 0
+	for emitted < max {
+		if h.pending >= 0 {
+			for c := 0; c < nProbe; c++ {
+				appendValue(&h.out.cols[c], &h.cur.cols[c], h.curRow)
+			}
+			for c := nProbe; c < len(h.schema); c++ {
+				bc := &h.build.cols[c-nProbe]
+				appendValue(&h.out.cols[c], bc, int(h.pending))
+			}
+			h.pending = h.build.jt.next[h.pending]
+			emitted++
+			continue
+		}
+		if h.cur == nil || h.curPos >= h.cur.Len() {
+			pull := 0
+			if limit > 0 {
+				pull = 1
+			}
+			h.cur = h.in.nextBatch(pull)
+			h.curPos = 0
+			if h.cur == nil {
+				break
+			}
+			continue
+		}
+		h.curRow = activeAt(h.cur, h.curPos)
+		h.curPos++
+		if h.meter != nil {
+			h.meter.RowsProbed++
+		}
+		h.pending = h.build.jt.lookup(h.cur.cols[h.probeIdx].Ints[h.curRow])
+	}
+	if emitted == 0 {
+		return nil
+	}
+	h.out.sel = nil
+	h.out.n = emitted
+	return &h.out
+}
+
+// batchIndexJoin is the index-probing variant: build cost was paid when
+// the index was created, so each probe row charges a probe via
+// HashIndex.Lookup and gathers matches straight from the indexed table's
+// column storage.
+type batchIndexJoin struct {
+	in       batchIterator
+	idx      *HashIndex
+	probeIdx int
+	schema   Schema
+	meter    *Meter
+
+	cur     *Batch
+	curPos  int
+	curRow  int
+	pending []int32
+	pendPos int
+
+	out Batch
+}
+
+func (ij *batchIndexJoin) Schema() Schema { return ij.schema }
+
+func (ij *batchIndexJoin) nextBatch(limit int) *Batch {
+	nProbe := len(ij.in.Schema())
+	t := ij.idx.Table()
+	if ij.out.cols == nil {
+		ij.out.cols = make([]Vector, len(ij.schema))
+		for i, c := range ij.schema {
+			ij.out.cols[i].Kind = c.Type
+		}
+	}
+	for i := range ij.out.cols {
+		v := &ij.out.cols[i]
+		v.Ints, v.Floats, v.Strs = v.Ints[:0], v.Floats[:0], v.Strs[:0]
+	}
+	max := batchSize
+	if limit > 0 && limit < max {
+		max = limit
+	}
+	emitted := 0
+	for emitted < max {
+		if ij.pendPos < len(ij.pending) {
+			pos := int(ij.pending[ij.pendPos])
+			ij.pendPos++
+			for c := 0; c < nProbe; c++ {
+				appendValue(&ij.out.cols[c], &ij.cur.cols[c], ij.curRow)
+			}
+			for c := nProbe; c < len(ij.schema); c++ {
+				ti := c - nProbe
+				slot := t.colSlot[ti]
+				v := &ij.out.cols[c]
+				switch t.schema[ti].Type {
+				case Int64:
+					v.Ints = append(v.Ints, t.ints[slot][pos])
+				case Float64:
+					v.Floats = append(v.Floats, t.floats[slot][pos])
+				default:
+					v.Strs = append(v.Strs, t.strs[slot][pos])
+				}
+			}
+			emitted++
+			continue
+		}
+		if ij.cur == nil || ij.curPos >= ij.cur.Len() {
+			pull := 0
+			if limit > 0 {
+				pull = 1
+			}
+			ij.cur = ij.in.nextBatch(pull)
+			ij.curPos = 0
+			if ij.cur == nil {
+				break
+			}
+			continue
+		}
+		ij.curRow = activeAt(ij.cur, ij.curPos)
+		ij.curPos++
+		ij.pending = ij.idx.Lookup(ij.cur.cols[ij.probeIdx].Ints[ij.curRow], ij.meter)
+		ij.pendPos = 0
+	}
+	if emitted == 0 {
+		return nil
+	}
+	ij.out.sel = nil
+	ij.out.n = emitted
+	return &ij.out
+}
+
+// batchSlice serves pre-materialized vectors (aggregation and sort
+// results), honoring row budgets by slicing views.
+type batchSlice struct {
+	cols   []Vector
+	rows   int
+	schema Schema
+	pos    int
+	out    Batch
+}
+
+func (s *batchSlice) Schema() Schema { return s.schema }
+
+func (s *batchSlice) nextBatch(limit int) *Batch {
+	remaining := s.rows - s.pos
+	if remaining <= 0 {
+		return nil
+	}
+	n := batchSize
+	if remaining < n {
+		n = remaining
+	}
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	lo, hi := s.pos, s.pos+n
+	s.pos = hi
+	if s.out.cols == nil {
+		s.out.cols = make([]Vector, len(s.cols))
+	}
+	for i := range s.cols {
+		src := &s.cols[i]
+		v := &s.out.cols[i]
+		v.Kind = src.Kind
+		switch src.Kind {
+		case Int64:
+			v.Ints = src.Ints[lo:hi:hi]
+		case Float64:
+			v.Floats = src.Floats[lo:hi:hi]
+		default:
+			v.Strs = src.Strs[lo:hi:hi]
+		}
+	}
+	s.out.sel = nil
+	s.out.n = n
+	return &s.out
+}
+
+// batchLimit bounds the stream to n rows, propagating the remaining
+// budget upstream so producers never over-pull (and never over-meter).
+type batchLimit struct {
+	in   batchIterator
+	left int
+}
+
+func (l *batchLimit) Schema() Schema { return l.in.Schema() }
+
+func (l *batchLimit) nextBatch(limit int) *Batch {
+	if l.left <= 0 {
+		return nil
+	}
+	budget := l.left
+	if limit > 0 && limit < budget {
+		budget = limit
+	}
+	b := l.in.nextBatch(budget)
+	if b == nil {
+		l.left = 0
+		return nil
+	}
+	// Upstream honors the budget, but clamp defensively.
+	if b.Len() > budget {
+		if b.sel != nil {
+			b.sel = b.sel[:budget]
+		} else {
+			b.n = budget
+		}
+	}
+	l.left -= b.Len()
+	return b
+}

@@ -77,24 +77,37 @@ func (c *Catalog) ViewNames() []string {
 }
 
 // Materialize drains a query into a new view with a hash index on
-// keyCol, metering the build work and recording it in the view.
+// keyCol, metering the build work and recording it in the view. The
+// drain is batch-native (ForEachBatch): emit units are charged exactly
+// as Rows would charge them, plus one build unit per stored row.
 func Materialize(name string, q *Query, keyCol string, meter *Meter) (*MaterializedView, error) {
 	before := int64(0)
 	if meter != nil {
 		before = meter.WorkUnits()
 	}
-	rows, err := q.Rows()
-	if err != nil {
-		return nil, fmt.Errorf("engine: materializing %q: %w", name, err)
-	}
 	t := NewTable(name, q.OutSchema())
-	for _, r := range rows {
-		if err := t.Append(r); err != nil {
-			return nil, err
+	scratch := make(Row, len(q.OutSchema()))
+	err := q.ForEachBatch(func(b *Batch) error {
+		var innerErr error
+		b.forEachActive(func(pos int) {
+			if innerErr != nil {
+				return
+			}
+			for c := range scratch {
+				scratch[c] = b.Col(c).datum(pos)
+			}
+			innerErr = t.Append(scratch)
+		})
+		if innerErr != nil {
+			return innerErr
 		}
 		if meter != nil {
-			meter.RowsBuilt++
+			meter.RowsBuilt += int64(b.Len())
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("engine: materializing %q: %w", name, err)
 	}
 	idx, err := BuildHashIndex(t, keyCol, meter)
 	if err != nil {

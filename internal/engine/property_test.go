@@ -162,6 +162,183 @@ func TestOrderByIsSortedPermutation(t *testing.T) {
 	}
 }
 
+// randomMixedTable builds a table with int64, float64, and string
+// columns so differential runs cover every vector kind.
+func randomMixedTable(r *stats.RNG, name string, maxRows int) *Table {
+	t := NewTable(name, Schema{
+		{Name: "k", Type: Int64},
+		{Name: "v", Type: Int64},
+		{Name: "f", Type: Float64},
+		{Name: "s", Type: String},
+	})
+	keyRange := int64(1 + r.Intn(8))
+	n := r.Intn(maxRows)
+	for i := 0; i < n; i++ {
+		t.MustAppend(Row{
+			I(r.Int63n(keyRange)),
+			I(r.Int63n(100)),
+			F(float64(r.Intn(1000)) / 8),
+			S(fmt.Sprintf("s%d", r.Intn(5))),
+		})
+	}
+	return t
+}
+
+// assertSameExecution drains a batch query and its row-at-a-time
+// reference twin and fails unless they produce byte-identical rows in
+// identical order AND identical meter counts — the engine's two
+// executors must be observationally indistinguishable.
+func assertSameExecution(t *testing.T, trial int, got *Query, gm *Meter, want *refQuery, wm *Meter) {
+	t.Helper()
+	gotRows, gotErr := got.Rows()
+	wantRows, wantErr := want.Rows()
+	if (gotErr == nil) != (wantErr == nil) {
+		t.Fatalf("trial %d: batch err %v, reference err %v", trial, gotErr, wantErr)
+	}
+	if gotErr != nil {
+		return
+	}
+	if len(gotRows) != len(wantRows) {
+		t.Fatalf("trial %d: batch %d rows, reference %d", trial, len(gotRows), len(wantRows))
+	}
+	for i := range gotRows {
+		if len(gotRows[i]) != len(wantRows[i]) {
+			t.Fatalf("trial %d row %d: width %d vs %d", trial, i, len(gotRows[i]), len(wantRows[i]))
+		}
+		for c := range gotRows[i] {
+			if !gotRows[i][c].Equal(wantRows[i][c]) {
+				t.Fatalf("trial %d row %d col %d: batch %v, reference %v",
+					trial, i, c, gotRows[i][c], wantRows[i][c])
+			}
+		}
+	}
+	if *gm != *wm {
+		t.Fatalf("trial %d: batch meter %+v, reference meter %+v", trial, *gm, *wm)
+	}
+}
+
+// Differential property: every operator pipeline produces byte-identical
+// rows and identical meter counts under batch execution and the retained
+// row-at-a-time reference, across randomized mixed-type tables. This is
+// the metering contract of the batch engine (see batch.go).
+func TestBatchMatchesRowReference(t *testing.T) {
+	r := stats.NewRNG(707)
+	for trial := 0; trial < 150; trial++ {
+		a := randomMixedTable(r, "a", 2100) // spans multiple 1024-row batches
+		b := randomMixedTable(r, "b", 60)
+		idx, err := BuildHashIndex(b, "k", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		limit := r.Intn(40)
+		pred := func(row Row) bool { return row[1].Int%3 == 0 }
+		pipelines := []struct {
+			name  string
+			batch func(m *Meter) *Query
+			ref   func(m *Meter) *refQuery
+		}{
+			{"scan",
+				func(m *Meter) *Query { return Scan(a, m) },
+				func(m *Meter) *refQuery { return refScan(a, m) }},
+			{"filter",
+				func(m *Meter) *Query { return Scan(a, m).Filter(pred) },
+				func(m *Meter) *refQuery { return refScan(a, m).Filter(pred) }},
+			{"filter-int-eq-project",
+				func(m *Meter) *Query { return Scan(a, m).FilterIntEq("k", 2).Project("s", "v") },
+				func(m *Meter) *refQuery { return refScan(a, m).FilterIntEq("k", 2).Project("s", "v") }},
+			{"hash-join-group-top1",
+				func(m *Meter) *Query {
+					return Scan(a, m).HashJoin(Scan(b, m), "k", "k").GroupCount("b.k").Top1By("count")
+				},
+				func(m *Meter) *refQuery {
+					return refScan(a, m).HashJoin(refScan(b, m), "k", "k").GroupCount("b.k").Top1By("count")
+				}},
+			{"index-join-group",
+				func(m *Meter) *Query { return Scan(a, m).IndexJoin(idx, "k").GroupCount("b.k") },
+				func(m *Meter) *refQuery { return refScan(a, m).IndexJoin(idx, "k").GroupCount("b.k") }},
+			{"order-by-limit",
+				func(m *Meter) *Query { return Scan(a, m).OrderByInt("v", trial%2 == 0).Limit(limit) },
+				func(m *Meter) *refQuery { return refScan(a, m).OrderByInt("v", trial%2 == 0).Limit(limit) }},
+			{"scan-limit",
+				func(m *Meter) *Query { return Scan(a, m).Limit(limit) },
+				func(m *Meter) *refQuery { return refScan(a, m).Limit(limit) }},
+			{"filter-limit",
+				func(m *Meter) *Query { return Scan(a, m).Filter(pred).Limit(limit) },
+				func(m *Meter) *refQuery { return refScan(a, m).Filter(pred).Limit(limit) }},
+			{"hash-join-limit",
+				func(m *Meter) *Query { return Scan(a, m).HashJoin(Scan(b, m), "k", "k").Limit(limit) },
+				func(m *Meter) *refQuery { return refScan(a, m).HashJoin(refScan(b, m), "k", "k").Limit(limit) }},
+			{"index-join-limit",
+				func(m *Meter) *Query { return Scan(a, m).IndexJoin(idx, "k").Limit(limit) },
+				func(m *Meter) *refQuery { return refScan(a, m).IndexJoin(idx, "k").Limit(limit) }},
+			{"group-by-all-funcs",
+				func(m *Meter) *Query {
+					return Scan(a, m).GroupBy("k",
+						Aggregation{Func: AggCount},
+						Aggregation{Func: AggSum, Col: "v"},
+						Aggregation{Func: AggMin, Col: "v"},
+						Aggregation{Func: AggMax, Col: "v"})
+				},
+				func(m *Meter) *refQuery {
+					return refScan(a, m).GroupBy("k",
+						Aggregation{Func: AggCount},
+						Aggregation{Func: AggSum, Col: "v"},
+						Aggregation{Func: AggMin, Col: "v"},
+						Aggregation{Func: AggMax, Col: "v"})
+				}},
+		}
+		for _, p := range pipelines {
+			gm := NewMeter(DefaultCostModel())
+			wm := NewMeter(DefaultCostModel())
+			assertSameExecution(t, trial, p.batch(gm), gm, p.ref(wm), wm)
+
+			// ForEachBatch is the other emit charge point: draining the
+			// same pipeline batch-natively must yield the same rows and
+			// the same meter as the reference's Rows.
+			bm := NewMeter(DefaultCostModel())
+			rm := NewMeter(DefaultCostModel())
+			var viaBatches []Row
+			if err := p.batch(bm).ForEachBatch(func(b *Batch) error {
+				sel := b.Sel()
+				for i := 0; i < b.Len(); i++ {
+					pos := i
+					if sel != nil {
+						pos = int(sel[i])
+					}
+					row := make(Row, len(b.cols))
+					for c := range b.cols {
+						row[c] = b.Col(c).datum(pos)
+					}
+					viaBatches = append(viaBatches, row)
+				}
+				return nil
+			}); err != nil {
+				continue // construction errors are covered above
+			}
+			refRows, err := p.ref(rm).Rows()
+			if err != nil {
+				t.Fatalf("trial %d %s: reference errored only for ForEachBatch run: %v", trial, p.name, err)
+			}
+			if len(viaBatches) != len(refRows) {
+				t.Fatalf("trial %d %s: ForEachBatch %d rows, reference %d",
+					trial, p.name, len(viaBatches), len(refRows))
+			}
+			for i := range viaBatches {
+				for c := range viaBatches[i] {
+					if !viaBatches[i][c].Equal(refRows[i][c]) {
+						t.Fatalf("trial %d %s row %d col %d: %v vs %v",
+							trial, p.name, i, c, viaBatches[i][c], refRows[i][c])
+					}
+				}
+			}
+			if *bm != *rm {
+				t.Fatalf("trial %d %s: ForEachBatch meter %+v, reference meter %+v",
+					trial, p.name, *bm, *rm)
+			}
+		}
+	}
+}
+
 // Property: the meter is additive — running two queries on one meter
 // equals the sum of running them on separate meters.
 func TestMeterAdditivity(t *testing.T) {

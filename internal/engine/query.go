@@ -5,58 +5,36 @@ import (
 	"sort"
 )
 
-// Iterator is a pull-based row stream.
-type Iterator interface {
-	// Schema describes the rows produced.
-	Schema() Schema
-	// Next returns the next row, or false when exhausted.
-	Next() (Row, bool)
-}
-
-// Query is a fluent builder over iterators. Construction errors are
-// carried along and surfaced by Rows, so call chains stay linear.
+// Query is a fluent builder over columnar batch operators (see batch.go).
+// Construction errors are carried along and surfaced by Rows, so call
+// chains stay linear. The row-at-a-time reference implementation the
+// batch operators are differentially tested against lives in rowref.go.
 type Query struct {
-	it    Iterator
+	it    batchIterator
 	meter *Meter
 	err   error
 }
 
 // Scan starts a query with a sequential scan of a table, charging one
-// scan unit per row read.
+// scan unit per row read. Batches are zero-copy views of the table's
+// column storage.
 func Scan(t *Table, meter *Meter) *Query {
-	return &Query{it: &scanIter{t: t, meter: meter}, meter: meter}
+	return &Query{it: &batchScan{t: t, meter: meter}, meter: meter}
 }
 
-type scanIter struct {
-	t     *Table
-	meter *Meter
-	pos   int
-}
-
-func (s *scanIter) Schema() Schema { return s.t.Schema() }
-
-func (s *scanIter) Next() (Row, bool) {
-	if s.pos >= s.t.Len() {
-		return nil, false
-	}
-	row := s.t.RowAt(s.pos)
-	s.pos++
-	if s.meter != nil {
-		s.meter.RowsScanned++
-	}
-	return row, true
-}
-
-// Filter keeps rows satisfying pred.
+// Filter keeps rows satisfying pred. The Row passed to pred is a scratch
+// buffer reused across calls; predicates must not retain it.
 func (q *Query) Filter(pred func(Row) bool) *Query {
 	if q.err != nil {
 		return q
 	}
-	q.it = &filterIter{in: q.it, pred: pred}
+	q.it = &batchFilter{in: q.it, intEq: -1, pred: pred}
 	return q
 }
 
-// FilterIntEq keeps rows whose Int64 column equals v.
+// FilterIntEq keeps rows whose Int64 column equals v. Unlike Filter it
+// runs columnar: the predicate is evaluated directly against the int64
+// vector, with no per-row materialization.
 func (q *Query) FilterIntEq(col string, v int64) *Query {
 	if q.err != nil {
 		return q
@@ -66,30 +44,18 @@ func (q *Query) FilterIntEq(col string, v int64) *Query {
 		q.err = fmt.Errorf("engine: filter: no column %q", col)
 		return q
 	}
-	q.it = &filterIter{in: q.it, pred: func(r Row) bool { return r[i].Int == v }}
+	if q.it.Schema()[i].Type != Int64 {
+		// Match the reference's Datum semantics: a non-int column's Int
+		// field is always zero.
+		q.it = &batchFilter{in: q.it, intEq: -1, pred: func(r Row) bool { return r[i].Int == v }}
+		return q
+	}
+	q.it = &batchFilter{in: q.it, intEq: i, eqVal: v}
 	return q
 }
 
-type filterIter struct {
-	in   Iterator
-	pred func(Row) bool
-}
-
-func (f *filterIter) Schema() Schema { return f.in.Schema() }
-
-func (f *filterIter) Next() (Row, bool) {
-	for {
-		row, ok := f.in.Next()
-		if !ok {
-			return nil, false
-		}
-		if f.pred(row) {
-			return row, true
-		}
-	}
-}
-
-// Project keeps only the named columns, in the given order.
+// Project keeps only the named columns, in the given order. Projection
+// only reorders vector references — it costs nothing per row.
 func (q *Query) Project(cols ...string) *Query {
 	if q.err != nil {
 		return q
@@ -106,35 +72,35 @@ func (q *Query) Project(cols ...string) *Query {
 		idx[k] = i
 		out[k] = in[i]
 	}
-	q.it = &projectIter{in: q.it, idx: idx, schema: out}
+	q.it = &batchProject{in: q.it, idx: idx, schema: out}
 	return q
 }
 
-type projectIter struct {
-	in     Iterator
-	idx    []int
-	schema Schema
-}
-
-func (p *projectIter) Schema() Schema { return p.schema }
-
-func (p *projectIter) Next() (Row, bool) {
-	row, ok := p.in.Next()
-	if !ok {
-		return nil, false
+// joinSchema builds the output schema of a join: probe columns followed
+// by build columns, with build names prefixed when they collide.
+func joinSchema(probe, build Schema) Schema {
+	out := append(Schema{}, probe...)
+	probeNames := make(map[string]bool, len(out))
+	for _, c := range out {
+		probeNames[c.Name] = true
 	}
-	out := make(Row, len(p.idx))
-	for k, i := range p.idx {
-		out[k] = row[i]
+	for _, c := range build {
+		name := c.Name
+		if probeNames[name] {
+			name = "b." + name
+		}
+		out = append(out, Column{Name: name, Type: c.Type})
 	}
-	return out, true
+	return out
 }
 
 // HashJoin equi-joins the query (probe side) with a fully materialized
-// build side on Int64 columns: build one hash table over build's rows
-// (charging build units), then probe it once per probe-side row (charging
-// probe units). The output schema is probe's columns followed by build's,
-// with build column names prefixed when they collide.
+// build side on Int64 columns: build one open-addressing hash table over
+// build's rows (charging build units), then probe it once per probe-side
+// row (charging probe units). The probe loop reads the build table's
+// columns directly — no Row is materialized per probe. The output schema
+// is probe's columns followed by build's, with build column names
+// prefixed when they collide.
 func (q *Query) HashJoin(build *Query, probeCol, buildCol string) *Query {
 	if q.err != nil {
 		return q
@@ -154,68 +120,16 @@ func (q *Query) HashJoin(build *Query, probeCol, buildCol string) *Query {
 		q.err = fmt.Errorf("engine: hash join: bad build column %q", buildCol)
 		return q
 	}
-	// Materialize the build side.
-	ht := make(map[int64][]Row)
-	for {
-		row, ok := build.it.Next()
-		if !ok {
-			break
-		}
-		key := row[bi].Int
-		ht[key] = append(ht[key], row)
-		if q.meter != nil {
-			q.meter.RowsBuilt++
-		}
+	bs := materializeBuild(build.it, bi, q.meter)
+	q.it = &batchHashJoin{
+		in:       q.it,
+		build:    bs,
+		probeIdx: pi,
+		schema:   joinSchema(q.it.Schema(), bSchema),
+		meter:    q.meter,
+		pending:  -1,
 	}
-	out := append(Schema{}, q.it.Schema()...)
-	probeNames := make(map[string]bool, len(out))
-	for _, c := range out {
-		probeNames[c.Name] = true
-	}
-	for _, c := range bSchema {
-		name := c.Name
-		if probeNames[name] {
-			name = "b." + name
-		}
-		out = append(out, Column{Name: name, Type: c.Type})
-	}
-	q.it = &hashJoinIter{in: q.it, ht: ht, probeIdx: pi, schema: out, meter: q.meter}
 	return q
-}
-
-type hashJoinIter struct {
-	in       Iterator
-	ht       map[int64][]Row
-	probeIdx int
-	schema   Schema
-	meter    *Meter
-
-	pending []Row
-	current Row
-}
-
-func (h *hashJoinIter) Schema() Schema { return h.schema }
-
-func (h *hashJoinIter) Next() (Row, bool) {
-	for {
-		if len(h.pending) > 0 {
-			match := h.pending[0]
-			h.pending = h.pending[1:]
-			out := make(Row, 0, len(h.schema))
-			out = append(out, h.current...)
-			out = append(out, match...)
-			return out, true
-		}
-		row, ok := h.in.Next()
-		if !ok {
-			return nil, false
-		}
-		if h.meter != nil {
-			h.meter.RowsProbed++
-		}
-		h.current = row
-		h.pending = h.ht[row[h.probeIdx].Int]
-	}
 }
 
 // IndexJoin joins the query with an indexed table: for each input row it
@@ -233,57 +147,19 @@ func (q *Query) IndexJoin(idx *HashIndex, probeCol string) *Query {
 		q.err = fmt.Errorf("engine: index join: bad probe column %q", probeCol)
 		return q
 	}
-	out := append(Schema{}, q.it.Schema()...)
-	names := make(map[string]bool, len(out))
-	for _, c := range out {
-		names[c.Name] = true
+	q.it = &batchIndexJoin{
+		in:       q.it,
+		idx:      idx,
+		probeIdx: pi,
+		schema:   joinSchema(q.it.Schema(), idx.Table().Schema()),
+		meter:    q.meter,
 	}
-	for _, c := range idx.Table().Schema() {
-		name := c.Name
-		if names[name] {
-			name = "b." + name
-		}
-		out = append(out, Column{Name: name, Type: c.Type})
-	}
-	q.it = &indexJoinIter{in: q.it, idx: idx, probeIdx: pi, schema: out, meter: q.meter}
 	return q
 }
 
-type indexJoinIter struct {
-	in       Iterator
-	idx      *HashIndex
-	probeIdx int
-	schema   Schema
-	meter    *Meter
-
-	pending []int32
-	current Row
-}
-
-func (ij *indexJoinIter) Schema() Schema { return ij.schema }
-
-func (ij *indexJoinIter) Next() (Row, bool) {
-	for {
-		if len(ij.pending) > 0 {
-			pos := ij.pending[0]
-			ij.pending = ij.pending[1:]
-			out := make(Row, 0, len(ij.schema))
-			out = append(out, ij.current...)
-			out = append(out, ij.idx.Table().RowAt(int(pos))...)
-			return out, true
-		}
-		row, ok := ij.in.Next()
-		if !ok {
-			return nil, false
-		}
-		ij.current = row
-		ij.pending = ij.idx.Lookup(row[ij.probeIdx].Int, ij.meter)
-	}
-}
-
 // GroupCount groups by an Int64 column and counts rows per group. The
-// output schema is (col, "count"), both Int64. Each input row charges one
-// build unit (hash aggregation).
+// output schema is (col, "count"), both Int64, in first-seen group
+// order. Each input row charges one build unit (hash aggregation).
 func (q *Query) GroupCount(col string) *Query {
 	if q.err != nil {
 		return q
@@ -293,46 +169,39 @@ func (q *Query) GroupCount(col string) *Query {
 		q.err = fmt.Errorf("engine: group count: bad column %q", col)
 		return q
 	}
-	counts := make(map[int64]int64)
-	order := make([]int64, 0)
+	slots := make(map[int64]int)
+	var keys, counts []int64
 	for {
-		row, ok := q.it.Next()
-		if !ok {
+		b := q.it.nextBatch(0)
+		if b == nil {
 			break
 		}
-		k := row[i].Int
-		if _, seen := counts[k]; !seen {
-			order = append(order, k)
-		}
-		counts[k]++
+		vec := b.cols[i].Ints
+		b.forEachActive(func(pos int) {
+			k := vec[pos]
+			s, seen := slots[k]
+			if !seen {
+				s = len(keys)
+				slots[k] = s
+				keys = append(keys, k)
+				counts = append(counts, 0)
+			}
+			counts[s]++
+		})
 		if q.meter != nil {
-			q.meter.RowsBuilt++
+			q.meter.RowsBuilt += int64(b.Len())
 		}
 	}
 	name := q.it.Schema()[i].Name
-	rows := make([]Row, 0, len(order))
-	for _, k := range order {
-		rows = append(rows, Row{I(k), I(counts[k])})
+	q.it = &batchSlice{
+		cols: []Vector{
+			{Kind: Int64, Ints: keys},
+			{Kind: Int64, Ints: counts},
+		},
+		rows:   len(keys),
+		schema: Schema{{Name: name, Type: Int64}, {Name: "count", Type: Int64}},
 	}
-	q.it = &sliceIter{rows: rows, schema: Schema{{Name: name, Type: Int64}, {Name: "count", Type: Int64}}}
 	return q
-}
-
-type sliceIter struct {
-	rows   []Row
-	schema Schema
-	pos    int
-}
-
-func (s *sliceIter) Schema() Schema { return s.schema }
-
-func (s *sliceIter) Next() (Row, bool) {
-	if s.pos >= len(s.rows) {
-		return nil, false
-	}
-	r := s.rows[s.pos]
-	s.pos++
-	return r, true
 }
 
 // Top1By keeps the single row with the largest Int64 value in the named
@@ -341,100 +210,161 @@ func (q *Query) Top1By(col string) *Query {
 	if q.err != nil {
 		return q
 	}
-	i := q.it.Schema().ColIndex(col)
-	if i < 0 || q.it.Schema()[i].Type != Int64 {
+	schema := q.it.Schema()
+	i := schema.ColIndex(col)
+	if i < 0 || schema[i].Type != Int64 {
 		q.err = fmt.Errorf("engine: top1: bad column %q", col)
 		return q
 	}
-	var best Row
+	best := make([]Vector, len(schema))
+	for c := range best {
+		best[c].Kind = schema[c].Type
+	}
+	found := false
+	var bestVal int64
 	for {
-		row, ok := q.it.Next()
-		if !ok {
+		b := q.it.nextBatch(0)
+		if b == nil {
 			break
 		}
-		if best == nil || row[i].Int > best[i].Int {
-			best = row
-		}
+		vec := b.cols[i].Ints
+		b.forEachActive(func(pos int) {
+			v := vec[pos]
+			if found && v <= bestVal {
+				return
+			}
+			found, bestVal = true, v
+			for c := range best {
+				bv := &best[c]
+				bv.Ints, bv.Floats, bv.Strs = bv.Ints[:0], bv.Floats[:0], bv.Strs[:0]
+				appendValue(bv, &b.cols[c], pos)
+			}
+		})
 	}
-	rows := []Row{}
-	if best != nil {
-		rows = append(rows, best)
+	rows := 0
+	if found {
+		rows = 1
 	}
-	q.it = &sliceIter{rows: rows, schema: q.it.Schema()}
+	q.it = &batchSlice{cols: best, rows: rows, schema: schema}
 	return q
 }
 
 // OrderByInt sorts (materializing) by an Int64 column, ascending or
-// descending.
+// descending. The sort is stable, preserving input order among equal
+// keys.
 func (q *Query) OrderByInt(col string, desc bool) *Query {
 	if q.err != nil {
 		return q
 	}
-	i := q.it.Schema().ColIndex(col)
-	if i < 0 || q.it.Schema()[i].Type != Int64 {
+	schema := q.it.Schema()
+	i := schema.ColIndex(col)
+	if i < 0 || schema[i].Type != Int64 {
 		q.err = fmt.Errorf("engine: order by: bad column %q", col)
 		return q
 	}
-	var rows []Row
+	flat := make([]Vector, len(schema))
+	for c := range flat {
+		flat[c].Kind = schema[c].Type
+	}
+	rows := 0
 	for {
-		row, ok := q.it.Next()
-		if !ok {
+		b := q.it.nextBatch(0)
+		if b == nil {
 			break
 		}
-		rows = append(rows, row)
+		b.forEachActive(func(pos int) {
+			for c := range flat {
+				appendValue(&flat[c], &b.cols[c], pos)
+			}
+			rows++
+		})
 	}
-	sort.SliceStable(rows, func(a, b int) bool {
+	perm := make([]int, rows)
+	for p := range perm {
+		perm[p] = p
+	}
+	key := flat[i].Ints
+	sort.SliceStable(perm, func(a, b int) bool {
 		if desc {
-			return rows[a][i].Int > rows[b][i].Int
+			return key[perm[a]] > key[perm[b]]
 		}
-		return rows[a][i].Int < rows[b][i].Int
+		return key[perm[a]] < key[perm[b]]
 	})
-	q.it = &sliceIter{rows: rows, schema: q.it.Schema()}
+	sorted := make([]Vector, len(schema))
+	for c := range sorted {
+		sorted[c].Kind = schema[c].Type
+		for _, p := range perm {
+			appendValue(&sorted[c], &flat[c], p)
+		}
+	}
+	q.it = &batchSlice{cols: sorted, rows: rows, schema: schema}
 	return q
 }
 
-// Limit keeps the first n rows.
+// Limit keeps the first n rows, propagating the remaining row budget
+// upstream so producers pull (and meter) exactly the rows a row-at-a-time
+// engine would have.
 func (q *Query) Limit(n int) *Query {
 	if q.err != nil {
 		return q
 	}
-	q.it = &limitIter{in: q.it, left: n}
+	q.it = &batchLimit{in: q.it, left: n}
 	return q
 }
 
-type limitIter struct {
-	in   Iterator
-	left int
-}
-
-func (l *limitIter) Schema() Schema { return l.in.Schema() }
-
-func (l *limitIter) Next() (Row, bool) {
-	if l.left <= 0 {
-		return nil, false
-	}
-	l.left--
-	return l.in.Next()
-}
-
 // Rows drains the query, charging one emit unit per output row, and
-// returns all rows or the first construction error.
+// returns all rows or the first construction error. This is the
+// row-at-a-time compatibility shim over batch execution: each output row
+// is materialized exactly once, at exact size, with row storage allocated
+// one batch at a time.
 func (q *Query) Rows() ([]Row, error) {
 	if q.err != nil {
 		return nil, q.err
 	}
+	width := len(q.it.Schema())
 	var out []Row
 	for {
-		row, ok := q.it.Next()
-		if !ok {
+		b := q.it.nextBatch(0)
+		if b == nil {
 			break
 		}
-		out = append(out, row)
+		n := b.Len()
+		backing := make([]Datum, n*width)
+		k := 0
+		b.forEachActive(func(pos int) {
+			row := backing[k*width : (k+1)*width : (k+1)*width]
+			for c := range b.cols {
+				row[c] = b.cols[c].datum(pos)
+			}
+			out = append(out, row)
+			k++
+		})
 		if q.meter != nil {
-			q.meter.RowsEmitted++
+			q.meter.RowsEmitted += int64(n)
 		}
 	}
 	return out, nil
+}
+
+// ForEachBatch drains the query batch-at-a-time, charging one emit unit
+// per output row — the batch-native alternative to Rows for hot callers.
+// The batch passed to fn is valid only for the duration of the call.
+func (q *Query) ForEachBatch(fn func(*Batch) error) error {
+	if q.err != nil {
+		return q.err
+	}
+	for {
+		b := q.it.nextBatch(0)
+		if b == nil {
+			return nil
+		}
+		if q.meter != nil {
+			q.meter.RowsEmitted += int64(b.Len())
+		}
+		if err := fn(b); err != nil {
+			return err
+		}
+	}
 }
 
 // OutSchema returns the query's output schema (nil if the query errored).

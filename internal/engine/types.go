@@ -10,6 +10,31 @@
 // mechanisms consume are derived from the meter's work counts, so the
 // "optimizations" being priced are real query-plan changes rather than
 // hard-coded constants.
+//
+// # Execution model
+//
+// Queries execute batch-at-a-time: a Batch of column vectors plus an
+// optional selection vector flows through Scan → Filter → Project →
+// HashJoin/IndexJoin → GroupCount/GroupBy/Top1By/OrderByInt → Limit, so
+// the hot loops run over typed slices instead of materializing a Row per
+// operator per row. Scans are zero-copy views of table storage; filters
+// narrow the selection vector; projection reorders vector references;
+// the hash join probes an open-addressing int64 → row-positions table
+// and gathers output columns straight from the build side's vectors.
+// Query.Rows is the row-at-a-time compatibility shim (one exact-size Row
+// per output row); hot callers use Query.ForEachBatch.
+//
+// # Metering contract
+//
+// Batch execution never changes what a query is charged. The unit counts
+// — one scan per row a Scan produces, one build per row entering a hash
+// build or aggregation, one probe per probe-side row reaching a join,
+// one emit per row leaving Rows/ForEachBatch — are identical, charge
+// point by charge point, to the row-at-a-time reference retained in
+// rowref.go, including early-exit behavior under Limit (operators
+// propagate the remaining row budget upstream rather than over-pulling).
+// The property tests assert byte-identical rows and identical Meter
+// counts between the two executors on randomized inputs.
 package engine
 
 import "fmt"
