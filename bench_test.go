@@ -102,6 +102,15 @@ func BenchmarkSubstOnGame(b *testing.B) { benchkit.SubstOnGame()(b) }
 // count through the columnar query engine.
 func BenchmarkEngineHashJoin(b *testing.B) { benchkit.EngineHashJoin()(b) }
 
+// BenchmarkEngineHashJoinParallel2 measures the same pipeline executed
+// morsel-parallel with 2 workers (see engine.Query.WithParallelism).
+func BenchmarkEngineHashJoinParallel2(b *testing.B) { benchkit.EngineHashJoinParallel(2)(b) }
+
+// BenchmarkEngineHashJoinParallel4 measures the same pipeline with 4
+// workers — the configuration the relative-pair CI gate holds ≥1.5x
+// over the serial body on multi-core runners.
+func BenchmarkEngineHashJoinParallel4(b *testing.B) { benchkit.EngineHashJoinParallel(4)(b) }
+
 // BenchmarkHaloFinder measures friends-of-friends clustering of one
 // 4000-particle snapshot with a freshly constructed finder per call.
 func BenchmarkHaloFinder(b *testing.B) { benchkit.HaloFinder(false)(b) }
@@ -115,6 +124,11 @@ func BenchmarkHaloFinderWarm(b *testing.B) { benchkit.HaloFinder(true)(b) }
 // workload (fresh tracker, every snapshot clustered, stride-1 progenitor
 // and chain queries) on a reduced universe.
 func BenchmarkAstroWorkload(b *testing.B) { benchkit.AstroWorkload()(b) }
+
+// BenchmarkAstroWorkloadParallel4 measures the same workload with the
+// tracker's engine queries running morsel-parallel at 4 workers (halo
+// clustering stays serial).
+func BenchmarkAstroWorkloadParallel4(b *testing.B) { benchkit.AstroWorkloadParallel(4)(b) }
 
 // BenchmarkAstronomyScenario measures pricing one full astronomy-year
 // scenario (27 views, 4 quarters, 6 users) with AddOn.

@@ -1,10 +1,16 @@
 // Command benchjson runs the repo's key benchmarks in-process (the same
 // bodies bench_test.go wraps) and writes the measurements as JSON, so
 // every PR can commit a BENCH_*.json snapshot and the perf trajectory
-// stays machine-readable. With -baseline it additionally diffs the fresh
-// run against a committed snapshot and exits nonzero on any ns/op
-// regression beyond the threshold — the CI guard against silently
-// losing a hot-path win.
+// stays machine-readable.
+//
+// Two gating modes exist. -baseline diffs the fresh run against a
+// committed snapshot and exits nonzero on any ns/op regression beyond
+// the threshold; it is inherently noisy across machines, since the
+// snapshot was recorded on different hardware. -pair instead runs each
+// registered baseline/candidate pair interleaved in this process and
+// compares medians, so runner speed cancels out and only the *relative*
+// claim (e.g. "the 4-worker hash join is ≥1.5x the serial one") is
+// enforced — this is what CI gates on.
 //
 // Usage:
 //
@@ -12,6 +18,8 @@
 //	benchjson -o BENCH.json                    # JSON to a file
 //	benchjson -baseline BENCH_PR2.json         # fail on >30% regressions
 //	benchjson -baseline B.json -threshold 0.5  # custom threshold
+//	benchjson -pair                            # relative pair gate (CI)
+//	benchjson -pair -rounds 5 -o PAIRS.json    # more interleaved rounds
 package main
 
 import (
@@ -42,12 +50,81 @@ func main() {
 		out       = flag.String("o", "", "output file (default stdout)")
 		baseline  = flag.String("baseline", "", "committed BENCH_*.json snapshot to diff against")
 		threshold = flag.Float64("threshold", 0.30, "ns/op regression tolerance as a fraction (with -baseline)")
+		pair      = flag.Bool("pair", false, "run the relative baseline/candidate pair gate instead of the key sweep")
+		rounds    = flag.Int("rounds", 3, "interleaved measurement rounds per pair side (with -pair)")
 	)
 	flag.Parse()
-	if err := run(*out, *baseline, *threshold); err != nil {
+	var err error
+	if *pair {
+		err = runPairMode(*out, *rounds)
+	} else {
+		err = run(*out, *baseline, *threshold)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// pairSnapshot is the -pair mode's JSON shape.
+type pairSnapshot struct {
+	GoVersion  string                `json:"go_version"`
+	GOMAXPROCS int                   `json:"gomaxprocs"`
+	NumCPU     int                   `json:"num_cpu"`
+	Pairs      []benchkit.PairResult `json:"pairs"`
+}
+
+// errPairGate signals a pair-gate failure already reported to stderr.
+var errPairGate = fmt.Errorf("relative pair gate failed")
+
+// runPairMode measures every registered pair with interleaved rounds and
+// fails when any pair misses its required speedup. The full-vs-relaxed
+// gate choice keys on GOMAXPROCS, not NumCPU: a cgroup-quota-limited
+// runner may report many CPUs while only a few threads can actually run,
+// and GOMAXPROCS bounds the parallelism the candidate bodies can use.
+func runPairMode(out string, rounds int) error {
+	snap := pairSnapshot{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Pairs:      benchkit.RunPairs(benchkit.Pairs(), rounds, runtime.GOMAXPROCS(0)),
+	}
+	if err := writeJSON(out, snap); err != nil {
+		return err
+	}
+	failed := 0
+	for _, p := range snap.Pairs {
+		gate := "full"
+		if !p.FullGate {
+			gate = "relaxed (few CPUs)"
+		}
+		status := "ok"
+		if !p.Pass {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: pair %s: %.2fx (need %.2fx, %s gate, medians of %d) %s\n",
+			p.Name, p.Speedup, p.RequiredSpeedup, gate, p.Rounds, status)
+	}
+	if failed > 0 {
+		return errPairGate
+	}
+	return nil
+}
+
+// writeJSON marshals v indented with a trailing newline to the named
+// file, or to stdout when out is empty.
+func writeJSON(out string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
 }
 
 func run(out, baseline string, threshold float64) error {
@@ -56,16 +133,7 @@ func run(out, baseline string, threshold float64) error {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Results:    benchkit.RunKey(),
 	}
-	data, err := json.MarshalIndent(snap, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if out == "" {
-		if _, err := os.Stdout.Write(data); err != nil {
-			return err
-		}
-	} else if err := os.WriteFile(out, data, 0o644); err != nil {
+	if err := writeJSON(out, snap); err != nil {
 		return err
 	}
 	if baseline == "" {

@@ -80,8 +80,9 @@ func TestKeyBenchmarksRegistered(t *testing.T) {
 	want := map[string]bool{
 		"Shapley1k": true, "Shapley10k": true, "Shapley100k": true,
 		"AddOnGame": true, "SubstOnGame": true,
-		"EngineHashJoin": true, "HaloFinder": true, "HaloFinderWarm": true,
-		"AstroWorkload": true,
+		"EngineHashJoin": true, "EngineHashJoinParallel4": true,
+		"HaloFinder": true, "HaloFinderWarm": true,
+		"AstroWorkload": true, "AstroWorkloadParallel4": true,
 	}
 	for _, kb := range benchkit.Key() {
 		if !want[kb.Name] {
@@ -94,5 +95,31 @@ func TestKeyBenchmarksRegistered(t *testing.T) {
 	}
 	for name := range want {
 		t.Errorf("benchmark %q missing from Key()", name)
+	}
+}
+
+// The pair-mode snapshot round-trips and marshals the gating fields CI
+// reads from the log.
+func TestPairSnapshotRoundTrip(t *testing.T) {
+	snap := pairSnapshot{
+		GoVersion:  "go1.24",
+		GOMAXPROCS: 4,
+		NumCPU:     4,
+		Pairs: []benchkit.PairResult{{
+			Name: "EngineHashJoin/parallel4-vs-serial", Rounds: 3,
+			BaselineNsPerOp: 2000, CandidateNs: 1000,
+			Speedup: 2.0, RequiredSpeedup: 1.5, FullGate: true, Pass: true,
+		}},
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back pairSnapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Pairs) != 1 || !back.Pairs[0].Pass || back.Pairs[0].Speedup != 2.0 {
+		t.Fatalf("round trip lost pair data: %+v", back)
 	}
 }

@@ -6,14 +6,22 @@
 //	experiments -fig all                  # every figure, text tables
 //	experiments -fig 2a -trials 2000     # one figure, more trials
 //	experiments -fig 1 -format csv       # CSV for plotting
+//	experiments -fig 1 -format sha256    # one "hash  id" line per figure
 //	experiments -fig 1 -exhaustive       # figure 1 over all 10^6 combos
 //
 // Effort semantics: -trials is the Monte-Carlo trial count per point for
 // figures 2–5 and the number of sampled quarter-span assignments for
 // figure 1 (unless -exhaustive).
+//
+// The sha256 format hashes each figure's CSV bytes (at the given trials
+// and seed) and prints "hash  id" lines. FIGURES.sha256 at the repo root
+// is the committed output of `-fig all -format sha256` at the defaults;
+// CI regenerates it and fails on any diff, so a change that perturbs a
+// figure must update the golden file visibly.
 package main
 
 import (
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"io"
@@ -28,7 +36,7 @@ func main() {
 		fig        = flag.String("fig", "all", "figure to regenerate: all, 1, 1e, 2a, 2b, 2c, 2d, 3a, 3b, 4, 5a, 5b, E1, E2, E3")
 		trials     = flag.Int("trials", 1000, "Monte-Carlo trials per point (samples for figure 1)")
 		seed       = flag.Uint64("seed", 42, "random seed")
-		format     = flag.String("format", "table", "output format: table or csv")
+		format     = flag.String("format", "table", "output format: table, csv or sha256")
 		exhaustive = flag.Bool("exhaustive", false, "figure 1 only: enumerate all 10^6 span assignments")
 	)
 	flag.Parse()
@@ -39,7 +47,7 @@ func main() {
 }
 
 func run(w io.Writer, fig string, trials int, seed uint64, format string, exhaustive bool) error {
-	if format != "table" && format != "csv" {
+	if format != "table" && format != "csv" && format != "sha256" {
 		return fmt.Errorf("unknown format %q", format)
 	}
 	ids := []string{fig}
@@ -64,6 +72,8 @@ func run(w io.Writer, fig string, trials int, seed uint64, format string, exhaus
 			fmt.Fprintln(w, figure.Table())
 		case "csv":
 			fmt.Fprintf(w, "# Figure %s: %s\n%s\n", figure.ID, figure.Title, strings.TrimRight(figure.CSV(), "\n"))
+		case "sha256":
+			fmt.Fprintf(w, "%x  %s\n", sha256.Sum256([]byte(figure.CSV())), figure.ID)
 		}
 	}
 	return nil

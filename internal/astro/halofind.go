@@ -48,11 +48,11 @@ type HaloFinder struct {
 	MinMembers int
 
 	// Per-call scratch, reused across Find calls.
-	cx, cy, cz []int32  // per-particle cell coordinates
-	keys       []uint64 // per-particle packed (biased) cell key
-	order      []int32  // particle ids sorted by (key, id)
-	cellKeys   []uint64 // unique sorted cell keys
-	cellStart  []int32  // cellKeys[i]'s range in order is [cellStart[i], cellStart[i+1])
+	cx, cy, cz []int32   // per-particle cell coordinates
+	keys       []uint64  // per-particle packed (biased) cell key
+	order      []int32   // particle ids sorted by (key, id)
+	cellKeys   []uint64  // unique sorted cell keys
+	cellStart  []int32   // cellKeys[i]'s range in order is [cellStart[i], cellStart[i+1])
 	gx, gy, gz []float64 // coordinates gathered into cell-sorted order
 	orderTmp   []int32   // radix-sort scratch
 	cellIdx    []int32   // per-particle index into cellKeys

@@ -22,6 +22,11 @@ type Tracker struct {
 	LinkLen float64
 	// MinMembers is the minimum FoF group size that counts as a halo.
 	MinMembers int
+	// Parallelism is the engine worker count tracking queries opt into
+	// (morsel-driven, see engine.Query.WithParallelism). Values below 2
+	// keep the serial plans; any value produces identical rows and
+	// identical meter charges, so the priced savings are unchanged.
+	Parallelism int
 
 	// finder is reused across snapshots so its grid, union-find, and
 	// component scratch is allocated once per tracker, not once per
@@ -70,7 +75,12 @@ func (tr *Tracker) MaterializeView(snapshot int, meter *engine.Meter) (*engine.M
 	if err != nil {
 		return nil, err
 	}
-	mv, err := engine.Materialize(ViewName(snapshot), engine.Scan(tbl, meter), "pid", meter)
+	par := tr.Parallelism
+	if par < 1 {
+		par = 1
+	}
+	mv, err := engine.Materialize(ViewName(snapshot),
+		engine.Scan(tbl, meter).WithParallelism(par), "pid", meter)
 	if err != nil {
 		return nil, err
 	}
@@ -141,22 +151,30 @@ func (tr *Tracker) Progenitor(cur int, g int32, prev int, meter *engine.Meter) (
 	if err != nil {
 		return 0, false, err
 	}
+	par := tr.Parallelism
+	if par < 1 {
+		par = 1
+	}
 	// The probe side is projected to (pid), so after the join the prev
 	// side's halo column keeps its bare name.
-	q := engine.Scan(curTbl, meter).FilterIntEq("halo", int64(g)).Project("pid")
+	q := engine.Scan(curTbl, meter).WithParallelism(par).
+		FilterIntEq("halo", int64(g)).Project("pid")
 	if prevIdx != nil {
 		q = q.IndexJoin(prevIdx, "pid")
 	} else {
-		q = q.HashJoin(engine.Scan(prevTbl, meter), "pid", "pid")
+		q = q.HashJoin(engine.Scan(prevTbl, meter).WithParallelism(par), "pid", "pid")
 	}
-	rows, err := q.GroupCount("halo").Top1By("count").Rows()
+	// Top1 returns the winning group directly — no final result-set
+	// materialization — while charging exactly what Top1By(...).Rows()
+	// charged.
+	row, ok, err := q.GroupCount("halo").Top1("count")
 	if err != nil {
 		return 0, false, err
 	}
-	if len(rows) == 0 {
+	if !ok {
 		return 0, false, nil
 	}
-	return int32(rows[0][0].Int), true, nil
+	return int32(row[0].Int), true, nil
 }
 
 // Chain traces halo g backward through the given 1-based snapshot

@@ -150,6 +150,49 @@ func TestChainWalksBackward(t *testing.T) {
 	}
 }
 
+// A parallel tracker must answer every query identically to a serial one
+// AND charge identical meter counts — the metering contract is what the
+// pricing mechanisms bill on, so parallelism must never perturb it.
+func TestParallelTrackerMatchesSerial(t *testing.T) {
+	u := generate(t, smallConfig())
+	serial := NewTracker(u, 2.5, 5)
+	parallel := NewTracker(u, 2.5, 5)
+	parallel.Parallelism = 4
+	final := len(u.Tables)
+
+	check := func(label string) {
+		t.Helper()
+		for g := int32(0); g < 3; g++ {
+			sm := engine.NewMeter(engine.DefaultCostModel())
+			sp, sok, err := serial.Progenitor(final, g, final-1, sm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pm := engine.NewMeter(engine.DefaultCostModel())
+			pp, pok, err := parallel.Progenitor(final, g, final-1, pm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sok != pok || sp != pp {
+				t.Fatalf("%s halo %d: parallel %d/%v, serial %d/%v", label, g, pp, pok, sp, sok)
+			}
+			if *sm != *pm {
+				t.Fatalf("%s halo %d: parallel meter %+v, serial %+v", label, g, *pm, *sm)
+			}
+		}
+	}
+	check("no views")
+
+	for _, tr := range []*Tracker{serial, parallel} {
+		for _, snap := range []int{final, final - 1} {
+			if _, err := tr.MaterializeView(snap, engine.NewMeter(engine.DefaultCostModel())); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	check("with views")
+}
+
 func TestStridedSnapshots(t *testing.T) {
 	got := StridedSnapshots(4, 27)
 	want := []int{27, 23, 19, 15, 11, 7, 3}

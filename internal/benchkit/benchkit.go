@@ -9,6 +9,7 @@ package benchkit
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"testing"
 
@@ -105,9 +106,12 @@ func SubstOnGame() func(b *testing.B) {
 	}
 }
 
-// EngineHashJoin returns the benchmark body for a 10k × 10k hash join
-// plus grouped count through the columnar query engine.
-func EngineHashJoin() func(b *testing.B) {
+// engineHashJoinBody is the shared body of the hash-join benchmarks: the
+// 10k × 10k hash join plus grouped count through the columnar engine
+// (the workload tracked since BENCH_PR2.json), executed with the given
+// morsel-parallel worker count (1 = the serial plan). The probe side
+// spans 10 morsels, so up to 8 workers have real work to split.
+func engineHashJoinBody(workers int) func(b *testing.B) {
 	return func(b *testing.B) {
 		r := stats.NewRNG(4)
 		left := engine.NewTable("l", engine.Schema{{Name: "k", Type: engine.Int64}})
@@ -121,13 +125,24 @@ func EngineHashJoin() func(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			meter := engine.NewMeter(engine.DefaultCostModel())
-			if _, err := engine.Scan(left, meter).
-				HashJoin(engine.Scan(right, meter), "k", "k").
+			if _, err := engine.Scan(left, meter).WithParallelism(workers).
+				HashJoin(engine.Scan(right, meter).WithParallelism(workers), "k", "k").
 				GroupCount("k").Rows(); err != nil {
 				b.Fatal(err)
 			}
 		}
 	}
+}
+
+// EngineHashJoin returns the benchmark body for the serial hash-join plus
+// grouped-count pipeline.
+func EngineHashJoin() func(b *testing.B) { return engineHashJoinBody(1) }
+
+// EngineHashJoinParallel returns the same pipeline executed
+// morsel-parallel with the given worker count — the tentpole the
+// relative-pair CI gate holds against the serial body.
+func EngineHashJoinParallel(workers int) func(b *testing.B) {
+	return engineHashJoinBody(workers)
 }
 
 // benchUniverse lazily generates the default 4000-particle universe the
@@ -162,34 +177,50 @@ func HaloFinder(warm bool) func(b *testing.B) {
 	}
 }
 
-// AstroWorkload returns the benchmark body for one end-to-end astronomy
-// tracking workload: a fresh tracker clusters every snapshot of a
-// reduced universe and runs one stride-1 astronomer's progenitor and
-// chain queries through the engine — the workload whose metered cost
-// feeds the pricing experiments.
-func AstroWorkload() func(b *testing.B) {
+// astroBenchUniverse lazily generates the reduced universe the workload
+// benchmarks track, shared by the serial and parallel bodies so pair
+// runs measure the same data.
+var astroBenchUniverse = sync.OnceValues(func() (*astro.Universe, error) {
 	cfg := astro.DefaultConfig()
 	cfg.Particles = 1500
 	cfg.Snapshots = 8
-	var once sync.Once
-	var u *astro.Universe
-	var genErr error
+	return astro.Generate(cfg)
+})
+
+// astroWorkloadBody is the shared body of the end-to-end astronomy
+// tracking benchmark: a fresh tracker clusters every snapshot of a
+// reduced universe and runs one stride-1 astronomer's progenitor and
+// chain queries through the engine — the workload whose metered cost
+// feeds the pricing experiments. workers is the tracker's engine
+// parallelism (1 = serial plans).
+func astroWorkloadBody(workers int) func(b *testing.B) {
 	return func(b *testing.B) {
-		once.Do(func() { u, genErr = astro.Generate(cfg) })
-		if genErr != nil {
-			b.Fatal(genErr)
+		u, err := astroBenchUniverse()
+		if err != nil {
+			b.Fatal(err)
 		}
 		spec := astro.UserSpec{Name: "bench", Stride: 1, Halos: []int32{0, 1}}
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			tr := astro.NewTracker(u, 1.8, 8)
+			tr.Parallelism = workers
 			meter := engine.NewMeter(engine.DefaultCostModel())
 			if err := tr.RunWorkload(spec, meter); err != nil {
 				b.Fatal(err)
 			}
 		}
 	}
+}
+
+// AstroWorkload returns the serial end-to-end tracking workload body.
+func AstroWorkload() func(b *testing.B) { return astroWorkloadBody(1) }
+
+// AstroWorkloadParallel returns the same workload with the tracker's
+// engine queries running morsel-parallel. Halo clustering stays serial,
+// so the end-to-end gain is bounded by the query share of the workload.
+func AstroWorkloadParallel(workers int) func(b *testing.B) {
+	return astroWorkloadBody(workers)
 }
 
 // Key lists the benchmarks tracked in the BENCH_*.json perf trajectory.
@@ -207,9 +238,11 @@ func Key() []struct {
 		{"AddOnGame", AddOnGame()},
 		{"SubstOnGame", SubstOnGame()},
 		{"EngineHashJoin", EngineHashJoin()},
+		{"EngineHashJoinParallel4", EngineHashJoinParallel(4)},
 		{"HaloFinder", HaloFinder(false)},
 		{"HaloFinderWarm", HaloFinder(true)},
 		{"AstroWorkload", AstroWorkload()},
+		{"AstroWorkloadParallel4", AstroWorkloadParallel(4)},
 	}
 }
 
@@ -254,6 +287,133 @@ func RunKey() []Result {
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	return out
+}
+
+// Pair is one relative performance claim the CI gate holds: candidate
+// must run at least MinSpeedup times faster than baseline when the
+// runner has NeedProcs CPUs, or RelaxedMinSpeedup (typically a
+// no-regression bound < 1) otherwise. Because both bodies run
+// interleaved in the same process on the same runner, the comparison is
+// self-calibrating — runner speed, turbo states and co-tenants cancel
+// out, unlike an absolute ns/op diff against a snapshot from another
+// machine.
+type Pair struct {
+	Name              string
+	Baseline          func(b *testing.B)
+	Candidate         func(b *testing.B)
+	MinSpeedup        float64
+	RelaxedMinSpeedup float64
+	NeedProcs         int
+}
+
+// Pairs lists the relative claims CI enforces. The hash-join pairs carry
+// the morsel-parallelism tentpole; the astro pair guards the end-to-end
+// workload against the parallel path ever costing more than serial.
+func Pairs() []Pair {
+	return []Pair{
+		{
+			Name:              "EngineHashJoin/parallel4-vs-serial",
+			Baseline:          EngineHashJoin(),
+			Candidate:         EngineHashJoinParallel(4),
+			MinSpeedup:        1.5,
+			RelaxedMinSpeedup: 0.70,
+			NeedProcs:         4,
+		},
+		{
+			Name:              "EngineHashJoin/parallel2-vs-serial",
+			Baseline:          EngineHashJoin(),
+			Candidate:         EngineHashJoinParallel(2),
+			MinSpeedup:        1.15,
+			RelaxedMinSpeedup: 0.70,
+			NeedProcs:         2,
+		},
+		{
+			Name:              "AstroWorkload/parallel4-vs-serial",
+			Baseline:          AstroWorkload(),
+			Candidate:         AstroWorkloadParallel(4),
+			MinSpeedup:        0.95,
+			RelaxedMinSpeedup: 0.70,
+			NeedProcs:         4,
+		},
+	}
+}
+
+// PairResult is one pair's measured outcome, shaped for JSON.
+type PairResult struct {
+	Name            string  `json:"name"`
+	Rounds          int     `json:"rounds"`
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op"`
+	CandidateNs     float64 `json:"candidate_ns_per_op"`
+	Speedup         float64 `json:"speedup"`
+	RequiredSpeedup float64 `json:"required_speedup"`
+	// FullGate reports whether the runner had enough CPUs to enforce
+	// the pair's full MinSpeedup (false = RelaxedMinSpeedup applied).
+	FullGate bool `json:"full_gate"`
+	Pass     bool `json:"pass"`
+}
+
+// median returns the median of ns (sorted in place).
+func median(ns []float64) float64 {
+	sort.Float64s(ns)
+	n := len(ns)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return ns[n/2]
+	}
+	return (ns[n/2-1] + ns[n/2]) / 2
+}
+
+// nsPerOp extracts a benchmark run's ns/op.
+func nsPerOp(r testing.BenchmarkResult) float64 {
+	if r.N == 0 {
+		return 0
+	}
+	return float64(r.T.Nanoseconds()) / float64(r.N)
+}
+
+// RunPairs measures every pair with `rounds` interleaved
+// baseline/candidate runs (baseline, candidate, baseline, candidate, …)
+// in this process and compares the medians, so transient machine noise
+// hits both sides alike. procs chooses between the full and relaxed
+// speedup requirements; pass runtime.GOMAXPROCS(0), which bounds the
+// parallelism the candidate bodies can actually use (NumCPU can exceed
+// it under cgroup CPU quotas).
+func RunPairs(pairs []Pair, rounds, procs int) []PairResult {
+	if rounds < 1 {
+		rounds = 1
+	}
+	var out []PairResult
+	for _, p := range pairs {
+		baseNs := make([]float64, 0, rounds)
+		candNs := make([]float64, 0, rounds)
+		for r := 0; r < rounds; r++ {
+			baseNs = append(baseNs, nsPerOp(testing.Benchmark(p.Baseline)))
+			candNs = append(candNs, nsPerOp(testing.Benchmark(p.Candidate)))
+		}
+		bm, cm := median(baseNs), median(candNs)
+		full := procs >= p.NeedProcs
+		required := p.MinSpeedup
+		if !full {
+			required = p.RelaxedMinSpeedup
+		}
+		speedup := 0.0
+		if cm > 0 {
+			speedup = bm / cm
+		}
+		out = append(out, PairResult{
+			Name:            p.Name,
+			Rounds:          rounds,
+			BaselineNsPerOp: bm,
+			CandidateNs:     cm,
+			Speedup:         speedup,
+			RequiredSpeedup: required,
+			FullGate:        full,
+			Pass:            speedup >= required,
 		})
 	}
 	return out

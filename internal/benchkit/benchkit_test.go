@@ -43,3 +43,85 @@ func TestRegressionsZeroBaseline(t *testing.T) {
 		t.Fatalf("msgs = %v", msgs)
 	}
 }
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("odd median = %v", m)
+	}
+	if m := median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("even median = %v", m)
+	}
+	if m := median(nil); m != 0 {
+		t.Fatalf("empty median = %v", m)
+	}
+}
+
+// RunPairs with synthetic bodies: the full gate applies when the runner
+// has the pair's CPUs, the relaxed gate otherwise, and pass/fail follows
+// the measured median ratio.
+func TestRunPairsGating(t *testing.T) {
+	spin := func(iters int) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				x := 0
+				for j := 0; j < iters; j++ {
+					x += j
+				}
+				_ = x
+			}
+		}
+	}
+	pairs := []Pair{
+		{Name: "cand-faster", Baseline: spin(60000), Candidate: spin(1000),
+			MinSpeedup: 1.5, RelaxedMinSpeedup: 0.75, NeedProcs: 1},
+		{Name: "cand-slower-full-gate", Baseline: spin(1000), Candidate: spin(60000),
+			MinSpeedup: 1.5, RelaxedMinSpeedup: 0.75, NeedProcs: 1},
+		{Name: "cand-slower-relaxed-gate", Baseline: spin(1000), Candidate: spin(60000),
+			MinSpeedup: 1.5, RelaxedMinSpeedup: 0.75, NeedProcs: 1 << 20},
+	}
+	res := RunPairs(pairs, 1, 1)
+	if len(res) != 3 {
+		t.Fatalf("%d results", len(res))
+	}
+	if !res[0].Pass || !res[0].FullGate {
+		t.Errorf("faster candidate failed full gate: %+v", res[0])
+	}
+	if res[1].Pass {
+		t.Errorf("much slower candidate passed the full gate: %+v", res[1])
+	}
+	if res[1].RequiredSpeedup != 1.5 {
+		t.Errorf("full gate requirement = %v", res[1].RequiredSpeedup)
+	}
+	if res[2].FullGate || res[2].RequiredSpeedup != 0.75 {
+		t.Errorf("relaxed gate not applied: %+v", res[2])
+	}
+	if res[2].Pass {
+		t.Errorf("60x slower candidate passed even the relaxed gate: %+v", res[2])
+	}
+}
+
+// The registered pairs must reference real bodies and sane thresholds —
+// a pair with a nil side or a relaxed bound above the full bound would
+// make the CI gate vacuous or impossible.
+func TestPairsRegistry(t *testing.T) {
+	pairs := Pairs()
+	if len(pairs) == 0 {
+		t.Fatal("no pairs registered")
+	}
+	seen := map[string]bool{}
+	for _, p := range pairs {
+		if p.Name == "" || p.Baseline == nil || p.Candidate == nil {
+			t.Errorf("malformed pair %+v", p.Name)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate pair %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.MinSpeedup <= 0 || p.RelaxedMinSpeedup <= 0 || p.RelaxedMinSpeedup > p.MinSpeedup {
+			t.Errorf("pair %q thresholds: full %v, relaxed %v", p.Name, p.MinSpeedup, p.RelaxedMinSpeedup)
+		}
+		if p.NeedProcs < 1 {
+			t.Errorf("pair %q NeedProcs %d", p.Name, p.NeedProcs)
+		}
+	}
+}

@@ -84,51 +84,58 @@ func (q *Query) GroupBy(key string, aggs ...Aggregation) *Query {
 		}
 	}
 	// Columnar aggregation: one dense accumulator slice per aggregate,
-	// indexed by first-seen group slot.
-	slots := make(map[int64]int)
+	// indexed by first-seen group slot. Under a parallel plan each worker
+	// aggregates its morsels privately and the partials are merged in
+	// first-occurrence order (see parallelGroupAgg).
 	var keys []int64
-	accs := make([][]int64, len(aggs))
-	for {
-		b := q.it.nextBatch(0)
-		if b == nil {
-			break
-		}
-		keyVec := b.cols[ki].Ints
-		b.forEachActive(func(pos int) {
-			k := keyVec[pos]
-			s, seen := slots[k]
-			if !seen {
-				s = len(keys)
-				slots[k] = s
-				keys = append(keys, k)
-				for a := range accs {
-					init := int64(0)
-					switch aggs[a].Func {
-					case AggMin, AggMax:
-						init = b.cols[cols[a]].Ints[pos]
-					}
-					accs[a] = append(accs[a], init)
-				}
+	var accs [][]int64
+	if spec, par := q.parallelPlan(); spec != nil {
+		keys, accs = parallelGroupAgg(spec, par, q.meter, ki, aggs, cols)
+	} else {
+		slots := make(map[int64]int)
+		accs = make([][]int64, len(aggs))
+		for {
+			b := q.it.nextBatch(0)
+			if b == nil {
+				break
 			}
-			for a, agg := range aggs {
-				switch agg.Func {
-				case AggCount:
-					accs[a][s]++
-				case AggSum:
-					accs[a][s] += b.cols[cols[a]].Ints[pos]
-				case AggMin:
-					if v := b.cols[cols[a]].Ints[pos]; v < accs[a][s] {
-						accs[a][s] = v
-					}
-				case AggMax:
-					if v := b.cols[cols[a]].Ints[pos]; v > accs[a][s] {
-						accs[a][s] = v
+			keyVec := b.cols[ki].Ints
+			b.forEachActive(func(pos int) {
+				k := keyVec[pos]
+				s, seen := slots[k]
+				if !seen {
+					s = len(keys)
+					slots[k] = s
+					keys = append(keys, k)
+					for a := range accs {
+						init := int64(0)
+						switch aggs[a].Func {
+						case AggMin, AggMax:
+							init = b.cols[cols[a]].Ints[pos]
+						}
+						accs[a] = append(accs[a], init)
 					}
 				}
+				for a, agg := range aggs {
+					switch agg.Func {
+					case AggCount:
+						accs[a][s]++
+					case AggSum:
+						accs[a][s] += b.cols[cols[a]].Ints[pos]
+					case AggMin:
+						if v := b.cols[cols[a]].Ints[pos]; v < accs[a][s] {
+							accs[a][s] = v
+						}
+					case AggMax:
+						if v := b.cols[cols[a]].Ints[pos]; v > accs[a][s] {
+							accs[a][s] = v
+						}
+					}
+				}
+			})
+			if q.meter != nil {
+				q.meter.RowsBuilt += int64(b.Len())
 			}
-		})
-		if q.meter != nil {
-			q.meter.RowsBuilt += int64(b.Len())
 		}
 	}
 	outCols := make([]Vector, 0, 1+len(aggs))
@@ -137,5 +144,6 @@ func (q *Query) GroupBy(key string, aggs ...Aggregation) *Query {
 		outCols = append(outCols, Vector{Kind: Int64, Ints: acc})
 	}
 	q.it = &batchSlice{cols: outCols, rows: len(keys), schema: outSchema}
+	q.spec = nil
 	return q
 }

@@ -13,6 +13,11 @@ package engine
 // Limit bounds the query, operators propagate the remaining row budget
 // upstream and pull exactly the rows a row-at-a-time engine would have
 // pulled, so lazy early-exit metering is also identical.
+//
+// The streamable operators here (scan, filter, project, join probes) are
+// also instantiated per worker by the morsel-parallel scheduler in
+// parallel.go; their only shared state across instances is read-only
+// (tables, build sides, hash indexes).
 
 // batchSize is the number of rows an unbounded batch carries. 1024 keeps
 // a batch of a few int64 columns inside L2 while amortizing per-batch

@@ -1,0 +1,528 @@
+package engine
+
+// Morsel-driven parallel execution (Leis et al., SIGMOD 2014), adapted to
+// the batch engine: a query whose pipeline is rooted at a table scan and
+// composed only of streamable operators (Filter, Project, hash/index join
+// probes) can be fanned out over fixed-size scan morsels to
+// WithParallelism(n) workers. Each worker instantiates its own copy of
+// the pipeline with a private Meter, claims morsels from an atomic
+// counter, and drains them; pipeline breakers (hash build, grouped
+// aggregation, Top1, sort, Rows/ForEachBatch) merge the per-morsel
+// partials deterministically by morsel index and fold the worker meters
+// into the query's meter with Meter.Add.
+//
+// Determinism contract: because morsels partition the scan in row order,
+// per-morsel outputs preserve intra-morsel row order, and every merge
+// point concatenates (or orders group partials) by first-occurrence
+// coordinate, parallel execution produces byte-identical rows — and,
+// since the same rows flow through the same charge points, identical
+// folded Meter counts — as serial execution at any worker count.
+// Pipelines under an active row budget (below a Limit) always run
+// serially: early-exit metering is defined by serial pull order, so
+// parallelizing it would change what a query is charged.
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// morselSize is the number of scan rows in one morsel — the unit of work
+// a worker claims. It equals batchSize so a morsel is exactly one scan
+// batch; joins fan a morsel out into multiple output batches.
+const morselSize = batchSize
+
+// stageKind tags one streamable operator recorded in a pipeSpec.
+type stageKind int
+
+const (
+	stageFilter stageKind = iota
+	stageFilterIntEq
+	stageProject
+	stageHashJoin
+	stageIndexJoin
+)
+
+// pipeStage is one streamable operator's construction parameters, enough
+// to instantiate a fresh iterator per worker. Exactly the fields for its
+// kind are set.
+type pipeStage struct {
+	kind stageKind
+
+	pred func(Row) bool // stageFilter: must be pure (called concurrently)
+
+	intEq int // stageFilterIntEq
+	eqVal int64
+
+	idx    []int  // stageProject
+	schema Schema // stageProject / stageHashJoin / stageIndexJoin output
+
+	build    *buildSide // stageHashJoin (shared, read-only after build)
+	probeIdx int        // stageHashJoin / stageIndexJoin
+	hidx     *HashIndex // stageIndexJoin (shared, read-only)
+}
+
+// pipeSpec is the replayable description of a morsel-parallelizable
+// pipeline: a root table scan plus streamable stages. Query methods keep
+// it alongside the serial iterator chain and drop it (spec = nil) as soon
+// as a non-streamable operator appears.
+type pipeSpec struct {
+	table  *Table
+	stages []pipeStage
+}
+
+// addStage appends a streamable stage to a query's spec, if it still has
+// one.
+func (q *Query) addStage(st pipeStage) {
+	if q.spec != nil {
+		q.spec.stages = append(q.spec.stages, st)
+	}
+}
+
+// parallelPlan returns the query's pipeline spec and effective worker
+// count when the next pipeline breaker should run morsel-parallel, or
+// (nil, 0) for the serial path.
+func (q *Query) parallelPlan() (*pipeSpec, int) {
+	if q.err != nil || q.par < 2 || q.spec == nil || q.spec.table.Len() == 0 {
+		return nil, 0
+	}
+	return q.spec, q.par
+}
+
+// morselScan is batchScan bounded to one morsel's row range, resettable
+// so a worker reuses one pipeline instance across the morsels it claims.
+type morselScan struct {
+	t     *Table
+	meter *Meter
+	pos   int
+	end   int
+	out   Batch
+}
+
+func (s *morselScan) reset(lo, hi int) { s.pos, s.end = lo, hi }
+
+func (s *morselScan) Schema() Schema { return s.t.Schema() }
+
+func (s *morselScan) nextBatch(limit int) *Batch {
+	remaining := s.end - s.pos
+	if remaining <= 0 {
+		return nil
+	}
+	n := batchSize
+	if remaining < n {
+		n = remaining
+	}
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	lo, hi := s.pos, s.pos+n
+	s.pos = hi
+	t := s.t
+	if s.out.cols == nil {
+		s.out.cols = make([]Vector, len(t.schema))
+	}
+	for i, c := range t.schema {
+		slot := t.colSlot[i]
+		v := &s.out.cols[i]
+		v.Kind = c.Type
+		switch c.Type {
+		case Int64:
+			v.Ints = t.ints[slot][lo:hi:hi]
+		case Float64:
+			v.Floats = t.floats[slot][lo:hi:hi]
+		default:
+			v.Strs = t.strs[slot][lo:hi:hi]
+		}
+	}
+	s.out.sel = nil
+	s.out.n = n
+	if s.meter != nil {
+		s.meter.RowsScanned += int64(n)
+	}
+	return &s.out
+}
+
+// newPipe instantiates one worker's private copy of the pipeline. The
+// scan and every per-iterator scratch buffer are worker-local; build
+// sides and hash indexes are shared read-only.
+func (s *pipeSpec) newPipe(meter *Meter) (*morselScan, batchIterator) {
+	ms := &morselScan{t: s.table, meter: meter}
+	var it batchIterator = ms
+	for i := range s.stages {
+		st := &s.stages[i]
+		switch st.kind {
+		case stageFilter:
+			it = &batchFilter{in: it, intEq: -1, pred: st.pred}
+		case stageFilterIntEq:
+			it = &batchFilter{in: it, intEq: st.intEq, eqVal: st.eqVal}
+		case stageProject:
+			it = &batchProject{in: it, idx: st.idx, schema: st.schema}
+		case stageHashJoin:
+			it = &batchHashJoin{in: it, build: st.build, probeIdx: st.probeIdx,
+				schema: st.schema, meter: meter, pending: -1}
+		case stageIndexJoin:
+			it = &batchIndexJoin{in: it, idx: st.hidx, probeIdx: st.probeIdx,
+				schema: st.schema, meter: meter}
+		}
+	}
+	return ms, it
+}
+
+// morselCount returns the number of morsels covering n scan rows.
+func morselCount(n int) int { return (n + morselSize - 1) / morselSize }
+
+// runMorsels executes the pipeline over every morsel of the spec's table
+// with up to par workers, invoking emit for each output batch. A morsel's
+// batches are emitted in order by a single worker, and a worker's claimed
+// morsel indexes are strictly increasing, so emit may accumulate state
+// keyed by (worker, morsel) without synchronization — it must only touch
+// state owned by its worker or its morsel index. wm is the emitting
+// worker's private meter (nil when meter is nil) for sink-level charges.
+// After all workers finish, the worker meters are folded into meter in
+// worker order.
+func runMorsels(spec *pipeSpec, par int, meter *Meter, emit func(worker, morsel int, b *Batch, wm *Meter)) {
+	n := spec.table.Len()
+	morsels := morselCount(n)
+	if morsels == 0 {
+		return
+	}
+	if par > morsels {
+		par = morsels
+	}
+	if par < 1 {
+		par = 1
+	}
+	meters := make([]Meter, par)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var wm *Meter
+			if meter != nil {
+				wm = &meters[w]
+			}
+			scan, it := spec.newPipe(wm)
+			for {
+				m := int(next.Add(1)) - 1
+				if m >= morsels {
+					return
+				}
+				lo := m * morselSize
+				hi := lo + morselSize
+				if hi > n {
+					hi = n
+				}
+				scan.reset(lo, hi)
+				for {
+					b := it.nextBatch(0)
+					if b == nil {
+						break
+					}
+					emit(w, m, b, wm)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if meter != nil {
+		for i := range meters {
+			meter.Add(&meters[i])
+		}
+	}
+}
+
+// morselOut accumulates one morsel's output rows as flat vectors.
+type morselOut struct {
+	cols []Vector
+	rows int
+}
+
+// materializeParallel drains the pipeline in parallel and concatenates
+// the per-morsel outputs in morsel index order — exactly the serial drain
+// order. Scan/probe charges happen inside the worker pipelines and fold
+// into meter; sink-level charges (build or emit units on the
+// materialized rows) are the caller's job.
+func materializeParallel(spec *pipeSpec, par int, meter *Meter, schema Schema) ([]Vector, int) {
+	outs := make([]morselOut, morselCount(spec.table.Len()))
+	runMorsels(spec, par, meter, func(_, m int, b *Batch, _ *Meter) {
+		o := &outs[m]
+		if o.cols == nil {
+			o.cols = make([]Vector, len(schema))
+			for i, c := range schema {
+				o.cols[i].Kind = c.Type
+			}
+		}
+		b.forEachActive(func(pos int) {
+			for c := range o.cols {
+				appendValue(&o.cols[c], &b.cols[c], pos)
+			}
+		})
+		o.rows += b.Len()
+	})
+	total := 0
+	for i := range outs {
+		total += outs[i].rows
+	}
+	flat := make([]Vector, len(schema))
+	for c, col := range schema {
+		flat[c].Kind = col.Type
+		switch col.Type {
+		case Int64:
+			flat[c].Ints = make([]int64, 0, total)
+		case Float64:
+			flat[c].Floats = make([]float64, 0, total)
+		default:
+			flat[c].Strs = make([]string, 0, total)
+		}
+	}
+	for i := range outs {
+		for c := range outs[i].cols {
+			src := &outs[i].cols[c]
+			dst := &flat[c]
+			switch src.Kind {
+			case Int64:
+				dst.Ints = append(dst.Ints, src.Ints...)
+			case Float64:
+				dst.Floats = append(dst.Floats, src.Floats...)
+			default:
+				dst.Strs = append(dst.Strs, src.Strs...)
+			}
+		}
+	}
+	return flat, total
+}
+
+// materializeBuildParallel is materializeBuild's morsel-parallel twin:
+// the build input is drained in parallel, merged in morsel order, and the
+// hash table is then populated sequentially from the merged rows — so the
+// per-key probe chains are threaded in exactly serial build order. The
+// meters split as in the serial join: the build pipeline's own charges
+// fold into pipeMeter (the build query's meter), while the per-row build
+// units go to buildMeter (the joining query's meter).
+func materializeBuildParallel(spec *pipeSpec, par int, keyIdx int, pipeMeter, buildMeter *Meter, schema Schema) *buildSide {
+	cols, rows := materializeParallel(spec, par, pipeMeter, schema)
+	if buildMeter != nil {
+		buildMeter.RowsBuilt += int64(rows)
+	}
+	bs := &buildSide{cols: cols, rows: rows}
+	bs.jt = newJoinTable(rows)
+	for i, k := range cols[keyIdx].Ints {
+		bs.jt.insert(k, int32(i))
+	}
+	return bs
+}
+
+// coord is a row's global first-occurrence coordinate: morsel index in
+// the high bits, row position within that morsel's output stream in the
+// low 40 bits. Coordinates order rows exactly as the serial engine
+// produces them, so "first seen" merges are deterministic.
+type coord = uint64
+
+// coordTracker assigns coordinates to a worker's output rows. Because a
+// worker sees each of its morsels' batches contiguously and its morsel
+// indexes increase, coordinates are strictly increasing per worker.
+type coordTracker struct {
+	lastMorsel int
+	row        uint64
+}
+
+func (c *coordTracker) next(morsel int) coord {
+	if morsel != c.lastMorsel {
+		c.lastMorsel = morsel
+		c.row = 0
+	}
+	r := c.row
+	c.row++
+	return uint64(morsel)<<40 | r
+}
+
+// groupPartial is one worker's aggregation state: per-group accumulators
+// plus the coordinate of each group's first occurrence.
+type groupPartial struct {
+	slots  map[int64]int
+	keys   []int64
+	coords []coord
+	accs   [][]int64
+	tr     coordTracker
+}
+
+// parallelGroupAgg runs hash aggregation morsel-parallel: each worker
+// aggregates its morsels into a private partial, then the partials are
+// merged (count/sum added, min/max folded) and the merged groups are
+// ordered by first-occurrence coordinate — the serial first-seen order.
+// ki is the key column; cols[a] is the input column of aggs[a]. Each
+// input row charges one build unit, as in the serial sinks.
+func parallelGroupAgg(spec *pipeSpec, par int, meter *Meter, ki int, aggs []Aggregation, cols []int) ([]int64, [][]int64) {
+	parts := make([]groupPartial, par)
+	for w := range parts {
+		parts[w] = groupPartial{
+			slots: make(map[int64]int),
+			accs:  make([][]int64, len(aggs)),
+			tr:    coordTracker{lastMorsel: -1},
+		}
+	}
+	runMorsels(spec, par, meter, func(w, m int, b *Batch, wm *Meter) {
+		p := &parts[w]
+		keyVec := b.cols[ki].Ints
+		b.forEachActive(func(pos int) {
+			at := p.tr.next(m)
+			k := keyVec[pos]
+			s, seen := p.slots[k]
+			if !seen {
+				s = len(p.keys)
+				p.slots[k] = s
+				p.keys = append(p.keys, k)
+				p.coords = append(p.coords, at)
+				for a := range p.accs {
+					init := int64(0)
+					switch aggs[a].Func {
+					case AggMin, AggMax:
+						init = b.cols[cols[a]].Ints[pos]
+					}
+					p.accs[a] = append(p.accs[a], init)
+				}
+			}
+			for a, agg := range aggs {
+				switch agg.Func {
+				case AggCount:
+					p.accs[a][s]++
+				case AggSum:
+					p.accs[a][s] += b.cols[cols[a]].Ints[pos]
+				case AggMin:
+					if v := b.cols[cols[a]].Ints[pos]; v < p.accs[a][s] {
+						p.accs[a][s] = v
+					}
+				case AggMax:
+					if v := b.cols[cols[a]].Ints[pos]; v > p.accs[a][s] {
+						p.accs[a][s] = v
+					}
+				}
+			}
+		})
+		if wm != nil {
+			wm.RowsBuilt += int64(b.Len())
+		}
+	})
+
+	// Merge worker partials. AggMin/AggMax partials were initialized from
+	// a real first value, so folding min-of-mins / max-of-maxes is exact;
+	// counts and sums add.
+	gSlots := make(map[int64]int)
+	var gKeys []int64
+	var gCoords []coord
+	gAccs := make([][]int64, len(aggs))
+	for w := range parts {
+		p := &parts[w]
+		for s, k := range p.keys {
+			g, seen := gSlots[k]
+			if !seen {
+				g = len(gKeys)
+				gSlots[k] = g
+				gKeys = append(gKeys, k)
+				gCoords = append(gCoords, p.coords[s])
+				for a := range gAccs {
+					gAccs[a] = append(gAccs[a], p.accs[a][s])
+				}
+				continue
+			}
+			if p.coords[s] < gCoords[g] {
+				gCoords[g] = p.coords[s]
+			}
+			for a, agg := range aggs {
+				switch agg.Func {
+				case AggCount, AggSum:
+					gAccs[a][g] += p.accs[a][s]
+				case AggMin:
+					if p.accs[a][s] < gAccs[a][g] {
+						gAccs[a][g] = p.accs[a][s]
+					}
+				case AggMax:
+					if p.accs[a][s] > gAccs[a][g] {
+						gAccs[a][g] = p.accs[a][s]
+					}
+				}
+			}
+		}
+	}
+
+	// Order groups by first occurrence — serial first-seen order.
+	// Coordinates identify unique rows, so the order is total.
+	perm := make([]int, len(gKeys))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool { return gCoords[perm[a]] < gCoords[perm[b]] })
+	keys := make([]int64, len(gKeys))
+	accs := make([][]int64, len(aggs))
+	for a := range accs {
+		accs[a] = make([]int64, len(gKeys))
+	}
+	for out, g := range perm {
+		keys[out] = gKeys[g]
+		for a := range accs {
+			accs[a][out] = gAccs[a][g]
+		}
+	}
+	return keys, accs
+}
+
+// top1Partial is one worker's running best row for Top1/Top1By.
+type top1Partial struct {
+	found bool
+	val   int64
+	at    coord
+	best  []Vector // single-row copy of the best row
+	tr    coordTracker
+}
+
+// parallelTop1 finds the row with the largest Int64 value in column i,
+// breaking ties by earliest coordinate — the serial first-seen rule.
+// It returns the winning row's columns as single-row vectors.
+func parallelTop1(spec *pipeSpec, par int, meter *Meter, schema Schema, i int) ([]Vector, bool) {
+	parts := make([]top1Partial, par)
+	for w := range parts {
+		parts[w] = top1Partial{tr: coordTracker{lastMorsel: -1}}
+	}
+	runMorsels(spec, par, meter, func(w, m int, b *Batch, _ *Meter) {
+		p := &parts[w]
+		if p.best == nil {
+			p.best = make([]Vector, len(schema))
+			for c, col := range schema {
+				p.best[c].Kind = col.Type
+			}
+		}
+		vec := b.cols[i].Ints
+		b.forEachActive(func(pos int) {
+			at := p.tr.next(m)
+			v := vec[pos]
+			// Within a worker coordinates increase, so strict > keeps the
+			// earliest row among equals, as serial Top1By does.
+			if p.found && v <= p.val {
+				return
+			}
+			p.found, p.val, p.at = true, v, at
+			for c := range p.best {
+				bv := &p.best[c]
+				bv.Ints, bv.Floats, bv.Strs = bv.Ints[:0], bv.Floats[:0], bv.Strs[:0]
+				appendValue(bv, &b.cols[c], pos)
+			}
+		})
+	})
+	bestW := -1
+	for w := range parts {
+		p := &parts[w]
+		if !p.found {
+			continue
+		}
+		if bestW < 0 || p.val > parts[bestW].val ||
+			(p.val == parts[bestW].val && p.at < parts[bestW].at) {
+			bestW = w
+		}
+	}
+	if bestW < 0 {
+		return nil, false
+	}
+	return parts[bestW].best, true
+}

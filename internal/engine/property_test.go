@@ -217,6 +217,87 @@ func assertSameExecution(t *testing.T, trial int, got *Query, gm *Meter, want *r
 	}
 }
 
+// diffPipeline pairs a batch-engine pipeline (at a chosen worker count)
+// with its row-at-a-time reference twin.
+type diffPipeline struct {
+	name  string
+	batch func(m *Meter, par int) *Query
+	ref   func(m *Meter) *refQuery
+}
+
+// diffPipelines returns the operator pipelines the differential tests
+// drive through both executors. par is applied to every scan, so the
+// parallel tests exercise morsel-parallel filters, probes, hash builds,
+// aggregation merges, sorts and the serial fallback below Limit.
+func diffPipelines(a, b *Table, idx *HashIndex, limit int, desc bool, pred func(Row) bool) []diffPipeline {
+	return []diffPipeline{
+		{"scan",
+			func(m *Meter, par int) *Query { return Scan(a, m).WithParallelism(par) },
+			func(m *Meter) *refQuery { return refScan(a, m) }},
+		{"filter",
+			func(m *Meter, par int) *Query { return Scan(a, m).WithParallelism(par).Filter(pred) },
+			func(m *Meter) *refQuery { return refScan(a, m).Filter(pred) }},
+		{"filter-int-eq-project",
+			func(m *Meter, par int) *Query {
+				return Scan(a, m).WithParallelism(par).FilterIntEq("k", 2).Project("s", "v")
+			},
+			func(m *Meter) *refQuery { return refScan(a, m).FilterIntEq("k", 2).Project("s", "v") }},
+		{"hash-join-group-top1",
+			func(m *Meter, par int) *Query {
+				return Scan(a, m).WithParallelism(par).
+					HashJoin(Scan(b, m).WithParallelism(par), "k", "k").
+					GroupCount("b.k").Top1By("count")
+			},
+			func(m *Meter) *refQuery {
+				return refScan(a, m).HashJoin(refScan(b, m), "k", "k").GroupCount("b.k").Top1By("count")
+			}},
+		{"index-join-group",
+			func(m *Meter, par int) *Query {
+				return Scan(a, m).WithParallelism(par).IndexJoin(idx, "k").GroupCount("b.k")
+			},
+			func(m *Meter) *refQuery { return refScan(a, m).IndexJoin(idx, "k").GroupCount("b.k") }},
+		{"order-by-limit",
+			func(m *Meter, par int) *Query {
+				return Scan(a, m).WithParallelism(par).OrderByInt("v", desc).Limit(limit)
+			},
+			func(m *Meter) *refQuery { return refScan(a, m).OrderByInt("v", desc).Limit(limit) }},
+		{"scan-limit",
+			func(m *Meter, par int) *Query { return Scan(a, m).WithParallelism(par).Limit(limit) },
+			func(m *Meter) *refQuery { return refScan(a, m).Limit(limit) }},
+		{"filter-limit",
+			func(m *Meter, par int) *Query {
+				return Scan(a, m).WithParallelism(par).Filter(pred).Limit(limit)
+			},
+			func(m *Meter) *refQuery { return refScan(a, m).Filter(pred).Limit(limit) }},
+		{"hash-join-limit",
+			func(m *Meter, par int) *Query {
+				return Scan(a, m).WithParallelism(par).
+					HashJoin(Scan(b, m).WithParallelism(par), "k", "k").Limit(limit)
+			},
+			func(m *Meter) *refQuery { return refScan(a, m).HashJoin(refScan(b, m), "k", "k").Limit(limit) }},
+		{"index-join-limit",
+			func(m *Meter, par int) *Query {
+				return Scan(a, m).WithParallelism(par).IndexJoin(idx, "k").Limit(limit)
+			},
+			func(m *Meter) *refQuery { return refScan(a, m).IndexJoin(idx, "k").Limit(limit) }},
+		{"group-by-all-funcs",
+			func(m *Meter, par int) *Query {
+				return Scan(a, m).WithParallelism(par).GroupBy("k",
+					Aggregation{Func: AggCount},
+					Aggregation{Func: AggSum, Col: "v"},
+					Aggregation{Func: AggMin, Col: "v"},
+					Aggregation{Func: AggMax, Col: "v"})
+			},
+			func(m *Meter) *refQuery {
+				return refScan(a, m).GroupBy("k",
+					Aggregation{Func: AggCount},
+					Aggregation{Func: AggSum, Col: "v"},
+					Aggregation{Func: AggMin, Col: "v"},
+					Aggregation{Func: AggMax, Col: "v"})
+			}},
+	}
+}
+
 // Differential property: every operator pipeline produces byte-identical
 // rows and identical meter counts under batch execution and the retained
 // row-at-a-time reference, across randomized mixed-type tables. This is
@@ -232,65 +313,11 @@ func TestBatchMatchesRowReference(t *testing.T) {
 		}
 		limit := r.Intn(40)
 		pred := func(row Row) bool { return row[1].Int%3 == 0 }
-		pipelines := []struct {
-			name  string
-			batch func(m *Meter) *Query
-			ref   func(m *Meter) *refQuery
-		}{
-			{"scan",
-				func(m *Meter) *Query { return Scan(a, m) },
-				func(m *Meter) *refQuery { return refScan(a, m) }},
-			{"filter",
-				func(m *Meter) *Query { return Scan(a, m).Filter(pred) },
-				func(m *Meter) *refQuery { return refScan(a, m).Filter(pred) }},
-			{"filter-int-eq-project",
-				func(m *Meter) *Query { return Scan(a, m).FilterIntEq("k", 2).Project("s", "v") },
-				func(m *Meter) *refQuery { return refScan(a, m).FilterIntEq("k", 2).Project("s", "v") }},
-			{"hash-join-group-top1",
-				func(m *Meter) *Query {
-					return Scan(a, m).HashJoin(Scan(b, m), "k", "k").GroupCount("b.k").Top1By("count")
-				},
-				func(m *Meter) *refQuery {
-					return refScan(a, m).HashJoin(refScan(b, m), "k", "k").GroupCount("b.k").Top1By("count")
-				}},
-			{"index-join-group",
-				func(m *Meter) *Query { return Scan(a, m).IndexJoin(idx, "k").GroupCount("b.k") },
-				func(m *Meter) *refQuery { return refScan(a, m).IndexJoin(idx, "k").GroupCount("b.k") }},
-			{"order-by-limit",
-				func(m *Meter) *Query { return Scan(a, m).OrderByInt("v", trial%2 == 0).Limit(limit) },
-				func(m *Meter) *refQuery { return refScan(a, m).OrderByInt("v", trial%2 == 0).Limit(limit) }},
-			{"scan-limit",
-				func(m *Meter) *Query { return Scan(a, m).Limit(limit) },
-				func(m *Meter) *refQuery { return refScan(a, m).Limit(limit) }},
-			{"filter-limit",
-				func(m *Meter) *Query { return Scan(a, m).Filter(pred).Limit(limit) },
-				func(m *Meter) *refQuery { return refScan(a, m).Filter(pred).Limit(limit) }},
-			{"hash-join-limit",
-				func(m *Meter) *Query { return Scan(a, m).HashJoin(Scan(b, m), "k", "k").Limit(limit) },
-				func(m *Meter) *refQuery { return refScan(a, m).HashJoin(refScan(b, m), "k", "k").Limit(limit) }},
-			{"index-join-limit",
-				func(m *Meter) *Query { return Scan(a, m).IndexJoin(idx, "k").Limit(limit) },
-				func(m *Meter) *refQuery { return refScan(a, m).IndexJoin(idx, "k").Limit(limit) }},
-			{"group-by-all-funcs",
-				func(m *Meter) *Query {
-					return Scan(a, m).GroupBy("k",
-						Aggregation{Func: AggCount},
-						Aggregation{Func: AggSum, Col: "v"},
-						Aggregation{Func: AggMin, Col: "v"},
-						Aggregation{Func: AggMax, Col: "v"})
-				},
-				func(m *Meter) *refQuery {
-					return refScan(a, m).GroupBy("k",
-						Aggregation{Func: AggCount},
-						Aggregation{Func: AggSum, Col: "v"},
-						Aggregation{Func: AggMin, Col: "v"},
-						Aggregation{Func: AggMax, Col: "v"})
-				}},
-		}
+		pipelines := diffPipelines(a, b, idx, limit, trial%2 == 0, pred)
 		for _, p := range pipelines {
 			gm := NewMeter(DefaultCostModel())
 			wm := NewMeter(DefaultCostModel())
-			assertSameExecution(t, trial, p.batch(gm), gm, p.ref(wm), wm)
+			assertSameExecution(t, trial, p.batch(gm, 1), gm, p.ref(wm), wm)
 
 			// ForEachBatch is the other emit charge point: draining the
 			// same pipeline batch-natively must yield the same rows and
@@ -298,7 +325,7 @@ func TestBatchMatchesRowReference(t *testing.T) {
 			bm := NewMeter(DefaultCostModel())
 			rm := NewMeter(DefaultCostModel())
 			var viaBatches []Row
-			if err := p.batch(bm).ForEachBatch(func(b *Batch) error {
+			if err := p.batch(bm, 1).ForEachBatch(func(b *Batch) error {
 				sel := b.Sel()
 				for i := 0; i < b.Len(); i++ {
 					pos := i
@@ -334,6 +361,56 @@ func TestBatchMatchesRowReference(t *testing.T) {
 			if *bm != *rm {
 				t.Fatalf("trial %d %s: ForEachBatch meter %+v, reference meter %+v",
 					trial, p.name, *bm, *rm)
+			}
+		}
+	}
+}
+
+// Differential property: morsel-parallel execution at 2, 4 and 8 workers
+// produces byte-identical rows and identical Meter counts to the serial
+// row-at-a-time reference in rowref.go, across the same randomized
+// mixed-type pipelines as TestBatchMatchesRowReference. The probe table
+// spans several morsels so every worker count splits real work.
+func TestParallelMatchesRowReference(t *testing.T) {
+	r := stats.NewRNG(808)
+	for trial := 0; trial < 40; trial++ {
+		a := randomMixedTable(r, "a", 3200) // up to 4 morsels
+		b := randomMixedTable(r, "b", 60)
+		idx, err := BuildHashIndex(b, "k", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		limit := r.Intn(40)
+		pred := func(row Row) bool { return row[1].Int%3 == 0 }
+		for _, p := range diffPipelines(a, b, idx, limit, trial%2 == 0, pred) {
+			wm := NewMeter(DefaultCostModel())
+			wantRows, wantErr := p.ref(wm).Rows()
+			for _, par := range []int{2, 4, 8} {
+				gm := NewMeter(DefaultCostModel())
+				gotRows, gotErr := p.batch(gm, par).Rows()
+				if (gotErr == nil) != (wantErr == nil) {
+					t.Fatalf("trial %d %s par %d: err %v, reference err %v",
+						trial, p.name, par, gotErr, wantErr)
+				}
+				if gotErr != nil {
+					continue
+				}
+				if len(gotRows) != len(wantRows) {
+					t.Fatalf("trial %d %s par %d: %d rows, reference %d",
+						trial, p.name, par, len(gotRows), len(wantRows))
+				}
+				for i := range gotRows {
+					for c := range gotRows[i] {
+						if !gotRows[i][c].Equal(wantRows[i][c]) {
+							t.Fatalf("trial %d %s par %d row %d col %d: %v, reference %v",
+								trial, p.name, par, i, c, gotRows[i][c], wantRows[i][c])
+						}
+					}
+				}
+				if *gm != *wm {
+					t.Fatalf("trial %d %s par %d: meter %+v, reference %+v",
+						trial, p.name, par, *gm, *wm)
+				}
 			}
 		}
 	}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 )
 
@@ -13,13 +14,42 @@ type Query struct {
 	it    batchIterator
 	meter *Meter
 	err   error
+
+	// par is the worker count WithParallelism selected (<2 = serial);
+	// spec is the replayable morsel pipeline the workers execute, kept
+	// alongside the serial iterator chain while the pipeline remains
+	// streamable (see parallel.go).
+	par  int
+	spec *pipeSpec
 }
 
 // Scan starts a query with a sequential scan of a table, charging one
 // scan unit per row read. Batches are zero-copy views of the table's
 // column storage.
 func Scan(t *Table, meter *Meter) *Query {
-	return &Query{it: &batchScan{t: t, meter: meter}, meter: meter}
+	return &Query{
+		it:    &batchScan{t: t, meter: meter},
+		meter: meter,
+		par:   1,
+		spec:  &pipeSpec{table: t},
+	}
+}
+
+// WithParallelism selects morsel-driven parallel execution with n
+// workers for the query's pipeline breakers (n <= 0 means GOMAXPROCS;
+// n == 1, the default, keeps the serial path). Output rows and Meter
+// counts are byte-identical to serial execution at any n — see
+// parallel.go for the determinism contract. Filter predicates of a
+// parallel query must be pure: they are invoked concurrently from
+// multiple workers (each with its own scratch Row). Pipelines under a
+// row budget (below a Limit) ignore the setting and run serially, since
+// early-exit metering is defined by serial pull order.
+func (q *Query) WithParallelism(n int) *Query {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	q.par = n
+	return q
 }
 
 // Filter keeps rows satisfying pred. The Row passed to pred is a scratch
@@ -29,6 +59,7 @@ func (q *Query) Filter(pred func(Row) bool) *Query {
 		return q
 	}
 	q.it = &batchFilter{in: q.it, intEq: -1, pred: pred}
+	q.addStage(pipeStage{kind: stageFilter, pred: pred})
 	return q
 }
 
@@ -47,10 +78,13 @@ func (q *Query) FilterIntEq(col string, v int64) *Query {
 	if q.it.Schema()[i].Type != Int64 {
 		// Match the reference's Datum semantics: a non-int column's Int
 		// field is always zero.
-		q.it = &batchFilter{in: q.it, intEq: -1, pred: func(r Row) bool { return r[i].Int == v }}
+		pred := func(r Row) bool { return r[i].Int == v }
+		q.it = &batchFilter{in: q.it, intEq: -1, pred: pred}
+		q.addStage(pipeStage{kind: stageFilter, pred: pred})
 		return q
 	}
 	q.it = &batchFilter{in: q.it, intEq: i, eqVal: v}
+	q.addStage(pipeStage{kind: stageFilterIntEq, intEq: i, eqVal: v})
 	return q
 }
 
@@ -73,6 +107,7 @@ func (q *Query) Project(cols ...string) *Query {
 		out[k] = in[i]
 	}
 	q.it = &batchProject{in: q.it, idx: idx, schema: out}
+	q.addStage(pipeStage{kind: stageProject, idx: idx, schema: out})
 	return q
 }
 
@@ -100,7 +135,10 @@ func joinSchema(probe, build Schema) Schema {
 // row (charging probe units). The probe loop reads the build table's
 // columns directly — no Row is materialized per probe. The output schema
 // is probe's columns followed by build's, with build column names
-// prefixed when they collide.
+// prefixed when they collide. Each side's WithParallelism setting
+// governs its own pipeline: the build side drains morsel-parallel only
+// if the build query opted in, and the probe side's setting applies at
+// this query's eventual pipeline breaker.
 func (q *Query) HashJoin(build *Query, probeCol, buildCol string) *Query {
 	if q.err != nil {
 		return q
@@ -120,15 +158,31 @@ func (q *Query) HashJoin(build *Query, probeCol, buildCol string) *Query {
 		q.err = fmt.Errorf("engine: hash join: bad build column %q", buildCol)
 		return q
 	}
-	bs := materializeBuild(build.it, bi, q.meter)
+	// Drain the build side morsel-parallel when the build query itself
+	// opted in (its own WithParallelism governs its pipeline — a serial
+	// build side must never be escalated, since its predicates made no
+	// purity promise); the hash table is then populated sequentially from
+	// the merged rows, so probe chains are threaded in exactly serial
+	// build order. Charges split as in serial: the build pipeline's
+	// scan/probe units go to the build query's meter, the per-row build
+	// units to this query's meter.
+	var bs *buildSide
+	if spec, par := build.parallelPlan(); spec != nil {
+		bs = materializeBuildParallel(spec, par, bi, build.meter, q.meter, bSchema)
+		build.markDrained()
+	} else {
+		bs = materializeBuild(build.it, bi, q.meter)
+	}
+	out := joinSchema(q.it.Schema(), bSchema)
 	q.it = &batchHashJoin{
 		in:       q.it,
 		build:    bs,
 		probeIdx: pi,
-		schema:   joinSchema(q.it.Schema(), bSchema),
+		schema:   out,
 		meter:    q.meter,
 		pending:  -1,
 	}
+	q.addStage(pipeStage{kind: stageHashJoin, build: bs, probeIdx: pi, schema: out})
 	return q
 }
 
@@ -147,13 +201,15 @@ func (q *Query) IndexJoin(idx *HashIndex, probeCol string) *Query {
 		q.err = fmt.Errorf("engine: index join: bad probe column %q", probeCol)
 		return q
 	}
+	out := joinSchema(q.it.Schema(), idx.Table().Schema())
 	q.it = &batchIndexJoin{
 		in:       q.it,
 		idx:      idx,
 		probeIdx: pi,
-		schema:   joinSchema(q.it.Schema(), idx.Table().Schema()),
+		schema:   out,
 		meter:    q.meter,
 	}
+	q.addStage(pipeStage{kind: stageIndexJoin, hidx: idx, probeIdx: pi, schema: out})
 	return q
 }
 
@@ -169,27 +225,33 @@ func (q *Query) GroupCount(col string) *Query {
 		q.err = fmt.Errorf("engine: group count: bad column %q", col)
 		return q
 	}
-	slots := make(map[int64]int)
 	var keys, counts []int64
-	for {
-		b := q.it.nextBatch(0)
-		if b == nil {
-			break
-		}
-		vec := b.cols[i].Ints
-		b.forEachActive(func(pos int) {
-			k := vec[pos]
-			s, seen := slots[k]
-			if !seen {
-				s = len(keys)
-				slots[k] = s
-				keys = append(keys, k)
-				counts = append(counts, 0)
+	if spec, par := q.parallelPlan(); spec != nil {
+		ks, accs := parallelGroupAgg(spec, par, q.meter, i,
+			[]Aggregation{{Func: AggCount}}, []int{i})
+		keys, counts = ks, accs[0]
+	} else {
+		slots := make(map[int64]int)
+		for {
+			b := q.it.nextBatch(0)
+			if b == nil {
+				break
 			}
-			counts[s]++
-		})
-		if q.meter != nil {
-			q.meter.RowsBuilt += int64(b.Len())
+			vec := b.cols[i].Ints
+			b.forEachActive(func(pos int) {
+				k := vec[pos]
+				s, seen := slots[k]
+				if !seen {
+					s = len(keys)
+					slots[k] = s
+					keys = append(keys, k)
+					counts = append(counts, 0)
+				}
+				counts[s]++
+			})
+			if q.meter != nil {
+				q.meter.RowsBuilt += int64(b.Len())
+			}
 		}
 	}
 	name := q.it.Schema()[i].Name
@@ -201,6 +263,7 @@ func (q *Query) GroupCount(col string) *Query {
 		rows:   len(keys),
 		schema: Schema{{Name: name, Type: Int64}, {Name: "count", Type: Int64}},
 	}
+	q.spec = nil
 	return q
 }
 
@@ -215,6 +278,33 @@ func (q *Query) Top1By(col string) *Query {
 	if i < 0 || schema[i].Type != Int64 {
 		q.err = fmt.Errorf("engine: top1: bad column %q", col)
 		return q
+	}
+	best, found := q.drainTop1(schema, i)
+	rows := 0
+	if found {
+		rows = 1
+	}
+	q.it = &batchSlice{cols: best, rows: rows, schema: schema}
+	q.spec = nil
+	return q
+}
+
+// markDrained replaces the query's plan with an exhausted iterator, so a
+// second drain of a parallel query behaves exactly like a second drain
+// of serial iterators: empty result, zero meter charges.
+func (q *Query) markDrained() {
+	q.it = &batchSlice{schema: q.it.Schema()}
+	q.spec = nil
+}
+
+// drainTop1 fully drains the query and returns the best row (largest
+// Int64 in column i, ties to the first seen) as single-row vectors,
+// running morsel-parallel when the plan allows.
+func (q *Query) drainTop1(schema Schema, i int) ([]Vector, bool) {
+	if spec, par := q.parallelPlan(); spec != nil {
+		best, found := parallelTop1(spec, par, q.meter, schema, i)
+		q.markDrained()
+		return best, found
 	}
 	best := make([]Vector, len(schema))
 	for c := range best {
@@ -241,12 +331,36 @@ func (q *Query) Top1By(col string) *Query {
 			}
 		})
 	}
-	rows := 0
-	if found {
-		rows = 1
+	return best, found
+}
+
+// Top1 drains the query and returns the single row with the largest
+// Int64 value in the named column (ties: first seen), or ok=false when
+// the query is empty. It is the batch-native shortcut for
+// Top1By(col).Rows(): the winning row is materialized directly — no
+// intermediate result set — and it charges exactly the same meter counts
+// (one emit unit when a row is returned).
+func (q *Query) Top1(col string) (Row, bool, error) {
+	if q.err != nil {
+		return nil, false, q.err
 	}
-	q.it = &batchSlice{cols: best, rows: rows, schema: schema}
-	return q
+	schema := q.it.Schema()
+	i := schema.ColIndex(col)
+	if i < 0 || schema[i].Type != Int64 {
+		return nil, false, fmt.Errorf("engine: top1: bad column %q", col)
+	}
+	best, found := q.drainTop1(schema, i)
+	if !found {
+		return nil, false, nil
+	}
+	row := make(Row, len(schema))
+	for c := range best {
+		row[c] = best[c].datum(0)
+	}
+	if q.meter != nil {
+		q.meter.RowsEmitted++
+	}
+	return row, true, nil
 }
 
 // OrderByInt sorts (materializing) by an Int64 column, ascending or
@@ -262,22 +376,27 @@ func (q *Query) OrderByInt(col string, desc bool) *Query {
 		q.err = fmt.Errorf("engine: order by: bad column %q", col)
 		return q
 	}
-	flat := make([]Vector, len(schema))
-	for c := range flat {
-		flat[c].Kind = schema[c].Type
-	}
+	var flat []Vector
 	rows := 0
-	for {
-		b := q.it.nextBatch(0)
-		if b == nil {
-			break
+	if spec, par := q.parallelPlan(); spec != nil {
+		flat, rows = materializeParallel(spec, par, q.meter, schema)
+	} else {
+		flat = make([]Vector, len(schema))
+		for c := range flat {
+			flat[c].Kind = schema[c].Type
 		}
-		b.forEachActive(func(pos int) {
-			for c := range flat {
-				appendValue(&flat[c], &b.cols[c], pos)
+		for {
+			b := q.it.nextBatch(0)
+			if b == nil {
+				break
 			}
-			rows++
-		})
+			b.forEachActive(func(pos int) {
+				for c := range flat {
+					appendValue(&flat[c], &b.cols[c], pos)
+				}
+				rows++
+			})
+		}
 	}
 	perm := make([]int, rows)
 	for p := range perm {
@@ -298,17 +417,21 @@ func (q *Query) OrderByInt(col string, desc bool) *Query {
 		}
 	}
 	q.it = &batchSlice{cols: sorted, rows: rows, schema: schema}
+	q.spec = nil
 	return q
 }
 
 // Limit keeps the first n rows, propagating the remaining row budget
 // upstream so producers pull (and meter) exactly the rows a row-at-a-time
-// engine would have.
+// engine would have. A limited pipeline always executes serially: the
+// rows an early exit pulls — and therefore meters — are defined by
+// serial pull order.
 func (q *Query) Limit(n int) *Query {
 	if q.err != nil {
 		return q
 	}
 	q.it = &batchLimit{in: q.it, left: n}
+	q.spec = nil
 	return q
 }
 
@@ -322,6 +445,26 @@ func (q *Query) Rows() ([]Row, error) {
 		return nil, q.err
 	}
 	width := len(q.it.Schema())
+	if spec, par := q.parallelPlan(); spec != nil {
+		cols, rows := materializeParallel(spec, par, q.meter, q.it.Schema())
+		q.markDrained()
+		if rows == 0 {
+			return nil, nil
+		}
+		backing := make([]Datum, rows*width)
+		out := make([]Row, 0, rows)
+		for r := 0; r < rows; r++ {
+			row := backing[r*width : (r+1)*width : (r+1)*width]
+			for c := range cols {
+				row[c] = cols[c].datum(r)
+			}
+			out = append(out, row)
+		}
+		if q.meter != nil {
+			q.meter.RowsEmitted += int64(rows)
+		}
+		return out, nil
+	}
 	var out []Row
 	for {
 		b := q.it.nextBatch(0)
@@ -349,12 +492,30 @@ func (q *Query) Rows() ([]Row, error) {
 // ForEachBatch drains the query batch-at-a-time, charging one emit unit
 // per output row — the batch-native alternative to Rows for hot callers.
 // The batch passed to fn is valid only for the duration of the call.
+// When fn returns an error, a serial query stops pulling (and metering)
+// upstream work; under a parallel plan the full pipeline has already
+// executed and been metered by then, so callers that stop early via fn
+// errors and depend on the remainder staying unbilled must not enable
+// WithParallelism on the query they drain this way.
 func (q *Query) ForEachBatch(fn func(*Batch) error) error {
 	if q.err != nil {
 		return q.err
 	}
+	it := q.it
+	if spec, par := q.parallelPlan(); spec != nil {
+		// The whole result set is merged before the first callback: a
+		// parallel ForEachBatch trades the serial path's one-batch memory
+		// peak for O(result) intermediate storage, and the pipeline's
+		// scan/probe charges all land before fn first runs. Callers with
+		// results too big for that — or that stop early by returning an
+		// error and rely on the unpulled remainder staying unmetered —
+		// should stay serial.
+		cols, rows := materializeParallel(spec, par, q.meter, q.it.Schema())
+		it = &batchSlice{cols: cols, rows: rows, schema: q.it.Schema()}
+		q.markDrained()
+	}
 	for {
-		b := q.it.nextBatch(0)
+		b := it.nextBatch(0)
 		if b == nil {
 			return nil
 		}

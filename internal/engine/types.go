@@ -24,6 +24,17 @@
 // Query.Rows is the row-at-a-time compatibility shim (one exact-size Row
 // per output row); hot callers use Query.ForEachBatch.
 //
+// # Parallel execution
+//
+// Query.WithParallelism(n) opts a query into morsel-driven parallelism
+// (Leis et al., SIGMOD 2014; see parallel.go): the scan is split into
+// fixed-size morsels claimed by n workers, each running a private copy
+// of the streamable pipeline (Filter, Project, join probes); pipeline
+// breakers — hash build, GroupCount/GroupBy, Top1By/Top1, OrderByInt,
+// Rows/ForEachBatch — merge the per-morsel partials deterministically.
+// n = 1 (the default) keeps the serial path, so existing callers and
+// every committed figure CSV are untouched.
+//
 // # Metering contract
 //
 // Batch execution never changes what a query is charged. The unit counts
@@ -35,6 +46,29 @@
 // propagate the remaining row budget upstream rather than over-pulling).
 // The property tests assert byte-identical rows and identical Meter
 // counts between the two executors on randomized inputs.
+//
+// Parallel execution preserves the contract exactly, at every worker
+// count:
+//
+//   - Each worker charges a private Meter at the same charge points the
+//     serial operators use; the worker meters are folded into the
+//     query's meter with Meter.Add at the pipeline breaker. Since every
+//     row flows through exactly one worker's pipeline, the folded
+//     totals equal the serial totals.
+//   - Hash-join build sides are drained in parallel but merged in
+//     morsel order before the hash table is populated sequentially, so
+//     per-key probe chains are threaded in serial build order and probe
+//     output is byte-identical.
+//   - Order-sensitive sinks merge worker partials by first-occurrence
+//     coordinate (morsel index, row within morsel), reproducing serial
+//     first-seen group order, Top1 tie-breaks and sort stability.
+//   - Pipelines under a row budget (below a Limit) always run serially:
+//     which rows an early exit pulls — and meters — is defined by
+//     serial pull order, so parallelizing it would change the bill.
+//
+// The pricing mechanisms bill on these meter counts, so the guarantee
+// is load-bearing: a provider can scale metered execution across cores
+// without perturbing a single price.
 package engine
 
 import "fmt"
