@@ -111,6 +111,25 @@ func BenchmarkEngineHashJoinParallel2(b *testing.B) { benchkit.EngineHashJoinPar
 // over the serial body on multi-core runners.
 func BenchmarkEngineHashJoinParallel4(b *testing.B) { benchkit.EngineHashJoinParallel(4)(b) }
 
+// BenchmarkEngineBuildJoin measures a build-dominated join (2k probe ×
+// 64k build rows) with the serial hash-build sink.
+func BenchmarkEngineBuildJoin(b *testing.B) { benchkit.EngineBuildJoin()(b) }
+
+// BenchmarkEngineBuildJoinParallel4 measures the same join with the
+// radix-partitioned parallel build at 4 workers — the configuration the
+// relative-pair CI gate holds ≥1.3x over the serial sink on multi-core
+// runners.
+func BenchmarkEngineBuildJoinParallel4(b *testing.B) { benchkit.EngineBuildJoinParallel(4)(b) }
+
+// BenchmarkEngineOrderBy measures a full 128k-row sort with the serial
+// stable sort.
+func BenchmarkEngineOrderBy(b *testing.B) { benchkit.EngineOrderBy()(b) }
+
+// BenchmarkEngineOrderByParallel4 measures the same sort with the
+// parallel merge sort (per-worker sorted runs, pairwise stable merges)
+// at 4 workers.
+func BenchmarkEngineOrderByParallel4(b *testing.B) { benchkit.EngineOrderByParallel(4)(b) }
+
 // BenchmarkHaloFinder measures friends-of-friends clustering of one
 // 4000-particle snapshot with a freshly constructed finder per call.
 func BenchmarkHaloFinder(b *testing.B) { benchkit.HaloFinder(false)(b) }
@@ -120,14 +139,19 @@ func BenchmarkHaloFinder(b *testing.B) { benchkit.HaloFinder(false)(b) }
 // the grid, union-find, and component scratch persist.
 func BenchmarkHaloFinderWarm(b *testing.B) { benchkit.HaloFinder(true)(b) }
 
+// BenchmarkHaloFinderParallel4 measures warm clustering with the
+// candidate-pair phase on 4 workers — deterministically identical
+// output, gated ≥1.3x over the serial warm finder on multi-core runners.
+func BenchmarkHaloFinderParallel4(b *testing.B) { benchkit.HaloFinderParallel(4)(b) }
+
 // BenchmarkAstroWorkload measures one end-to-end astronomy tracking
 // workload (fresh tracker, every snapshot clustered, stride-1 progenitor
 // and chain queries) on a reduced universe.
 func BenchmarkAstroWorkload(b *testing.B) { benchkit.AstroWorkload()(b) }
 
 // BenchmarkAstroWorkloadParallel4 measures the same workload with the
-// tracker's engine queries running morsel-parallel at 4 workers (halo
-// clustering stays serial).
+// tracker's engine queries AND halo clustering running parallel at 4
+// workers, end to end.
 func BenchmarkAstroWorkloadParallel4(b *testing.B) { benchkit.AstroWorkloadParallel(4)(b) }
 
 // BenchmarkAstronomyScenario measures pricing one full astronomy-year

@@ -81,7 +81,9 @@ func TestKeyBenchmarksRegistered(t *testing.T) {
 		"Shapley1k": true, "Shapley10k": true, "Shapley100k": true,
 		"AddOnGame": true, "SubstOnGame": true,
 		"EngineHashJoin": true, "EngineHashJoinParallel4": true,
-		"HaloFinder": true, "HaloFinderWarm": true,
+		"EngineBuildJoin": true, "EngineBuildJoinParallel4": true,
+		"EngineOrderBy": true, "EngineOrderByParallel4": true,
+		"HaloFinder": true, "HaloFinderWarm": true, "HaloFinderParallel4": true,
 		"AstroWorkload": true, "AstroWorkloadParallel4": true,
 	}
 	for _, kb := range benchkit.Key() {

@@ -5,6 +5,7 @@
 //
 //	experiments -fig all                  # every figure, text tables
 //	experiments -fig 2a -trials 2000     # one figure, more trials
+//	experiments -fig 1,1e,4e             # a comma-separated subset (CI shards)
 //	experiments -fig 1 -format csv       # CSV for plotting
 //	experiments -fig 1 -format sha256    # one "hash  id" line per figure
 //	experiments -fig 1 -exhaustive       # figure 1 over all 10^6 combos
@@ -33,7 +34,7 @@ import (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "figure to regenerate: all, 1, 1e, 2a, 2b, 2c, 2d, 3a, 3b, 4, 5a, 5b, E1, E2, E3")
+		fig        = flag.String("fig", "all", "figures to regenerate: all, or a comma-separated subset of 1, 1e, 2a, 2b, 2c, 2d, 3a, 3b, 4, 4e, 5a, 5b, E1, E2, E3")
 		trials     = flag.Int("trials", 1000, "Monte-Carlo trials per point (samples for figure 1)")
 		seed       = flag.Uint64("seed", 42, "random seed")
 		format     = flag.String("format", "table", "output format: table, csv or sha256")
@@ -50,7 +51,7 @@ func run(w io.Writer, fig string, trials int, seed uint64, format string, exhaus
 	if format != "table" && format != "csv" && format != "sha256" {
 		return fmt.Errorf("unknown format %q", format)
 	}
-	ids := []string{fig}
+	ids := strings.Split(fig, ",")
 	if fig == "all" {
 		ids = experiments.FigureIDs()
 	}

@@ -1,9 +1,42 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
+
+	"sharedopt/internal/experiments"
 )
+
+// Every registered figure must have a committed golden hash, in registry
+// order. The figure-determinism CI job runs in shards, and its coverage
+// step only checks the shard lists against FIGURES.sha256 — this test
+// closes the remaining gap, so a figure added to the registry without a
+// golden entry fails the test job instead of silently escaping the
+// determinism gate.
+func TestGoldenHashesCoverRegistry(t *testing.T) {
+	raw, err := os.ReadFile("../../FIGURES.sha256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed FIGURES.sha256 line %q", line)
+		}
+		ids = append(ids, fields[1])
+	}
+	want := experiments.FigureIDs()
+	if len(ids) != len(want) {
+		t.Fatalf("FIGURES.sha256 lists %v, registry has %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("FIGURES.sha256 lists %v, registry has %v", ids, want)
+		}
+	}
+}
 
 func TestRunSingleFigureTable(t *testing.T) {
 	var out strings.Builder

@@ -3,6 +3,8 @@ package astro
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"sharedopt/internal/engine"
 )
@@ -41,11 +43,27 @@ func (a *Assignment) NumHalos() int { return len(a.Sizes) }
 // distance test. Clustering dominates the cost of tracking queries when
 // no materialized assignment view exists — that expense is exactly what
 // the paper's optimizations remove.
+//
+// Parallelism ≥ 2 runs the candidate-pair phase — the dominant cost —
+// across that many workers: the particle-id space is split into
+// contiguous chunks, each worker claims chunks and collects the pairs
+// that pass the distance test (plus its chunk's pair-test count), and
+// the passing pairs are then replayed through the union-find in chunk
+// order. Because the serial loop visits pairs keyed by ascending p and
+// chunks are ascending contiguous p-ranges, concatenating the per-chunk
+// pair lists in chunk order reproduces the serial pair order exactly, so
+// the replay makes byte-for-byte the serial link decisions: identical
+// roots, identical halo numbering, identical pair counts, identical
+// meters, at any worker count. The finder itself remains single-caller
+// (not safe for concurrent use); the parallelism is internal.
 type HaloFinder struct {
 	// LinkLen is the friends-of-friends linking length.
 	LinkLen float64
 	// MinMembers is the minimum group size that counts as a halo.
 	MinMembers int
+	// Parallelism is the worker count for the candidate-pair phase
+	// (< 2 = serial). Results and meters are identical at any value.
+	Parallelism int
 
 	// Per-call scratch, reused across Find calls.
 	cx, cy, cz []int32   // per-particle cell coordinates
@@ -61,7 +79,16 @@ type HaloFinder struct {
 	rootSize   []int32   // component size per root
 	comps      []haloComp
 	haloOf     []int32 // root -> halo id, -1 otherwise
+
+	// Parallel-link scratch: per-chunk passing-pair lists and pair-test
+	// counts (see linkParallel).
+	chunkEdges [][]haloEdge
+	chunkTests []int64
 }
+
+// haloEdge is one candidate pair that passed the distance test, recorded
+// for the serial union-find replay of a parallel link phase.
+type haloEdge struct{ p, q int32 }
 
 type haloComp struct {
 	root, size int32
@@ -218,9 +245,60 @@ func (f *HaloFinder) Find(tbl *engine.Table, meter *engine.Meter) (*Assignment, 
 	// iteration visits exactly the pairs, in exactly the order, of the
 	// original per-particle 27-cell map walk, so the probe count and the
 	// union-find link decisions (which fix halo numbering) are
-	// byte-for-byte reproducible.
+	// byte-for-byte reproducible. linkParallel visits the same pairs in
+	// the same order (chunked by contiguous p-ranges) and replays the
+	// passing ones serially, so both paths leave identical forests.
 	f.uf.reset(n)
 	link2 := linkLen * linkLen
+	var pairTests int64
+	if par := f.Parallelism; par >= 2 && n >= 2*linkChunk {
+		pairTests = f.linkParallel(n, xs, ys, zs, link2, par)
+	} else {
+		pairTests = f.linkSerial(n, xs, ys, zs, link2)
+	}
+	if meter != nil {
+		meter.RowsProbed += pairTests
+	}
+
+	// Collect components of sufficient size, ordered by size descending
+	// (ties by smallest root for determinism).
+	f.rootSize = grow(f.rootSize, n)
+	clear(f.rootSize)
+	for p := 0; p < n; p++ {
+		f.rootSize[f.uf.find(p)]++
+	}
+	f.comps = f.comps[:0]
+	for root, size := range f.rootSize {
+		if int(size) >= f.MinMembers {
+			f.comps = append(f.comps, haloComp{root: int32(root), size: size})
+		}
+	}
+	sort.Slice(f.comps, func(i, j int) bool {
+		if f.comps[i].size != f.comps[j].size {
+			return f.comps[i].size > f.comps[j].size
+		}
+		return f.comps[i].root < f.comps[j].root
+	})
+	f.haloOf = grow(f.haloOf, n)
+	for i := range f.haloOf {
+		f.haloOf[i] = -1
+	}
+	sizes := make([]int, len(f.comps))
+	for h, cmp := range f.comps {
+		f.haloOf[cmp.root] = int32(h)
+		sizes[h] = int(cmp.size)
+	}
+	assign := &Assignment{Halo: make([]int32, n), Sizes: sizes}
+	for p := 0; p < n; p++ {
+		assign.Halo[p] = f.haloOf[f.uf.find(p)]
+	}
+	return assign, nil
+}
+
+// linkSerial runs the candidate-pair union-find loop single-threaded —
+// the reference pair order and link decisions the parallel path must
+// reproduce. It returns the number of pair distance tests.
+func (f *HaloFinder) linkSerial(n int, xs, ys, zs []float64, link2 float64) int64 {
 	var pairTests int64
 	order, gx, gy, gz := f.order, f.gx, f.gy, f.gz
 	ranges, parent := f.ranges, f.uf.parent
@@ -267,43 +345,122 @@ func (f *HaloFinder) Find(tbl *engine.Table, meter *engine.Meter) (*Assignment, 
 			}
 		}
 	}
-	if meter != nil {
-		meter.RowsProbed += pairTests
-	}
+	return pairTests
+}
 
-	// Collect components of sufficient size, ordered by size descending
-	// (ties by smallest root for determinism).
-	f.rootSize = grow(f.rootSize, n)
-	clear(f.rootSize)
-	for p := 0; p < n; p++ {
-		f.rootSize[f.uf.find(p)]++
+// linkChunk is the number of particles one parallel link chunk covers.
+// Chunk boundaries are invisible in the output (any chunking reproduces
+// serial pair order); smaller chunks only buy load balancing, since pair
+// density varies with local clustering.
+const linkChunk = 256
+
+// linkParallel is linkSerial's parallel twin. Phase 1 fans the candidate
+// enumeration — the O(pair tests) bulk of clustering — out over
+// contiguous particle-id chunks claimed from an atomic counter; workers
+// share only read-only state (grid ranges, sorted order, coordinates)
+// and write per-chunk pair lists and test counts. Phase 2 replays the
+// passing pairs through the union-find in chunk order. The serial loop
+// visits pairs sorted by ascending p, and chunks partition the p-axis
+// contiguously, so the concatenated lists ARE the serial order of
+// passing pairs; pairs that fail the distance test never touch the
+// forest, and replaying the passing ones with the same rank rules makes
+// the identical sequence of state changes — identical final roots, hence
+// identical halo numbering. Pair-test counts sum to the serial count.
+func (f *HaloFinder) linkParallel(n int, xs, ys, zs []float64, link2 float64, par int) int64 {
+	chunks := (n + linkChunk - 1) / linkChunk
+	if par > chunks {
+		par = chunks
 	}
-	f.comps = f.comps[:0]
-	for root, size := range f.rootSize {
-		if int(size) >= f.MinMembers {
-			f.comps = append(f.comps, haloComp{root: int32(root), size: size})
+	if cap(f.chunkEdges) < chunks {
+		f.chunkEdges = append(f.chunkEdges[:cap(f.chunkEdges)],
+			make([][]haloEdge, chunks-cap(f.chunkEdges))...)
+	}
+	f.chunkEdges = f.chunkEdges[:chunks]
+	f.chunkTests = grow(f.chunkTests, chunks)
+	order, gx, gy, gz := f.order, f.gx, f.gy, f.gz
+	ranges, cellIdx := f.ranges, f.cellIdx
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo := int32(c * linkChunk)
+				hi := lo + linkChunk
+				if hi > int32(n) {
+					hi = int32(n)
+				}
+				edges := f.chunkEdges[c][:0]
+				var tests int64
+				for p := lo; p < hi; p++ {
+					base := int(cellIdx[p]) * 18
+					px, py, pz := xs[p], ys[p], zs[p]
+					for col := 0; col < 9; col++ {
+						a, b := ranges[base+2*col], ranges[base+2*col+1]
+						for i := a; i < b; i++ {
+							q := order[i]
+							if q <= p {
+								continue // test each pair once
+							}
+							tests++
+							ddx := px - gx[i]
+							ddy := py - gy[i]
+							ddz := pz - gz[i]
+							if ddx*ddx+ddy*ddy+ddz*ddz <= link2 {
+								edges = append(edges, haloEdge{p: p, q: q})
+							}
+						}
+					}
+				}
+				f.chunkEdges[c] = edges
+				f.chunkTests[c] = tests
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Replay the passing pairs in serial order with the serial loop's
+	// exact link logic, including the cached-root fast path: edges are
+	// globally sorted by p (ascending within a chunk, chunks ascending),
+	// so p's root is found lazily once per particle and kept current
+	// across its run of edges, just as linkSerial does.
+	var pairTests int64
+	parent := f.uf.parent
+	rpFor := int32(-1)
+	rp := int32(-1)
+	for c := 0; c < chunks; c++ {
+		pairTests += f.chunkTests[c]
+		for _, e := range f.chunkEdges[c] {
+			if e.p != rpFor {
+				rpFor, rp = e.p, -1
+			}
+			if rp < 0 {
+				rp = int32(f.uf.find(int(e.p)))
+			}
+			if parent[e.q] == rp {
+				continue // already in p's component
+			}
+			rq := int32(f.uf.find(int(e.q)))
+			if rp != rq {
+				switch {
+				case f.uf.rank[rp] < f.uf.rank[rq]:
+					parent[rp] = rq
+					rp = rq
+				case f.uf.rank[rp] > f.uf.rank[rq]:
+					parent[rq] = rp
+				default:
+					parent[rq] = rp
+					f.uf.rank[rp]++
+				}
+			}
 		}
 	}
-	sort.Slice(f.comps, func(i, j int) bool {
-		if f.comps[i].size != f.comps[j].size {
-			return f.comps[i].size > f.comps[j].size
-		}
-		return f.comps[i].root < f.comps[j].root
-	})
-	f.haloOf = grow(f.haloOf, n)
-	for i := range f.haloOf {
-		f.haloOf[i] = -1
-	}
-	sizes := make([]int, len(f.comps))
-	for h, cmp := range f.comps {
-		f.haloOf[cmp.root] = int32(h)
-		sizes[h] = int(cmp.size)
-	}
-	assign := &Assignment{Halo: make([]int32, n), Sizes: sizes}
-	for p := 0; p < n; p++ {
-		assign.Halo[p] = f.haloOf[f.uf.find(p)]
-	}
-	return assign, nil
+	return pairTests
 }
 
 // computeAllRanges fills every cell's nine neighbor-column ranges: for

@@ -74,6 +74,82 @@ func TestHaloFinderWarmAllocBudget(t *testing.T) {
 	}
 }
 
+// Property: the parallel candidate-pair phase is observationally
+// identical to serial clustering at every worker count — same per-particle
+// halo labels, same halo sizes (and therefore the same numbering, which
+// depends on exact union-find roots), and the same meter counts — across
+// every snapshot of a universe. This is the determinism contract that
+// keeps parallel clustering from perturbing any priced saving.
+func TestHaloFinderParallelMatchesSerial(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Snapshots = 5
+	u := generate(t, cfg)
+	const link, minMembers = 2.0, 3
+
+	for snap, tbl := range u.Tables {
+		var serialMeter engine.Meter
+		serialFinder := NewHaloFinder(link, minMembers)
+		want, err := serialFinder.Find(tbl, &serialMeter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{2, 4, 8} {
+			f := NewHaloFinder(link, minMembers)
+			f.Parallelism = par
+			var m engine.Meter
+			got, err := f.Find(tbl, &m)
+			if err != nil {
+				t.Fatalf("snapshot %d par %d: %v", snap+1, par, err)
+			}
+			if m != serialMeter {
+				t.Fatalf("snapshot %d par %d: meter %+v, serial %+v",
+					snap+1, par, m, serialMeter)
+			}
+			if len(got.Sizes) != len(want.Sizes) {
+				t.Fatalf("snapshot %d par %d: %d halos, serial %d",
+					snap+1, par, len(got.Sizes), len(want.Sizes))
+			}
+			for h := range want.Sizes {
+				if got.Sizes[h] != want.Sizes[h] {
+					t.Fatalf("snapshot %d par %d halo %d: size %d, serial %d",
+						snap+1, par, h, got.Sizes[h], want.Sizes[h])
+				}
+			}
+			for p := range want.Halo {
+				if got.Halo[p] != want.Halo[p] {
+					t.Fatalf("snapshot %d par %d particle %d: halo %d, serial %d",
+						snap+1, par, p, got.Halo[p], want.Halo[p])
+				}
+			}
+		}
+	}
+
+	// A reused parallel finder must stay identical across snapshots too
+	// (per-chunk edge scratch is retained and re-sliced).
+	f := NewHaloFinder(link, minMembers)
+	f.Parallelism = 4
+	for snap, tbl := range u.Tables {
+		var m, sm engine.Meter
+		got, err := f.Find(tbl, &m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := FindHalos(tbl, link, minMembers, &sm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m != sm {
+			t.Fatalf("reused snapshot %d: meter %+v, serial %+v", snap+1, m, sm)
+		}
+		for p := range want.Halo {
+			if got.Halo[p] != want.Halo[p] {
+				t.Fatalf("reused snapshot %d particle %d: halo %d, serial %d",
+					snap+1, p, got.Halo[p], want.Halo[p])
+			}
+		}
+	}
+}
+
 // The finder rejects snapshots whose cell grid would overflow the packed
 // 21-bit-per-axis cell key (a bound the map-based grid did not have, at
 // ~2 million cells per axis far beyond any physical snapshot).

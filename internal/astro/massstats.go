@@ -1,0 +1,98 @@
+package astro
+
+import (
+	"fmt"
+
+	"sharedopt/internal/engine"
+)
+
+// HaloMass is one halo's mass-weighted statistic: the total and mean
+// mass of its member particles.
+type HaloMass struct {
+	Halo      int32
+	TotalMass float64
+	MeanMass  float64
+}
+
+// HaloMasses computes each halo's total and mean particle mass in one
+// snapshot: the snapshot's particle table is joined with its (pid, halo)
+// assignment on pid — through the materialized view's index when one
+// exists, otherwise against the recurring clustering cost — and the mass
+// column is aggregated per halo with the engine's Float64 group sum,
+// ordered by halo id. Like every tracking query the work is charged to
+// meter, it honors Tracker.Parallelism, and its results and charges are
+// identical at any worker count (float sums accumulate in input row
+// order even under a parallel plan).
+func (tr *Tracker) HaloMasses(snapshot int, meter *engine.Meter) ([]HaloMass, error) {
+	particles, err := tr.u.Snapshot(snapshot)
+	if err != nil {
+		return nil, err
+	}
+	assignTbl, assignIdx, err := tr.assignmentIndexed(snapshot, meter)
+	if err != nil {
+		return nil, err
+	}
+	par := tr.Parallelism
+	if par < 1 {
+		par = 1
+	}
+	// Probe with (pid, mass); after the join the assignment side's halo
+	// column keeps its bare name.
+	q := engine.Scan(particles, meter).WithParallelism(par).Project("pid", "mass")
+	if assignIdx != nil {
+		q = q.IndexJoin(assignIdx, "pid")
+	} else {
+		q = q.HashJoin(engine.Scan(assignTbl, meter).WithParallelism(par), "pid", "pid")
+	}
+	q = q.GroupSumFloat64("halo", "mass").OrderByInt("halo", false)
+	sums, err := q.Rows()
+	if err != nil {
+		return nil, err
+	}
+	sizes, err := tr.HaloSizes(snapshot, meter)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]HaloMass, 0, len(sums))
+	for _, row := range sums {
+		h := int32(row[0].Int)
+		if int(h) >= len(sizes) {
+			return nil, fmt.Errorf("astro: halo %d out of range (%d halos)", h, len(sizes))
+		}
+		out = append(out, HaloMass{
+			Halo:      h,
+			TotalMass: row[1].Float,
+			MeanMass:  row[1].Float / float64(sizes[h]),
+		})
+	}
+	return out, nil
+}
+
+// HaloSizes returns the member count of every halo in a snapshot,
+// indexed by halo id, computed from the assignment relation (so it costs
+// a grouped count over the assignment, not a re-clustering, and benefits
+// from the materialized view exactly like the tracking queries).
+func (tr *Tracker) HaloSizes(snapshot int, meter *engine.Meter) ([]int64, error) {
+	assignTbl, err := tr.assignment(snapshot, meter)
+	if err != nil {
+		return nil, err
+	}
+	par := tr.Parallelism
+	if par < 1 {
+		par = 1
+	}
+	rows, err := engine.Scan(assignTbl, meter).WithParallelism(par).
+		GroupCount("halo").OrderByInt("halo", false).Rows()
+	if err != nil {
+		return nil, err
+	}
+	sizes := make([]int64, len(rows))
+	for i, row := range rows {
+		h := row[0].Int
+		if h != int64(i) {
+			return nil, fmt.Errorf("astro: non-dense halo ids in assignment (%d at %d)", h, i)
+		}
+		sizes[i] = row[1].Int
+	}
+	return sizes, nil
+}

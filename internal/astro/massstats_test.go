@@ -1,0 +1,97 @@
+package astro
+
+import (
+	"testing"
+
+	"sharedopt/internal/engine"
+)
+
+// HaloMasses must agree with a direct computation from the clustering
+// assignment and the particle mass column, must be identical with and
+// without the materialized view (the view only changes what the query
+// costs), and must be byte-identical — results and meter — under a
+// parallel tracker.
+func TestHaloMassesMatchesAssignment(t *testing.T) {
+	u := generate(t, smallConfig())
+	const link, minMembers = 2.0, 3
+	const snap = 1
+
+	tr := NewTracker(u, link, minMembers)
+	meter := engine.NewMeter(engine.DefaultCostModel())
+	got, err := tr.HaloMasses(snap, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no halos found")
+	}
+
+	// Direct computation from a fresh clustering.
+	tbl := u.Tables[snap-1]
+	assign, err := FindHalos(tbl, link, minMembers, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTotal := make([]float64, assign.NumHalos())
+	for p, h := range assign.Halo {
+		if h >= 0 {
+			wantTotal[h] += ParticleMass(p)
+		}
+	}
+	if len(got) != assign.NumHalos() {
+		t.Fatalf("%d halo stats, want %d", len(got), assign.NumHalos())
+	}
+	for i, hm := range got {
+		if hm.Halo != int32(i) {
+			t.Fatalf("stat %d is for halo %d", i, hm.Halo)
+		}
+		// The engine accumulates in pid order, exactly like the loop
+		// above, so totals are bit-equal — no tolerance needed.
+		if hm.TotalMass != wantTotal[i] {
+			t.Errorf("halo %d total mass %v, want %v", i, hm.TotalMass, wantTotal[i])
+		}
+		wantMean := wantTotal[i] / float64(assign.Sizes[i])
+		if hm.MeanMass != wantMean {
+			t.Errorf("halo %d mean mass %v, want %v", i, hm.MeanMass, wantMean)
+		}
+	}
+
+	// A parallel tracker must produce identical stats and charges.
+	for _, par := range []int{2, 4, 8} {
+		ptr := NewTracker(u, link, minMembers)
+		ptr.Parallelism = par
+		pm := engine.NewMeter(engine.DefaultCostModel())
+		pgot, err := ptr.HaloMasses(snap, pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *pm != *meter {
+			t.Fatalf("par %d: meter %+v, serial %+v", par, *pm, *meter)
+		}
+		for i := range got {
+			if pgot[i] != got[i] {
+				t.Fatalf("par %d halo %d: %+v, serial %+v", par, i, pgot[i], got[i])
+			}
+		}
+	}
+
+	// With the view materialized, the answers are identical and the query
+	// is cheaper (the join pays probes instead of recurring clustering).
+	vtr := NewTracker(u, link, minMembers)
+	if _, err := vtr.MaterializeView(snap, engine.NewMeter(engine.DefaultCostModel())); err != nil {
+		t.Fatal(err)
+	}
+	vm := engine.NewMeter(engine.DefaultCostModel())
+	vgot, err := vtr.HaloMasses(snap, vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if vgot[i] != got[i] {
+			t.Fatalf("with view, halo %d: %+v, want %+v", i, vgot[i], got[i])
+		}
+	}
+	if vm.WorkUnits() >= meter.WorkUnits() {
+		t.Errorf("view did not reduce cost: %d >= %d", vm.WorkUnits(), meter.WorkUnits())
+	}
+}

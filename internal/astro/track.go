@@ -22,10 +22,12 @@ type Tracker struct {
 	LinkLen float64
 	// MinMembers is the minimum FoF group size that counts as a halo.
 	MinMembers int
-	// Parallelism is the engine worker count tracking queries opt into
-	// (morsel-driven, see engine.Query.WithParallelism). Values below 2
-	// keep the serial plans; any value produces identical rows and
-	// identical meter charges, so the priced savings are unchanged.
+	// Parallelism is the worker count tracking queries opt into
+	// (morsel-driven, see engine.Query.WithParallelism) and that halo
+	// clustering uses for its candidate-pair phase (HaloFinder.
+	// Parallelism). Values below 2 keep the serial paths; any value
+	// produces identical rows, assignments and meter charges, so the
+	// priced savings are unchanged.
 	Parallelism int
 
 	// finder is reused across snapshots so its grid, union-find, and
@@ -113,6 +115,10 @@ func (tr *Tracker) assignment(snapshot int, meter *engine.Meter) (*engine.Table,
 	}
 	var cost engine.Meter
 	tr.finder.LinkLen, tr.finder.MinMembers = tr.LinkLen, tr.MinMembers
+	// Clustering honors the tracker's worker count; parallel finds
+	// produce identical assignments and identical meter charges, so the
+	// cached cost (re-billed on every hit) is unaffected.
+	tr.finder.Parallelism = tr.Parallelism
 	assign, err := tr.finder.Find(tbl, &cost)
 	if err != nil {
 		return nil, err

@@ -179,7 +179,7 @@ func Generate(cfg Config) (*Universe, error) {
 			tbl.MustAppend(engine.Row{
 				engine.I(int64(p)),
 				engine.F(pos[0]), engine.F(pos[1]), engine.F(pos[2]),
-				engine.F(1.0),
+				engine.F(ParticleMass(p)),
 			})
 		}
 		u.Tables = append(u.Tables, tbl)
@@ -187,6 +187,14 @@ func Generate(cfg Config) (*Universe, error) {
 	}
 	return u, nil
 }
+
+// ParticleMass returns particle p's mass, constant across snapshots
+// (particles keep their identity as they move). Real N-body simulations
+// use equal-mass particles; the synthetic universe spreads masses
+// deterministically over [1, 1.5) — without consuming generator
+// randomness, so positions and memberships are unchanged — to keep
+// mass-weighted halo statistics (Tracker.HaloMasses) non-degenerate.
+func ParticleMass(p int) float64 { return 1 + float64(p%8)/16 }
 
 // SnapshotTableName returns the conventional table name of a snapshot
 // (1-based).

@@ -145,6 +145,86 @@ func EngineHashJoinParallel(workers int) func(b *testing.B) {
 	return engineHashJoinBody(workers)
 }
 
+// engineBuildJoinBody is the shared body of the build-sink benchmarks: a
+// join whose cost is dominated by materializing and hash-building a 64k-
+// row build side against a small (2k-row) probe side. At workers ≥ 2 the
+// build drains morsel-parallel AND populates its hash table with the
+// radix-partitioned parallel build (the build side is far above
+// partitionedBuildMinRows); at workers == 1 it is the serial sink the
+// pair gate holds the partitioned build against. The probe pipeline is
+// identical on both sides of the pair, so the measured ratio isolates
+// the build sink.
+func engineBuildJoinBody(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		r := stats.NewRNG(6)
+		probe := engine.NewTable("p", engine.Schema{{Name: "k", Type: engine.Int64}})
+		build := engine.NewTable("b", engine.Schema{{Name: "k", Type: engine.Int64},
+			{Name: "v", Type: engine.Int64}})
+		for i := 0; i < 2_000; i++ {
+			probe.MustAppend(engine.Row{engine.I(r.Int63n(32_768))})
+		}
+		for i := 0; i < 65_536; i++ {
+			build.MustAppend(engine.Row{engine.I(r.Int63n(32_768)), engine.I(int64(i))})
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			meter := engine.NewMeter(engine.DefaultCostModel())
+			if err := engine.Scan(probe, meter).WithParallelism(workers).
+				HashJoin(engine.Scan(build, meter).WithParallelism(workers), "k", "k").
+				ForEachBatch(func(*engine.Batch) error { return nil }); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// EngineBuildJoin returns the build-dominated join with the serial build
+// sink.
+func EngineBuildJoin() func(b *testing.B) { return engineBuildJoinBody(1) }
+
+// EngineBuildJoinParallel returns the build-dominated join with the
+// radix-partitioned parallel build at the given worker count.
+func EngineBuildJoinParallel(workers int) func(b *testing.B) {
+	return engineBuildJoinBody(workers)
+}
+
+// engineOrderByBody is the shared body of the sort-sink benchmarks: scan
+// and fully sort a 128k-row table by a wide-range Int64 key, draining
+// batch-natively so the measurement is the materialize + sort, not Row
+// allocation. At workers ≥ 2 OrderByInt takes the parallel merge-sort
+// path (per-worker sorted runs, pairwise stable merges); at workers == 1
+// it is the serial stable sort.
+func engineOrderByBody(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		r := stats.NewRNG(8)
+		t := engine.NewTable("t", engine.Schema{{Name: "k", Type: engine.Int64},
+			{Name: "v", Type: engine.Int64}})
+		for i := 0; i < 131_072; i++ {
+			t.MustAppend(engine.Row{engine.I(r.Int63n(1 << 40)), engine.I(int64(i))})
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			meter := engine.NewMeter(engine.DefaultCostModel())
+			if err := engine.Scan(t, meter).WithParallelism(workers).
+				OrderByInt("k", false).
+				ForEachBatch(func(*engine.Batch) error { return nil }); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// EngineOrderBy returns the full-sort body with the serial stable sort.
+func EngineOrderBy() func(b *testing.B) { return engineOrderByBody(1) }
+
+// EngineOrderByParallel returns the full-sort body with the parallel
+// merge sort at the given worker count.
+func EngineOrderByParallel(workers int) func(b *testing.B) {
+	return engineOrderByBody(workers)
+}
+
 // benchUniverse lazily generates the default 4000-particle universe the
 // halo-finder benchmarks cluster, so its (expensive) generation is paid
 // once per process rather than once per measurement.
@@ -170,6 +250,29 @@ func HaloFinder(warm bool) func(b *testing.B) {
 			if !warm {
 				f = astro.NewHaloFinder(1.8, 8)
 			}
+			if _, err := f.Find(u.Tables[0], nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// HaloFinderParallel returns the warm-finder clustering body with the
+// candidate-pair phase running on the given worker count (see
+// astro.HaloFinder.Parallelism) — the sink the pair gate holds against
+// the serial warm finder. Results and meters are identical to serial;
+// only the wall clock may differ.
+func HaloFinderParallel(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		u, err := benchUniverse()
+		if err != nil {
+			b.Fatal(err)
+		}
+		f := astro.NewHaloFinder(1.8, 8)
+		f.Parallelism = workers
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
 			if _, err := f.Find(u.Tables[0], nil); err != nil {
 				b.Fatal(err)
 			}
@@ -217,8 +320,10 @@ func astroWorkloadBody(workers int) func(b *testing.B) {
 func AstroWorkload() func(b *testing.B) { return astroWorkloadBody(1) }
 
 // AstroWorkloadParallel returns the same workload with the tracker's
-// engine queries running morsel-parallel. Halo clustering stays serial,
-// so the end-to-end gain is bounded by the query share of the workload.
+// engine queries running morsel-parallel AND halo clustering's
+// candidate-pair phase fanned out over the same worker count, so — with
+// the partitioned build, merge sort and parallel finder — no serial sink
+// bounds the end-to-end gain.
 func AstroWorkloadParallel(workers int) func(b *testing.B) {
 	return astroWorkloadBody(workers)
 }
@@ -239,8 +344,13 @@ func Key() []struct {
 		{"SubstOnGame", SubstOnGame()},
 		{"EngineHashJoin", EngineHashJoin()},
 		{"EngineHashJoinParallel4", EngineHashJoinParallel(4)},
+		{"EngineBuildJoin", EngineBuildJoin()},
+		{"EngineBuildJoinParallel4", EngineBuildJoinParallel(4)},
+		{"EngineOrderBy", EngineOrderBy()},
+		{"EngineOrderByParallel4", EngineOrderByParallel(4)},
 		{"HaloFinder", HaloFinder(false)},
 		{"HaloFinderWarm", HaloFinder(true)},
+		{"HaloFinderParallel4", HaloFinderParallel(4)},
 		{"AstroWorkload", AstroWorkload()},
 		{"AstroWorkloadParallel4", AstroWorkloadParallel(4)},
 	}
@@ -310,8 +420,11 @@ type Pair struct {
 }
 
 // Pairs lists the relative claims CI enforces. The hash-join pairs carry
-// the morsel-parallelism tentpole; the astro pair guards the end-to-end
-// workload against the parallel path ever costing more than serial.
+// the streamable-pipeline morsel parallelism; the build-join, order-by
+// and halo-finder pairs carry the parallelized sinks (radix-partitioned
+// hash build, merge sort, chunked pair enumeration); the astro pair
+// guards the end-to-end workload — now parallel from scan through
+// clustering — against the parallel path ever costing more than serial.
 func Pairs() []Pair {
 	return []Pair{
 		{
@@ -329,6 +442,30 @@ func Pairs() []Pair {
 			MinSpeedup:        1.15,
 			RelaxedMinSpeedup: 0.70,
 			NeedProcs:         2,
+		},
+		{
+			Name:              "EngineBuildJoin/partitioned4-vs-serial",
+			Baseline:          EngineBuildJoin(),
+			Candidate:         EngineBuildJoinParallel(4),
+			MinSpeedup:        1.3,
+			RelaxedMinSpeedup: 0.70,
+			NeedProcs:         4,
+		},
+		{
+			Name:              "EngineOrderBy/parallel4-vs-serial",
+			Baseline:          EngineOrderBy(),
+			Candidate:         EngineOrderByParallel(4),
+			MinSpeedup:        1.2,
+			RelaxedMinSpeedup: 0.70,
+			NeedProcs:         4,
+		},
+		{
+			Name:              "HaloFinder/parallel4-vs-serial",
+			Baseline:          HaloFinder(true),
+			Candidate:         HaloFinderParallel(4),
+			MinSpeedup:        1.3,
+			RelaxedMinSpeedup: 0.70,
+			NeedProcs:         4,
 		},
 		{
 			Name:              "AstroWorkload/parallel4-vs-serial",

@@ -287,6 +287,12 @@ func (p *batchProject) nextBatch(limit int) *Batch {
 // the batch hash join: linear probing over power-of-two slots, with
 // per-key row chains threaded through next so duplicate build keys are
 // emitted in build order (matching the reference's map[int64][]Row).
+//
+// next is indexed by build row id. A serial build owns the whole array;
+// a radix-partitioned build (see buildPartitioned in parallel.go) hands
+// every partition's table the same shared backing array — each row
+// belongs to exactly one partition, so concurrent partition builds write
+// disjoint entries.
 type joinTable struct {
 	mask int
 	keys []int64
@@ -295,22 +301,32 @@ type joinTable struct {
 	next []int32 // next build row with the same key, -1 = end
 }
 
-func newJoinTable(rows int) *joinTable {
+// joinSlots returns the power-of-two slot count for a table over rows
+// keys (load factor ≤ 0.5).
+func joinSlots(rows int) int {
 	cap := 16
 	for cap < 2*rows {
 		cap *= 2
 	}
-	jt := &joinTable{
-		mask: cap - 1,
-		keys: make([]int64, cap),
-		head: make([]int32, cap),
-		tail: make([]int32, cap),
-		next: make([]int32, 0, rows),
-	}
+	return cap
+}
+
+func newJoinTable(rows int) *joinTable {
+	jt := &joinTable{next: make([]int32, rows)}
+	jt.initSlots(joinSlots(rows))
+	return jt
+}
+
+// initSlots (re)initializes the slot arrays to the given power-of-two
+// size, leaving next alone.
+func (jt *joinTable) initSlots(cap int) {
+	jt.mask = cap - 1
+	jt.keys = make([]int64, cap)
+	jt.head = make([]int32, cap)
+	jt.tail = make([]int32, cap)
 	for i := range jt.head {
 		jt.head[i] = -1
 	}
-	return jt
 }
 
 // hashKey mixes an int64 key (splitmix64 finalizer) so sequential keys
@@ -325,11 +341,11 @@ func hashKey(k int64) uint64 {
 	return x
 }
 
-// insert records that build row `row` (the next sequential row index)
-// has the given key. Rows must be inserted in build order.
-func (jt *joinTable) insert(key int64, row int32) {
-	jt.next = append(jt.next, -1)
-	slot := int(hashKey(key)) & jt.mask
+// insert records that build row `row` has the given key. Rows of one key
+// must be inserted in build order; h must be hashKey(key).
+func (jt *joinTable) insert(h uint64, key int64, row int32) {
+	jt.next[row] = -1
+	slot := int(h) & jt.mask
 	for {
 		if jt.head[slot] < 0 {
 			jt.keys[slot] = key
@@ -346,27 +362,45 @@ func (jt *joinTable) insert(key int64, row int32) {
 	}
 }
 
-// lookup returns the first build row with the key, or -1.
-func (jt *joinTable) lookup(key int64) int32 {
-	slot := int(hashKey(key)) & jt.mask
+// lookup returns the first build row with the key, or -1; h must be
+// hashKey(key).
+func (jt *joinTable) lookup(h uint64, key int64) int32 {
+	slot := int(h) & jt.mask
 	for {
-		h := jt.head[slot]
-		if h < 0 {
+		hd := jt.head[slot]
+		if hd < 0 {
 			return -1
 		}
 		if jt.keys[slot] == key {
-			return h
+			return hd
 		}
 		slot = (slot + 1) & jt.mask
 	}
 }
 
 // buildSide is a join's materialized build input: its columns as flat
-// vectors plus the hash table over the join key.
+// vectors plus the hash table(s) over the join key — either one serial
+// table (jt) or radix partitions routed by hash prefix (parts/partShift;
+// see buildPartitioned in parallel.go). Either way next holds the
+// per-key row chains, threaded in serial build order, and probing is
+// byte-identical between the two layouts.
 type buildSide struct {
 	cols []Vector
 	rows int
-	jt   *joinTable
+
+	jt        *joinTable
+	parts     []joinTable
+	partShift uint
+	next      []int32
+}
+
+// first returns the first build row with the key, or -1.
+func (bs *buildSide) first(key int64) int32 {
+	h := hashKey(key)
+	if bs.parts != nil {
+		return bs.parts[h>>bs.partShift].lookup(h, key)
+	}
+	return bs.jt.lookup(h, key)
 }
 
 // materializeBuild drains a query's batches into flat vectors, inserting
@@ -397,8 +431,9 @@ func materializeBuild(in batchIterator, keyIdx int, meter *Meter) *buildSide {
 	}
 	bs.jt = newJoinTable(bs.rows)
 	for i, k := range keys {
-		bs.jt.insert(k, int32(i))
+		bs.jt.insert(hashKey(k), k, int32(i))
 	}
+	bs.next = bs.jt.next
 	return bs
 }
 
@@ -456,7 +491,7 @@ func (h *batchHashJoin) nextBatch(limit int) *Batch {
 				bc := &h.build.cols[c-nProbe]
 				appendValue(&h.out.cols[c], bc, int(h.pending))
 			}
-			h.pending = h.build.jt.next[h.pending]
+			h.pending = h.build.next[h.pending]
 			emitted++
 			continue
 		}
@@ -477,7 +512,7 @@ func (h *batchHashJoin) nextBatch(limit int) *Batch {
 		if h.meter != nil {
 			h.meter.RowsProbed++
 		}
-		h.pending = h.build.jt.lookup(h.cur.cols[h.probeIdx].Ints[h.curRow])
+		h.pending = h.build.first(h.cur.cols[h.probeIdx].Ints[h.curRow])
 	}
 	if emitted == 0 {
 		return nil

@@ -1,0 +1,91 @@
+package engine
+
+import "testing"
+
+// Meter.Add is the merge point of every parallel fold (worker meters at
+// pipeline breakers, cached clustering costs re-charged per use), so its
+// edge cases carry the billing contract.
+func TestMeterAddEdgeCases(t *testing.T) {
+	filled := func() *Meter {
+		m := NewMeter(DefaultCostModel())
+		m.RowsScanned, m.RowsBuilt, m.RowsProbed, m.RowsEmitted = 10, 20, 30, 40
+		return m
+	}
+
+	t.Run("empty-into-filled", func(t *testing.T) {
+		m := filled()
+		before := *m
+		m.Add(&Meter{})
+		if *m != before {
+			t.Fatalf("adding an empty meter changed counts: %+v -> %+v", before, *m)
+		}
+	})
+
+	t.Run("filled-into-empty-keeps-model", func(t *testing.T) {
+		m := NewMeter(DefaultCostModel())
+		src := filled()
+		m.Add(src)
+		if m.RowsScanned != 10 || m.RowsBuilt != 20 || m.RowsProbed != 30 || m.RowsEmitted != 40 {
+			t.Fatalf("counts not copied: %+v", *m)
+		}
+		if m.Model != DefaultCostModel() {
+			t.Fatalf("Add overwrote the destination model: %+v", m.Model)
+		}
+		// The source model must never leak into the destination.
+		src2 := filled()
+		src2.Model = CostModel{ScanWeight: 99, WorkUnitsPerSecond: 1}
+		m2 := NewMeter(DefaultCostModel())
+		m2.Add(src2)
+		if m2.Model != DefaultCostModel() {
+			t.Fatalf("source model leaked: %+v", m2.Model)
+		}
+	})
+
+	t.Run("self-add-doubles", func(t *testing.T) {
+		m := filled()
+		m.Add(m)
+		if m.RowsScanned != 20 || m.RowsBuilt != 40 || m.RowsProbed != 60 || m.RowsEmitted != 80 {
+			t.Fatalf("self-add: %+v", *m)
+		}
+	})
+
+	t.Run("repeated-folds-sum", func(t *testing.T) {
+		// Folding n worker meters one at a time (the scheduler's loop)
+		// must equal a single meter that saw all the work.
+		workers := make([]Meter, 5)
+		var want Meter
+		for i := range workers {
+			workers[i].RowsScanned = int64(i + 1)
+			workers[i].RowsProbed = int64(10 * (i + 1))
+			want.RowsScanned += workers[i].RowsScanned
+			want.RowsProbed += workers[i].RowsProbed
+		}
+		m := NewMeter(DefaultCostModel())
+		for i := range workers {
+			m.Add(&workers[i])
+		}
+		if m.RowsScanned != want.RowsScanned || m.RowsProbed != want.RowsProbed {
+			t.Fatalf("folded %+v, want scanned %d probed %d",
+				*m, want.RowsScanned, want.RowsProbed)
+		}
+		// Folding the same meters again adds again — Add is additive, not
+		// idempotent; callers own the fold-once discipline.
+		for i := range workers {
+			m.Add(&workers[i])
+		}
+		if m.RowsScanned != 2*want.RowsScanned {
+			t.Fatalf("second fold: %+v", *m)
+		}
+	})
+
+	t.Run("reset-keeps-model", func(t *testing.T) {
+		m := filled()
+		m.Reset()
+		if m.RowsScanned != 0 || m.RowsBuilt != 0 || m.RowsProbed != 0 || m.RowsEmitted != 0 {
+			t.Fatalf("reset left counts: %+v", *m)
+		}
+		if m.Model != DefaultCostModel() {
+			t.Fatalf("reset cleared the model: %+v", m.Model)
+		}
+	})
+}

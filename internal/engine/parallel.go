@@ -22,6 +22,7 @@ package engine
 // parallelizing it would change what a query is charged.
 
 import (
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -296,22 +297,201 @@ func materializeParallel(spec *pipeSpec, par int, meter *Meter, schema Schema) (
 
 // materializeBuildParallel is materializeBuild's morsel-parallel twin:
 // the build input is drained in parallel, merged in morsel order, and the
-// hash table is then populated sequentially from the merged rows — so the
-// per-key probe chains are threaded in exactly serial build order. The
-// meters split as in the serial join: the build pipeline's own charges
-// fold into pipeMeter (the build query's meter), while the per-row build
-// units go to buildMeter (the joining query's meter).
+// hash table is then populated from the merged rows — radix-partitioned
+// across workers for large builds, sequentially for small ones — so the
+// per-key probe chains are threaded in exactly serial build order either
+// way. The meters split as in the serial join: the build pipeline's own
+// charges fold into pipeMeter (the build query's meter), while the
+// per-row build units go to buildMeter (the joining query's meter).
 func materializeBuildParallel(spec *pipeSpec, par int, keyIdx int, pipeMeter, buildMeter *Meter, schema Schema) *buildSide {
 	cols, rows := materializeParallel(spec, par, pipeMeter, schema)
 	if buildMeter != nil {
 		buildMeter.RowsBuilt += int64(rows)
 	}
 	bs := &buildSide{cols: cols, rows: rows}
+	if par >= 2 && rows >= partitionedBuildMinRows {
+		buildPartitioned(bs, keyIdx, par)
+		return bs
+	}
 	bs.jt = newJoinTable(rows)
 	for i, k := range cols[keyIdx].Ints {
-		bs.jt.insert(k, int32(i))
+		bs.jt.insert(hashKey(k), k, int32(i))
 	}
+	bs.next = bs.jt.next
 	return bs
+}
+
+// partitionedBuildMinRows is the build-side size below which a parallel
+// join still populates one hash table sequentially: spawning partition
+// workers costs more than inserting a couple of morsels' worth of rows.
+const partitionedBuildMinRows = 2 * morselSize
+
+// buildPartitioned populates the build side's hash tables
+// radix-partitioned by hash prefix: rows are counted and bucketed by the
+// top bits of their key hash (a stable counting sort, so each partition
+// lists its rows in ascending global row id — serial build order), then
+// up to par workers claim partitions and build each partition's table
+// independently. All rows of one key share a hash and therefore a
+// partition, and within a partition rows are inserted in serial build
+// order, so every per-key chain in the shared next array is byte-identical
+// to the chain a sequential build threads — probes route by the same hash
+// prefix and observe exactly the serial join's output.
+func buildPartitioned(bs *buildSide, keyIdx int, par int) {
+	rows := bs.rows
+	keys := bs.cols[keyIdx].Ints
+
+	nParts := 1
+	for nParts < 4*par && nParts < 64 {
+		nParts <<= 1
+	}
+	shift := uint(64 - bits.TrailingZeros(uint(nParts)))
+
+	hashes := make([]uint64, rows)
+	starts := make([]int32, nParts+1)
+	for i, k := range keys {
+		h := hashKey(k)
+		hashes[i] = h
+		starts[(h>>shift)+1]++
+	}
+	for p := 1; p <= nParts; p++ {
+		starts[p] += starts[p-1]
+	}
+	rowsByPart := make([]int32, rows)
+	cursor := make([]int32, nParts)
+	copy(cursor, starts[:nParts])
+	for i := range hashes {
+		p := hashes[i] >> shift
+		rowsByPart[cursor[p]] = int32(i)
+		cursor[p]++
+	}
+
+	bs.parts = make([]joinTable, nParts)
+	bs.partShift = shift
+	bs.next = make([]int32, rows)
+
+	workers := par
+	if workers > nParts {
+		workers = nParts
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				p := int(next.Add(1)) - 1
+				if p >= nParts {
+					return
+				}
+				jt := &bs.parts[p]
+				own := rowsByPart[starts[p]:starts[p+1]]
+				jt.next = bs.next
+				jt.initSlots(joinSlots(len(own)))
+				for _, row := range own {
+					jt.insert(hashes[row], keys[row], row)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// parallelSortMinRows is the result size below which OrderByInt keeps
+// the serial stable sort: per-worker runs plus merge rounds only pay off
+// once the sort dominates goroutine startup.
+const parallelSortMinRows = 4 * morselSize
+
+// parallelSortPerm sorts a permutation of [0, rows) by the int64 key
+// column using par workers: the index range is split into contiguous
+// chunks, each chunk is sorted concurrently, and adjacent sorted runs are
+// merged pairwise (also concurrently) until one run remains. The
+// comparator orders by key with the global row index as tiebreak — a
+// total order, so the result is exactly the serial stable sort's
+// permutation regardless of chunk boundaries or worker count: row index
+// order IS input order, because the rows were merged in morsel
+// (= serial scan) order before sorting.
+func parallelSortPerm(key []int64, rows, par int, desc bool) []int {
+	perm := make([]int, rows)
+	for i := range perm {
+		perm[i] = i
+	}
+	less := func(a, b int) bool {
+		if key[a] != key[b] {
+			if desc {
+				return key[a] > key[b]
+			}
+			return key[a] < key[b]
+		}
+		return a < b
+	}
+	if par < 2 || rows < parallelSortMinRows {
+		sort.Slice(perm, func(a, b int) bool { return less(perm[a], perm[b]) })
+		return perm
+	}
+
+	// Contiguous chunk bounds: runs[i] covers perm[runs[i]:runs[i+1]).
+	runs := make([]int, 0, par+1)
+	chunk := (rows + par - 1) / par
+	for lo := 0; lo < rows; lo += chunk {
+		runs = append(runs, lo)
+	}
+	runs = append(runs, rows)
+
+	var wg sync.WaitGroup
+	for r := 0; r+1 < len(runs); r++ {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			s := perm[lo:hi]
+			sort.Slice(s, func(a, b int) bool { return less(s[a], s[b]) })
+		}(runs[r], runs[r+1])
+	}
+	wg.Wait()
+
+	// Pairwise merge rounds; adjacent runs stay contiguous, so each merge
+	// writes its own [lo, hi) span of the scratch buffer.
+	buf := make([]int, rows)
+	for len(runs) > 2 {
+		next := make([]int, 0, len(runs)/2+2)
+		var mg sync.WaitGroup
+		for r := 0; r+2 < len(runs); r += 2 {
+			mg.Add(1)
+			go func(lo, mid, hi int) {
+				defer mg.Done()
+				mergeRuns(buf, perm, lo, mid, hi, less)
+			}(runs[r], runs[r+1], runs[r+2])
+			next = append(next, runs[r])
+		}
+		if len(runs)%2 == 0 { // odd run count: the last run carries over
+			lo, hi := runs[len(runs)-2], runs[len(runs)-1]
+			copy(buf[lo:hi], perm[lo:hi])
+			next = append(next, lo)
+		}
+		next = append(next, rows)
+		mg.Wait()
+		perm, buf = buf, perm
+		runs = next
+	}
+	return perm
+}
+
+// mergeRuns merges the sorted runs src[lo:mid) and src[mid:hi) into
+// dst[lo:hi).
+func mergeRuns(dst, src []int, lo, mid, hi int, less func(a, b int) bool) {
+	i, j, k := lo, mid, lo
+	for i < mid && j < hi {
+		if less(src[j], src[i]) {
+			dst[k] = src[j]
+			j++
+		} else {
+			dst[k] = src[i]
+			i++
+		}
+		k++
+	}
+	k += copy(dst[k:], src[i:mid])
+	copy(dst[k:], src[j:hi])
 }
 
 // coord is a row's global first-occurrence coordinate: morsel index in

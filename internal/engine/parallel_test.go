@@ -304,6 +304,46 @@ func TestParallelBuildQueryConsumedByJoin(t *testing.T) {
 	}
 }
 
+// Re-draining a parallel query whose join used a radix-partitioned build
+// must behave like re-draining exhausted serial iterators — empty result,
+// zero new charges — and the consumed build query itself must also stay
+// empty and free. Same contract as TestParallelRedrainIsEmptyAndFree,
+// but crossing the partitioned-build threshold.
+func TestPartitionedBuildRedrainIsEmptyAndFree(t *testing.T) {
+	a, b := bigJoinTables(61, 3*morselSize, partitionedBuildMinRows+99)
+	m := NewMeter(DefaultCostModel())
+	build := Scan(b, m).WithParallelism(4)
+	q := Scan(a, m).WithParallelism(4).HashJoin(build, "k", "k")
+	first, err := q.Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 {
+		t.Fatal("join produced no rows; test tables must overlap")
+	}
+	charged := *m
+	again, err := q.Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 0 {
+		t.Fatalf("second drain returned %d rows", len(again))
+	}
+	if *m != charged {
+		t.Fatalf("second drain charged the meter: %+v -> %+v", charged, *m)
+	}
+	rows, err := build.Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("consumed build query re-drained %d rows", len(rows))
+	}
+	if *m != charged {
+		t.Fatalf("re-draining the consumed build query charged the meter: %+v -> %+v", charged, *m)
+	}
+}
+
 // A build side that did NOT opt into parallelism must stay serial even
 // when the probe side is parallel — its predicates made no purity
 // promise. The sides' results and meters still match an all-serial run.
@@ -328,6 +368,101 @@ func TestSerialBuildSideNotEscalated(t *testing.T) {
 		t.Fatalf("impure build predicate called %d times, serial %d", calls, serialCalls)
 	}
 	assertSameRowsAndMeter(t, "serial-build", got, pm, want, sm)
+}
+
+// Partitioned hash-join builds must be observationally identical to the
+// serial build: the build side here exceeds partitionedBuildMinRows, so
+// parallel plans take the radix-partitioned path, and the dense duplicate
+// keys make any chain-order deviation visible in the probe output. Rows
+// and meters are compared against the row-at-a-time reference in
+// rowref.go at n ∈ {2, 4, 8}.
+func TestPartitionedBuildMatchesRowReference(t *testing.T) {
+	r := stats.NewRNG(47)
+	probe := NewTable("p", Schema{{Name: "k", Type: Int64}, {Name: "v", Type: Int64}})
+	build := NewTable("b", Schema{{Name: "k", Type: Int64}, {Name: "w", Type: Int64}})
+	for i := 0; i < 600; i++ {
+		probe.MustAppend(Row{I(r.Int63n(50)), I(int64(i))})
+	}
+	buildRows := partitionedBuildMinRows + 777
+	for i := 0; i < buildRows; i++ {
+		// ~40 rows per key: every probe hit walks a long chain whose
+		// order must be serial build order.
+		build.MustAppend(Row{I(r.Int63n(50)), I(int64(i))})
+	}
+	wm := NewMeter(DefaultCostModel())
+	want, err := refScan(probe, wm).HashJoin(refScan(build, wm), "k", "k").Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 4, 8} {
+		gm := NewMeter(DefaultCostModel())
+		got, err := Scan(probe, gm).WithParallelism(par).
+			HashJoin(Scan(build, gm).WithParallelism(par), "k", "k").Rows()
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameRowsAndMeter(t, fmt.Sprintf("partitioned par=%d", par), got, gm, want, wm)
+	}
+}
+
+// The parallel merge sort must reproduce the serial stable sort exactly:
+// the input exceeds parallelSortMinRows so parallel plans take the
+// chunked sort + pairwise merge path, and the narrow key range forces
+// long runs of equal keys whose relative order (stability) any merge
+// mistake would scramble. Compared against rowref.go at n ∈ {2, 4, 8},
+// both directions.
+func TestParallelMergeSortMatchesRowReference(t *testing.T) {
+	r := stats.NewRNG(53)
+	a := NewTable("a", Schema{
+		{Name: "k", Type: Int64},
+		{Name: "v", Type: Int64},
+		{Name: "s", Type: String},
+	})
+	rows := parallelSortMinRows + 1234
+	for i := 0; i < rows; i++ {
+		a.MustAppend(Row{I(r.Int63n(7)), I(int64(i)), S(fmt.Sprintf("s%d", r.Intn(3)))})
+	}
+	for _, desc := range []bool{false, true} {
+		wm := NewMeter(DefaultCostModel())
+		want, err := refScan(a, wm).OrderByInt("k", desc).Rows()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{2, 4, 8} {
+			gm := NewMeter(DefaultCostModel())
+			got, err := Scan(a, gm).WithParallelism(par).OrderByInt("k", desc).Rows()
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameRowsAndMeter(t, fmt.Sprintf("mergesort desc=%v par=%d", desc, par), got, gm, want, wm)
+		}
+	}
+}
+
+// parallelSortPerm must agree with the serial stable sort for every
+// worker count and edge-case size: empty input, below the parallel
+// threshold, run counts that leave odd tails in the pairwise merge
+// rounds, and single-run splits.
+func TestParallelSortPermEdgeCases(t *testing.T) {
+	r := stats.NewRNG(59)
+	for _, rows := range []int{0, 1, 2, 100, parallelSortMinRows - 1, parallelSortMinRows, parallelSortMinRows + 1, 3*parallelSortMinRows + 17} {
+		key := make([]int64, rows)
+		for i := range key {
+			key[i] = r.Int63n(5)
+		}
+		for _, desc := range []bool{false, true} {
+			want := parallelSortPerm(key, rows, 1, desc)
+			for _, par := range []int{2, 3, 5, 8} {
+				got := parallelSortPerm(key, rows, par, desc)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("rows=%d par=%d desc=%v: perm[%d]=%d, want %d",
+							rows, par, desc, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
 }
 
 // ForEachBatch under a parallel plan must emit the same row stream and

@@ -280,6 +280,16 @@ func diffPipelines(a, b *Table, idx *HashIndex, limit int, desc bool, pred func(
 				return Scan(a, m).WithParallelism(par).IndexJoin(idx, "k").Limit(limit)
 			},
 			func(m *Meter) *refQuery { return refScan(a, m).IndexJoin(idx, "k").Limit(limit) }},
+		{"group-sum-float",
+			func(m *Meter, par int) *Query {
+				return Scan(a, m).WithParallelism(par).GroupSumFloat64("k", "f")
+			},
+			func(m *Meter) *refQuery { return refScan(a, m).GroupSumFloat64("k", "f") }},
+		{"group-mean-float",
+			func(m *Meter, par int) *Query {
+				return Scan(a, m).WithParallelism(par).Filter(pred).GroupMeanFloat64("k", "f")
+			},
+			func(m *Meter) *refQuery { return refScan(a, m).Filter(pred).GroupMeanFloat64("k", "f") }},
 		{"group-by-all-funcs",
 			func(m *Meter, par int) *Query {
 				return Scan(a, m).WithParallelism(par).GroupBy("k",

@@ -378,8 +378,14 @@ func (q *Query) OrderByInt(col string, desc bool) *Query {
 	}
 	var flat []Vector
 	rows := 0
+	var perm []int
 	if spec, par := q.parallelPlan(); spec != nil {
+		// The per-morsel outputs are merged in morsel order, so the flat
+		// row index order IS serial input order; the parallel merge sort's
+		// index tiebreak therefore reproduces the serial stable sort
+		// exactly (see parallelSortPerm).
 		flat, rows = materializeParallel(spec, par, q.meter, schema)
+		perm = parallelSortPerm(flat[i].Ints, rows, par, desc)
 	} else {
 		flat = make([]Vector, len(schema))
 		for c := range flat {
@@ -397,18 +403,18 @@ func (q *Query) OrderByInt(col string, desc bool) *Query {
 				rows++
 			})
 		}
-	}
-	perm := make([]int, rows)
-	for p := range perm {
-		perm[p] = p
-	}
-	key := flat[i].Ints
-	sort.SliceStable(perm, func(a, b int) bool {
-		if desc {
-			return key[perm[a]] > key[perm[b]]
+		perm = make([]int, rows)
+		for p := range perm {
+			perm[p] = p
 		}
-		return key[perm[a]] < key[perm[b]]
-	})
+		key := flat[i].Ints
+		sort.SliceStable(perm, func(a, b int) bool {
+			if desc {
+				return key[perm[a]] > key[perm[b]]
+			}
+			return key[perm[a]] < key[perm[b]]
+		})
+	}
 	sorted := make([]Vector, len(schema))
 	for c := range sorted {
 		sorted[c].Kind = schema[c].Type

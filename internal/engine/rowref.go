@@ -372,6 +372,94 @@ func (q *refQuery) GroupBy(key string, aggs ...Aggregation) *refQuery {
 	return q
 }
 
+// refGroupFloat64 is the shared reference drain of the Float64 grouped
+// aggregates: per first-seen group, the float sum over column ci
+// accumulated in row order, plus the member count.
+func (q *refQuery) refGroupFloat64(ki, ci int) (keys []int64, sums []float64, counts []int64) {
+	slots := make(map[int64]int)
+	for {
+		row, ok := q.it.Next()
+		if !ok {
+			break
+		}
+		k := row[ki].Int
+		s, seen := slots[k]
+		if !seen {
+			s = len(keys)
+			slots[k] = s
+			keys = append(keys, k)
+			sums = append(sums, 0)
+			counts = append(counts, 0)
+		}
+		sums[s] += row[ci].Float
+		counts[s]++
+		if q.meter != nil {
+			q.meter.RowsBuilt++
+		}
+	}
+	return keys, sums, counts
+}
+
+// checkFloatGroup mirrors Query.checkFloatGroup.
+func (q *refQuery) checkFloatGroup(op, key, col string) (ki, ci int) {
+	in := q.it.Schema()
+	ki = in.ColIndex(key)
+	if ki < 0 || in[ki].Type != Int64 {
+		q.err = fmt.Errorf("engine: %s: bad key column %q", op, key)
+		return -1, -1
+	}
+	ci = in.ColIndex(col)
+	if ci < 0 || in[ci].Type != Float64 {
+		q.err = fmt.Errorf("engine: %s: bad float column %q", op, col)
+		return -1, -1
+	}
+	return ki, ci
+}
+
+// GroupSumFloat64 is the reference twin of Query.GroupSumFloat64.
+func (q *refQuery) GroupSumFloat64(key, col string) *refQuery {
+	if q.err != nil {
+		return q
+	}
+	ki, ci := q.checkFloatGroup("group sum float", key, col)
+	if q.err != nil {
+		return q
+	}
+	name := q.it.Schema()[ki].Name
+	keys, sums, _ := q.refGroupFloat64(ki, ci)
+	rows := make([]Row, 0, len(keys))
+	for s, k := range keys {
+		rows = append(rows, Row{I(k), F(sums[s])})
+	}
+	q.it = &refSliceIter{rows: rows, schema: Schema{
+		{Name: name, Type: Int64},
+		{Name: fmt.Sprintf("sum(%s)", col), Type: Float64},
+	}}
+	return q
+}
+
+// GroupMeanFloat64 is the reference twin of Query.GroupMeanFloat64.
+func (q *refQuery) GroupMeanFloat64(key, col string) *refQuery {
+	if q.err != nil {
+		return q
+	}
+	ki, ci := q.checkFloatGroup("group mean float", key, col)
+	if q.err != nil {
+		return q
+	}
+	name := q.it.Schema()[ki].Name
+	keys, sums, counts := q.refGroupFloat64(ki, ci)
+	rows := make([]Row, 0, len(keys))
+	for s, k := range keys {
+		rows = append(rows, Row{I(k), F(sums[s] / float64(counts[s]))})
+	}
+	q.it = &refSliceIter{rows: rows, schema: Schema{
+		{Name: name, Type: Int64},
+		{Name: fmt.Sprintf("mean(%s)", col), Type: Float64},
+	}}
+	return q
+}
+
 type refSliceIter struct {
 	rows   []Row
 	schema Schema

@@ -35,6 +35,23 @@
 // n = 1 (the default) keeps the serial path, so existing callers and
 // every committed figure CSV are untouched.
 //
+// The architecture is morsels → partitioned sinks → deterministic
+// merges: after the streamable phases fan out, the pipeline breakers
+// themselves also run parallel rather than funneling into one thread.
+// Large hash-join builds are radix-partitioned by a prefix of the key
+// hash — per-partition tables built concurrently, rows inserted in
+// global (morsel, row) coordinate order so every per-key chain is
+// threaded in serial build order, probes routed by the same prefix
+// (buildPartitioned). OrderByInt sorts per-worker runs concurrently and
+// merges them pairwise with a key-then-coordinate comparator — a total
+// order equal to the serial stable sort (parallelSortPerm). Top1 and the
+// grouped Int64 aggregates reduce per-worker partials by coordinate;
+// Float64 group aggregates instead accumulate over the coordinate-merged
+// rows so float addition order — and every output bit — matches serial.
+// The same recipe extends past the engine: astro.HaloFinder fans its
+// candidate-pair phase over contiguous particle-id chunks and replays
+// passing pairs through its union-find in serial pair order.
+//
 // # Metering contract
 //
 // Batch execution never changes what a query is charged. The unit counts
@@ -55,10 +72,11 @@
 //     query's meter with Meter.Add at the pipeline breaker. Since every
 //     row flows through exactly one worker's pipeline, the folded
 //     totals equal the serial totals.
-//   - Hash-join build sides are drained in parallel but merged in
-//     morsel order before the hash table is populated sequentially, so
-//     per-key probe chains are threaded in serial build order and probe
-//     output is byte-identical.
+//   - Hash-join build sides are drained in parallel and merged in
+//     morsel order before the hash table is populated — sequentially
+//     for small builds, radix-partitioned across workers for large ones
+//     — so per-key probe chains are threaded in serial build order and
+//     probe output is byte-identical either way.
 //   - Order-sensitive sinks merge worker partials by first-occurrence
 //     coordinate (morsel index, row within morsel), reproducing serial
 //     first-seen group order, Top1 tie-breaks and sort stability.

@@ -225,6 +225,47 @@ func TestFig4Shape(t *testing.T) {
 	}
 }
 
+// Figure 4e: the engine-derived arrival-skew variant is well-formed and
+// deterministic, its Early-AddOn series is the ratio denominator (≡ 1
+// wherever it is nonzero), and regenerating it alongside 1e reuses the
+// memoized savings measurement instead of re-clustering the universe.
+func TestFig4eShapeAndSavingsMemoization(t *testing.T) {
+	before := savingsCalls
+	if _, err := Run("1e", 3, testSeed); err != nil {
+		t.Fatal(err)
+	}
+	fig, err := Fig4e(Fig4eDefaultConfig(testEffort, testSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := savingsCalls; got > before+1 {
+		t.Errorf("savings measured %d times across 1e + 4e, want at most once", got-before)
+	}
+	if len(fig.Points) != len(SweepSkew) {
+		t.Fatalf("%d points, want %d", len(fig.Points), len(SweepSkew))
+	}
+	if len(fig.SeriesNames) != 6 {
+		t.Fatalf("series %v, want 6", fig.SeriesNames)
+	}
+	for i, p := range fig.Points {
+		early := p.Y[SeriesEarlyAddOn]
+		if early != 1 && early != 0 {
+			t.Errorf("point %d: Early-AddOn ratio %v, want 1 (or 0 when degenerate)", i, early)
+		}
+	}
+	again, err := Fig4e(Fig4eDefaultConfig(testEffort, testSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fig.Points {
+		for _, s := range fig.SeriesNames {
+			if fig.Points[i].Y[s] != again.Points[i].Y[s] {
+				t.Fatalf("4e not deterministic at point %d series %s", i, s)
+			}
+		}
+	}
+}
+
 // Figure 5 shape (Section 7.6): SubstOn dominates Regret at both
 // selectivities, and higher selectivity (3 of 12) lowers both algorithms'
 // utility relative to low selectivity (3 of 4).
@@ -337,7 +378,7 @@ func TestFig1EngineDerivedShape(t *testing.T) {
 }
 
 func TestRegistryCoversAllFigures(t *testing.T) {
-	want := []string{"1", "1e", "2a", "2b", "2c", "2d", "3a", "3b", "4", "5a", "5b",
+	want := []string{"1", "1e", "2a", "2b", "2c", "2d", "3a", "3b", "4", "4e", "5a", "5b",
 		"E1", "E2", "E3"}
 	got := FigureIDs()
 	if len(got) != len(want) {

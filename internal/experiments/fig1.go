@@ -5,7 +5,6 @@ import (
 
 	"sharedopt/internal/astro"
 	"sharedopt/internal/econ"
-	"sharedopt/internal/engine"
 	"sharedopt/internal/simulate"
 	"sharedopt/internal/stats"
 	"sharedopt/internal/workload"
@@ -190,20 +189,8 @@ func Fig1(cfg Fig1Config) (*Figure, error) {
 // deriveAstronomySavings measures the per-view savings of the six
 // astronomers' workloads on the configured synthetic universe and scales
 // them to cents, anchored at the paper's 18¢ final-snapshot saving.
+// Measurements are memoized per parameter set (see measureSavingsCents),
+// so 1e and 4e share one universe generation and one measurement.
 func deriveAstronomySavings(cfg Fig1Config) ([][]int64, error) {
-	u, err := astro.Generate(cfg.Universe)
-	if err != nil {
-		return nil, err
-	}
-	tr := astro.NewTracker(u, cfg.LinkLen, cfg.MinMembers)
-	users, err := astro.DefaultUsers(tr, 2)
-	if err != nil {
-		return nil, err
-	}
-	report, err := astro.MeasureSavings(u, users, cfg.LinkLen, cfg.MinMembers,
-		engine.DefaultCostModel())
-	if err != nil {
-		return nil, err
-	}
-	return report.DeriveSavingsCents(18)
+	return measureSavingsCents(cfg.Universe, cfg.LinkLen, cfg.MinMembers)
 }

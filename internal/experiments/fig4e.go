@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sharedopt/internal/astro"
+	"sharedopt/internal/econ"
+	"sharedopt/internal/simulate"
+	"sharedopt/internal/stats"
+	"sharedopt/internal/workload"
+)
+
+// Figure 4e is the engine-derived twin of the arrival-skew experiment:
+// instead of Figure 4's synthetic single-optimization game with values
+// drawn uniformly at random, the players are the six astronomers whose
+// per-view values come out of astro.MeasureSavings — the halo-tracking
+// workload actually executed on the metered engine — and "arrival"
+// means the quarter in which an astronomer's subscription span starts,
+// drawn from the paper's uniform/early/late processes. The x axis sweeps
+// the per-view yearly cost (replacing the measured $2.31), and the y
+// values are, as in Figure 4, each setting's mean utility as a ratio to
+// the Early-AddOn mean at that cost.
+//
+// The variant is opt-in by figure ID ("4e"), so the published figures'
+// CSVs are untouched; it shares its universe configuration with Figure
+// 1e, so one figure-set run measures the savings once (memoized in
+// measureSavingsCents).
+
+// Fig4eConfig parameterizes the engine-derived arrival-skew experiment.
+type Fig4eConfig struct {
+	// Executions is how many times each astronomer executes her workload
+	// (fixed; Figure 1 sweeps it, this figure sweeps the view cost).
+	Executions int
+	// Costs is the x axis: the per-view yearly cost.
+	Costs []econ.Money
+	// Trials is the number of sampled span assignments per (arrival,
+	// cost) combination.
+	Trials int
+	// Seed makes the run reproducible.
+	Seed uint64
+	// Universe, LinkLen and MinMembers configure the savings measurement
+	// (shared with Figure 1e so the memoized measurement is reused).
+	Universe   astro.Config
+	LinkLen    float64
+	MinMembers int
+}
+
+// Fig4eDefaultConfig returns the default engine-derived arrival-skew
+// configuration: Figure 4's cost sweep and arrival processes over Figure
+// 1e's measured universe, at 50 executions per user (the middle of
+// Figure 1's sweep).
+func Fig4eDefaultConfig(trials int, seed uint64) Fig4eConfig {
+	base := Fig1EngineConfig(1, seed)
+	return Fig4eConfig{
+		Executions: 50,
+		Costs:      SweepSkew,
+		Trials:     trials,
+		Seed:       seed,
+		Universe:   base.Universe,
+		LinkLen:    base.LinkLen,
+		MinMembers: base.MinMembers,
+	}
+}
+
+// Fig4e runs the engine-derived arrival-skew experiment.
+func Fig4e(cfg Fig4eConfig) (*Figure, error) {
+	if cfg.Executions < 1 || cfg.Trials < 1 || len(cfg.Costs) == 0 {
+		return nil, fmt.Errorf("experiments: fig4e: bad config %+v", cfg)
+	}
+	cents, err := measureSavingsCents(cfg.Universe, cfg.LinkLen, cfg.MinMembers)
+	if err != nil {
+		return nil, err
+	}
+	arrivals := []struct {
+		proc   stats.ArrivalProcess
+		mech   string
+		regret string
+	}{
+		{stats.ArrivalUniform, SeriesUniformAddOn, SeriesUniformRegret},
+		{stats.ArrivalEarly, SeriesEarlyAddOn, SeriesEarlyRegret},
+		{stats.ArrivalLate, SeriesLateAddOn, SeriesLateRegret},
+	}
+	order := []string{
+		SeriesUniformAddOn, SeriesUniformRegret,
+		SeriesEarlyAddOn, SeriesEarlyRegret,
+		SeriesLateAddOn, SeriesLateRegret,
+	}
+	fig := &Figure{
+		ID:          "4e",
+		Title:       "Arrival skew with engine-derived astronomy savings (ratio to Early-AddOn)",
+		XLabel:      "Cost of one view per year ($)",
+		SeriesNames: order,
+	}
+	seeds := trialSeeds(cfg.Seed, cfg.Trials)
+	type trial struct{ mech, reg float64 }
+	for _, cost := range cfg.Costs {
+		means := make(map[string]float64, len(order))
+		for _, a := range arrivals {
+			results, err := forEachIndex(len(seeds), func(i int) (trial, error) {
+				r := stats.NewRNG(seeds[i])
+				var spans [workload.AstroUsers]workload.QuarterSpan
+				for u := range spans {
+					// The subscription starts at the arrival quarter and
+					// runs a uniform number of the remaining quarters.
+					start := a.proc.Arrival(r, workload.AstroQuarters)
+					spans[u] = workload.QuarterSpan{
+						Start: start,
+						Len:   1 + r.Intn(workload.AstroQuarters-start+1),
+					}
+				}
+				sc := workload.AstronomyDerived(cents, spans, cfg.Executions, cost)
+				m, err := simulate.RunAddOn(sc)
+				if err != nil {
+					return trial{}, err
+				}
+				g, err := simulate.RunRegretAdditive(sc)
+				if err != nil {
+					return trial{}, err
+				}
+				return trial{m.Utility().Dollars(), g.Utility().Dollars()}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			var mech, reg stats.Summary
+			for _, tr := range results {
+				mech.Add(tr.mech)
+				reg.Add(tr.reg)
+			}
+			means[a.mech] = mech.Mean()
+			means[a.regret] = reg.Mean()
+		}
+		denom := means[SeriesEarlyAddOn]
+		vals := make(map[string]float64, len(order))
+		for _, name := range order {
+			if denom != 0 {
+				vals[name] = means[name] / denom
+			} else {
+				vals[name] = 0
+			}
+		}
+		fig.Add(cost.Dollars(), vals)
+	}
+	return fig, nil
+}

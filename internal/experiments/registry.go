@@ -39,6 +39,9 @@ var Registry = map[string]Runner{
 		fig, _, err := Fig4(Fig4DefaultConfig(effort, seed))
 		return fig, err
 	},
+	"4e": func(effort int, seed uint64) (*Figure, error) {
+		return Fig4e(Fig4eDefaultConfig(effort, seed))
+	},
 	"5a": func(effort int, seed uint64) (*Figure, error) {
 		return Fig5(Fig5aConfig(effort, seed))
 	},
