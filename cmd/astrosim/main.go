@@ -10,6 +10,11 @@
 //
 //	astrosim                         # paper-shaped defaults
 //	astrosim -particles 20000 -snapshots 27 -seed 3
+//	astrosim -workers 1              # serial measurement (same output)
+//
+// The measurement fans out over a worker pool (one tracker per worker)
+// and is byte-identical at any worker count, so -workers only changes
+// how fast the table appears.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"text/tabwriter"
 
 	"sharedopt/internal/astro"
@@ -32,6 +38,7 @@ func main() {
 		linkLen    = flag.Float64("link", 1.8, "friends-of-friends linking length")
 		minMembers = flag.Int("min-members", 8, "minimum halo size")
 		perSet     = flag.Int("halos-per-set", 3, "tracked halos per astronomer group")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "measurement workers (output is identical at any count)")
 	)
 	flag.Parse()
 	cfg := astro.DefaultConfig()
@@ -39,13 +46,13 @@ func main() {
 	cfg.Halos = *halos
 	cfg.Snapshots = *snapshots
 	cfg.Seed = *seed
-	if err := run(os.Stdout, cfg, *linkLen, *minMembers, *perSet); err != nil {
+	if err := run(os.Stdout, cfg, *linkLen, *minMembers, *perSet, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "astrosim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, cfg astro.Config, linkLen float64, minMembers, perSet int) error {
+func run(w io.Writer, cfg astro.Config, linkLen float64, minMembers, perSet, workers int) error {
 	fmt.Fprintf(w, "generating universe: %d particles × %d snapshots, %d halos (seed %d)\n",
 		cfg.Particles, cfg.Snapshots, cfg.Halos, cfg.Seed)
 	u, err := astro.Generate(cfg)
@@ -58,7 +65,8 @@ func run(w io.Writer, cfg astro.Config, linkLen float64, minMembers, perSet int)
 		return err
 	}
 	fmt.Fprintln(w, "measuring workload cost with and without each materialized view...")
-	report, err := astro.MeasureSavings(u, users, linkLen, minMembers, engine.DefaultCostModel())
+	report, err := astro.MeasureSavingsParallel(u, users, linkLen, minMembers,
+		engine.DefaultCostModel(), workers)
 	if err != nil {
 		return err
 	}

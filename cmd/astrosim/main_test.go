@@ -19,7 +19,7 @@ func tinyConfig() astro.Config {
 
 func TestAstrosimEndToEnd(t *testing.T) {
 	var out strings.Builder
-	if err := run(&out, tinyConfig(), 2.5, 5, 2); err != nil {
+	if err := run(&out, tinyConfig(), 2.5, 5, 2, 2); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -40,10 +40,10 @@ func TestAstrosimEndToEnd(t *testing.T) {
 func TestAstrosimRejectsBadConfig(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.Particles = 0
-	if err := run(&strings.Builder{}, cfg, 2.5, 5, 2); err == nil {
+	if err := run(&strings.Builder{}, cfg, 2.5, 5, 2, 2); err == nil {
 		t.Error("invalid universe accepted")
 	}
-	if err := run(&strings.Builder{}, tinyConfig(), 2.5, 5, 1000); err == nil {
+	if err := run(&strings.Builder{}, tinyConfig(), 2.5, 5, 1000, 2); err == nil {
 		t.Error("absurd halo demand accepted")
 	}
 }

@@ -6,6 +6,7 @@
 //	experiments -fig all                  # every figure, text tables
 //	experiments -fig 2a -trials 2000     # one figure, more trials
 //	experiments -fig 1,1e,4e             # a comma-separated subset (CI shards)
+//	experiments -derived                 # the engine-derived variants only
 //	experiments -fig 1 -format csv       # CSV for plotting
 //	experiments -fig 1 -format sha256    # one "hash  id" line per figure
 //	experiments -fig 1 -exhaustive       # figure 1 over all 10^6 combos
@@ -13,6 +14,14 @@
 // Effort semantics: -trials is the Monte-Carlo trial count per point for
 // figures 2–5 and the number of sampled quarter-span assignments for
 // figure 1 (unless -exhaustive).
+//
+// Figure IDs follow the registry's conventions: bare IDs are the paper's
+// published figures, an "e" suffix (1e, 4e) marks the astronomy game
+// measured end to end on the query engine, a "v" suffix (2av ... 5bv)
+// marks the published synthetic game with user values drawn from the
+// engine-measured savings distribution. -derived sweeps exactly the
+// suffixed set (overriding -fig); all its members share one memoized
+// universe measurement per run.
 //
 // The sha256 format hashes each figure's CSV bytes (at the given trials
 // and seed) and prints "hash  id" lines. FIGURES.sha256 at the repo root
@@ -34,13 +43,18 @@ import (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "figures to regenerate: all, or a comma-separated subset of 1, 1e, 2a, 2b, 2c, 2d, 3a, 3b, 4, 4e, 5a, 5b, E1, E2, E3")
+		fig = flag.String("fig", "all", "figures to regenerate: all, or a comma-separated subset of "+
+			strings.Join(experiments.FigureIDs(), ", "))
+		derived    = flag.Bool("derived", false, "regenerate only the engine-derived variants (overrides -fig; equivalent to -fig "+strings.Join(experiments.DerivedFigureIDs(), ",")+")")
 		trials     = flag.Int("trials", 1000, "Monte-Carlo trials per point (samples for figure 1)")
 		seed       = flag.Uint64("seed", 42, "random seed")
 		format     = flag.String("format", "table", "output format: table, csv or sha256")
 		exhaustive = flag.Bool("exhaustive", false, "figure 1 only: enumerate all 10^6 span assignments")
 	)
 	flag.Parse()
+	if *derived {
+		*fig = "derived"
+	}
 	if err := run(os.Stdout, *fig, *trials, *seed, *format, *exhaustive); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
@@ -52,8 +66,11 @@ func run(w io.Writer, fig string, trials int, seed uint64, format string, exhaus
 		return fmt.Errorf("unknown format %q", format)
 	}
 	ids := strings.Split(fig, ",")
-	if fig == "all" {
+	switch fig {
+	case "all":
 		ids = experiments.FigureIDs()
+	case "derived":
+		ids = experiments.DerivedFigureIDs()
 	}
 	for _, id := range ids {
 		var figure *experiments.Figure

@@ -114,3 +114,26 @@ func TestRunRejectsBadInputs(t *testing.T) {
 		t.Error("unknown figure accepted")
 	}
 }
+
+// The -derived sweep resolves to exactly the registry's derived figure
+// set, in order, one hash line each.
+func TestRunDerivedSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("derived sweep in short mode")
+	}
+	var out strings.Builder
+	if err := run(&out, "derived", 2, 1, "sha256", false); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	want := experiments.DerivedFigureIDs()
+	if len(lines) != len(want) {
+		t.Fatalf("%d hash lines for derived set %v", len(lines), want)
+	}
+	for i, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) != 2 || fields[1] != want[i] {
+			t.Errorf("line %d = %q, want id %s", i, line, want[i])
+		}
+	}
+}

@@ -118,6 +118,57 @@ func TestSavingsDurationsAndDerivedCents(t *testing.T) {
 	}
 }
 
+// The parallel measurement must be byte-identical to the serial loop at
+// any worker count: same baselines, same savings, same derived cents.
+func TestMeasureSavingsParallelMatchesSerial(t *testing.T) {
+	cfg := smallConfig()
+	u := generate(t, cfg)
+	tr := NewTracker(u, 2.5, 5)
+	users, err := DefaultUsers(tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := engine.DefaultCostModel()
+	serial, err := MeasureSavingsParallel(u, users, 2.5, 5, model, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialCents, err := serial.DeriveSavingsCents(18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par, err := MeasureSavingsParallel(u, users, 2.5, 5, model, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for ui := range users {
+			if par.BaselineUnits[ui] != serial.BaselineUnits[ui] {
+				t.Errorf("workers=%d user %d: baseline %d != serial %d",
+					workers, ui, par.BaselineUnits[ui], serial.BaselineUnits[ui])
+			}
+			for s := range par.SavingUnits[ui] {
+				if par.SavingUnits[ui][s] != serial.SavingUnits[ui][s] {
+					t.Errorf("workers=%d user %d view %d: saving %d != serial %d",
+						workers, ui, s+1, par.SavingUnits[ui][s], serial.SavingUnits[ui][s])
+				}
+			}
+		}
+		cents, err := par.DeriveSavingsCents(18)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for ui := range cents {
+			for s := range cents[ui] {
+				if cents[ui][s] != serialCents[ui][s] {
+					t.Errorf("workers=%d user %d view %d: %d cents != serial %d",
+						workers, ui, s+1, cents[ui][s], serialCents[ui][s])
+				}
+			}
+		}
+	}
+}
+
 func TestMeasureSavingsValidation(t *testing.T) {
 	u := generate(t, smallConfig())
 	if _, err := MeasureSavings(u, nil, 2.5, 5, engine.DefaultCostModel()); err == nil {

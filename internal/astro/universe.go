@@ -1,17 +1,3 @@
-// Package astro reproduces the paper's motivating use-case (Sections 2
-// and 7.2): astronomers tracing the evolution of halos across the
-// snapshots of an N-body universe simulation, sped up by per-snapshot
-// materialized (particleID, haloID) views.
-//
-// The real datasets (4.8 GB per snapshot in the paper, 200 GB+ for
-// state-of-the-art runs) are not available here, so the package builds
-// the closest synthetic equivalent that exercises the same code paths: a
-// configurable universe generator with drifting halos and migrating
-// particles, a friends-of-friends halo finder, and the halo-tracking
-// query workload running on internal/engine with and without the views.
-// The per-view savings the pricing experiments consume come out of the
-// engine's cost meter rather than being hard-coded, and a calibration
-// test checks they reproduce the shape of the paper's measured numbers.
 package astro
 
 import (

@@ -1,0 +1,50 @@
+// Package experiments regenerates every figure in the paper's
+// evaluation section (Section 7). Each FigNN function runs the
+// corresponding simulation sweep and returns a Figure holding the same
+// series the paper plots; the cmd/experiments binary renders them as
+// text tables or CSV, and bench_test.go at the module root wraps each
+// one in a benchmark.
+//
+// # Map from paper figures to code
+//
+//   - Figure 1 (Section 7.2, astronomy use-case) — fig1.go, playing
+//     workload.Astronomy over all (or sampled) quarter-span
+//     assignments.
+//   - Figures 2(a)–2(d) (Section 7.3, collaboration size) — fig2.go.
+//   - Figures 3(a)/3(b) (Section 7.4, usage overlap) — fig3.go.
+//   - Figure 4 (Section 7.5, arrival skew) — fig4.go.
+//   - Figures 5(a)/5(b) (Section 7.6, substitute selectivity) — fig5.go.
+//   - E1–E3 — this repo's ablation figures (ablation.go): mechanism
+//     efficiency against the exhaustive optimum and what the Naive
+//     mechanism loses to gaming.
+//
+// # Engine-derived variants
+//
+// The paper prices from constants it measured on real astronomy data.
+// This repo can instead measure the savings itself, by running the
+// halo-tracking workload on internal/engine over an internal/astro
+// synthetic universe (enginesavings.go). Two derivation styles exist,
+// distinguished by ID suffix:
+//
+//   - "e" (1e, 4e): the whole game is the measured astronomy scenario —
+//     per-user, per-view savings cents from astro.MeasureSavings feed
+//     workload.AstronomyDerived.
+//   - "v" (2av, 2bv, 2cv, 2dv, 3av, 3bv, 4v, 5av, 5bv): the paper's
+//     synthetic game is unchanged, but user values are drawn from the
+//     empirical distribution of the measured savings (rescaled to the
+//     uniform draw's $0.50 mean) instead of uniform [0, $1).
+//
+// All variants share one memoized universe measurement per parameter
+// set (engineBids), so a full `cmd/experiments -derived` sweep
+// generates and measures the universe once. The measurement itself
+// fans out over astro.MeasureSavingsParallel's worker pool and is
+// byte-identical at any worker count.
+//
+// # Determinism
+//
+// Every figure is a deterministic function of (ID, effort, seed): trial
+// seeds are drawn up front (trialSeeds), trials fan out over all cores
+// (forEachIndex) but reduce in trial order, and FIGURES.sha256 at the
+// repo root pins the CSV hash of every registered figure at the default
+// effort and seed — CI regenerates them and fails on drift.
+package experiments

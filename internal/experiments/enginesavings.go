@@ -1,10 +1,15 @@
 package experiments
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 
 	"sharedopt/internal/astro"
+	"sharedopt/internal/econ"
 	"sharedopt/internal/engine"
+	"sharedopt/internal/stats"
+	"sharedopt/internal/workload"
 )
 
 // savingsKey identifies one engine-derived savings measurement: the
@@ -16,25 +21,50 @@ type savingsKey struct {
 	minMembers int
 }
 
+// derivedBids is everything the engine-derived figure variants consume
+// from one savings measurement, in the two shapes they need it:
+//
+//   - cents is the per-user, per-view savings table (cents per
+//     execution) that the astronomy-game figures 1e and 4e feed to
+//     workload.AstronomyDerived;
+//   - pool is the same measurement flattened into an empirical user-value
+//     distribution for the synthetic-game variants (2av–5bv): every
+//     positive per-view saving becomes one pool entry, scaled so the pool
+//     mean equals the $0.50 mean of the paper's uniform [0, $1) draws.
+//     Keeping the mean pins the published cost sweeps to the same scale,
+//     so the derived curves answer "what changes when values have the
+//     measured shape" rather than "what changes when values shrink".
+//
+// Values are immutable once built; callers must not mutate them.
+type derivedBids struct {
+	cents [][]int64
+	pool  []econ.Money
+}
+
+// value draws one user value from the measured empirical distribution.
+// It is a workload.ValueDist.
+func (b *derivedBids) value(r *stats.RNG) econ.Money {
+	return b.pool[r.Intn(len(b.pool))]
+}
+
 var (
-	savingsMu    sync.Mutex
-	savingsMemo  = map[savingsKey][][]int64{}
+	bidsMu       sync.Mutex
+	bidsMemo     = map[savingsKey]*derivedBids{}
 	savingsCalls int // measurement runs actually performed (for tests)
 )
 
-// measureSavingsCents measures the six astronomers' per-view savings on
-// the configured synthetic universe and scales them to cents anchored at
-// the paper's 18¢ final-snapshot saving. The measurement is deterministic
-// in its parameters, so results are memoized per parameter set: a figure
-// run that regenerates several engine-derived variants (1e, 4e — which
-// share a universe) generates and measures once. Callers must not mutate
-// the returned table.
-func measureSavingsCents(universe astro.Config, linkLen float64, minMembers int) ([][]int64, error) {
+// engineBids measures the six astronomers' per-view savings on the
+// configured synthetic universe and packages them as derivedBids. The
+// measurement is deterministic in its parameters — including the worker
+// count MeasureSavings fans out over — so results are memoized per
+// parameter set: one figure-set run that regenerates every engine-derived
+// variant (1e, 4e, 2av–5bv share a universe) generates and measures once.
+func engineBids(universe astro.Config, linkLen float64, minMembers int) (*derivedBids, error) {
 	key := savingsKey{universe: universe, linkLen: linkLen, minMembers: minMembers}
-	savingsMu.Lock()
-	defer savingsMu.Unlock()
-	if cents, ok := savingsMemo[key]; ok {
-		return cents, nil
+	bidsMu.Lock()
+	defer bidsMu.Unlock()
+	if bids, ok := bidsMemo[key]; ok {
+		return bids, nil
 	}
 	u, err := astro.Generate(universe)
 	if err != nil {
@@ -45,8 +75,8 @@ func measureSavingsCents(universe astro.Config, linkLen float64, minMembers int)
 	if err != nil {
 		return nil, err
 	}
-	report, err := astro.MeasureSavings(u, users, linkLen, minMembers,
-		engine.DefaultCostModel())
+	report, err := astro.MeasureSavingsParallel(u, users, linkLen, minMembers,
+		engine.DefaultCostModel(), runtime.GOMAXPROCS(0))
 	if err != nil {
 		return nil, err
 	}
@@ -54,7 +84,107 @@ func measureSavingsCents(universe astro.Config, linkLen float64, minMembers int)
 	if err != nil {
 		return nil, err
 	}
-	savingsMemo[key] = cents
+	pool, err := valuePool(cents)
+	if err != nil {
+		return nil, err
+	}
+	bids := &derivedBids{cents: cents, pool: pool}
+	bidsMemo[key] = bids
 	savingsCalls++
-	return cents, nil
+	return bids, nil
+}
+
+// measureSavingsCents returns the per-user, per-view savings table of the
+// configured measurement (the shape figures 1e and 4e consume). Callers
+// must not mutate the returned table.
+func measureSavingsCents(universe astro.Config, linkLen float64, minMembers int) ([][]int64, error) {
+	bids, err := engineBids(universe, linkLen, minMembers)
+	if err != nil {
+		return nil, err
+	}
+	return bids.cents, nil
+}
+
+// valuePool flattens the positive entries of a savings table into an
+// empirical value pool, scaled (with round-to-nearest) so the pool mean
+// is exactly the paper's $0.50 expected user value up to rounding. Pool
+// order is user-major, snapshot-minor, so the distribution a trial RNG
+// indexes into is deterministic.
+func valuePool(cents [][]int64) ([]econ.Money, error) {
+	var vals []int64
+	var sum int64
+	for _, row := range cents {
+		for _, c := range row {
+			if c > 0 {
+				vals = append(vals, c)
+				sum += c
+			}
+		}
+	}
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("experiments: measured savings table has no positive entries")
+	}
+	// pool[i] = vals[i] · (Dollar/2) / mean(vals), in exact integer
+	// arithmetic: vals[i] · Dollar · n / (2 · sum), rounded to nearest.
+	n := int64(len(vals))
+	den := 2 * sum
+	pool := make([]econ.Money, len(vals))
+	for i, c := range vals {
+		pool[i] = econ.Money((c*int64(econ.Dollar)*n + den/2) / den)
+	}
+	return pool, nil
+}
+
+// DerivedConfig is the engine-derivation block embedded in every figure
+// config. When EngineDerived is set, the figure prices from the savings
+// measured by running the halo-tracking workload on the built-in query
+// engine instead of the paper's published values: the astronomy-game
+// figures (1e, 4e — Fig1Config, Fig4eConfig) consume the per-view cents
+// table directly, while the synthetic-game figures (2av–5bv —
+// Fig2Config–Fig5Config) draw user values from the empirical pool of
+// measured savings rescaled to the uniform draw's $0.50 mean (see
+// derivedBids). Universe, LinkLen and MinMembers configure the
+// measurement; when EngineDerived is unset they are ignored.
+type DerivedConfig struct {
+	EngineDerived bool
+	Universe      astro.Config
+	LinkLen       float64
+	MinMembers    int
+}
+
+// engine switches the block on with the shared measured-universe
+// parameters (engineUniverse), so every derived figure variant hits the
+// same memoized measurement.
+func (c *DerivedConfig) engine(seed uint64) {
+	c.EngineDerived = true
+	c.Universe, c.LinkLen, c.MinMembers = engineUniverse(seed)
+}
+
+// valueDist resolves the config's value distribution: the uniform
+// default, or the measured pool (derived reports which, so callers can
+// mark their figure titles).
+func (c DerivedConfig) valueDist() (value workload.ValueDist, derived bool, err error) {
+	if !c.EngineDerived {
+		return workload.UniformValue, false, nil
+	}
+	bids, err := engineBids(c.Universe, c.LinkLen, c.MinMembers)
+	if err != nil {
+		return nil, false, err
+	}
+	return bids.value, true, nil
+}
+
+// engineUniverse is the universe configuration shared by every
+// engine-derived figure variant: compact enough that CI's determinism
+// gate measures it in seconds, large enough to preserve the paper's cost
+// shape (full-trace users cost more, the final snapshot's view dominates).
+// Sharing one configuration means a full -derived sweep pays for a single
+// generation + measurement (memoized in engineBids).
+func engineUniverse(seed uint64) (universe astro.Config, linkLen float64, minMembers int) {
+	universe = astro.DefaultConfig()
+	universe.Particles = 1200
+	universe.Halos = 8
+	universe.Snapshots = 13 // smallest count preserving the cost shape
+	universe.Seed = seed
+	return universe, 2.5, 5
 }

@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"sharedopt/internal/econ"
 )
 
 // Effort used by the shape tests: enough trials for the paper's
@@ -266,6 +268,174 @@ func TestFig4eShapeAndSavingsMemoization(t *testing.T) {
 	}
 }
 
+// The empirical value pool behind the "v" variants: every entry is a
+// positive measured saving, and the pool mean is the $0.50 mean of the
+// paper's uniform draws (up to one micro-dollar of per-entry rounding),
+// so the published cost sweeps keep their scale.
+func TestDerivedValuePool(t *testing.T) {
+	universe, linkLen, minMembers := engineUniverse(testSeed)
+	bids, err := engineBids(universe, linkLen, minMembers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bids.pool) == 0 {
+		t.Fatal("empty value pool")
+	}
+	var sum int64
+	for i, v := range bids.pool {
+		if v <= 0 {
+			t.Errorf("pool[%d] = %v, want positive", i, v)
+		}
+		sum += int64(v)
+	}
+	mean := float64(sum) / float64(len(bids.pool))
+	if want := float64(econ.Dollar) / 2; mean < want-1 || mean > want+1 {
+		t.Errorf("pool mean = %v micro-dollars, want %v ± 1", mean, want)
+	}
+	// The provider is memoized: asking again returns the same object.
+	again, err := engineBids(universe, linkLen, minMembers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != bids {
+		t.Error("engineBids re-measured an already-memoized parameter set")
+	}
+	// valuePool rejects a table with nothing to draw from.
+	if _, err := valuePool([][]int64{{0, 0}, {0}}); err == nil {
+		t.Error("all-zero savings table accepted")
+	}
+}
+
+// The engine-derived additive variants keep Figure 2's qualitative
+// shape: the truthful mechanism never yields negative utility, Regret
+// never runs a material surplus (its posted price can overshoot the
+// cost by at most one price quantum, which the discrete measured value
+// pool makes reachable), and — because trial i replays the same value
+// draws at every cost — the mechanism's mean utility is monotone
+// non-increasing in the optimization cost.
+func TestFig2DerivedShape(t *testing.T) {
+	for _, id := range []string{"2av", "2bv"} {
+		fig := run(t, id, testEffort/3)
+		if len(fig.Points) != len(SweepSmall) { // both sweeps have 17 points
+			t.Fatalf("%s: %d points, want %d", id, len(fig.Points), len(SweepSmall))
+		}
+		addOn := fig.Series(SeriesAddOnUtility)
+		bal := fig.Series(SeriesRegretBalance)
+		for i := range fig.Points {
+			if addOn[i] < 0 {
+				t.Errorf("%s cost %v: AddOn utility %v < 0", id, fig.Points[i].X, addOn[i])
+			}
+			if bal[i] > 1e-4 {
+				t.Errorf("%s cost %v: Regret balance %v is a material surplus", id, fig.Points[i].X, bal[i])
+			}
+			if i > 0 && addOn[i] > addOn[i-1]+1e-9 {
+				t.Errorf("%s: AddOn utility rose with cost at %v: %v -> %v",
+					id, fig.Points[i].X, addOn[i-1], addOn[i])
+			}
+		}
+	}
+}
+
+// The engine-derived substitutive variants (2cv/2dv/5av/5bv) keep the
+// mechanism-dominates-baseline property, and the overlap variants
+// (3av/3bv) keep the AddOn advantage positive.
+func TestDerivedSubstitutiveAndOverlapShapes(t *testing.T) {
+	for _, id := range []string{"2cv", "2dv", "5av", "5bv"} {
+		fig := run(t, id, testEffort/3)
+		sub := fig.Series(SeriesSubstOnUtility)
+		reg := fig.Series(SeriesRegretUtility)
+		for i := range fig.Points {
+			if sub[i] < 0 {
+				t.Errorf("%s cost %v: SubstOn utility %v < 0", id, fig.Points[i].X, sub[i])
+			}
+			if sub[i] < reg[i] {
+				t.Errorf("%s cost %v: SubstOn %v below Regret %v",
+					id, fig.Points[i].X, sub[i], reg[i])
+			}
+		}
+	}
+	for _, id := range []string{"3av", "3bv"} {
+		fig := run(t, id, testEffort/5)
+		adv := fig.Series(SeriesAdvantage)
+		for i, v := range adv {
+			if v <= 0 {
+				t.Errorf("%s x=%v: advantage %v should be positive", id, fig.Points[i].X, v)
+			}
+		}
+	}
+}
+
+// Figure 4v is Figure 4 with measured values: the ratio normalization
+// must hold (Early-AddOn ≡ 1 wherever nonzero), the truthful mechanism
+// never yields negative mean utility under any arrival process, and the
+// mechanism dominates the Regret baseline within each arrival process.
+// (Strict Early-AddOn dominance over Late-AddOn — asserted for the
+// uniform Figure 4 — is only statistical and can flip by a fraction of a
+// percent under the discrete measured distribution, so it is not
+// asserted here.)
+func TestFig4DerivedShape(t *testing.T) {
+	fig, raw, err := Fig4(Fig4EngineConfig(testEffort/3, testSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "4v" {
+		t.Fatalf("figure ID = %s, want 4v", fig.ID)
+	}
+	if len(fig.Points) != len(SweepSkew) {
+		t.Fatalf("%d points, want %d", len(fig.Points), len(SweepSkew))
+	}
+	for i, p := range fig.Points {
+		early := p.Y[SeriesEarlyAddOn]
+		if early != 1 && early != 0 {
+			t.Errorf("point %d: Early-AddOn ratio %v, want 1 (or 0 when degenerate)", i, early)
+		}
+	}
+	pairs := [][2]string{
+		{SeriesUniformAddOn, SeriesUniformRegret},
+		{SeriesEarlyAddOn, SeriesEarlyRegret},
+		{SeriesLateAddOn, SeriesLateRegret},
+	}
+	for ci := range raw.Costs {
+		for _, pair := range pairs {
+			mech, reg := raw.Mean[pair[0]][ci], raw.Mean[pair[1]][ci]
+			if mech < 0 {
+				t.Errorf("cost %v: %s mean utility %v < 0", raw.Costs[ci], pair[0], mech)
+			}
+			if mech < reg-1e-9 {
+				t.Errorf("cost %v: %s (%v) below %s (%v)",
+					raw.Costs[ci], pair[0], mech, pair[1], reg)
+			}
+		}
+	}
+}
+
+// A full derived sweep — every figure in DerivedFigureIDs at the same
+// seed — performs exactly one universe generation + savings measurement;
+// everything else comes out of the memo.
+func TestDerivedSweepSharesOneMeasurement(t *testing.T) {
+	universe, linkLen, minMembers := engineUniverse(testSeed)
+	if _, err := engineBids(universe, linkLen, minMembers); err != nil {
+		t.Fatal(err) // prime the memo so the count below is exact
+	}
+	before := savingsCalls
+	for _, id := range DerivedFigureIDs() {
+		fig, err := Run(id, 2, testSeed)
+		if err != nil {
+			t.Fatalf("figure %s: %v", id, err)
+		}
+		if len(fig.Points) == 0 {
+			t.Fatalf("figure %s: no points", id)
+		}
+		if fig.ID != id {
+			t.Fatalf("figure %s reports ID %s", id, fig.ID)
+		}
+	}
+	if savingsCalls != before {
+		t.Errorf("derived sweep re-measured the universe %d times, want 0 (memoized)",
+			savingsCalls-before)
+	}
+}
+
 // Figure 5 shape (Section 7.6): SubstOn dominates Regret at both
 // selectivities, and higher selectivity (3 of 12) lowers both algorithms'
 // utility relative to low selectivity (3 of 4).
@@ -378,7 +548,8 @@ func TestFig1EngineDerivedShape(t *testing.T) {
 }
 
 func TestRegistryCoversAllFigures(t *testing.T) {
-	want := []string{"1", "1e", "2a", "2b", "2c", "2d", "3a", "3b", "4", "4e", "5a", "5b",
+	want := []string{"1", "1e", "2a", "2av", "2b", "2bv", "2c", "2cv", "2d", "2dv",
+		"3a", "3av", "3b", "3bv", "4", "4e", "4v", "5a", "5av", "5b", "5bv",
 		"E1", "E2", "E3"}
 	got := FigureIDs()
 	if len(got) != len(want) {
@@ -391,6 +562,27 @@ func TestRegistryCoversAllFigures(t *testing.T) {
 	}
 	if _, err := Run("nope", 1, 1); err == nil {
 		t.Error("unknown figure should error")
+	}
+}
+
+// Every engine-derived variant must be registered, and the derived set
+// must cover every figure family of the paper's evaluation (2a–5b plus
+// the astronomy figure), so `cmd/experiments -derived` really closes the
+// measured-pricing loop everywhere.
+func TestDerivedFigureIDs(t *testing.T) {
+	want := []string{"1e", "2av", "2bv", "2cv", "2dv", "3av", "3bv", "4e", "4v",
+		"5av", "5bv"}
+	got := DerivedFigureIDs()
+	if len(got) != len(want) {
+		t.Fatalf("derived set %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("derived set %v, want %v", got, want)
+		}
+		if _, ok := Registry[got[i]]; !ok {
+			t.Fatalf("derived figure %s not in registry", got[i])
+		}
 	}
 }
 

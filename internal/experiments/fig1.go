@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"sharedopt/internal/astro"
 	"sharedopt/internal/econ"
 	"sharedopt/internal/simulate"
 	"sharedopt/internal/stats"
@@ -33,15 +32,10 @@ type Fig1Config struct {
 	Seed uint64
 	// PriceBook supplies the baseline compute rate.
 	PriceBook econ.PriceBook
-	// EngineDerived replaces the paper's published per-execution
-	// savings (18/7/3/16/9/4 cents etc.) with a table measured by
-	// running the halo-tracking workload on the built-in query engine
-	// over a synthetic universe (DESIGN.md §3.5). Universe, LinkLen and
-	// MinMembers configure that measurement.
-	EngineDerived bool
-	Universe      astro.Config
-	LinkLen       float64
-	MinMembers    int
+	// DerivedConfig optionally replaces the paper's published
+	// per-execution savings (18/7/3/16/9/4 cents etc.) with the
+	// measured table (figure "1e"; see enginesavings.go).
+	DerivedConfig
 }
 
 // Fig1DefaultConfig returns the published Figure 1 configuration with
@@ -61,15 +55,7 @@ func Fig1DefaultConfig(samples int, seed uint64) Fig1Config {
 // the paper's constants.
 func Fig1EngineConfig(samples int, seed uint64) Fig1Config {
 	cfg := Fig1DefaultConfig(samples, seed)
-	cfg.EngineDerived = true
-	universe := astro.DefaultConfig()
-	universe.Particles = 1200
-	universe.Halos = 8
-	universe.Snapshots = 13 // smallest count preserving the cost shape
-	universe.Seed = seed
-	cfg.Universe = universe
-	cfg.LinkLen = 2.5
-	cfg.MinMembers = 5
+	cfg.engine(seed)
 	return cfg
 }
 

@@ -38,6 +38,9 @@ type Fig2Config struct {
 	Trials int
 	// Seed makes the run reproducible.
 	Seed uint64
+	// DerivedConfig optionally swaps the uniform user values for the
+	// engine-measured distribution (see enginesavings.go).
+	DerivedConfig
 }
 
 // Fig2aConfig returns the published configuration of Figure 2(a):
@@ -67,6 +70,35 @@ func Fig2dConfig(trials int, seed uint64) Fig2Config {
 		Costs: SweepLarge, Trials: trials, Seed: seed}
 }
 
+// fig2Engine turns a published Figure 2 configuration into its
+// engine-derived twin: ID suffix "v" (derived values), user values drawn
+// from the shared measured universe.
+func fig2Engine(cfg Fig2Config) Fig2Config {
+	cfg.ID += "v"
+	cfg.engine(cfg.Seed)
+	return cfg
+}
+
+// Fig2aEngineConfig returns Figure 2(a)'s engine-derived variant ("2av").
+func Fig2aEngineConfig(trials int, seed uint64) Fig2Config {
+	return fig2Engine(Fig2aConfig(trials, seed))
+}
+
+// Fig2bEngineConfig returns Figure 2(b)'s engine-derived variant ("2bv").
+func Fig2bEngineConfig(trials int, seed uint64) Fig2Config {
+	return fig2Engine(Fig2bConfig(trials, seed))
+}
+
+// Fig2cEngineConfig returns Figure 2(c)'s engine-derived variant ("2cv").
+func Fig2cEngineConfig(trials int, seed uint64) Fig2Config {
+	return fig2Engine(Fig2cConfig(trials, seed))
+}
+
+// Fig2dEngineConfig returns Figure 2(d)'s engine-derived variant ("2dv").
+func Fig2dEngineConfig(trials int, seed uint64) Fig2Config {
+	return fig2Engine(Fig2dConfig(trials, seed))
+}
+
 // Fig2 runs the collaboration-size experiment: total utility of the online
 // mechanism and of the Regret baseline (plus Regret's cloud balance) as a
 // function of optimization cost. Common random numbers are used across the
@@ -86,6 +118,13 @@ func Fig2(cfg Fig2Config) (*Figure, error) {
 	if cfg.Substitutive {
 		kind = "substitutive"
 	}
+	value, derived, err := cfg.valueDist()
+	if err != nil {
+		return nil, err
+	}
+	if derived {
+		kind += ", engine-derived values"
+	}
 	fig := &Figure{
 		ID: cfg.ID,
 		Title: fmt.Sprintf("Total utility vs optimization cost (%s, %d users, %d slots)",
@@ -99,7 +138,7 @@ func Fig2(cfg Fig2Config) (*Figure, error) {
 		results, err := forEachIndex(len(seeds), func(i int) (trial, error) {
 			r := stats.NewRNG(seeds[i])
 			if cfg.Substitutive {
-				sc := workload.Substitutes(r, cfg.Users, cfg.NOpts, cfg.SubsPerUser, cfg.Slots, cost)
+				sc := workload.SubstitutesDist(r, cfg.Users, cfg.NOpts, cfg.SubsPerUser, cfg.Slots, cost, value)
 				m, err := simulate.RunSubstOn(sc)
 				if err != nil {
 					return trial{}, err
@@ -110,7 +149,7 @@ func Fig2(cfg Fig2Config) (*Figure, error) {
 				}
 				return trial{m.Utility().Dollars(), g.Utility().Dollars(), g.Balance().Dollars()}, nil
 			}
-			sc := workload.Collaboration(r, cfg.Users, cfg.Slots, cost)
+			sc := workload.CollaborationDist(r, cfg.Users, cfg.Slots, cost, value)
 			m, err := simulate.RunAddOn(sc)
 			if err != nil {
 				return trial{}, err

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"sharedopt/internal/econ"
 	"sharedopt/internal/simulate"
@@ -30,6 +31,10 @@ type Fig3Config struct {
 	Trials int
 	// Seed makes the run reproducible.
 	Seed uint64
+	// DerivedConfig optionally swaps the uniform user values for the
+	// engine-measured distribution (IDs "3av"/"3bv"; see
+	// enginesavings.go).
+	DerivedConfig
 }
 
 // Fig3aConfig returns the published Figure 3(a) configuration.
@@ -44,6 +49,24 @@ func Fig3bConfig(trials int, seed uint64) Fig3Config {
 		Costs: SweepSmall, Trials: trials, Seed: seed}
 }
 
+// fig3Engine turns a published Figure 3 configuration into its
+// engine-derived twin (ID suffix "v").
+func fig3Engine(cfg Fig3Config) Fig3Config {
+	cfg.ID += "v"
+	cfg.engine(cfg.Seed)
+	return cfg
+}
+
+// Fig3aEngineConfig returns Figure 3(a)'s engine-derived variant ("3av").
+func Fig3aEngineConfig(trials int, seed uint64) Fig3Config {
+	return fig3Engine(Fig3aConfig(trials, seed))
+}
+
+// Fig3bEngineConfig returns Figure 3(b)'s engine-derived variant ("3bv").
+func Fig3bEngineConfig(trials int, seed uint64) Fig3Config {
+	return fig3Engine(Fig3bConfig(trials, seed))
+}
+
 // Fig3 runs the usage-overlap experiment. For 3(a) it shrinks the number
 // of available slots from MaxX down to 1 with single-slot bids — more
 // overlap on the left of the paper's figure means a larger AddOn
@@ -54,14 +77,24 @@ func Fig3(cfg Fig3Config) (*Figure, error) {
 	if cfg.Users < 1 || cfg.MaxX < 1 || cfg.Trials < 1 || len(cfg.Costs) == 0 {
 		return nil, fmt.Errorf("experiments: fig3: bad config %+v", cfg)
 	}
-	if cfg.ID != "3a" && cfg.ID != "3b" {
+	// The engine-derived twins keep the base variant's mechanics; only
+	// the value distribution changes.
+	variant := strings.TrimSuffix(cfg.ID, "v")
+	if variant != "3a" && variant != "3b" {
 		return nil, fmt.Errorf("experiments: fig3: unknown variant %q", cfg.ID)
 	}
 	xLabel := "Number of time slots available"
 	title := "AddOn advantage vs available slots (single-slot bids)"
-	if cfg.ID == "3b" {
+	if variant == "3b" {
 		xLabel = "Duration of slots serviced"
 		title = "AddOn advantage vs bid duration (value spread evenly)"
+	}
+	value, derived, err := cfg.valueDist()
+	if err != nil {
+		return nil, err
+	}
+	if derived {
+		title += " (engine-derived values)"
 	}
 	fig := &Figure{ID: cfg.ID, Title: title, XLabel: xLabel,
 		SeriesNames: []string{SeriesAdvantage}}
@@ -75,10 +108,10 @@ func Fig3(cfg Fig3Config) (*Figure, error) {
 			cost := cfg.Costs[i/len(seeds)]
 			r := stats.NewRNG(seeds[i%len(seeds)])
 			var sc simulate.AdditiveScenario
-			if cfg.ID == "3a" {
-				sc = workload.Collaboration(r, cfg.Users, x, cost)
+			if variant == "3a" {
+				sc = workload.CollaborationDist(r, cfg.Users, x, cost, value)
 			} else {
-				sc = workload.MultiSlot(r, cfg.Users, workload.DefaultSlots, x, cost)
+				sc = workload.MultiSlotDist(r, cfg.Users, workload.DefaultSlots, x, cost, value)
 			}
 			m, err := simulate.RunAddOn(sc)
 			if err != nil {

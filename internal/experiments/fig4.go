@@ -32,12 +32,26 @@ type Fig4Config struct {
 	Trials int
 	// Seed makes the run reproducible.
 	Seed uint64
+	// DerivedConfig optionally swaps the uniform user values for the
+	// engine-measured distribution (ID "4v"). This is a different
+	// derivation than Figure 4e, which replaces the whole synthetic
+	// game with the measured astronomy scenario; "4v" keeps Figure 4's
+	// game and swaps only the value distribution.
+	DerivedConfig
 }
 
 // Fig4DefaultConfig returns the published Figure 4 configuration.
 func Fig4DefaultConfig(trials int, seed uint64) Fig4Config {
 	return Fig4Config{Users: 6, Slots: workload.DefaultSlots,
 		Costs: SweepSkew, Trials: trials, Seed: seed}
+}
+
+// Fig4EngineConfig returns Figure 4's engine-derived-values variant
+// ("4v").
+func Fig4EngineConfig(trials int, seed uint64) Fig4Config {
+	cfg := Fig4DefaultConfig(trials, seed)
+	cfg.engine(seed)
+	return cfg
 }
 
 // Fig4Raw holds the mean utilities (in dollars) for every arrival process
@@ -55,6 +69,14 @@ type Fig4Raw struct {
 func Fig4(cfg Fig4Config) (*Figure, *Fig4Raw, error) {
 	if cfg.Users < 1 || cfg.Slots < 1 || cfg.Trials < 1 || len(cfg.Costs) == 0 {
 		return nil, nil, fmt.Errorf("experiments: fig4: bad config %+v", cfg)
+	}
+	id, title := "4", "Effect of arrival skew on utility (ratio to Early-AddOn)"
+	value, derived, err := cfg.valueDist()
+	if err != nil {
+		return nil, nil, err
+	}
+	if derived {
+		id, title = "4v", title+" (engine-derived values)"
 	}
 	arrivals := []struct {
 		proc   stats.ArrivalProcess
@@ -80,7 +102,7 @@ func Fig4(cfg Fig4Config) (*Figure, *Fig4Raw, error) {
 		for _, a := range arrivals {
 			results, err := forEachIndex(len(seeds), func(i int) (trial, error) {
 				r := stats.NewRNG(seeds[i])
-				sc := workload.Skewed(r, cfg.Users, cfg.Slots, cost, a.proc)
+				sc := workload.SkewedDist(r, cfg.Users, cfg.Slots, cost, a.proc, value)
 				m, err := simulate.RunAddOn(sc)
 				if err != nil {
 					return trial{}, err
@@ -104,8 +126,8 @@ func Fig4(cfg Fig4Config) (*Figure, *Fig4Raw, error) {
 		}
 	}
 	fig := &Figure{
-		ID:          "4",
-		Title:       "Effect of arrival skew on utility (ratio to Early-AddOn)",
+		ID:          id,
+		Title:       title,
 		XLabel:      "Cost of optimization ($)",
 		SeriesNames: order,
 	}

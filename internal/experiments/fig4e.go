@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"sharedopt/internal/astro"
 	"sharedopt/internal/econ"
 	"sharedopt/internal/simulate"
 	"sharedopt/internal/stats"
@@ -38,11 +37,10 @@ type Fig4eConfig struct {
 	Trials int
 	// Seed makes the run reproducible.
 	Seed uint64
-	// Universe, LinkLen and MinMembers configure the savings measurement
-	// (shared with Figure 1e so the memoized measurement is reused).
-	Universe   astro.Config
-	LinkLen    float64
-	MinMembers int
+	// DerivedConfig configures the savings measurement (shared with
+	// Figure 1e so the memoized measurement is reused). Figure 4e is
+	// always engine-derived; the flag is implied.
+	DerivedConfig
 }
 
 // Fig4eDefaultConfig returns the default engine-derived arrival-skew
@@ -52,13 +50,11 @@ type Fig4eConfig struct {
 func Fig4eDefaultConfig(trials int, seed uint64) Fig4eConfig {
 	base := Fig1EngineConfig(1, seed)
 	return Fig4eConfig{
-		Executions: 50,
-		Costs:      SweepSkew,
-		Trials:     trials,
-		Seed:       seed,
-		Universe:   base.Universe,
-		LinkLen:    base.LinkLen,
-		MinMembers: base.MinMembers,
+		Executions:    50,
+		Costs:         SweepSkew,
+		Trials:        trials,
+		Seed:          seed,
+		DerivedConfig: base.DerivedConfig,
 	}
 }
 

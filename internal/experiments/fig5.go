@@ -27,6 +27,10 @@ type Fig5Config struct {
 	Trials int
 	// Seed makes the run reproducible.
 	Seed uint64
+	// DerivedConfig optionally swaps the uniform user values for the
+	// engine-measured distribution (IDs "5av"/"5bv"; see
+	// enginesavings.go).
+	DerivedConfig
 }
 
 // Fig5aConfig returns the published Figure 5(a): selectivity 0.75.
@@ -41,6 +45,24 @@ func Fig5bConfig(trials int, seed uint64) Fig5Config {
 		NOpts: 12, SubsPerUser: 3, Costs: SweepSelectivity, Trials: trials, Seed: seed}
 }
 
+// fig5Engine turns a published Figure 5 configuration into its
+// engine-derived twin (ID suffix "v").
+func fig5Engine(cfg Fig5Config) Fig5Config {
+	cfg.ID += "v"
+	cfg.engine(cfg.Seed)
+	return cfg
+}
+
+// Fig5aEngineConfig returns Figure 5(a)'s engine-derived variant ("5av").
+func Fig5aEngineConfig(trials int, seed uint64) Fig5Config {
+	return fig5Engine(Fig5aConfig(trials, seed))
+}
+
+// Fig5bEngineConfig returns Figure 5(b)'s engine-derived variant ("5bv").
+func Fig5bEngineConfig(trials int, seed uint64) Fig5Config {
+	return fig5Engine(Fig5bConfig(trials, seed))
+}
+
 // Fig5 runs the substitute-selectivity experiment: SubstOn's and Regret's
 // mean total utility as the mean optimization cost grows, for a fixed
 // selectivity of substitutes.
@@ -49,10 +71,18 @@ func Fig5(cfg Fig5Config) (*Figure, error) {
 		cfg.NOpts < 1 || cfg.SubsPerUser < 1 || cfg.SubsPerUser > cfg.NOpts {
 		return nil, fmt.Errorf("experiments: fig5: bad config %+v", cfg)
 	}
+	title := fmt.Sprintf("Total utility vs mean cost (selectivity %d/%d, %d users)",
+		cfg.SubsPerUser, cfg.NOpts, cfg.Users)
+	value, derived, err := cfg.valueDist()
+	if err != nil {
+		return nil, err
+	}
+	if derived {
+		title += " (engine-derived values)"
+	}
 	fig := &Figure{
-		ID: cfg.ID,
-		Title: fmt.Sprintf("Total utility vs mean cost (selectivity %d/%d, %d users)",
-			cfg.SubsPerUser, cfg.NOpts, cfg.Users),
+		ID:          cfg.ID,
+		Title:       title,
 		XLabel:      "Optimization cost ($)",
 		SeriesNames: []string{SeriesSubstOnUtility, SeriesRegretUtility},
 	}
@@ -61,7 +91,7 @@ func Fig5(cfg Fig5Config) (*Figure, error) {
 	for _, cost := range cfg.Costs {
 		results, err := forEachIndex(len(seeds), func(i int) (trial, error) {
 			r := stats.NewRNG(seeds[i])
-			sc := workload.Substitutes(r, cfg.Users, cfg.NOpts, cfg.SubsPerUser, cfg.Slots, cost)
+			sc := workload.SubstitutesDist(r, cfg.Users, cfg.NOpts, cfg.SubsPerUser, cfg.Slots, cost, value)
 			m, err := simulate.RunSubstOn(sc)
 			if err != nil {
 				return trial{}, err

@@ -1,8 +1,3 @@
-// Package experiments regenerates every figure in the paper's evaluation
-// section (Section 7). Each FigNN function runs the corresponding
-// simulation sweep and returns a Figure holding the same series the paper
-// plots; the cmd/experiments binary renders them as text tables or CSV,
-// and bench_test.go at the module root wraps each one in a benchmark.
 package experiments
 
 import (

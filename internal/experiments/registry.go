@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // Runner regenerates one figure with the given effort (trials for the
@@ -10,6 +11,13 @@ import (
 type Runner func(effort int, seed uint64) (*Figure, error)
 
 // Registry maps figure IDs to their runners.
+//
+// ID conventions: bare IDs ("1", "2a", ... "5b") are the paper's
+// published figures; the "e" suffix ("1e", "4e") marks variants whose
+// whole game is the astronomy workload measured on the query engine;
+// the "v" suffix ("2av" ... "5bv") marks variants that keep the paper's
+// synthetic game but draw user values from the engine-measured savings
+// distribution; "E1"–"E3" are this repo's ablation figures.
 var Registry = map[string]Runner{
 	"1": func(effort int, seed uint64) (*Figure, error) {
 		return Fig1(Fig1DefaultConfig(effort, seed))
@@ -20,20 +28,38 @@ var Registry = map[string]Runner{
 	"2a": func(effort int, seed uint64) (*Figure, error) {
 		return Fig2(Fig2aConfig(effort, seed))
 	},
+	"2av": func(effort int, seed uint64) (*Figure, error) {
+		return Fig2(Fig2aEngineConfig(effort, seed))
+	},
 	"2b": func(effort int, seed uint64) (*Figure, error) {
 		return Fig2(Fig2bConfig(effort, seed))
+	},
+	"2bv": func(effort int, seed uint64) (*Figure, error) {
+		return Fig2(Fig2bEngineConfig(effort, seed))
 	},
 	"2c": func(effort int, seed uint64) (*Figure, error) {
 		return Fig2(Fig2cConfig(effort, seed))
 	},
+	"2cv": func(effort int, seed uint64) (*Figure, error) {
+		return Fig2(Fig2cEngineConfig(effort, seed))
+	},
 	"2d": func(effort int, seed uint64) (*Figure, error) {
 		return Fig2(Fig2dConfig(effort, seed))
+	},
+	"2dv": func(effort int, seed uint64) (*Figure, error) {
+		return Fig2(Fig2dEngineConfig(effort, seed))
 	},
 	"3a": func(effort int, seed uint64) (*Figure, error) {
 		return Fig3(Fig3aConfig(effort, seed))
 	},
+	"3av": func(effort int, seed uint64) (*Figure, error) {
+		return Fig3(Fig3aEngineConfig(effort, seed))
+	},
 	"3b": func(effort int, seed uint64) (*Figure, error) {
 		return Fig3(Fig3bConfig(effort, seed))
+	},
+	"3bv": func(effort int, seed uint64) (*Figure, error) {
+		return Fig3(Fig3bEngineConfig(effort, seed))
 	},
 	"4": func(effort int, seed uint64) (*Figure, error) {
 		fig, _, err := Fig4(Fig4DefaultConfig(effort, seed))
@@ -42,11 +68,21 @@ var Registry = map[string]Runner{
 	"4e": func(effort int, seed uint64) (*Figure, error) {
 		return Fig4e(Fig4eDefaultConfig(effort, seed))
 	},
+	"4v": func(effort int, seed uint64) (*Figure, error) {
+		fig, _, err := Fig4(Fig4EngineConfig(effort, seed))
+		return fig, err
+	},
 	"5a": func(effort int, seed uint64) (*Figure, error) {
 		return Fig5(Fig5aConfig(effort, seed))
 	},
+	"5av": func(effort int, seed uint64) (*Figure, error) {
+		return Fig5(Fig5aEngineConfig(effort, seed))
+	},
 	"5b": func(effort int, seed uint64) (*Figure, error) {
 		return Fig5(Fig5bConfig(effort, seed))
+	},
+	"5bv": func(effort int, seed uint64) (*Figure, error) {
+		return Fig5(Fig5bEngineConfig(effort, seed))
 	},
 	"E1": func(effort int, seed uint64) (*Figure, error) {
 		return AblationEfficiencyAdditive(AblationDefaults(effort, seed))
@@ -64,6 +100,23 @@ func FigureIDs() []string {
 	ids := make([]string, 0, len(Registry))
 	for id := range Registry {
 		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// DerivedFigureIDs returns, in display order, every figure whose bids
+// come out of the engine-measured savings rather than the paper's
+// published constants or uniform draws — the set `cmd/experiments
+// -derived` sweeps. All of them share one memoized universe measurement
+// per (universe, FoF parameters) set, so the sweep generates and
+// measures the synthetic universe once.
+func DerivedFigureIDs() []string {
+	ids := make([]string, 0, len(Registry))
+	for id := range Registry {
+		if strings.HasSuffix(id, "e") || strings.HasSuffix(id, "v") {
+			ids = append(ids, id)
+		}
 	}
 	sort.Strings(ids)
 	return ids

@@ -1,0 +1,39 @@
+// Package workload generates the scenarios of the paper's evaluation
+// section: the astronomy use-case with its measured value table, and the
+// randomized synthetic games of Sections 7.3–7.6. Each generator
+// consumes an explicit RNG so that experiments are reproducible, and
+// returns simulate scenarios that both the mechanisms and the Regret
+// baseline can play.
+//
+// # Map from paper sections to generators
+//
+//   - Section 7.2, Figure 1 — Astronomy builds the six-astronomer,
+//     27-view game from the constants the paper measured on real data
+//     (astronomy.go); AstronomyDerived builds the same game from an
+//     explicit savings table, which internal/experiments fills with
+//     values measured by running the halo-tracking workload on
+//     internal/engine (figures 1e and 4e).
+//   - Section 7.3.1, Figures 2(a)/2(b) — Collaboration: one additive
+//     optimization, each user bids one uniformly chosen slot.
+//   - Section 7.3.2, Figures 2(c)/2(d) — Substitutes: nOpts
+//     optimizations with uniformly drawn costs, each user picking a
+//     random substitute set.
+//   - Section 7.4, Figure 3 — Collaboration over a shrinking slot count
+//     (3(a)) and MultiSlot, which stretches each bid across d slots and
+//     splits its value evenly (3(b)).
+//   - Section 7.5, Figure 4 — Skewed: like Collaboration, but the
+//     service slot comes from an arrival process (uniform, early, late;
+//     see internal/stats).
+//   - Section 7.6, Figure 5 — Substitutes at fixed selectivity.
+//
+// # Value distributions
+//
+// The paper draws every user value uniformly from [0, $1). Each
+// generator has a *Dist twin (CollaborationDist, MultiSlotDist,
+// SkewedDist, SubstitutesDist) taking an explicit ValueDist so the
+// engine-derived figure variants ("2av" ... "5bv") can substitute the
+// empirical distribution of savings measured on the query engine. The
+// default generators delegate to their twins with UniformValue and
+// consume the RNG identically, so the committed figure hashes are
+// unaffected by the plumbing.
+package workload

@@ -1,9 +1,3 @@
-// Package workload generates the randomized scenarios of the paper's
-// evaluation section (Sections 7.3–7.6): collaboration-size games,
-// usage-overlap games, arrival-skew games, and substitute-selectivity
-// games. Each generator consumes an explicit RNG so that experiments are
-// reproducible, and returns simulate scenarios that both the mechanisms
-// and the Regret baseline can play.
 package workload
 
 import (
@@ -22,9 +16,17 @@ const DefaultSlots = 12
 // theOpt is the single additive optimization's ID in generated scenarios.
 const theOpt core.OptID = 1
 
-// uniformValue draws a user value uniformly from [0, $1), the paper's
+// ValueDist draws one user's private value for an optimization. The
+// paper's simulations draw UniformValue; the engine-derived experiment
+// variants substitute the empirical distribution of savings measured on
+// the query engine (see internal/experiments). Every generator consumes
+// exactly one draw per user, in the same RNG position as the uniform
+// default, so swapping distributions never perturbs the other draws.
+type ValueDist func(r *stats.RNG) econ.Money
+
+// UniformValue draws a user value uniformly from [0, $1), the paper's
 // per-user value distribution (average user value 0.5).
-func uniformValue(r *stats.RNG) econ.Money {
+func UniformValue(r *stats.RNG) econ.Money {
 	return econ.Money(r.Int63n(int64(econ.Dollar)))
 }
 
@@ -34,6 +36,11 @@ func uniformValue(r *stats.RNG) econ.Money {
 // given cost, each user picking a single service slot uniformly at random
 // from [1, slots] with a value drawn uniformly from [0, $1).
 func Collaboration(r *stats.RNG, nUsers, slots int, cost econ.Money) simulate.AdditiveScenario {
+	return CollaborationDist(r, nUsers, slots, cost, UniformValue)
+}
+
+// CollaborationDist is Collaboration with an explicit value distribution.
+func CollaborationDist(r *stats.RNG, nUsers, slots int, cost econ.Money, value ValueDist) simulate.AdditiveScenario {
 	sc := simulate.AdditiveScenario{
 		Opts:    []core.Optimization{{ID: theOpt, Cost: cost}},
 		Horizon: core.Slot(slots),
@@ -43,7 +50,7 @@ func Collaboration(r *stats.RNG, nUsers, slots int, cost econ.Money) simulate.Ad
 		sc.Bids = append(sc.Bids, simulate.AdditiveBid{
 			User: core.UserID(u), Opt: theOpt,
 			Start: slot, End: slot,
-			Values: []econ.Money{uniformValue(r)},
+			Values: []econ.Money{value(r)},
 		})
 	}
 	return sc
@@ -55,6 +62,11 @@ func Collaboration(r *stats.RNG, nUsers, slots int, cost econ.Money) simulate.Ad
 // uniformly from [0, $1) equally across the interval's slots. The horizon
 // extends to slots+duration-1 so late starters fit their full interval.
 func MultiSlot(r *stats.RNG, nUsers, slots, duration int, cost econ.Money) simulate.AdditiveScenario {
+	return MultiSlotDist(r, nUsers, slots, duration, cost, UniformValue)
+}
+
+// MultiSlotDist is MultiSlot with an explicit value distribution.
+func MultiSlotDist(r *stats.RNG, nUsers, slots, duration int, cost econ.Money, value ValueDist) simulate.AdditiveScenario {
 	if duration < 1 {
 		panic(fmt.Sprintf("workload: duration %d < 1", duration))
 	}
@@ -67,7 +79,7 @@ func MultiSlot(r *stats.RNG, nUsers, slots, duration int, cost econ.Money) simul
 		sc.Bids = append(sc.Bids, simulate.AdditiveBid{
 			User: core.UserID(u), Opt: theOpt,
 			Start: start, End: start + core.Slot(duration-1),
-			Values: SplitEvenly(uniformValue(r), duration),
+			Values: SplitEvenly(value(r), duration),
 		})
 	}
 	return sc
@@ -77,6 +89,11 @@ func MultiSlot(r *stats.RNG, nUsers, slots, duration int, cost econ.Money) simul
 // like Collaboration, but the single service slot is drawn from the given
 // arrival process (uniform, early-exponential, or late).
 func Skewed(r *stats.RNG, nUsers, slots int, cost econ.Money, arrival stats.ArrivalProcess) simulate.AdditiveScenario {
+	return SkewedDist(r, nUsers, slots, cost, arrival, UniformValue)
+}
+
+// SkewedDist is Skewed with an explicit value distribution.
+func SkewedDist(r *stats.RNG, nUsers, slots int, cost econ.Money, arrival stats.ArrivalProcess, value ValueDist) simulate.AdditiveScenario {
 	sc := simulate.AdditiveScenario{
 		Opts:    []core.Optimization{{ID: theOpt, Cost: cost}},
 		Horizon: core.Slot(slots),
@@ -86,7 +103,7 @@ func Skewed(r *stats.RNG, nUsers, slots int, cost econ.Money, arrival stats.Arri
 		sc.Bids = append(sc.Bids, simulate.AdditiveBid{
 			User: core.UserID(u), Opt: theOpt,
 			Start: slot, End: slot,
-			Values: []econ.Money{uniformValue(r)},
+			Values: []econ.Money{value(r)},
 		})
 	}
 	return sc
@@ -98,6 +115,11 @@ func Skewed(r *stats.RNG, nUsers, slots int, cost econ.Money, arrival stats.Arri
 // and nUsers users who each pick subsPerUser substitutes uniformly at
 // random, bid a value uniform in [0, $1), and occupy one uniform slot.
 func Substitutes(r *stats.RNG, nUsers, nOpts, subsPerUser, slots int, meanCost econ.Money) simulate.SubstScenario {
+	return SubstitutesDist(r, nUsers, nOpts, subsPerUser, slots, meanCost, UniformValue)
+}
+
+// SubstitutesDist is Substitutes with an explicit value distribution.
+func SubstitutesDist(r *stats.RNG, nUsers, nOpts, subsPerUser, slots int, meanCost econ.Money, value ValueDist) simulate.SubstScenario {
 	if subsPerUser > nOpts {
 		panic(fmt.Sprintf("workload: %d substitutes from %d optimizations", subsPerUser, nOpts))
 	}
@@ -120,7 +142,7 @@ func Substitutes(r *stats.RNG, nUsers, nOpts, subsPerUser, slots int, meanCost e
 		sc.Bids = append(sc.Bids, core.OnlineSubstBid{
 			User: core.UserID(u), Opts: subs,
 			Start: slot, End: slot,
-			Values: []econ.Money{uniformValue(r)},
+			Values: []econ.Money{value(r)},
 		})
 	}
 	return sc

@@ -210,3 +210,72 @@ func TestGeneratedScenariosArePlayable(t *testing.T) {
 		}
 	}
 }
+
+// The Dist generators with UniformValue must be byte-identical to the
+// published generators at the same seed: the plumbing that lets the
+// engine-derived figure variants swap distributions may not perturb a
+// single draw of the default path (the committed figure hashes depend
+// on it).
+func TestDistGeneratorsMatchDefaults(t *testing.T) {
+	cost := econ.FromDollars(0.75)
+	sameAdditive := func(name string, a, b simulate.AdditiveScenario) {
+		t.Helper()
+		if len(a.Bids) != len(b.Bids) {
+			t.Fatalf("%s: %d bids vs %d", name, len(a.Bids), len(b.Bids))
+		}
+		for i := range a.Bids {
+			x, y := a.Bids[i], b.Bids[i]
+			if x.User != y.User || x.Start != y.Start || x.End != y.End ||
+				len(x.Values) != len(y.Values) {
+				t.Fatalf("%s bid %d: %+v vs %+v", name, i, x, y)
+			}
+			for k := range x.Values {
+				if x.Values[k] != y.Values[k] {
+					t.Fatalf("%s bid %d value %d: %v vs %v", name, i, k, x.Values[k], y.Values[k])
+				}
+			}
+		}
+	}
+	sameAdditive("collaboration",
+		Collaboration(stats.NewRNG(11), 6, 12, cost),
+		CollaborationDist(stats.NewRNG(11), 6, 12, cost, UniformValue))
+	sameAdditive("multislot",
+		MultiSlot(stats.NewRNG(12), 6, 12, 4, cost),
+		MultiSlotDist(stats.NewRNG(12), 6, 12, 4, cost, UniformValue))
+	sameAdditive("skewed",
+		Skewed(stats.NewRNG(13), 6, 12, cost, stats.ArrivalEarly),
+		SkewedDist(stats.NewRNG(13), 6, 12, cost, stats.ArrivalEarly, UniformValue))
+
+	subA := Substitutes(stats.NewRNG(14), 6, 12, 3, 12, cost)
+	subB := SubstitutesDist(stats.NewRNG(14), 6, 12, 3, 12, cost, UniformValue)
+	if len(subA.Bids) != len(subB.Bids) || len(subA.Opts) != len(subB.Opts) {
+		t.Fatalf("substitutes shape: %d/%d bids, %d/%d opts",
+			len(subA.Bids), len(subB.Bids), len(subA.Opts), len(subB.Opts))
+	}
+	for j := range subA.Opts {
+		if subA.Opts[j] != subB.Opts[j] {
+			t.Fatalf("substitutes opt %d: %+v vs %+v", j, subA.Opts[j], subB.Opts[j])
+		}
+	}
+	for i := range subA.Bids {
+		x, y := subA.Bids[i], subB.Bids[i]
+		if x.User != y.User || x.Start != y.Start || x.End != y.End ||
+			x.Values[0] != y.Values[0] || len(x.Opts) != len(y.Opts) {
+			t.Fatalf("substitutes bid %d: %+v vs %+v", i, x, y)
+		}
+		for k := range x.Opts {
+			if x.Opts[k] != y.Opts[k] {
+				t.Fatalf("substitutes bid %d opt %d: %v vs %v", i, k, x.Opts[k], y.Opts[k])
+			}
+		}
+	}
+
+	// A custom distribution actually lands in the generated values.
+	fixed := func(*stats.RNG) econ.Money { return econ.FromCents(42) }
+	sc := CollaborationDist(stats.NewRNG(15), 4, 12, cost, fixed)
+	for i, b := range sc.Bids {
+		if b.Values[0] != econ.FromCents(42) {
+			t.Fatalf("bid %d value %v, want 42 cents", i, b.Values[0])
+		}
+	}
+}

@@ -283,7 +283,7 @@ func TestAstronomyScenarioFacade(t *testing.T) {
 
 func TestRunFigureFacade(t *testing.T) {
 	ids := FigureIDs()
-	if len(ids) != 15 {
+	if len(ids) != 24 {
 		t.Fatalf("FigureIDs = %v", ids)
 	}
 	fig, err := RunFigure("2a", 5, 1)
