@@ -1,4 +1,4 @@
-package sharedopt
+package sharedopt_test
 
 // One benchmark per figure of the paper's evaluation section (Section 7),
 // each regenerating the figure's full series at a reduced trial count,
@@ -98,6 +98,19 @@ func BenchmarkAddOnGame(b *testing.B) { benchkit.AddOnGame()(b) }
 // users over 12 optimizations — one Figure 2(d) trial.
 func BenchmarkSubstOnGame(b *testing.B) { benchkit.SubstOnGame()(b) }
 
+// BenchmarkServiceGame measures one complete 12-slot, 48-user additive
+// pricing period through the plain in-memory service layer.
+func BenchmarkServiceGame(b *testing.B) { benchkit.ServiceGame(false)(b) }
+
+// BenchmarkServiceGameJournaled measures the same period through the
+// durable tier: every accepted mutation checksummed and framed into the
+// bid journal. The pair gate bounds this tax at 4x the plain service.
+func BenchmarkServiceGameJournaled(b *testing.B) { benchkit.ServiceGame(true)(b) }
+
+// BenchmarkIngestThroughput measures concurrent bid intake through the
+// bounded admission queue into a journaled service, retries included.
+func BenchmarkIngestThroughput(b *testing.B) { benchkit.IngestThroughput()(b) }
+
 // BenchmarkEngineHashJoin measures a 10k × 10k hash join plus grouped
 // count through the columnar query engine.
 func BenchmarkEngineHashJoin(b *testing.B) { benchkit.EngineHashJoin()(b) }
@@ -171,7 +184,7 @@ func BenchmarkAstronomyScenario(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
-		for t := Slot(1); t <= sc.Horizon; t++ {
+		for t := core.Slot(1); t <= sc.Horizon; t++ {
 			game.AdvanceSlot()
 		}
 		game.Close()

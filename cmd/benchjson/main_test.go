@@ -80,6 +80,7 @@ func TestKeyBenchmarksRegistered(t *testing.T) {
 	want := map[string]bool{
 		"Shapley1k": true, "Shapley10k": true, "Shapley100k": true,
 		"AddOnGame": true, "SubstOnGame": true,
+		"ServiceGame": true, "ServiceGameJournaled": true, "IngestThroughput": true,
 		"EngineHashJoin": true, "EngineHashJoinParallel4": true,
 		"EngineBuildJoin": true, "EngineBuildJoinParallel4": true,
 		"EngineOrderBy": true, "EngineOrderByParallel4": true,

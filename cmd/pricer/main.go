@@ -1,11 +1,15 @@
 // Command pricer prices a JSON-described game with the paper's
-// mechanisms and, optionally, compares against the regret baseline.
+// mechanisms and, optionally, compares against the regret baseline. With
+// -chaos it instead runs seeded fault-injection sweeps over the durable
+// pricing tier (see chaos.go) and exits non-zero on any invariant
+// violation.
 //
 // Usage:
 //
 //	pricer -f scenario.json
 //	pricer -f scenario.json -compare-regret
 //	cat scenario.json | pricer
+//	pricer -chaos -seed 7 -rounds 32
 //
 // Scenario format (amounts are dollar strings like "2.31"):
 //
@@ -56,8 +60,18 @@ func main() {
 	var (
 		file    = flag.String("f", "-", "scenario file (- for stdin)")
 		compare = flag.Bool("compare-regret", false, "also run the regret baseline")
+		chaos   = flag.Bool("chaos", false, "run seeded fault-injection sweeps instead of pricing a scenario")
+		seed    = flag.Uint64("seed", 1, "base seed for -chaos rounds")
+		rounds  = flag.Int("rounds", 16, "number of -chaos rounds")
 	)
 	flag.Parse()
+	if *chaos {
+		if err := runChaos(*seed, *rounds, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "pricer: chaos:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*file, *compare, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "pricer:", err)
 		os.Exit(1)
@@ -113,9 +127,15 @@ func parseValues(raw []string) ([]econ.Money, error) {
 func runAdditive(sc scenarioJSON, opts []core.Optimization, compare bool, w io.Writer) error {
 	scenario := simulate.AdditiveScenario{Opts: opts, Horizon: sc.Horizon}
 	for _, b := range sc.Bids {
+		if len(b.Opts) > 0 {
+			return fmt.Errorf("additive bid for user %d carries %q: additive bids name a single optimization with %q", b.User, "opts", "opt")
+		}
+		if b.Opt == 0 {
+			return fmt.Errorf("additive bid for user %d names no optimization (missing %q)", b.User, "opt")
+		}
 		values, err := parseValues(b.Values)
 		if err != nil {
-			return err
+			return fmt.Errorf("bid for user %d: %w", b.User, err)
 		}
 		scenario.Bids = append(scenario.Bids, simulate.AdditiveBid{
 			User: b.User, Opt: b.Opt, Start: b.Start, End: b.End, Values: values,
@@ -139,9 +159,15 @@ func runAdditive(sc scenarioJSON, opts []core.Optimization, compare bool, w io.W
 func runSubstitutive(sc scenarioJSON, opts []core.Optimization, compare bool, w io.Writer) error {
 	scenario := simulate.SubstScenario{Opts: opts, Horizon: sc.Horizon}
 	for _, b := range sc.Bids {
+		if b.Opt != 0 {
+			return fmt.Errorf("substitutive bid for user %d carries %q: substitutive bids name an acceptable set with %q", b.User, "opt", "opts")
+		}
+		if len(b.Opts) == 0 {
+			return fmt.Errorf("substitutive bid for user %d names no optimizations (missing %q)", b.User, "opts")
+		}
 		values, err := parseValues(b.Values)
 		if err != nil {
-			return err
+			return fmt.Errorf("bid for user %d: %w", b.User, err)
 		}
 		scenario.Bids = append(scenario.Bids, core.OnlineSubstBid{
 			User: b.User, Opts: b.Opts, Start: b.Start, End: b.End, Values: values,

@@ -342,6 +342,9 @@ func Key() []struct {
 		{"Shapley100k", Shapley(100_000)},
 		{"AddOnGame", AddOnGame()},
 		{"SubstOnGame", SubstOnGame()},
+		{"ServiceGame", ServiceGame(false)},
+		{"ServiceGameJournaled", ServiceGame(true)},
+		{"IngestThroughput", IngestThroughput()},
 		{"EngineHashJoin", EngineHashJoin()},
 		{"EngineHashJoinParallel4", EngineHashJoinParallel(4)},
 		{"EngineBuildJoin", EngineBuildJoin()},
@@ -466,6 +469,21 @@ func Pairs() []Pair {
 			MinSpeedup:        1.3,
 			RelaxedMinSpeedup: 0.70,
 			NeedProcs:         4,
+		},
+		{
+			// Durability tax bound: the journaled service (checksummed
+			// framing + fingerprint dedup on every mutation, in-memory
+			// log) must stay within 4x of the plain service — i.e. the
+			// candidate (journaled) runs at ≥0.25x the baseline's speed.
+			// Measured ~2-3x locally; the slack absorbs allocator noise.
+			// Single-threaded by construction, so the bound holds on any
+			// runner.
+			Name:              "ServiceGame/journaled-vs-plain",
+			Baseline:          ServiceGame(false),
+			Candidate:         ServiceGame(true),
+			MinSpeedup:        0.25,
+			RelaxedMinSpeedup: 0.25,
+			NeedProcs:         1,
 		},
 		{
 			Name:              "AstroWorkload/parallel4-vs-serial",

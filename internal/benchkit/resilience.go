@@ -1,0 +1,156 @@
+package benchkit
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"sharedopt"
+	"sharedopt/internal/core"
+	"sharedopt/internal/econ"
+	"sharedopt/internal/resilience"
+	"sharedopt/internal/stats"
+)
+
+// serviceBids draws the fixed workload both ServiceGame variants price:
+// one bid per user over a 12-slot horizon against a 4-optimization
+// catalog, identical across runs so the journaled/unjournaled pair
+// measures journaling, not workload noise.
+type serviceBid struct {
+	user   core.UserID
+	opt    core.OptID
+	start  core.Slot
+	end    core.Slot
+	values []econ.Money
+}
+
+func serviceBids(users int, horizon core.Slot) ([]sharedopt.Optimization, []serviceBid) {
+	r := stats.NewRNG(11)
+	catalog := []sharedopt.Optimization{
+		{ID: 1, Cost: econ.FromDollars(8)},
+		{ID: 2, Cost: econ.FromDollars(5)},
+		{ID: 3, Cost: econ.FromDollars(12)},
+		{ID: 4, Cost: econ.FromDollars(3)},
+	}
+	bids := make([]serviceBid, users)
+	for i := range bids {
+		start := core.Slot(1 + r.Intn(int(horizon)))
+		end := start + core.Slot(r.Intn(int(horizon-start)+1))
+		values := make([]econ.Money, int(end-start+1))
+		for k := range values {
+			values[k] = econ.FromCents(int64(r.Intn(600)))
+		}
+		bids[i] = serviceBid{
+			user: core.UserID(i + 1), opt: catalog[r.Intn(len(catalog))].ID,
+			start: start, end: end, values: values,
+		}
+	}
+	return catalog, bids
+}
+
+// ServiceGame returns the benchmark body for one complete 12-slot,
+// 48-user additive pricing period through the service layer. journaled
+// selects the durable tier (every mutation checksummed and framed into
+// an in-memory log) versus the plain in-memory service; the pair gate
+// bounds how much the journal may cost.
+func ServiceGame(journaled bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		const users, horizon = 48, core.Slot(12)
+		catalog, bids := serviceBids(users, horizon)
+		submitAll := func(submit func(core.OptID, core.OnlineBid) error) {
+			for _, bid := range bids {
+				if err := submit(bid.opt, core.OnlineBid{
+					User: bid.user, Start: bid.start, End: bid.end, Values: bid.values,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if journaled {
+				var m resilience.MemLog
+				js, err := resilience.NewJournaledService(sharedopt.Additive, catalog, horizon, &m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				submitAll(js.SubmitAdditiveBid)
+				for t := core.Slot(0); t < horizon; t++ {
+					if _, err := js.AdvanceSlot(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			} else {
+				svc, err := sharedopt.NewAdditiveService(catalog, horizon)
+				if err != nil {
+					b.Fatal(err)
+				}
+				submitAll(svc.SubmitAdditiveBid)
+				for t := core.Slot(0); t < horizon; t++ {
+					if _, err := svc.AdvanceSlot(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// IngestThroughput returns the benchmark body for concurrent bid intake:
+// GOMAXPROCS submitters push 256 single-slot bids through the bounded
+// queue into a journaled service, blind-retrying on ErrOverloaded, so
+// the measurement covers admission control, the serialize-and-journal
+// path, and the retry contract end to end.
+func IngestThroughput() func(b *testing.B) {
+	return func(b *testing.B) {
+		const total, horizon = 256, core.Slot(4)
+		catalog := []sharedopt.Optimization{{ID: 1, Cost: econ.FromDollars(50)}}
+		workers := runtime.GOMAXPROCS(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var m resilience.MemLog
+			js, err := resilience.NewJournaledService(sharedopt.Additive, catalog, horizon, &m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			in := resilience.NewIngest(js, resilience.IngestConfig{Queue: 32})
+			var next core.UserID
+			var mu sync.Mutex
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						mu.Lock()
+						next++
+						u := next
+						mu.Unlock()
+						if u > total {
+							return
+						}
+						err := in.SubmitAdditive(1, core.OnlineBid{
+							User: u, Start: 1, End: 1, Values: []econ.Money{econ.Dollar},
+						})
+						for resilience.Retryable(err) {
+							err = in.SubmitAdditive(1, core.OnlineBid{
+								User: u, Start: 1, End: 1, Values: []econ.Money{econ.Dollar},
+							})
+						}
+						if err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			in.Close()
+			if st := in.Stats(); st.Accepted != total {
+				b.Fatalf("accepted %d of %d bids", st.Accepted, total)
+			}
+		}
+	}
+}

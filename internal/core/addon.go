@@ -325,6 +325,15 @@ func (g *AdditiveGame) Game(opt OptID) (*AddOn, bool) {
 	return a, ok
 }
 
+// Optimizations returns the game's catalog in ascending ID order.
+func (g *AdditiveGame) Optimizations() []Optimization {
+	out := make([]Optimization, len(g.order))
+	for i, id := range g.order {
+		out[i] = g.games[id].opt
+	}
+	return out
+}
+
 // TotalRevenue sums revenue across optimizations.
 func (g *AdditiveGame) TotalRevenue() econ.Money {
 	var total econ.Money

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 
 	"sharedopt/internal/econ"
 )
@@ -87,6 +89,13 @@ func NewSubstOn(opts []Optimization) *SubstOn {
 
 // Now returns the last processed slot (0 if none yet).
 func (s *SubstOn) Now() Slot { return s.now }
+
+// Optimizations returns the game's catalog in ascending ID order.
+func (s *SubstOn) Optimizations() []Optimization {
+	out := append([]Optimization(nil), s.opts...)
+	slices.SortFunc(out, func(a, b Optimization) int { return cmp.Compare(a.ID, b.ID) })
+	return out
+}
 
 // Implemented reports whether the optimization has been implemented and at
 // which slot.

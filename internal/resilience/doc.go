@@ -1,0 +1,68 @@
+// Package resilience is the fault-tolerant front end around the pricing
+// tier: a checksummed bid journal, deterministic crash recovery, a
+// bounded-queue ingestion layer with admission control, and seeded fault
+// injection for testing all of it.
+//
+// The paper's guarantees — truthfulness and exact cost recovery — are
+// economic statements about the set of accepted bids. A provider that
+// loses accepted bids in a crash, or sheds them silently under load,
+// breaks the mechanism even if it stays up. This package makes the
+// accepted-bid set durable and the overload behavior explicit.
+//
+// # Journal format
+//
+// A journal is a line-oriented append-only log. Each record is one line:
+//
+//	<crc32-ieee-hex8> <payload-json>\n
+//
+// The checksum covers the payload bytes. The payload is a Record: a
+// sequence number (strictly 1, 2, 3, …), a kind, and the mutation's
+// arguments with all money in exact integer micro-dollars. A service
+// journal opens with one "svc" config record (kind, horizon, catalog)
+// followed by mutation records ("abid", "sbid", "adv", "close"); a
+// period-manager journal opens with "mgr" and brackets each period's
+// mutations with a "start" record carrying that period's recomputed
+// costs. Each record is issued as a single Write to the log target
+// (MemLog in memory, FileLog with per-record fsync on disk), so a crash
+// tears at most the final record; ReadJournal verifies newline framing,
+// checksum, and sequence continuity, and cleanly discards everything
+// from the first damaged record on.
+//
+// # Recovery invariants
+//
+// Mutations follow accept-then-journal with fail-stop semantics: a call
+// returns nil only if the mutation was applied AND journaled; the first
+// journal write failure wedges the service (ErrJournalBroken) so an
+// unjournaled accept can never be followed by further acknowledged work.
+// Because every mechanism in internal/core is deterministic, replaying
+// the journal's accepted prefix through RecoverService or
+// RecoverPeriodManager reproduces invoices, revenue, cost, and the
+// implemented set byte-identically — property-tested by crashing at
+// every record boundary (and with torn tails) of randomized workloads.
+// Recovery of a period manager re-runs the cost policy and verifies it
+// against the journaled period costs, failing with ErrPolicyDiverged on
+// any mismatch rather than silently recomputing different prices.
+//
+// # Retry and idempotency contract
+//
+// Ingest admits bids into a bounded queue and rejects overflow fast with
+// the typed ErrOverloaded — never a silent drop; Counters carries the
+// exact accounting. ErrOverloaded (and only it) is Retryable; Retry
+// wraps an operation in capped exponential backoff. Blind retries are
+// safe against a journaled service because submissions are idempotent:
+// a resubmission byte-identical to an accepted one returns success
+// without journaling or applying anything, so a client that lost the
+// first acknowledgment cannot double-bid. Provider calls (AdvanceSlot,
+// ClosePeriod) take a context deadline; a deadline error means the
+// operation's fate is unknown (exactly as after a crash) and the caller
+// resynchronizes from Now or the journal.
+//
+// # Fault injection
+//
+// FaultWriter executes a FaultPlan — a clean write error, a short write
+// with a lying nil error, or a mid-record crash that tears the tail and
+// kills all later writes — against any journal target, and RandomPlan
+// draws seeded schedules for sweeps. cmd/pricer's chaos mode drives
+// randomized workloads through ingestion + journal + recovery under
+// these plans and asserts the invariants above on every schedule.
+package resilience

@@ -1,0 +1,153 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"sharedopt/internal/stats"
+)
+
+// ErrInjected is the write failure a FaultErr plan injects.
+var ErrInjected = errors.New("resilience: injected write failure")
+
+// ErrCrashed is returned by every write after a FaultCrash fired: the
+// simulated process is dead and only recovery from the log may proceed.
+var ErrCrashed = errors.New("resilience: simulated crash")
+
+// FaultKind selects what a FaultPlan does to its chosen record write.
+type FaultKind int
+
+const (
+	// FaultNone disturbs nothing; the plan is a no-op.
+	FaultNone FaultKind = iota
+	// FaultErr fails the chosen write with ErrInjected, writing no
+	// bytes — a full, clean I/O error.
+	FaultErr
+	// FaultShort writes only Tear bytes of the chosen record and
+	// reports the short count with a nil error — the buggy-writer case
+	// io.Writer forbids but real stacks produce. The journal must
+	// detect it (io.ErrShortWrite) and wedge; the log now ends in a
+	// torn record that recovery must discard.
+	FaultShort
+	// FaultCrash writes only Tear bytes of the chosen record, returns
+	// ErrCrashed, and fails every later write: a kill -9 mid-append.
+	FaultCrash
+)
+
+// String names the kind for logs and test output.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultErr:
+		return "write-error"
+	case FaultShort:
+		return "short-write"
+	case FaultCrash:
+		return "crash"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// FaultPlan schedules exactly one write fault: the Record-th journal
+// write (0-based; each journal record is one write) suffers Kind, with
+// Tear bytes reaching the log for the tearing kinds. Plans are plain
+// data so a seeded schedule is reproducible by value.
+type FaultPlan struct {
+	Kind   FaultKind
+	Record int
+	Tear   int
+}
+
+// String renders the plan compactly for chaos-mode output.
+func (p FaultPlan) String() string {
+	if p.Kind == FaultNone {
+		return "none"
+	}
+	return fmt.Sprintf("%v@record%d(tear=%d)", p.Kind, p.Record, p.Tear)
+}
+
+// RandomPlan draws a deterministic fault schedule from seed for a run
+// expected to write about records journal records: a kind (faultless
+// runs included), a target record, and a tear length.
+func RandomPlan(seed uint64, records int) FaultPlan {
+	r := stats.NewRNG(seed)
+	if records < 1 {
+		records = 1
+	}
+	plan := FaultPlan{
+		Kind:   FaultKind(r.Intn(4)), // includes FaultNone
+		Record: r.Intn(records),
+		Tear:   r.Intn(24),
+	}
+	if plan.Kind == FaultNone {
+		plan.Record, plan.Tear = 0, 0
+	}
+	return plan
+}
+
+// FaultWriter wraps a journal target and executes a FaultPlan against
+// it. It is safe for concurrent use and counts whole-record writes so
+// tests can assert exactly where the failure landed.
+type FaultWriter struct {
+	mu      sync.Mutex
+	w       io.Writer
+	plan    FaultPlan
+	n       int
+	crashed bool
+}
+
+// NewFaultWriter returns a writer applying plan on top of w.
+func NewFaultWriter(w io.Writer, plan FaultPlan) *FaultWriter {
+	return &FaultWriter{w: w, plan: plan}
+}
+
+// Write forwards p to the target unless the plan says this is the write
+// to disturb.
+func (f *FaultWriter) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return 0, ErrCrashed
+	}
+	idx := f.n
+	f.n++
+	if f.plan.Kind == FaultNone || idx != f.plan.Record {
+		return f.w.Write(p)
+	}
+	switch f.plan.Kind {
+	case FaultErr:
+		return 0, ErrInjected
+	case FaultShort:
+		k := min(f.plan.Tear, len(p))
+		n, err := f.w.Write(p[:k])
+		if err != nil {
+			return n, err
+		}
+		return n, nil // short count, nil error: the forbidden writer bug
+	case FaultCrash:
+		f.crashed = true
+		k := min(f.plan.Tear, len(p))
+		n, _ := f.w.Write(p[:k])
+		return n, ErrCrashed
+	default:
+		return 0, fmt.Errorf("resilience: unknown fault kind %v", f.plan.Kind)
+	}
+}
+
+// Writes returns how many record writes the journal attempted so far.
+func (f *FaultWriter) Writes() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}
+
+// Crashed reports whether the simulated crash has fired.
+func (f *FaultWriter) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}

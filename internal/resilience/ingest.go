@@ -1,0 +1,268 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"sharedopt/internal/core"
+	"sharedopt/internal/econ"
+)
+
+// ErrOverloaded is the typed admission-control rejection: the bounded
+// ingestion queue is full and the submission was NOT enqueued. It is the
+// only way a submission is turned away under load — nothing is ever
+// silently dropped — and it is retryable (see Retry), safely so because
+// accepted submissions are journaled idempotently.
+var ErrOverloaded = errors.New("resilience: ingestion queue overloaded")
+
+// ErrClosed is returned for calls after the front end shut down.
+var ErrClosed = errors.New("resilience: ingestion front end closed")
+
+// Backend is the mutation surface the front end serializes onto — a
+// *JournaledService in production; the plain *sharedopt.Service also
+// satisfies it, which the benchmarks use to isolate journaling cost.
+type Backend interface {
+	SubmitAdditiveBid(opt core.OptID, bid core.OnlineBid) error
+	SubmitSubstitutiveBid(bid core.OnlineSubstBid) error
+	AdvanceSlot() (core.SlotReport, error)
+	ClosePeriod() (map[core.UserID]econ.Money, error)
+}
+
+// IngestConfig tunes the front end.
+type IngestConfig struct {
+	// Queue is the bounded intake queue depth; submissions beyond it
+	// are rejected with ErrOverloaded. Default 64.
+	Queue int
+	// ApplyHook, if set, runs on the worker goroutine immediately
+	// before each operation is applied. Tests and the chaos harness use
+	// it to stall the worker and drive the queue into saturation.
+	ApplyHook func()
+}
+
+// Counters is a point-in-time snapshot of the front end's exact
+// admission accounting. For any workload,
+// Accepted+Rejected+Expired+Overloaded equals the submissions attempted:
+// every one was journaled-and-applied (Accepted), refused by the
+// mechanism (Rejected), abandoned at its deadline before the worker
+// reached it (Expired), or turned away at the full queue (Overloaded).
+type Counters struct {
+	Accepted   uint64 // submissions applied and journaled
+	Rejected   uint64 // submissions the mechanism refused (validation, retroactive, ...)
+	Expired    uint64 // operations whose context ended before the worker reached them
+	Overloaded uint64 // submissions rejected at the full queue
+	Advanced   uint64 // slots advanced
+}
+
+type opKind int
+
+const (
+	opAdditive opKind = iota
+	opSubst
+	opAdvance
+	opClose
+)
+
+// opResult carries an operation's outcome back to its waiting caller.
+type opResult struct {
+	report  core.SlotReport
+	settled map[core.UserID]econ.Money
+	err     error
+}
+
+type ingestOp struct {
+	kind opKind
+	ctx  context.Context
+	opt  core.OptID
+	abid core.OnlineBid
+	sbid core.OnlineSubstBid
+	done chan opResult // buffered(1): the worker never blocks on reply
+}
+
+// Ingest is the concurrent bid-intake front end around a Backend: a
+// bounded queue feeding a single worker, so concurrent submissions are
+// admitted (or refused) instantly and applied in one serialized arrival
+// order — the order the journal records and recovery replays.
+//
+// Submissions use non-blocking admission: a full queue fails fast with
+// ErrOverloaded. Provider-side calls (AdvanceSlot, ClosePeriod) instead
+// wait for queue space and for completion under the caller's context
+// deadline; a deadline hit while the operation is still queued abandons
+// it (the worker skips expired operations), but a deadline that fires in
+// the same instant the worker begins applying cannot un-apply it — after
+// a deadline error the caller must treat the operation's fate as
+// unknown and consult Now / the journal, exactly as after a crash.
+type Ingest struct {
+	mu     sync.RWMutex // guards closed vs. enqueue
+	closed bool
+	be     Backend
+	cfg    IngestConfig
+	ops    chan *ingestOp
+	wg     sync.WaitGroup
+
+	accepted   atomic.Uint64
+	rejected   atomic.Uint64
+	expired    atomic.Uint64
+	overloaded atomic.Uint64
+	advanced   atomic.Uint64
+}
+
+// NewIngest starts a front end over be. Call Close to drain and stop it.
+func NewIngest(be Backend, cfg IngestConfig) *Ingest {
+	if cfg.Queue <= 0 {
+		cfg.Queue = 64
+	}
+	in := &Ingest{be: be, cfg: cfg, ops: make(chan *ingestOp, cfg.Queue)}
+	in.wg.Add(1)
+	go in.worker()
+	return in
+}
+
+// worker drains the queue, applying one operation at a time.
+func (in *Ingest) worker() {
+	defer in.wg.Done()
+	for op := range in.ops {
+		if op.ctx != nil && op.ctx.Err() != nil {
+			in.expired.Add(1)
+			op.done <- opResult{err: op.ctx.Err()}
+			continue
+		}
+		if in.cfg.ApplyHook != nil {
+			in.cfg.ApplyHook()
+		}
+		var res opResult
+		switch op.kind {
+		case opAdditive:
+			res.err = in.be.SubmitAdditiveBid(op.opt, op.abid)
+		case opSubst:
+			res.err = in.be.SubmitSubstitutiveBid(op.sbid)
+		case opAdvance:
+			res.report, res.err = in.be.AdvanceSlot()
+		case opClose:
+			res.settled, res.err = in.be.ClosePeriod()
+		}
+		switch op.kind {
+		case opAdditive, opSubst:
+			if res.err == nil {
+				in.accepted.Add(1)
+			} else {
+				in.rejected.Add(1)
+			}
+		case opAdvance:
+			if res.err == nil {
+				in.advanced.Add(1)
+			}
+		}
+		op.done <- res
+	}
+}
+
+// tryEnqueue admits op if the queue has room, failing fast otherwise.
+func (in *Ingest) tryEnqueue(op *ingestOp) error {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	if in.closed {
+		return ErrClosed
+	}
+	select {
+	case in.ops <- op:
+		return nil
+	default:
+		in.overloaded.Add(1)
+		return ErrOverloaded
+	}
+}
+
+// enqueueWait admits op, waiting for queue space until ctx expires.
+func (in *Ingest) enqueueWait(ctx context.Context, op *ingestOp) error {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	if in.closed {
+		return ErrClosed
+	}
+	select {
+	case in.ops <- op:
+		return nil
+	case <-ctx.Done():
+		in.expired.Add(1)
+		return ctx.Err()
+	}
+}
+
+// SubmitAdditive admits one additive bid, waits for it to be applied,
+// and returns the backend's verdict. A full queue fails immediately with
+// ErrOverloaded and the bid is guaranteed not to have been applied.
+func (in *Ingest) SubmitAdditive(opt core.OptID, bid core.OnlineBid) error {
+	op := &ingestOp{kind: opAdditive, opt: opt, abid: bid, done: make(chan opResult, 1)}
+	if err := in.tryEnqueue(op); err != nil {
+		return err
+	}
+	return (<-op.done).err
+}
+
+// SubmitSubstitutive admits one substitutive bid; see SubmitAdditive.
+func (in *Ingest) SubmitSubstitutive(bid core.OnlineSubstBid) error {
+	op := &ingestOp{kind: opSubst, sbid: bid, done: make(chan opResult, 1)}
+	if err := in.tryEnqueue(op); err != nil {
+		return err
+	}
+	return (<-op.done).err
+}
+
+// AdvanceSlot queues a slot advance behind all admitted submissions and
+// waits for its report under ctx's deadline.
+func (in *Ingest) AdvanceSlot(ctx context.Context) (core.SlotReport, error) {
+	op := &ingestOp{kind: opAdvance, ctx: ctx, done: make(chan opResult, 1)}
+	if err := in.enqueueWait(ctx, op); err != nil {
+		return core.SlotReport{}, err
+	}
+	select {
+	case res := <-op.done:
+		return res.report, res.err
+	case <-ctx.Done():
+		return core.SlotReport{}, ctx.Err()
+	}
+}
+
+// ClosePeriod queues an early close behind all admitted submissions and
+// waits for the settlement under ctx's deadline.
+func (in *Ingest) ClosePeriod(ctx context.Context) (map[core.UserID]econ.Money, error) {
+	op := &ingestOp{kind: opClose, ctx: ctx, done: make(chan opResult, 1)}
+	if err := in.enqueueWait(ctx, op); err != nil {
+		return nil, err
+	}
+	select {
+	case res := <-op.done:
+		return res.settled, res.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Stats returns the exact admission accounting so far. It is consistent
+// with returned calls: an operation is counted before its caller
+// unblocks.
+func (in *Ingest) Stats() Counters {
+	return Counters{
+		Accepted:   in.accepted.Load(),
+		Rejected:   in.rejected.Load(),
+		Expired:    in.expired.Load(),
+		Overloaded: in.overloaded.Load(),
+		Advanced:   in.advanced.Load(),
+	}
+}
+
+// Close stops intake, lets the worker finish every already-admitted
+// operation, and waits for it to exit. Close is idempotent.
+func (in *Ingest) Close() {
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return
+	}
+	in.closed = true
+	close(in.ops)
+	in.mu.Unlock()
+	in.wg.Wait()
+}

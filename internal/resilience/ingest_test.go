@@ -1,0 +1,271 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"sharedopt"
+	"sharedopt/internal/core"
+	"sharedopt/internal/econ"
+	"sharedopt/internal/stats"
+)
+
+func newIngestFixture(t *testing.T, queue int, hook func()) (*Ingest, *JournaledService, *MemLog) {
+	t.Helper()
+	catalog := []sharedopt.Optimization{
+		{ID: 1, Cost: econ.FromDollars(10)},
+		{ID: 2, Cost: econ.FromDollars(6)},
+	}
+	var m MemLog
+	js, err := NewJournaledService(sharedopt.Additive, catalog, 6, &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewIngest(js, IngestConfig{Queue: queue, ApplyHook: hook})
+	t.Cleanup(in.Close)
+	return in, js, &m
+}
+
+// TestIngestSaturationExactAccounting drives more concurrent submissions
+// than the queue can hold while the worker is stalled at a gate. Every
+// submission must be accounted for — applied, mechanism-rejected, or
+// ErrOverloaded — with nothing silently dropped, the journal must hold
+// exactly config + accepted records, and after release every accepted
+// user must be invoiced.
+func TestIngestSaturationExactAccounting(t *testing.T) {
+	const queue = 4
+	const submitters = 32
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	hook := func() { <-gate }
+	in, js, m := newIngestFixture(t, queue, hook)
+	defer gateOnce.Do(func() { close(gate) })
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var accepted, overloaded, rejected []core.UserID
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func(u core.UserID) {
+			defer wg.Done()
+			bid := core.OnlineBid{User: u, Start: 1, End: 1, Values: []econ.Money{econ.FromDollars(20)}}
+			if u%8 == 0 { // deliberately invalid: horizon overrun
+				bid.End = 99
+				bid.Values = nil
+			}
+			err := in.SubmitAdditive(1, bid)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				accepted = append(accepted, u)
+			case errors.Is(err, ErrOverloaded):
+				overloaded = append(overloaded, u)
+			default:
+				rejected = append(rejected, u)
+			}
+		}(core.UserID(i + 1))
+	}
+
+	// Wait until the queue is saturated: the worker is parked at the
+	// gate holding one op, the queue holds `queue` more, and everyone
+	// else has bounced with ErrOverloaded.
+	deadline := time.After(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(overloaded)
+		mu.Unlock()
+		if n >= submitters-queue-1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("queue never saturated: %d overloaded", n)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	gateOnce.Do(func() { close(gate) })
+	wg.Wait()
+
+	if got := len(accepted) + len(overloaded) + len(rejected); got != submitters {
+		t.Fatalf("accounting leak: %d+%d+%d = %d of %d submissions",
+			len(accepted), len(overloaded), len(rejected), got, submitters)
+	}
+	st := in.Stats()
+	if st.Accepted != uint64(len(accepted)) || st.Overloaded != uint64(len(overloaded)) ||
+		st.Rejected != uint64(len(rejected)) {
+		t.Fatalf("counters %+v disagree with observed %d/%d/%d",
+			st, len(accepted), len(overloaded), len(rejected))
+	}
+	if len(overloaded) == 0 {
+		t.Fatal("saturation test produced no ErrOverloaded")
+	}
+	if len(accepted) == 0 {
+		t.Fatal("saturation test accepted nothing")
+	}
+
+	// Journal: one config record plus exactly one record per accepted bid.
+	recs, _, torn := ReadJournal(m.Bytes())
+	if torn {
+		t.Fatal("journal torn")
+	}
+	if len(recs) != 1+len(accepted) {
+		t.Fatalf("journal has %d records, want 1 config + %d accepted", len(recs), len(accepted))
+	}
+
+	// Advance past slot 1 and settle: every accepted user is invoiced.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := in.AdvanceSlot(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.ClosePeriod(ctx); err != nil {
+		t.Fatal(err)
+	}
+	inv := js.Invoices()
+	for _, u := range accepted {
+		if _, ok := inv[u]; !ok {
+			t.Fatalf("accepted user %d has no invoice", u)
+		}
+	}
+	for _, u := range overloaded {
+		if _, ok := inv[u]; ok {
+			t.Fatalf("overloaded user %d was invoiced", u)
+		}
+	}
+}
+
+// TestIngestOpenLoopArrivals replays a seeded Poisson schedule of valid
+// submissions with a roomy queue: all must be accepted, in an order the
+// journal fully captures, and recovery of that journal reproduces the
+// service state.
+func TestIngestOpenLoopArrivals(t *testing.T) {
+	const n = 40
+	in, js, m := newIngestFixture(t, 64, nil)
+	r := stats.NewRNG(7)
+	gaps := stats.Interarrivals(r, n, float64(50*time.Microsecond))
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		time.Sleep(time.Duration(gaps[i]))
+		wg.Add(1)
+		go func(u core.UserID) {
+			defer wg.Done()
+			if err := in.SubmitAdditive(2, core.OnlineBid{
+				User: u, Start: 1, End: 1, Values: []econ.Money{econ.FromDollars(1)},
+			}); err != nil {
+				t.Errorf("user %d: %v", u, err)
+			}
+		}(core.UserID(i + 1))
+	}
+	wg.Wait()
+	st := in.Stats()
+	if st.Accepted != n || st.Overloaded != 0 || st.Rejected != 0 {
+		t.Fatalf("counters = %+v, want %d accepted only", st, n)
+	}
+	recs, _, torn := ReadJournal(m.Bytes())
+	if torn || len(recs) != n+1 {
+		t.Fatalf("journal: %d records, torn=%v; want %d", len(recs), torn, n+1)
+	}
+	rec, err := RecoverService(recs, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := snapshotService(rec.Service()), snapshotService(js.Service()); got != want {
+		t.Fatalf("recovered state diverged\n--- recovered ---\n%s--- live ---\n%s", got, want)
+	}
+}
+
+// TestIngestAdvanceDeadline parks the worker and lets an AdvanceSlot
+// deadline fire while the operation is still queued: the caller gets the
+// context error, the worker later skips the expired op, and the slot is
+// NOT advanced.
+func TestIngestAdvanceDeadline(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	var once sync.Once
+	in, js, _ := newIngestFixture(t, 4, func() { entered <- struct{}{}; <-gate })
+	defer once.Do(func() { close(gate) })
+
+	// Park the worker on a bid so the advance stays queued.
+	go in.SubmitAdditive(1, core.OnlineBid{
+		User: 1, Start: 1, End: 1, Values: []econ.Money{econ.Dollar},
+	})
+	<-entered // the worker is now provably holding the bid, not the advance
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := in.AdvanceSlot(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("AdvanceSlot past deadline: %v", err)
+	}
+	once.Do(func() { close(gate) })
+	in.Close() // drains the queue, including the expired advance
+	st := in.Stats()
+	if st.Expired == 0 {
+		t.Fatal("expired advance not counted")
+	}
+	if st.Advanced != 0 || js.Now() != 0 {
+		t.Fatalf("expired advance was applied: advanced=%d now=%d", st.Advanced, js.Now())
+	}
+}
+
+// TestIngestClosed verifies every entry point fails with ErrClosed after
+// Close, and that Close is idempotent.
+func TestIngestClosed(t *testing.T) {
+	in, _, _ := newIngestFixture(t, 4, nil)
+	in.Close()
+	in.Close()
+	bid := core.OnlineBid{User: 1, Start: 1, End: 1, Values: []econ.Money{econ.Dollar}}
+	if err := in.SubmitAdditive(1, bid); !errors.Is(err, ErrClosed) {
+		t.Fatalf("SubmitAdditive after close: %v", err)
+	}
+	if err := in.SubmitSubstitutive(core.OnlineSubstBid{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("SubmitSubstitutive after close: %v", err)
+	}
+	if _, err := in.AdvanceSlot(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("AdvanceSlot after close: %v", err)
+	}
+	if _, err := in.ClosePeriod(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ClosePeriod after close: %v", err)
+	}
+}
+
+// TestIngestSerializesArrivalOrder floods concurrent bids through a
+// single-slot workload twice with the same seed: the journal's record
+// order IS the applied order, so recovering both journals must agree
+// with their own live runs even though goroutine interleavings differ.
+func TestIngestSerializesArrivalOrder(t *testing.T) {
+	for round := 0; round < 2; round++ {
+		in, js, m := newIngestFixture(t, 64, nil)
+		var wg sync.WaitGroup
+		for i := 0; i < 24; i++ {
+			wg.Add(1)
+			go func(u core.UserID) {
+				defer wg.Done()
+				in.SubmitAdditive(1, core.OnlineBid{
+					User: u, Start: 1, End: 2,
+					Values: []econ.Money{econ.FromDollars(7), econ.FromDollars(7)},
+				})
+			}(core.UserID(i + 1))
+		}
+		wg.Wait()
+		ctx := context.Background()
+		if _, err := in.AdvanceSlot(ctx); err != nil {
+			t.Fatal(err)
+		}
+		recs, _, torn := ReadJournal(m.Bytes())
+		if torn {
+			t.Fatal("journal torn")
+		}
+		rec, err := RecoverService(recs, io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := snapshotService(rec.Service()), snapshotService(js.Service()); got != want {
+			t.Fatalf("round %d: replay of serialized order diverged\n%s\nvs\n%s", round, got, want)
+		}
+		in.Close()
+	}
+}

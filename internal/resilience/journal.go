@@ -1,0 +1,297 @@
+package resilience
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"sharedopt/internal/core"
+	"sharedopt/internal/econ"
+)
+
+// RecordKind names one journal record type.
+type RecordKind string
+
+// The journal record kinds. A standalone service journal is one
+// KindServiceConfig followed by mutations; a period-manager journal is
+// one KindManagerConfig followed by KindStartPeriod groups, each holding
+// that period's mutations.
+const (
+	KindServiceConfig RecordKind = "svc"
+	KindManagerConfig RecordKind = "mgr"
+	KindStartPeriod   RecordKind = "start"
+	KindAdditiveBid   RecordKind = "abid"
+	KindSubstBid      RecordKind = "sbid"
+	KindAdvanceSlot   RecordKind = "adv"
+	KindClosePeriod   RecordKind = "close"
+)
+
+// OptCost is an (optimization, cost) pair as journaled in config and
+// start-period records. Costs are exact integer micro-dollars.
+type OptCost struct {
+	ID   core.OptID `json:"id"`
+	Cost econ.Money `json:"cost"`
+}
+
+// Record is one journal entry. Seq is assigned by the journal (strictly
+// increasing from 1); the remaining fields are populated per Kind:
+//
+//   - svc/mgr: Game ("additive"/"substitutive"), Horizon, Opts (catalog)
+//   - start:   Period (1-based), Opts (this period's recomputed costs)
+//   - abid:    User, Opt, Start, End, Values
+//   - sbid:    User, Set (substitute set), Start, End, Values
+//   - adv/close: no payload — their effects are deterministic replays
+type Record struct {
+	Seq     uint64       `json:"seq"`
+	Kind    RecordKind   `json:"kind"`
+	Game    string       `json:"game,omitempty"`
+	Horizon core.Slot    `json:"horizon,omitempty"`
+	Opts    []OptCost    `json:"opts,omitempty"`
+	Period  int          `json:"period,omitempty"`
+	User    core.UserID  `json:"user,omitempty"`
+	Opt     core.OptID   `json:"opt,omitempty"`
+	Set     []core.OptID `json:"set,omitempty"`
+	Start   core.Slot    `json:"start,omitempty"`
+	End     core.Slot    `json:"end,omitempty"`
+	Values  []econ.Money `json:"values,omitempty"`
+}
+
+// fingerprint is the record's canonical payload with the sequence number
+// zeroed — the identity under which duplicate submissions are detected.
+func (r Record) fingerprint() string {
+	r.Seq = 0
+	payload, err := json.Marshal(r)
+	if err != nil {
+		// Record has no unmarshalable fields; this cannot happen.
+		panic(err)
+	}
+	return string(payload)
+}
+
+// encodeRecord frames one record as a journal line:
+//
+//	<crc32-ieee-hex8> <payload-json>\n
+//
+// The checksum covers exactly the payload bytes, so any torn, bit-rotted
+// or short-written tail fails verification and is discarded on replay.
+func encodeRecord(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("resilience: encoding record %d: %w", rec.Seq, err)
+	}
+	if bytes.IndexByte(payload, '\n') >= 0 {
+		return nil, fmt.Errorf("resilience: record %d payload contains newline", rec.Seq)
+	}
+	out := make([]byte, 0, len(payload)+10)
+	out = fmt.Appendf(out, "%08x ", crc32.ChecksumIEEE(payload))
+	out = append(out, payload...)
+	out = append(out, '\n')
+	return out, nil
+}
+
+// decodeLine parses one framed journal line (without the trailing
+// newline), verifying the checksum.
+func decodeLine(line []byte) (Record, error) {
+	var rec Record
+	if len(line) < 10 || line[8] != ' ' {
+		return rec, errors.New("resilience: malformed record frame")
+	}
+	var sum uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &sum); err != nil {
+		return rec, fmt.Errorf("resilience: malformed checksum: %w", err)
+	}
+	payload := line[9:]
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return rec, fmt.Errorf("resilience: checksum mismatch (record %08x, computed %08x)", sum, got)
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return rec, fmt.Errorf("resilience: decoding record: %w", err)
+	}
+	return rec, nil
+}
+
+// ReadJournal parses a journal image into its longest valid record
+// prefix. A record is valid if it is newline-terminated, its checksum
+// matches, and its sequence number continues the chain 1, 2, 3, … —
+// anything else ends the scan there. consumed is the byte offset of the
+// end of the last valid record (the truncation point for a log that will
+// be appended to again), and torn reports whether trailing bytes were
+// discarded. ReadJournal never fails on a damaged tail; that is the
+// crash contract, not an error.
+func ReadJournal(data []byte) (recs []Record, consumed int, torn bool) {
+	off := 0
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // unterminated tail: a write died mid-record
+		}
+		rec, err := decodeLine(data[off : off+nl])
+		if err != nil || rec.Seq != uint64(len(recs))+1 {
+			break
+		}
+		recs = append(recs, rec)
+		off += nl + 1
+	}
+	return recs, off, off < len(data)
+}
+
+// ErrJournalBroken wraps the first append failure of a journal: once a
+// write fails the in-memory state may be ahead of the durable log, so
+// the journal refuses all further appends and the owning service must be
+// discarded and rebuilt with Recover*.
+var ErrJournalBroken = errors.New("resilience: journal broken by an earlier write failure")
+
+// Journal appends checksummed records to an io.Writer (fail-stop: the
+// first write error wedges it permanently). It is safe for concurrent
+// use. The writer can be anything — *MemLog and *FileLog are the two
+// provided implementations — but each record is issued as exactly one
+// Write call, so a crash can tear at most the final record.
+type Journal struct {
+	mu  sync.Mutex
+	w   io.Writer
+	seq uint64
+	err error
+}
+
+// NewJournal returns a journal appending to w starting at sequence 1.
+func NewJournal(w io.Writer) *Journal { return &Journal{w: w} }
+
+// NewJournalAt returns a journal appending to w whose next record gets
+// sequence seq+1 — the continuation constructor recovery uses after
+// replaying seq records.
+func NewJournalAt(w io.Writer, seq uint64) *Journal { return &Journal{w: w, seq: seq} }
+
+// Append assigns the next sequence number to rec and writes it durably.
+// A short write (n < len with a nil error, from a buggy or faulty
+// writer) is promoted to io.ErrShortWrite. Any failure wedges the
+// journal: the record may be partially on disk, so nothing further may
+// be appended after it.
+func (j *Journal) Append(rec Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return fmt.Errorf("%w: %w", ErrJournalBroken, j.err)
+	}
+	rec.Seq = j.seq + 1
+	frame, err := encodeRecord(rec)
+	if err != nil {
+		return err // encoding failed before any bytes were written: not wedged
+	}
+	n, err := j.w.Write(frame)
+	if err == nil && n < len(frame) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		j.err = err
+		return fmt.Errorf("resilience: journal append: %w", err)
+	}
+	j.seq = rec.Seq
+	return nil
+}
+
+// Seq returns the sequence number of the last appended record.
+func (j *Journal) Seq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Err returns the write failure that wedged the journal, or nil.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// MemLog is the in-memory journal target: an append-only byte buffer
+// safe for concurrent use, with snapshot and truncate hooks for crash
+// simulation.
+type MemLog struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+// Write appends p to the log.
+func (m *MemLog) Write(p []byte) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.buf.Write(p)
+}
+
+// Bytes returns a copy of the log contents.
+func (m *MemLog) Bytes() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]byte(nil), m.buf.Bytes()...)
+}
+
+// Len returns the current log length in bytes.
+func (m *MemLog) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.buf.Len()
+}
+
+// Truncate discards all but the first n bytes — the recovery step that
+// drops a torn tail before appending resumes.
+func (m *MemLog) Truncate(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.buf.Truncate(n)
+}
+
+// FileLog is the file-backed journal target. Every Write is followed by
+// an fsync, so an acknowledged record survives a process kill; the
+// checksummed framing handles the torn writes a mid-record kill leaves
+// behind.
+type FileLog struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenFileLog opens (creating if absent) the journal at path, parses its
+// longest valid record prefix, truncates any torn tail, and returns the
+// log positioned for appends together with the recovered records and
+// whether a tail was discarded.
+func OpenFileLog(path string) (*FileLog, []Record, bool, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, false, err
+	}
+	recs, consumed, torn := ReadJournal(data)
+	if torn {
+		if err := f.Truncate(int64(consumed)); err != nil {
+			f.Close()
+			return nil, nil, false, err
+		}
+	}
+	if _, err := f.Seek(int64(consumed), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, false, err
+	}
+	return &FileLog{f: f}, recs, torn, nil
+}
+
+// Write appends p and syncs it to stable storage.
+func (l *FileLog) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n, err := l.f.Write(p)
+	if err != nil {
+		return n, err
+	}
+	return n, l.f.Sync()
+}
+
+// Close closes the underlying file.
+func (l *FileLog) Close() error { return l.f.Close() }

@@ -1,0 +1,229 @@
+package resilience
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"path/filepath"
+	"testing"
+
+	"sharedopt/internal/econ"
+)
+
+func testRecords() []Record {
+	return []Record{
+		{Kind: KindServiceConfig, Game: "additive", Horizon: 3,
+			Opts: []OptCost{{ID: 1, Cost: econ.FromDollars(10)}}},
+		{Kind: KindAdditiveBid, User: 7, Opt: 1, Start: 1, End: 2,
+			Values: []econ.Money{econ.FromDollars(4), econ.FromDollars(4)}},
+		{Kind: KindAdvanceSlot},
+		{Kind: KindClosePeriod},
+	}
+}
+
+func appendAll(t *testing.T, j *Journal, recs []Record) {
+	t.Helper()
+	for _, rec := range recs {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	var m MemLog
+	j := NewJournal(&m)
+	want := testRecords()
+	appendAll(t, j, want)
+	if got := j.Seq(); got != uint64(len(want)) {
+		t.Fatalf("seq = %d, want %d", got, len(want))
+	}
+	recs, consumed, torn := ReadJournal(m.Bytes())
+	if torn {
+		t.Fatal("clean journal reported torn")
+	}
+	if consumed != m.Len() {
+		t.Fatalf("consumed %d of %d bytes", consumed, m.Len())
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(recs), len(want))
+	}
+	for i, rec := range recs {
+		if rec.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, rec.Seq)
+		}
+		want[i].Seq = rec.Seq
+		if rec.fingerprint() != want[i].fingerprint() {
+			t.Fatalf("record %d round-trip mismatch:\n got %+v\nwant %+v", i, rec, want[i])
+		}
+	}
+}
+
+// TestJournalTornTail verifies that any truncation point inside the
+// final record — from one byte up to one byte short of complete — is
+// detected via framing+checksum and discarded back to the last complete
+// record, for every record position in the journal.
+func TestJournalTornTail(t *testing.T) {
+	var m MemLog
+	appendAll(t, NewJournal(&m), testRecords())
+	data := m.Bytes()
+	bounds := recordBoundaries(data)
+	if len(bounds) != 4 {
+		t.Fatalf("expected 4 record boundaries, got %d", len(bounds))
+	}
+	prev := 0
+	for k, end := range bounds {
+		for _, cut := range []int{prev + 1, (prev + end) / 2, end - 1} {
+			if cut <= prev || cut >= end {
+				continue
+			}
+			recs, consumed, torn := ReadJournal(data[:cut])
+			if !torn {
+				t.Fatalf("cut at %d (record %d): not reported torn", cut, k)
+			}
+			if len(recs) != k {
+				t.Fatalf("cut at %d: recovered %d records, want %d", cut, len(recs), k)
+			}
+			if consumed != prev {
+				t.Fatalf("cut at %d: consumed %d, want %d", cut, consumed, prev)
+			}
+		}
+		prev = end
+	}
+}
+
+// TestJournalBitRot flips one payload byte mid-journal: the checksum
+// must reject the record and everything after it.
+func TestJournalBitRot(t *testing.T) {
+	var m MemLog
+	appendAll(t, NewJournal(&m), testRecords())
+	data := m.Bytes()
+	bounds := recordBoundaries(data)
+	// Corrupt a byte inside the second record's payload.
+	data[bounds[0]+12] ^= 0x40
+	recs, consumed, torn := ReadJournal(data)
+	if !torn || len(recs) != 1 || consumed != bounds[0] {
+		t.Fatalf("bit rot: got %d records, consumed=%d, torn=%v; want 1, %d, true",
+			len(recs), consumed, torn, bounds[0])
+	}
+}
+
+// TestJournalSeqGap rejects a record whose sequence number does not
+// continue the chain, even with a valid checksum.
+func TestJournalSeqGap(t *testing.T) {
+	var m MemLog
+	j := NewJournal(&m)
+	appendAll(t, j, testRecords()[:2])
+	// Append a record with a skipped sequence number by hand.
+	frame, err := encodeRecord(Record{Seq: 9, Kind: KindAdvanceSlot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, torn := ReadJournal(m.Bytes())
+	if !torn || len(recs) != 2 {
+		t.Fatalf("seq gap: got %d records, torn=%v; want 2, true", len(recs), torn)
+	}
+}
+
+// TestJournalShortWriteWedges drives a short write (n < len, nil error)
+// through Append: it must surface io.ErrShortWrite and wedge the
+// journal permanently.
+func TestJournalShortWriteWedges(t *testing.T) {
+	var m MemLog
+	fw := NewFaultWriter(&m, FaultPlan{Kind: FaultShort, Record: 1, Tear: 5})
+	j := NewJournal(fw)
+	recs := testRecords()
+	if err := j.Append(recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	err := j.Append(recs[1])
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("short write: got %v, want io.ErrShortWrite", err)
+	}
+	if err := j.Append(recs[2]); !errors.Is(err, ErrJournalBroken) {
+		t.Fatalf("append after failure: got %v, want ErrJournalBroken", err)
+	}
+	// The log ends in 5 bytes of torn record; replay discards them.
+	got, _, torn := ReadJournal(m.Bytes())
+	if !torn || len(got) != 1 {
+		t.Fatalf("after short write: %d records, torn=%v; want 1, true", len(got), torn)
+	}
+}
+
+func TestFileLogReopenTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bids.journal")
+	log, recs, torn, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 || torn {
+		t.Fatalf("fresh log: %d records, torn=%v", len(recs), torn)
+	}
+	j := NewJournal(log)
+	appendAll(t, j, testRecords()[:3])
+	// Tear the tail: append half a record's bytes directly.
+	frame, err := encodeRecord(Record{Seq: 4, Kind: KindClosePeriod})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.f.Write(frame[:len(frame)/2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	log2, recs2, torn2, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	if !torn2 || len(recs2) != 3 {
+		t.Fatalf("reopen: %d records, torn=%v; want 3, true", len(recs2), torn2)
+	}
+	// Appending resumes cleanly after the truncation.
+	j2 := NewJournalAt(log2, recs2[len(recs2)-1].Seq)
+	if err := j2.Append(Record{Kind: KindClosePeriod}); err != nil {
+		t.Fatal(err)
+	}
+	log3, recs3, torn3, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log3.Close()
+	if torn3 || len(recs3) != 4 {
+		t.Fatalf("after resume: %d records, torn=%v; want 4, false", len(recs3), torn3)
+	}
+	if recs3[3].Seq != 4 || recs3[3].Kind != KindClosePeriod {
+		t.Fatalf("resumed record = %+v", recs3[3])
+	}
+}
+
+func TestMemLogTruncate(t *testing.T) {
+	var m MemLog
+	appendAll(t, NewJournal(&m), testRecords())
+	bounds := recordBoundaries(m.Bytes())
+	m.Truncate(bounds[1])
+	recs, _, torn := ReadJournal(m.Bytes())
+	if torn || len(recs) != 2 {
+		t.Fatalf("after truncate: %d records, torn=%v", len(recs), torn)
+	}
+}
+
+// recordBoundaries returns the byte offset just past each
+// newline-terminated record of a journal image.
+func recordBoundaries(data []byte) []int {
+	var bounds []int
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break
+		}
+		off += nl + 1
+		bounds = append(bounds, off)
+	}
+	return bounds
+}

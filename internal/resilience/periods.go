@@ -1,0 +1,161 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"sharedopt"
+)
+
+// JournaledPeriodManager runs successive journaled pricing periods over
+// one append-only log: a manager-config record, then per period one
+// start record (carrying the recomputed costs) followed by that period's
+// bid/advance/close records. Recovery replays the whole sequence through
+// a fresh PeriodManager, so harvested totals and the implemented set are
+// reproduced exactly along with every period's invoices.
+type JournaledPeriodManager struct {
+	mu  sync.Mutex
+	pm  *sharedopt.PeriodManager
+	j   *Journal
+	cur *JournaledService
+}
+
+// NewJournaledPeriodManager opens a fresh journaled period sequence on
+// w, writing the manager-config record (kind, horizon, base catalog)
+// before returning. policy recomputes costs each period exactly as in
+// sharedopt.NewPeriodManager; it must be deterministic — recovery
+// re-runs it and verifies the recomputed costs against the journaled
+// ones.
+func NewJournaledPeriodManager(kind sharedopt.GameKind, catalog []sharedopt.Optimization, horizon sharedopt.Slot, policy sharedopt.CostPolicy, w io.Writer) (*JournaledPeriodManager, error) {
+	pm, err := sharedopt.NewPeriodManager(kind, catalog, horizon, policy)
+	if err != nil {
+		return nil, err
+	}
+	j := NewJournal(w)
+	if err := j.Append(Record{
+		Kind:    KindManagerConfig,
+		Game:    gameName(kind),
+		Horizon: horizon,
+		Opts:    optCosts(catalog),
+	}); err != nil {
+		return nil, err
+	}
+	return &JournaledPeriodManager{pm: pm, j: j}, nil
+}
+
+// StartPeriod journals and opens the next pricing period, returning its
+// journaled service. All of the period's mutations must go through that
+// service so they land in the manager's log.
+func (m *JournaledPeriodManager) StartPeriod() (*JournaledService, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.j.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrJournalBroken, err)
+	}
+	svc, err := m.pm.StartPeriod()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.j.Append(Record{
+		Kind:   KindStartPeriod,
+		Period: m.pm.Period(),
+		Opts:   optCosts(svc.Optimizations()),
+	}); err != nil {
+		return nil, err
+	}
+	m.cur = newJournaledOn(svc, m.j)
+	return m.cur, nil
+}
+
+// Current returns the journaled service of the open (or last-started)
+// period, nil before the first StartPeriod.
+func (m *JournaledPeriodManager) Current() *JournaledService {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cur
+}
+
+// Period returns the 1-based index of the current (or last) period.
+func (m *JournaledPeriodManager) Period() int { return m.pm.Period() }
+
+// Totals returns revenue and cost accumulated over finished periods.
+func (m *JournaledPeriodManager) Totals() (revenue, cost sharedopt.Money) { return m.pm.Totals() }
+
+// Implemented returns the optimizations harvested as implemented from
+// finished periods, in ascending ID order.
+func (m *JournaledPeriodManager) Implemented() []sharedopt.OptID { return m.pm.Implemented() }
+
+// Broken returns the journal failure wedging this manager, or nil.
+func (m *JournaledPeriodManager) Broken() error { return m.j.Err() }
+
+// ErrPolicyDiverged is returned by RecoverPeriodManager when replaying
+// the cost policy yields different period costs than the journal
+// recorded — the policy is not deterministic (or not the one the journal
+// was written under), so the replayed economics would silently diverge
+// from what users were actually charged.
+var ErrPolicyDiverged = errors.New("resilience: cost policy diverged from journaled period costs")
+
+// RecoverPeriodManager rebuilds a journaled period manager by replaying
+// recs (the valid prefix from ReadJournal or OpenFileLog) with the given
+// policy, resuming appends on w. Every start record's journaled costs
+// are checked against the policy's recomputation; any mismatch fails
+// with ErrPolicyDiverged. The recovered manager's totals, implemented
+// set, and the open period's full service state are byte-identical to
+// the pre-crash manager's.
+func RecoverPeriodManager(recs []Record, policy sharedopt.CostPolicy, w io.Writer) (*JournaledPeriodManager, error) {
+	if len(recs) == 0 {
+		return nil, ErrEmptyJournal
+	}
+	cfg := recs[0]
+	if cfg.Kind != KindManagerConfig {
+		return nil, fmt.Errorf("resilience: journal opens with %s record, want %s", cfg.Kind, KindManagerConfig)
+	}
+	kind, err := gameKind(cfg.Game)
+	if err != nil {
+		return nil, err
+	}
+	pm, err := sharedopt.NewPeriodManager(kind, catalogOf(cfg.Opts), cfg.Horizon, policy)
+	if err != nil {
+		return nil, fmt.Errorf("resilience: corrupt journal: config rejected: %w", err)
+	}
+	m := &JournaledPeriodManager{pm: pm, j: NewJournalAt(w, recs[len(recs)-1].Seq)}
+	for _, rec := range recs[1:] {
+		if rec.Kind == KindStartPeriod {
+			svc, err := pm.StartPeriod()
+			if err != nil {
+				return nil, errCorrupt(rec, err)
+			}
+			if err := verifyPeriodCosts(rec, svc.Optimizations()); err != nil {
+				return nil, err
+			}
+			m.cur = newJournaledOn(svc, m.j)
+			continue
+		}
+		if m.cur == nil {
+			return nil, fmt.Errorf("resilience: corrupt journal: %s record %d before any start record", rec.Kind, rec.Seq)
+		}
+		if err := m.cur.applyRecord(rec); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// verifyPeriodCosts checks a start record's journaled costs against the
+// catalog the replayed policy produced.
+func verifyPeriodCosts(rec Record, got []sharedopt.Optimization) error {
+	if len(got) != len(rec.Opts) {
+		return fmt.Errorf("%w: period %d has %d optimizations, journal recorded %d",
+			ErrPolicyDiverged, rec.Period, len(got), len(rec.Opts))
+	}
+	for i, o := range got {
+		want := rec.Opts[i]
+		if o.ID != want.ID || o.Cost != want.Cost {
+			return fmt.Errorf("%w: period %d optimization %d repriced to %v, journal recorded %d at %v",
+				ErrPolicyDiverged, rec.Period, o.ID, o.Cost, want.ID, want.Cost)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Backoff configures Retry's capped exponential backoff. The zero value
+// means 8 attempts starting at 1ms and doubling up to a 100ms cap.
+type Backoff struct {
+	// Attempts is the maximum number of tries (including the first).
+	Attempts int
+	// Base is the delay before the second attempt; it doubles per
+	// retry.
+	Base time.Duration
+	// Cap bounds the delay between attempts.
+	Cap time.Duration
+	// Sleep overrides the inter-attempt wait, for tests. nil uses a
+	// real timer that also honors context cancellation.
+	Sleep func(time.Duration)
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Attempts <= 0 {
+		b.Attempts = 8
+	}
+	if b.Base <= 0 {
+		b.Base = time.Millisecond
+	}
+	if b.Cap <= 0 {
+		b.Cap = 100 * time.Millisecond
+	}
+	return b
+}
+
+// Retryable reports whether err is worth retrying: admission-control
+// rejections (ErrOverloaded) are transient by construction. Mechanism
+// rejections, ErrJournalBroken and ErrClosed are permanent. Retrying a
+// submission that may or may not have been applied is safe against a
+// journaled service because duplicate submissions are idempotent no-ops.
+func Retryable(err error) bool { return errors.Is(err, ErrOverloaded) }
+
+// Retry runs op until it succeeds, fails permanently, exhausts
+// b.Attempts, or ctx ends — whichever comes first — sleeping a capped
+// exponential backoff between attempts. The returned error wraps the
+// last attempt's error, so errors.Is still matches it.
+func Retry(ctx context.Context, b Backoff, op func() error) error {
+	b = b.withDefaults()
+	delay := b.Base
+	var err error
+	for attempt := 1; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if err == nil {
+				return cerr
+			}
+			return fmt.Errorf("resilience: %d attempts, then %w (last error: %w)", attempt-1, cerr, err)
+		}
+		err = op()
+		if err == nil || !Retryable(err) {
+			return err
+		}
+		if attempt >= b.Attempts {
+			return fmt.Errorf("resilience: gave up after %d attempts: %w", attempt, err)
+		}
+		if b.Sleep != nil {
+			b.Sleep(delay)
+		} else {
+			t := time.NewTimer(delay)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+			}
+		}
+		if delay *= 2; delay > b.Cap {
+			delay = b.Cap
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"sharedopt/internal/core"
+)
+
+// TestRetryBackoffSchedule checks the capped doubling schedule without
+// real sleeping.
+func TestRetryBackoffSchedule(t *testing.T) {
+	var delays []time.Duration
+	b := Backoff{
+		Attempts: 6,
+		Base:     time.Millisecond,
+		Cap:      4 * time.Millisecond,
+		Sleep:    func(d time.Duration) { delays = append(delays, d) },
+	}
+	calls := 0
+	err := Retry(context.Background(), b, func() error { calls++; return ErrOverloaded })
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("exhausted retry: %v", err)
+	}
+	if calls != 6 {
+		t.Fatalf("made %d attempts, want 6", calls)
+	}
+	want := []time.Duration{1, 2, 4, 4, 4}
+	for i := range want {
+		want[i] *= time.Millisecond
+	}
+	if len(delays) != len(want) {
+		t.Fatalf("slept %d times, want %d", len(delays), len(want))
+	}
+	for i, d := range delays {
+		if d != want[i] {
+			t.Fatalf("delay %d = %v, want %v", i, d, want[i])
+		}
+	}
+}
+
+// TestRetrySucceedsAfterTransientOverload clears the overload after two
+// attempts.
+func TestRetrySucceedsAfterTransientOverload(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), Backoff{Sleep: func(time.Duration) {}}, func() error {
+		if calls++; calls < 3 {
+			return ErrOverloaded
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want nil after 3", err, calls)
+	}
+}
+
+// TestRetryStopsOnPermanentError never retries mechanism rejections.
+func TestRetryStopsOnPermanentError(t *testing.T) {
+	permanent := errors.New("bid is retroactive")
+	calls := 0
+	err := Retry(context.Background(), Backoff{Sleep: func(time.Duration) {}}, func() error {
+		calls++
+		return permanent
+	})
+	if !errors.Is(err, permanent) || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want the permanent error after 1 call", err, calls)
+	}
+	for _, e := range []error{ErrJournalBroken, ErrClosed, permanent, nil} {
+		if Retryable(e) {
+			t.Fatalf("Retryable(%v) = true", e)
+		}
+	}
+	if !Retryable(ErrOverloaded) {
+		t.Fatal("Retryable(ErrOverloaded) = false")
+	}
+}
+
+// TestRetryHonorsContext stops when the context is cancelled between
+// attempts and still reports the last error via errors.Is.
+func TestRetryHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Retry(ctx, Backoff{Attempts: 50, Sleep: func(time.Duration) {
+		if calls == 2 {
+			cancel()
+		}
+	}}, func() error {
+		calls++
+		return ErrOverloaded
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled retry: %v", err)
+	}
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("cancelled retry should wrap the last attempt error: %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("made %d calls after cancellation, want 2", calls)
+	}
+}
+
+// TestRetryAgainstSaturatedIngest is the integration case the contract
+// promises: a blind retry loop against a saturated front end eventually
+// lands its bid exactly once.
+func TestRetryAgainstSaturatedIngest(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 64)
+	in, js, m := newIngestFixture(t, 1, func() { entered <- struct{}{}; <-gate })
+
+	// Saturate: one bid parked in the worker, one in the queue.
+	for u := 100; u < 102; u++ {
+		go in.SubmitAdditive(1, bidFor(core.UserID(u)))
+	}
+	<-entered
+
+	done := make(chan error, 1)
+	go func() {
+		done <- Retry(context.Background(),
+			Backoff{Attempts: 1000, Sleep: func(time.Duration) { time.Sleep(100 * time.Microsecond) }},
+			func() error { return in.SubmitAdditive(1, bidFor(7)) })
+	}()
+	// Give the retry loop time to bounce off the full queue, then drain.
+	time.Sleep(5 * time.Millisecond)
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatalf("retried submission never landed: %v", err)
+	}
+	st := in.Stats()
+	if st.Overloaded == 0 {
+		t.Fatal("retry test never saw ErrOverloaded")
+	}
+	in.Close()
+	// Exactly one journal record for user 7 despite the blind retries.
+	recs, _, torn := ReadJournal(m.Bytes())
+	if torn {
+		t.Fatal("journal torn")
+	}
+	got := 0
+	for _, r := range recs {
+		if r.Kind == KindAdditiveBid && r.User == 7 {
+			got++
+		}
+	}
+	if got != 1 {
+		t.Fatalf("user 7 journaled %d times, want exactly 1", got)
+	}
+	if js.Broken() != nil {
+		t.Fatal("journal wedged during retry test")
+	}
+}

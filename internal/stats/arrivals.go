@@ -58,6 +58,23 @@ func (a ArrivalProcess) Arrival(r *RNG, slots int) int {
 	}
 }
 
+// Interarrivals draws n exponential interarrival gaps with the given
+// mean, the waiting times of a Poisson arrival process. Load generators
+// use it to drive open-loop request schedules: sleeping each gap before
+// the next submission yields arrivals whose burstiness is controlled by
+// mean alone, reproducibly from the RNG seed. It panics if n < 0 or
+// mean <= 0.
+func Interarrivals(r *RNG, n int, mean float64) []float64 {
+	if n < 0 || mean <= 0 {
+		panic("stats: Interarrivals needs n >= 0 and mean > 0")
+	}
+	gaps := make([]float64, n)
+	for i := range gaps {
+		gaps[i] = r.ExpFloat64(mean)
+	}
+	return gaps
+}
+
 func clampSlot(s, slots int) int {
 	if s < 1 {
 		return 1

@@ -93,6 +93,49 @@ func TestArrivalPanicsOnNoSlots(t *testing.T) {
 	ArrivalUniform.Arrival(r, 0)
 }
 
+func TestInterarrivalsMeanAndDeterminism(t *testing.T) {
+	const n, mean = 20000, 3.5
+	gaps := Interarrivals(NewRNG(53), n, mean)
+	if len(gaps) != n {
+		t.Fatalf("got %d gaps, want %d", len(gaps), n)
+	}
+	var s Summary
+	for _, g := range gaps {
+		if g < 0 {
+			t.Fatalf("negative interarrival gap %v", g)
+		}
+		s.Add(g)
+	}
+	if m := s.Mean(); m < mean*0.95 || m > mean*1.05 {
+		t.Errorf("sample mean %v, want ≈ %v", m, mean)
+	}
+	again := Interarrivals(NewRNG(53), n, mean)
+	for i := range gaps {
+		if gaps[i] != again[i] {
+			t.Fatalf("gap %d differs across same-seed draws: %v vs %v", i, gaps[i], again[i])
+		}
+	}
+}
+
+func TestInterarrivalsPanicsOnBadArgs(t *testing.T) {
+	for name, call := range map[string]func(){
+		"negative n": func() { Interarrivals(NewRNG(1), -1, 1) },
+		"zero mean":  func() { Interarrivals(NewRNG(1), 5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			call()
+		}()
+	}
+	if got := Interarrivals(NewRNG(1), 0, 1); len(got) != 0 {
+		t.Errorf("n=0: got %d gaps", len(got))
+	}
+}
+
 func TestArrivalProcessString(t *testing.T) {
 	cases := map[ArrivalProcess]string{
 		ArrivalUniform:    "Uniform",

@@ -3,6 +3,7 @@ package sharedopt
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -162,6 +163,10 @@ func (s *Service) closedNow() bool {
 func (s *Service) implementedNow(opt OptID) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.implementedLocked(opt)
+}
+
+func (s *Service) implementedLocked(opt OptID) bool {
 	if s.kind == Additive {
 		game, ok := s.additive.Game(opt)
 		if !ok {
@@ -172,4 +177,19 @@ func (s *Service) implementedNow(opt OptID) bool {
 	}
 	_, implemented := s.subst.Implemented(opt)
 	return implemented
+}
+
+// Implemented returns the optimizations carried as implemented into the
+// next period's cost recomputation, in ascending ID order. It reflects
+// *finished* periods only, like Totals: the current period's
+// implementations are harvested by the next StartPeriod.
+func (pm *PeriodManager) Implemented() []OptID {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	out := make([]OptID, 0, len(pm.implemented))
+	for id := range pm.implemented {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }

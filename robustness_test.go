@@ -1,0 +1,283 @@
+package sharedopt
+
+// Robustness tests for the service layer: the torn-read regression test
+// for Surplus and the period-boundary edges (close idempotency, every
+// ErrPeriodOver path, StartPeriod while open, implemented harvest after
+// an early close) the durable pricing tier leans on.
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// surplusHammerService builds a service where every AdvanceSlot
+// atomically adds $10 of cost AND $10 of revenue: opt t is implemented in
+// slot t by a single-slot bidder who departs the same slot paying the
+// whole cost. A consistent surplus is 0 after every slot; only a torn
+// read (revenue from before an advance, cost from after) can observe a
+// negative value.
+func surplusHammerService(t *testing.T, horizon Slot) *Service {
+	t.Helper()
+	opts := make([]Optimization, horizon)
+	for i := range opts {
+		opts[i] = Optimization{ID: OptID(i + 1), Cost: FromDollars(10)}
+	}
+	svc, err := NewAdditiveService(opts, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := Slot(1); s <= horizon; s++ {
+		if err := svc.SubmitAdditiveBid(OptID(s), OnlineBid{
+			User: UserID(s), Start: s, End: s, Values: []Money{FromDollars(10)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return svc
+}
+
+// TestSurplusNoTornRead hammers Surplus from concurrent readers while
+// slots advance. Before Surplus computed both sides under one lock, the
+// reader could interleave with an AdvanceSlot between the Revenue and
+// CostIncurred reads and see surplus = -$10 — a state that never existed.
+// Run with -race to also certify the synchronization.
+func TestSurplusNoTornRead(t *testing.T) {
+	const horizon = 200
+	svc := surplusHammerService(t, horizon)
+
+	var stop atomic.Bool
+	var negatives atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if svc.Surplus() < 0 {
+					negatives.Add(1)
+				}
+			}
+		}()
+	}
+	for s := 0; s < horizon; s++ {
+		if _, err := svc.AdvanceSlot(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if n := negatives.Load(); n != 0 {
+		t.Fatalf("observed %d transiently negative surplus reads", n)
+	}
+	if got := svc.Surplus(); got != 0 {
+		t.Fatalf("final surplus = %v, want 0", got)
+	}
+}
+
+func TestClosePeriodIdempotent(t *testing.T) {
+	svc, err := NewAdditiveService([]Optimization{{ID: 1, Cost: FromDollars(10)}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.SubmitAdditiveBid(1, OnlineBid{
+		User: 7, Start: 1, End: 3, Values: []Money{FromDollars(5), FromDollars(5), FromDollars(5)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.AdvanceSlot(); err != nil {
+		t.Fatal(err)
+	}
+	first, err := svc.ClosePeriod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := first[7]; got != FromDollars(10) {
+		t.Fatalf("first close charged user 7 %v, want $10.00", got)
+	}
+	if !svc.Closed() {
+		t.Fatal("service not closed after ClosePeriod")
+	}
+	second, err := svc.ClosePeriod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second) != 0 {
+		t.Fatalf("second close charged %v, want nothing", second)
+	}
+	if got, _ := svc.Invoice(7); got != FromDollars(10) {
+		t.Fatalf("invoice after double close = %v, want $10.00", got)
+	}
+}
+
+// TestErrPeriodOverPaths drives every mutating entry point of both
+// service kinds into a finished period — ended early by ClosePeriod and
+// naturally by advancing through the full horizon — and requires the
+// typed ErrPeriodOver from each.
+func TestErrPeriodOverPaths(t *testing.T) {
+	newAdditive := func(t *testing.T) *Service {
+		svc, err := NewAdditiveService([]Optimization{{ID: 1, Cost: FromDollars(10)}}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return svc
+	}
+	newSubst := func(t *testing.T) *Service {
+		svc, err := NewSubstitutiveService([]Optimization{{ID: 1, Cost: FromDollars(10)}}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return svc
+	}
+	endEarly := func(t *testing.T, svc *Service) {
+		if _, err := svc.ClosePeriod(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	endNaturally := func(t *testing.T, svc *Service) {
+		for i := 0; i < 2; i++ {
+			if _, err := svc.AdvanceSlot(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	cases := []struct {
+		name string
+		make func(t *testing.T) *Service
+		end  func(t *testing.T, svc *Service)
+		op   func(svc *Service) error
+	}{
+		{"additive bid after close", newAdditive, endEarly, func(svc *Service) error {
+			return svc.SubmitAdditiveBid(1, OnlineBid{User: 1, Start: 1, End: 1, Values: []Money{Dollar}})
+		}},
+		{"additive bid after horizon", newAdditive, endNaturally, func(svc *Service) error {
+			return svc.SubmitAdditiveBid(1, OnlineBid{User: 1, Start: 3, End: 3, Values: []Money{Dollar}})
+		}},
+		{"additive advance after close", newAdditive, endEarly, func(svc *Service) error {
+			_, err := svc.AdvanceSlot()
+			return err
+		}},
+		{"additive advance after horizon", newAdditive, endNaturally, func(svc *Service) error {
+			_, err := svc.AdvanceSlot()
+			return err
+		}},
+		{"substitutive bid after close", newSubst, endEarly, func(svc *Service) error {
+			return svc.SubmitSubstitutiveBid(OnlineSubstBid{User: 1, Opts: []OptID{1}, Start: 1, End: 1, Values: []Money{Dollar}})
+		}},
+		{"substitutive bid after horizon", newSubst, endNaturally, func(svc *Service) error {
+			return svc.SubmitSubstitutiveBid(OnlineSubstBid{User: 1, Opts: []OptID{1}, Start: 3, End: 3, Values: []Money{Dollar}})
+		}},
+		{"substitutive advance after close", newSubst, endEarly, func(svc *Service) error {
+			_, err := svc.AdvanceSlot()
+			return err
+		}},
+		{"substitutive advance after horizon", newSubst, endNaturally, func(svc *Service) error {
+			_, err := svc.AdvanceSlot()
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			svc := tc.make(t)
+			tc.end(t, svc)
+			if err := tc.op(svc); !errors.Is(err, ErrPeriodOver) {
+				t.Fatalf("got %v, want ErrPeriodOver", err)
+			}
+		})
+	}
+}
+
+func TestStartPeriodWhileOpen(t *testing.T) {
+	catalog := []Optimization{{ID: 1, Cost: FromDollars(10)}}
+	pm, err := NewPeriodManager(Additive, catalog, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := pm.StartPeriod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Still open: zero and one of two slots processed.
+	if _, err := pm.StartPeriod(); !errors.Is(err, ErrPeriodOpen) {
+		t.Fatalf("StartPeriod on fresh period: got %v, want ErrPeriodOpen", err)
+	}
+	if _, err := svc.AdvanceSlot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pm.StartPeriod(); !errors.Is(err, ErrPeriodOpen) {
+		t.Fatalf("StartPeriod mid-period: got %v, want ErrPeriodOpen", err)
+	}
+	// Ended early: the next period may start.
+	if _, err := svc.ClosePeriod(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pm.StartPeriod(); err != nil {
+		t.Fatalf("StartPeriod after close: %v", err)
+	}
+	if got := pm.Period(); got != 2 {
+		t.Fatalf("period = %d, want 2", got)
+	}
+}
+
+// TestImplementedHarvestAfterEarlyClose implements an optimization, ends
+// the period early with ClosePeriod, and checks the next StartPeriod
+// still harvests the implementation: the maintenance discount applies
+// and PeriodManager.Implemented reports the carry-over.
+func TestImplementedHarvestAfterEarlyClose(t *testing.T) {
+	catalog := []Optimization{
+		{ID: 1, Cost: FromDollars(10)},
+		{ID: 2, Cost: FromDollars(10)},
+	}
+	policy, err := MaintenanceDiscount(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := NewPeriodManager(Additive, catalog, 3, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := pm.StartPeriod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Implement opt 1 in slot 1 (opt 2 draws no bids), then close early
+	// with two horizon slots still unprocessed.
+	if err := svc.SubmitAdditiveBid(1, OnlineBid{
+		User: 5, Start: 1, End: 1, Values: []Money{FromDollars(12)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.AdvanceSlot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.ClosePeriod(); err != nil {
+		t.Fatal(err)
+	}
+	if got := pm.Implemented(); len(got) != 0 {
+		t.Fatalf("Implemented before harvest = %v, want empty (finished periods only)", got)
+	}
+	svc2, err := pm.StartPeriod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pm.Implemented()
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Implemented after harvest = %v, want [1]", got)
+	}
+	opts := svc2.Optimizations()
+	if len(opts) != 2 {
+		t.Fatalf("period 2 catalog has %d opts, want 2", len(opts))
+	}
+	if opts[0].ID != 1 || opts[0].Cost != FromDollars(5) {
+		t.Fatalf("opt 1 period-2 cost = %v, want discounted $5.00", opts[0].Cost)
+	}
+	if opts[1].ID != 2 || opts[1].Cost != FromDollars(10) {
+		t.Fatalf("opt 2 period-2 cost = %v, want full $10.00", opts[1].Cost)
+	}
+	revenue, cost := pm.Totals()
+	if revenue != FromDollars(10) || cost != FromDollars(10) {
+		t.Fatalf("totals = (%v, %v), want ($10.00, $10.00)", revenue, cost)
+	}
+}

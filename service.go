@@ -214,10 +214,25 @@ func (s *Service) Invoice(u UserID) (Money, bool) {
 	return p, ok
 }
 
+// Invoices returns a copy of every settled user's total charged payments.
+func (s *Service) Invoices() map[UserID]Money {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[UserID]Money, len(s.invoices))
+	for u, p := range s.invoices {
+		out[u] = p
+	}
+	return out
+}
+
 // Revenue returns the total payments charged so far.
 func (s *Service) Revenue() Money {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.revenueLocked()
+}
+
+func (s *Service) revenueLocked() Money {
 	var total Money
 	for _, p := range s.invoices {
 		total += p
@@ -229,6 +244,10 @@ func (s *Service) Revenue() Money {
 func (s *Service) CostIncurred() Money {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.costLocked()
+}
+
+func (s *Service) costLocked() Money {
 	if s.kind == Additive {
 		return s.additive.CostIncurred()
 	}
@@ -236,7 +255,50 @@ func (s *Service) CostIncurred() Money {
 }
 
 // Surplus returns Revenue − CostIncurred. The mechanisms guarantee it is
-// never negative once the period is over.
+// never negative once the period is over. Both sides are read under one
+// lock acquisition: reading them through Revenue and CostIncurred
+// separately would let a concurrent AdvanceSlot implement an optimization
+// between the two reads and yield a transiently negative surplus that no
+// consistent state ever had.
 func (s *Service) Surplus() Money {
-	return s.Revenue() - s.CostIncurred()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.revenueLocked() - s.costLocked()
+}
+
+// Closed reports whether the pricing period has ended (all horizon slots
+// processed, or ClosePeriod called).
+func (s *Service) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Optimizations returns the service's optimization catalog with this
+// period's costs, in ascending ID order.
+func (s *Service) Optimizations() []Optimization {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.optimizationsLocked()
+}
+
+// ImplementedOpts returns the optimizations implemented so far this
+// period, in ascending ID order.
+func (s *Service) ImplementedOpts() []OptID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []OptID
+	for _, o := range s.optimizationsLocked() {
+		if s.implementedLocked(o.ID) {
+			out = append(out, o.ID)
+		}
+	}
+	return out
+}
+
+func (s *Service) optimizationsLocked() []Optimization {
+	if s.kind == Additive {
+		return s.additive.Optimizations()
+	}
+	return s.subst.Optimizations()
 }
