@@ -111,6 +111,16 @@ func BenchmarkServiceGameJournaled(b *testing.B) { benchkit.ServiceGame(true)(b)
 // bounded admission queue into a journaled service, retries included.
 func BenchmarkIngestThroughput(b *testing.B) { benchkit.IngestThroughput()(b) }
 
+// BenchmarkShardedIngest1 measures sustained concurrent intake through
+// the sharded durable tier with a single shard — the baseline of the
+// sharded4-vs-single pair gate. Reports bids/s and p99 slot-advance
+// latency alongside ns/op.
+func BenchmarkShardedIngest1(b *testing.B) { benchkit.ShardedIngestThroughput(1)(b) }
+
+// BenchmarkShardedIngest4 measures the same workload over four shards,
+// each journaling independently.
+func BenchmarkShardedIngest4(b *testing.B) { benchkit.ShardedIngestThroughput(4)(b) }
+
 // BenchmarkEngineHashJoin measures a 10k × 10k hash join plus grouped
 // count through the columnar query engine.
 func BenchmarkEngineHashJoin(b *testing.B) { benchkit.EngineHashJoin()(b) }

@@ -81,6 +81,7 @@ func TestKeyBenchmarksRegistered(t *testing.T) {
 		"Shapley1k": true, "Shapley10k": true, "Shapley100k": true,
 		"AddOnGame": true, "SubstOnGame": true,
 		"ServiceGame": true, "ServiceGameJournaled": true, "IngestThroughput": true,
+		"ShardedIngest1": true, "ShardedIngest4": true,
 		"EngineHashJoin": true, "EngineHashJoinParallel4": true,
 		"EngineBuildJoin": true, "EngineBuildJoinParallel4": true,
 		"EngineOrderBy": true, "EngineOrderByParallel4": true,

@@ -1,9 +1,12 @@
 package benchkit
 
 import (
+	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"sharedopt"
 	"sharedopt/internal/core"
@@ -152,5 +155,77 @@ func IngestThroughput() func(b *testing.B) {
 				b.Fatalf("accepted %d of %d bids", st.Accepted, total)
 			}
 		}
+	}
+}
+
+// ShardedIngestThroughput returns the benchmark body for the sharded
+// durable tier under sustained concurrent intake: GOMAXPROCS submitters
+// drive 4 waves of 256 single-slot bids each into a ShardedService with
+// the given shard count (each shard journaling to its own MemLog), with
+// a timed AdvanceSlot settling every wave. Besides ns/op it reports the
+// sustained intake rate ("bids/s") and the p99 slot-advance latency
+// ("p99-adv-ns") — the two service-level numbers the sharded tier
+// exists to improve, tracked via Result.Extra in the BENCH_*.json
+// trajectory. The shards=1 body is the single-journal baseline the
+// sharded4 pair gate holds the 4-shard body against: identical workload
+// and settlement, only the intake journal count differs.
+func ShardedIngestThroughput(shards int) func(b *testing.B) {
+	return func(b *testing.B) {
+		const perWave, waves = 256, 4
+		catalog := []sharedopt.Optimization{{ID: 1, Cost: econ.FromDollars(50)}}
+		workers := runtime.GOMAXPROCS(0)
+		var advNs []float64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			writers := make([]io.Writer, shards)
+			for s := range writers {
+				writers[s] = new(resilience.MemLog)
+			}
+			ss, err := resilience.NewShardedService(sharedopt.Additive, catalog,
+				core.Slot(waves), writers, resilience.ShardedConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var next atomic.Int64
+			for wave := 1; wave <= waves; wave++ {
+				slot := core.Slot(wave)
+				hi := int64(wave * perWave)
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for {
+							u := next.Add(1)
+							if u > hi {
+								return
+							}
+							if err := ss.SubmitAdditiveBid(1, core.OnlineBid{
+								User: core.UserID(u), Start: slot, End: slot,
+								Values: []econ.Money{econ.Dollar},
+							}); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				start := time.Now()
+				if _, err := ss.AdvanceSlot(); err != nil {
+					b.Fatal(err)
+				}
+				advNs = append(advNs, float64(time.Since(start).Nanoseconds()))
+			}
+			if got := ss.Invoices(); len(got) == 0 {
+				b.Fatal("no user was invoiced")
+			}
+		}
+		b.StopTimer()
+		if e := b.Elapsed(); e > 0 {
+			b.ReportMetric(float64(b.N*perWave*waves)/e.Seconds(), "bids/s")
+		}
+		b.ReportMetric(stats.Percentile(advNs, 0.99), "p99-adv-ns")
 	}
 }

@@ -1,7 +1,8 @@
 // Package resilience is the fault-tolerant front end around the pricing
 // tier: a checksummed bid journal, deterministic crash recovery, a
-// bounded-queue ingestion layer with admission control, and seeded fault
-// injection for testing all of it.
+// bounded-queue ingestion layer with admission control, a sharded
+// durable tier with per-shard journals and partial-failure degradation,
+// and seeded fault injection for testing all of it.
 //
 // The paper's guarantees — truthfulness and exact cost recovery — are
 // economic statements about the set of accepted bids. A provider that
@@ -57,12 +58,46 @@
 // operation's fate is unknown (exactly as after a crash) and the caller
 // resynchronizes from Now or the journal.
 //
+// # Sharded tier
+//
+// ShardedService partitions durable intake across N shards, each
+// wrapping its own JournaledService with its own journal and sequence
+// numbers. ShardFor routes each user to one shard by a fixed hash, so
+// a user's bids — and any conflicting revisions — always meet the same
+// journal. Shards validate, journal, and batch bids independently
+// (submitters serialize only per shard); slot settlement then folds
+// every shard's batch into a single derived settlement service in
+// shard-index order, bids within a shard in journal order. Because the
+// mechanisms price the per-window accepted-bid SET, invoices, revenue,
+// surplus, and the implemented set are byte-identical to a one-shard
+// tier at any N — property-tested at N ∈ {1, 2, 4, 8}.
+//
+// Failure degrades per shard: the first journal failure (or a bid that
+// settles inconsistently, ErrPolicyDiverged) wedges only that shard,
+// whose users get the typed ErrShardWedged (read-only) while every
+// other shard keeps accepting; ShardCounters carries the exact
+// accounting. Only when every shard is wedged does the tier refuse to
+// advance, with ErrJournalBroken. RecoverShardedService rebuilds the
+// tier from the N surviving journals (any subset torn or truncated):
+// each shard's accepted prefix replays independently, then the slot
+// frontiers reconcile — the maximum durable frontier wins, shards
+// behind it roll forward deterministically by re-journaling the
+// missing markers, and their stranded tail bids settle in exactly the
+// window the live tier would have folded them into. Double recovery of
+// the same journals is byte-identical, wedged set included.
+//
 // # Fault injection
 //
 // FaultWriter executes a FaultPlan — a clean write error, a short write
 // with a lying nil error, or a mid-record crash that tears the tail and
 // kills all later writes — against any journal target, and RandomPlan
-// draws seeded schedules for sweeps. cmd/pricer's chaos mode drives
-// randomized workloads through ingestion + journal + recovery under
-// these plans and asserts the invariants above on every schedule.
+// draws seeded schedules for sweeps. For the sharded tier,
+// RandomShardPlans draws one independent plan per shard, and CrashGroup
+// links the per-shard writers into one simulated process: any member
+// crash (or a global write budget, KillAtWrite) stops every journal at
+// the same instant, tearing at most one record on one shard — the
+// cross-shard interleaving crash recovery must reconcile. cmd/pricer's
+// chaos mode drives randomized workloads through ingestion + journal +
+// recovery (single and sharded) under these plans and asserts the
+// invariants above on every schedule.
 package resilience

@@ -89,6 +89,89 @@ func RandomPlan(seed uint64, records int) FaultPlan {
 	return plan
 }
 
+// RandomShardPlans draws one independent fault schedule per shard from
+// a single seed: each shard's journal suffers (at most) its own fault,
+// at its own record index — the partial-failure regime the sharded tier
+// must degrade under. Deterministic by (seed, shards, records).
+func RandomShardPlans(seed uint64, shards, records int) []FaultPlan {
+	r := stats.NewRNG(seed)
+	plans := make([]FaultPlan, shards)
+	for i := range plans {
+		plans[i] = RandomPlan(r.Uint64(), records)
+	}
+	return plans
+}
+
+// CrashGroup links the FaultWriters of one simulated process: when any
+// member crashes — its own plan's FaultCrash, or the group-wide KillAt
+// write budget running out — every member fails all later writes with
+// ErrCrashed. That is process-death semantics: a kill tears at most one
+// record on one shard's journal but stops all of them at the same
+// instant, which is exactly the cross-shard interleaving crash the
+// sharded recovery must reconcile.
+type CrashGroup struct {
+	mu      sync.Mutex
+	crashed bool
+	writes  int
+	killAt  int
+	tear    int
+}
+
+// NewCrashGroup returns a group that only crashes via member FaultCrash
+// plans (no global write budget).
+func NewCrashGroup() *CrashGroup { return &CrashGroup{killAt: -1} }
+
+// KillAtWrite arms the group to die on the k-th write (0-based, counted
+// across all members in arrival order), letting tear bytes of that
+// write reach its log first.
+func (g *CrashGroup) KillAtWrite(k, tear int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.killAt, g.tear = k, tear
+}
+
+// Crashed reports whether the group has died.
+func (g *CrashGroup) Crashed() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.crashed
+}
+
+// Writes returns the total writes attempted across all members.
+func (g *CrashGroup) Writes() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.writes
+}
+
+// kill marks the group dead (a member's FaultCrash fired).
+func (g *CrashGroup) kill() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.crashed = true
+}
+
+// admit accounts one member write against the group. It returns
+// done=true when the group is (now) dead: either the write must fail
+// with ErrCrashed untouched, or — if this is the budgeted kill write —
+// after tear bytes reach w.
+func (g *CrashGroup) admit(w io.Writer, p []byte) (n int, err error, done bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.crashed {
+		return 0, ErrCrashed, true
+	}
+	idx := g.writes
+	g.writes++
+	if g.killAt >= 0 && idx == g.killAt {
+		g.crashed = true
+		k := min(g.tear, len(p))
+		n, _ := w.Write(p[:k])
+		return n, ErrCrashed, true
+	}
+	return 0, nil, false
+}
+
 // FaultWriter wraps a journal target and executes a FaultPlan against
 // it. It is safe for concurrent use and counts whole-record writes so
 // tests can assert exactly where the failure landed.
@@ -96,6 +179,7 @@ type FaultWriter struct {
 	mu      sync.Mutex
 	w       io.Writer
 	plan    FaultPlan
+	group   *CrashGroup
 	n       int
 	crashed bool
 }
@@ -105,13 +189,25 @@ func NewFaultWriter(w io.Writer, plan FaultPlan) *FaultWriter {
 	return &FaultWriter{w: w, plan: plan}
 }
 
-// Write forwards p to the target unless the plan says this is the write
-// to disturb.
+// NewFaultWriterInGroup returns a writer applying plan on top of w and
+// sharing g's process fate: a crash anywhere in the group fails this
+// writer too, and this writer's FaultCrash kills the group.
+func NewFaultWriterInGroup(w io.Writer, plan FaultPlan, g *CrashGroup) *FaultWriter {
+	return &FaultWriter{w: w, plan: plan, group: g}
+}
+
+// Write forwards p to the target unless the plan (or the group's fate)
+// says this is the write to disturb.
 func (f *FaultWriter) Write(p []byte) (int, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.crashed {
 		return 0, ErrCrashed
+	}
+	if f.group != nil {
+		if n, err, done := f.group.admit(f.w, p); done {
+			return n, err
+		}
 	}
 	idx := f.n
 	f.n++
@@ -130,6 +226,9 @@ func (f *FaultWriter) Write(p []byte) (int, error) {
 		return n, nil // short count, nil error: the forbidden writer bug
 	case FaultCrash:
 		f.crashed = true
+		if f.group != nil {
+			f.group.kill()
+		}
 		k := min(f.plan.Tear, len(p))
 		n, _ := f.w.Write(p[:k])
 		return n, ErrCrashed

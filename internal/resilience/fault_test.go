@@ -204,3 +204,112 @@ func TestFaultKindStrings(t *testing.T) {
 		t.Errorf("crash plan renders %q", got)
 	}
 }
+
+// TestRandomShardPlansDeterministic pins the per-shard schedule: same
+// seed, same plans; the per-shard draws are independent (not all
+// identical); and a shorter prefix of shards is NOT the prefix of a
+// longer draw only if the generator says so — i.e. the sequence is a
+// pure function of (seed, shards, records).
+func TestRandomShardPlansDeterministic(t *testing.T) {
+	a := RandomShardPlans(11, 8, 20)
+	b := RandomShardPlans(11, 8, 20)
+	if len(a) != 8 || len(b) != 8 {
+		t.Fatalf("drew %d and %d plans, want 8", len(a), len(b))
+	}
+	varied := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("shard %d: %v != %v under the same seed", i, a[i], b[i])
+		}
+		if a[i] != a[0] {
+			varied = true
+		}
+		if a[i].Record < 0 || a[i].Record >= 20 {
+			t.Fatalf("shard %d: record %d out of range", i, a[i].Record)
+		}
+	}
+	if !varied {
+		t.Fatalf("all 8 shard plans identical: %v", a[0])
+	}
+	// The stream is consumed one Uint64 per shard, so a shorter draw is
+	// a strict prefix of a longer one — shard i's fate does not depend
+	// on how many shards exist.
+	short := RandomShardPlans(11, 3, 20)
+	for i := range short {
+		if short[i] != a[i] {
+			t.Fatalf("shard %d plan changed with shard count: %v vs %v", i, short[i], a[i])
+		}
+	}
+}
+
+// TestCrashGroupKillAtWrite checks the global write budget: writes are
+// counted across members in arrival order, the budgeted write tears to
+// exactly tear bytes on its own log, and every member fails afterward.
+func TestCrashGroupKillAtWrite(t *testing.T) {
+	g := NewCrashGroup()
+	g.KillAtWrite(3, 5)
+	var logs [2]MemLog
+	w0 := NewFaultWriterInGroup(&logs[0], FaultPlan{}, g)
+	w1 := NewFaultWriterInGroup(&logs[1], FaultPlan{}, g)
+
+	payload := []byte("0123456789abcdef\n")
+	// Writes 0,1,2 land in full, alternating members.
+	for i, w := range []io.Writer{w0, w1, w0} {
+		if n, err := w.Write(payload); err != nil || n != len(payload) {
+			t.Fatalf("write %d: n=%d err=%v", i, n, err)
+		}
+	}
+	if g.Crashed() {
+		t.Fatal("group dead before its budget")
+	}
+	// Write 3 is the kill: 5 bytes reach w1's log, then ErrCrashed.
+	n, err := w1.Write(payload)
+	if !errors.Is(err, ErrCrashed) || n != 5 {
+		t.Fatalf("kill write: n=%d err=%v, want 5, ErrCrashed", n, err)
+	}
+	if !g.Crashed() {
+		t.Fatal("group alive after the kill write")
+	}
+	// Both members are dead now, with nothing more reaching either log.
+	for i, w := range []io.Writer{w0, w1} {
+		if _, err := w.Write(payload); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("post-mortem write on member %d: %v", i, err)
+		}
+	}
+	if logs[0].Len() != 2*len(payload) || logs[1].Len() != len(payload)+5 {
+		t.Fatalf("log lengths %d, %d after kill", logs[0].Len(), logs[1].Len())
+	}
+	if g.Writes() != 4 {
+		t.Fatalf("group counted %d writes, want 4 (post-mortem attempts don't count)", g.Writes())
+	}
+}
+
+// TestCrashGroupMemberCrashKillsAll: one member's own FaultCrash plan
+// takes the whole simulated process down.
+func TestCrashGroupMemberCrashKillsAll(t *testing.T) {
+	g := NewCrashGroup()
+	var logs [2]MemLog
+	w0 := NewFaultWriterInGroup(&logs[0], FaultPlan{Kind: FaultCrash, Record: 1, Tear: 3}, g)
+	w1 := NewFaultWriterInGroup(&logs[1], FaultPlan{}, g)
+
+	payload := []byte("0123456789\n")
+	if _, err := w0.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w1.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	n, err := w0.Write(payload) // w0's record 1: its FaultCrash
+	if !errors.Is(err, ErrCrashed) || n != 3 {
+		t.Fatalf("member crash: n=%d err=%v, want 3, ErrCrashed", n, err)
+	}
+	if !g.Crashed() {
+		t.Fatal("member FaultCrash did not kill the group")
+	}
+	if _, err := w1.Write(payload); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("healthy member survived the group kill: %v", err)
+	}
+	if logs[1].Len() != len(payload) {
+		t.Fatalf("bytes reached a dead member's log: %d", logs[1].Len())
+	}
+}

@@ -24,6 +24,7 @@ type RecordKind string
 const (
 	KindServiceConfig RecordKind = "svc"
 	KindManagerConfig RecordKind = "mgr"
+	KindShardConfig   RecordKind = "shard"
 	KindStartPeriod   RecordKind = "start"
 	KindAdditiveBid   RecordKind = "abid"
 	KindSubstBid      RecordKind = "sbid"
@@ -42,6 +43,8 @@ type OptCost struct {
 // increasing from 1); the remaining fields are populated per Kind:
 //
 //   - svc/mgr: Game ("additive"/"substitutive"), Horizon, Opts (catalog)
+//   - shard:   Game, Horizon, Opts, plus Shard (this journal's index)
+//     and Shards (the tier's shard count)
 //   - start:   Period (1-based), Opts (this period's recomputed costs)
 //   - abid:    User, Opt, Start, End, Values
 //   - sbid:    User, Set (substitute set), Start, End, Values
@@ -52,6 +55,8 @@ type Record struct {
 	Game    string       `json:"game,omitempty"`
 	Horizon core.Slot    `json:"horizon,omitempty"`
 	Opts    []OptCost    `json:"opts,omitempty"`
+	Shard   int          `json:"shard,omitempty"`
+	Shards  int          `json:"shards,omitempty"`
 	Period  int          `json:"period,omitempty"`
 	User    core.UserID  `json:"user,omitempty"`
 	Opt     core.OptID   `json:"opt,omitempty"`

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -226,4 +227,137 @@ func recordBoundaries(data []byte) []int {
 		bounds = append(bounds, off)
 	}
 	return bounds
+}
+
+// TestFileLogReopenRejectsDuplicateSeq: a record repeating an earlier
+// sequence number (a misbehaving writer replaying an old frame) ends
+// the valid prefix at the duplicate, and reopen truncates it away.
+func TestFileLogReopenRejectsDuplicateSeq(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bids.journal")
+	log, _, _, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, NewJournal(log), testRecords()[:3])
+	// Replay record 2's frame verbatim: checksum valid, seq duplicate.
+	dup := testRecords()[1]
+	dup.Seq = 2
+	frame, err := encodeRecord(dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.f.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	log2, recs, torn, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !torn || len(recs) != 3 {
+		t.Fatalf("reopen over duplicate seq: %d records, torn=%v; want 3, true", len(recs), torn)
+	}
+	// The duplicate was truncated: appending continues at seq 4 and a
+	// further reopen is clean.
+	if err := NewJournalAt(log2, 3).Append(Record{Kind: KindClosePeriod}); err != nil {
+		t.Fatal(err)
+	}
+	if err := log2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	log3, recs3, torn3, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log3.Close()
+	if torn3 || len(recs3) != 4 || recs3[3].Seq != 4 {
+		t.Fatalf("after resume: %d records, torn=%v, last seq %d", len(recs3), torn3, recs3[len(recs3)-1].Seq)
+	}
+}
+
+// TestFileLogEmptyFileRecovery: a zero-byte journal (crash before the
+// config write reached the disk) reopens clean with no records, and a
+// service recovery over it reports ErrEmptyJournal rather than
+// fabricating state.
+func TestFileLogEmptyFileRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bids.journal")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	log, recs, torn, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn || len(recs) != 0 {
+		t.Fatalf("empty file: %d records, torn=%v", len(recs), torn)
+	}
+	if _, err := RecoverService(recs, log); !errors.Is(err, ErrEmptyJournal) {
+		t.Fatalf("recovery over empty journal: %v, want ErrEmptyJournal", err)
+	}
+	// The empty log is a valid fresh target.
+	appendAll(t, NewJournal(log), testRecords()[:2])
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs2, torn2, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn2 || len(recs2) != 2 {
+		t.Fatalf("after seeding the empty file: %d records, torn=%v", len(recs2), torn2)
+	}
+}
+
+// TestFileLogRepeatedTearAppendCycles: tear, reopen, append, tear
+// again — every cycle must truncate exactly back to the last complete
+// record and resume the sequence chain.
+func TestFileLogRepeatedTearAppendCycles(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bids.journal")
+	log, _, _, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, NewJournal(log), testRecords()[:1])
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for cycle := 1; cycle <= 3; cycle++ {
+		log, recs, _, err := OpenFileLog(path)
+		if err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		if len(recs) != cycle {
+			t.Fatalf("cycle %d: reopened with %d records", cycle, len(recs))
+		}
+		j := NewJournalAt(log, recs[len(recs)-1].Seq)
+		if err := j.Append(Record{Kind: KindAdvanceSlot}); err != nil {
+			t.Fatalf("cycle %d append: %v", cycle, err)
+		}
+		// Tear: a partial frame for the record that never completes.
+		frame, err := encodeRecord(Record{Seq: uint64(cycle + 2), Kind: KindAdvanceSlot})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := log.f.Write(frame[:1+cycle%len(frame)]); err != nil {
+			t.Fatal(err)
+		}
+		if err := log.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, recs, torn, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !torn || len(recs) != 4 {
+		t.Fatalf("final reopen: %d records, torn=%v; want 4, true", len(recs), torn)
+	}
+	for i, rec := range recs {
+		if rec.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d after %d tear cycles", i, rec.Seq, 3)
+		}
+	}
 }

@@ -5,10 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"sharedopt/internal/stats"
 )
 
 // Backoff configures Retry's capped exponential backoff. The zero value
-// means 8 attempts starting at 1ms and doubling up to a 100ms cap.
+// means 8 attempts starting at 1ms and doubling up to a 100ms cap, with
+// no jitter.
 type Backoff struct {
 	// Attempts is the maximum number of tries (including the first).
 	Attempts int
@@ -17,6 +20,17 @@ type Backoff struct {
 	Base time.Duration
 	// Cap bounds the delay between attempts.
 	Cap time.Duration
+	// Jitter subtracts a uniformly random fraction of each delay, up to
+	// this share of it, so concurrent retries against the same
+	// overloaded shard decorrelate instead of arriving in lockstep.
+	// 0 means no jitter; 1 means anywhere in (0, delay]. Values outside
+	// [0, 1] are clamped. The randomness is seeded (see Seed), so a
+	// given Backoff value always produces the same gap sequence.
+	Jitter float64
+	// Seed seeds the jitter stream. Each Retry call draws its own
+	// deterministic sequence from it, so two calls with equal Backoff
+	// values sleep identically — reproducibility under chaos schedules.
+	Seed uint64
 	// Sleep overrides the inter-attempt wait, for tests. nil uses a
 	// real timer that also honors context cancellation.
 	Sleep func(time.Duration)
@@ -31,6 +45,11 @@ func (b Backoff) withDefaults() Backoff {
 	}
 	if b.Cap <= 0 {
 		b.Cap = 100 * time.Millisecond
+	}
+	if b.Jitter < 0 {
+		b.Jitter = 0
+	} else if b.Jitter > 1 {
+		b.Jitter = 1
 	}
 	return b
 }
@@ -49,6 +68,10 @@ func Retryable(err error) bool { return errors.Is(err, ErrOverloaded) }
 func Retry(ctx context.Context, b Backoff, op func() error) error {
 	b = b.withDefaults()
 	delay := b.Base
+	var jit *stats.RNG
+	if b.Jitter > 0 {
+		jit = stats.NewRNG(b.Seed)
+	}
 	var err error
 	for attempt := 1; ; attempt++ {
 		if cerr := ctx.Err(); cerr != nil {
@@ -64,10 +87,14 @@ func Retry(ctx context.Context, b Backoff, op func() error) error {
 		if attempt >= b.Attempts {
 			return fmt.Errorf("resilience: gave up after %d attempts: %w", attempt, err)
 		}
+		wait := delay
+		if jit != nil {
+			wait -= time.Duration(b.Jitter * jit.Float64() * float64(delay))
+		}
 		if b.Sleep != nil {
-			b.Sleep(delay)
+			b.Sleep(wait)
 		} else {
-			t := time.NewTimer(delay)
+			t := time.NewTimer(wait)
 			select {
 			case <-t.C:
 			case <-ctx.Done():

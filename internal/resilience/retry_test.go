@@ -150,3 +150,88 @@ func TestRetryAgainstSaturatedIngest(t *testing.T) {
 		t.Fatal("journal wedged during retry test")
 	}
 }
+
+// TestRetryJitterDeterministic pins the jittered gap sequence: a seeded
+// Backoff always sleeps the same sequence, every gap stays within
+// [(1-Jitter)·delay, delay], and differently-seeded Backoffs (the point
+// of jitter: concurrent retries decorrelate) produce different gaps.
+func TestRetryJitterDeterministic(t *testing.T) {
+	run := func(seed uint64) []time.Duration {
+		var delays []time.Duration
+		b := Backoff{
+			Attempts: 6,
+			Base:     time.Millisecond,
+			Cap:      4 * time.Millisecond,
+			Jitter:   0.5,
+			Seed:     seed,
+			Sleep:    func(d time.Duration) { delays = append(delays, d) },
+		}
+		err := Retry(context.Background(), b, func() error { return ErrOverloaded })
+		if !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("exhausted retry: %v", err)
+		}
+		return delays
+	}
+
+	first := run(42)
+	if len(first) != 5 {
+		t.Fatalf("slept %d times, want 5", len(first))
+	}
+	// The undistorted schedule bounds each jittered gap from above.
+	full := []time.Duration{1, 2, 4, 4, 4}
+	for i := range full {
+		full[i] *= time.Millisecond
+	}
+	distinct := false
+	for i, d := range first {
+		if d > full[i] || d < full[i]-time.Duration(0.5*float64(full[i])) {
+			t.Fatalf("gap %d = %v outside [%v, %v]", i, d, full[i]/2, full[i])
+		}
+		if d != full[i] {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Fatal("jitter never moved a gap off the undistorted schedule")
+	}
+	// Determinism under a fixed seed: the exact same gap sequence.
+	again := run(42)
+	for i := range first {
+		if first[i] != again[i] {
+			t.Fatalf("seeded jitter is nondeterministic: gap %d was %v then %v", i, first[i], again[i])
+		}
+	}
+	// Decorrelation across seeds.
+	other := run(43)
+	same := true
+	for i := range first {
+		if first[i] != other[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical gap sequences")
+	}
+}
+
+// TestRetryJitterClamped: out-of-range Jitter values clamp instead of
+// producing negative or amplified sleeps.
+func TestRetryJitterClamped(t *testing.T) {
+	for _, jit := range []float64{-2, 5} {
+		var delays []time.Duration
+		b := Backoff{
+			Attempts: 3,
+			Base:     time.Millisecond,
+			Cap:      4 * time.Millisecond,
+			Jitter:   jit,
+			Seed:     9,
+			Sleep:    func(d time.Duration) { delays = append(delays, d) },
+		}
+		Retry(context.Background(), b, func() error { return ErrOverloaded })
+		for i, d := range delays {
+			if d < 0 || d > 2*time.Millisecond {
+				t.Fatalf("Jitter=%v: gap %d = %v out of range", jit, i, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,433 @@
+package resilience
+
+// The sharded durable tier. A ShardedService partitions users across N
+// shards, each wrapping a JournaledService with its own journal and its
+// own per-shard sequence chain. Shards are the durability and admission
+// authority: a submission routes to its user's shard, is validated and
+// applied against that shard's replica, journaled in that shard's log,
+// and buffered in the shard's between-slots batch. Settlement is global:
+// AdvanceSlot freezes every shard's batch (journaling one adv marker per
+// shard, in shard-index order), then folds the frozen batches — shard
+// index order outside, journal order within a shard — into a single
+// derived settlement game and advances it. The settlement game is never
+// journaled; it is a pure deterministic function of the N journals, which
+// is what makes invoices, surplus, and implemented sets byte-identical
+// to the equivalent single-shard run at any shard count.
+//
+// Failure is partial by design: a journal append failure or a
+// settlement-time policy divergence wedges only the shard it happened
+// on. That shard's users get ErrShardWedged (read-only) while the other
+// shards keep accepting and settling. Only when every shard is wedged
+// does the tier as a whole refuse mutations.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"sharedopt"
+	"sharedopt/internal/core"
+	"sharedopt/internal/econ"
+)
+
+// ErrShardWedged marks a shard that can no longer accept mutations — its
+// journal broke or its accepted history diverged from the settlement
+// policy. The tier serves that shard's users read-only; other shards are
+// unaffected. Errors wrapping it name the shard index and cause.
+var ErrShardWedged = errors.New("resilience: shard wedged, serving its users read-only")
+
+// ShardFor deterministically routes a user to one of shards shards. The
+// function is part of the durable contract: recovery regroups users by
+// re-deriving it, so it must never change for journals in the wild (the
+// golden test pins its values). It is a 64-bit finalizer-style mixer, so
+// consecutive user IDs spread evenly.
+func ShardFor(u core.UserID, shards int) int {
+	h := uint64(u) + 0x9e3779b97f4a7c15
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return int(h % uint64(shards))
+}
+
+// ShardedConfig tunes a ShardedService.
+type ShardedConfig struct {
+	// MaxBatch bounds each shard's between-slots ingestion batch. A
+	// submission arriving at a full batch fails fast with ErrOverloaded
+	// (retryable; the batch drains at the next AdvanceSlot). 0 means
+	// unbounded.
+	MaxBatch int
+}
+
+// ShardCounters are one shard's exact ingestion statistics.
+type ShardCounters struct {
+	Accepted   uint64 // applied, journaled, and batched for settlement
+	Rejected   uint64 // refused by the mechanism (validation, closed, …)
+	Overloaded uint64 // turned away at a full between-slots batch
+	ReadOnly   uint64 // turned away because the shard is wedged
+	Settled    uint64 // folded into the settlement game so far
+	Pending    uint64 // batched now, awaiting the next settlement
+}
+
+// pendingBid is one accepted submission waiting in a shard's batch for
+// the next settlement fold.
+type pendingBid struct {
+	additive bool
+	opt      core.OptID
+	abid     core.OnlineBid
+	sbid     core.OnlineSubstBid
+}
+
+func (p pendingBid) user() core.UserID {
+	if p.additive {
+		return p.abid.User
+	}
+	return p.sbid.User
+}
+
+// applyTo replays the pending bid into the settlement game.
+func (p pendingBid) applyTo(svc *sharedopt.Service) error {
+	if p.additive {
+		return svc.SubmitAdditiveBid(p.opt, p.abid)
+	}
+	return svc.SubmitSubstitutiveBid(p.sbid)
+}
+
+// shard is one partition: a journaled replica plus the batch of accepted
+// bids not yet folded into settlement.
+type shard struct {
+	mu       sync.Mutex
+	js       *JournaledService
+	batch    []pendingBid
+	wedged   error // non-nil once read-only; wraps ErrShardWedged
+	counters ShardCounters
+}
+
+// ShardedService is the N-shard durable pricing tier. It satisfies the
+// Backend interface, so it drops into the Ingest front end unchanged.
+type ShardedService struct {
+	mu       sync.Mutex // serializes settlement (AdvanceSlot/ClosePeriod)
+	kind     sharedopt.GameKind
+	horizon  core.Slot
+	maxBatch int
+	shards   []*shard
+	settle   *sharedopt.Service // derived global game; never journaled
+}
+
+// shardConfigRecord builds shard i's opening journal record.
+func shardConfigRecord(kind sharedopt.GameKind, opts []sharedopt.Optimization, horizon core.Slot, i, n int) Record {
+	return Record{
+		Kind:    KindShardConfig,
+		Game:    gameName(kind),
+		Horizon: horizon,
+		Opts:    optCosts(opts),
+		Shard:   i,
+		Shards:  n,
+	}
+}
+
+// NewShardedService opens a fresh sharded period over len(writers)
+// shards, one journal target per shard. Each shard's journal opens with
+// a KindShardConfig record naming its index and the shard count; the
+// constructor fails if any config write fails (nothing durable was
+// acknowledged, so there is nothing to recover).
+func NewShardedService(kind sharedopt.GameKind, opts []sharedopt.Optimization, horizon core.Slot, writers []io.Writer, cfg ShardedConfig) (*ShardedService, error) {
+	if kind != sharedopt.Additive && kind != sharedopt.Substitutive {
+		return nil, fmt.Errorf("resilience: unknown game kind %v", kind)
+	}
+	n := len(writers)
+	if n < 1 {
+		return nil, errors.New("resilience: sharded service needs at least one journal writer")
+	}
+	settle, err := newService(kind, opts, horizon)
+	if err != nil {
+		return nil, err
+	}
+	s := &ShardedService{
+		kind:     kind,
+		horizon:  horizon,
+		maxBatch: cfg.MaxBatch,
+		shards:   make([]*shard, n),
+		settle:   settle,
+	}
+	for i, w := range writers {
+		replica, err := newService(kind, opts, horizon)
+		if err != nil {
+			return nil, err
+		}
+		j := NewJournal(w)
+		if err := j.Append(shardConfigRecord(kind, opts, horizon, i, n)); err != nil {
+			return nil, fmt.Errorf("resilience: shard %d: %w", i, err)
+		}
+		s.shards[i] = &shard{js: newJournaledOn(replica, j)}
+	}
+	return s, nil
+}
+
+// Shards returns the shard count.
+func (s *ShardedService) Shards() int { return len(s.shards) }
+
+// Wedged returns the error that wedged shard i, or nil if it is healthy.
+func (s *ShardedService) Wedged(i int) error {
+	sh := s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.wedged
+}
+
+// WedgedShards returns the indices of wedged shards, in order.
+func (s *ShardedService) WedgedShards() []int {
+	var out []int
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.wedged != nil {
+			out = append(out, i)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// ShardStats returns a copy of every shard's counters, indexed by shard.
+func (s *ShardedService) ShardStats() []ShardCounters {
+	out := make([]ShardCounters, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		out[i] = sh.counters
+		out[i].Pending = uint64(len(sh.batch))
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// wedgeLocked marks shard i read-only with cause. sh.mu must be held.
+func (s *ShardedService) wedgeLocked(i int, cause error) {
+	sh := s.shards[i]
+	if sh.wedged == nil {
+		sh.wedged = fmt.Errorf("%w: shard %d: %w", ErrShardWedged, i, cause)
+	}
+}
+
+// SubmitAdditiveBid routes the bid to its user's shard, applies and
+// journals it there, and batches it for the next settlement. Duplicates
+// of already-accepted bids return nil without re-batching (the
+// idempotent-retry contract); a wedged shard returns ErrShardWedged; a
+// full batch returns ErrOverloaded.
+func (s *ShardedService) SubmitAdditiveBid(opt core.OptID, bid core.OnlineBid) error {
+	p := pendingBid{additive: true, opt: opt, abid: core.OnlineBid{
+		User: bid.User, Start: bid.Start, End: bid.End,
+		Values: append([]econ.Money(nil), bid.Values...),
+	}}
+	return s.submit(bid.User, p, func(js *JournaledService) error {
+		return js.SubmitAdditiveBid(opt, bid)
+	})
+}
+
+// SubmitSubstitutiveBid is SubmitAdditiveBid for the substitutive game.
+func (s *ShardedService) SubmitSubstitutiveBid(bid core.OnlineSubstBid) error {
+	p := pendingBid{additive: false, sbid: core.OnlineSubstBid{
+		User: bid.User, Opts: append([]core.OptID(nil), bid.Opts...),
+		Start: bid.Start, End: bid.End,
+		Values: append([]econ.Money(nil), bid.Values...),
+	}}
+	return s.submit(bid.User, p, func(js *JournaledService) error {
+		return js.SubmitSubstitutiveBid(bid)
+	})
+}
+
+// submit runs the routed accept-then-batch protocol for one submission.
+func (s *ShardedService) submit(u core.UserID, p pendingBid, apply func(*JournaledService) error) error {
+	i := ShardFor(u, len(s.shards))
+	sh := s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.wedged != nil {
+		sh.counters.ReadOnly++
+		return sh.wedged
+	}
+	if s.maxBatch > 0 && len(sh.batch) >= s.maxBatch {
+		sh.counters.Overloaded++
+		return fmt.Errorf("%w: shard %d batch full (%d pending)", ErrOverloaded, i, len(sh.batch))
+	}
+	// The shard journal's sequence number tells duplicates apart from
+	// fresh accepts: an idempotent duplicate returns nil without
+	// journaling, and must not be folded into settlement twice.
+	before := sh.js.j.Seq()
+	if err := apply(sh.js); err != nil {
+		if sh.js.Broken() != nil {
+			s.wedgeLocked(i, err)
+			sh.counters.ReadOnly++
+			return sh.wedged
+		}
+		sh.counters.Rejected++
+		return err
+	}
+	if sh.js.j.Seq() == before {
+		return nil // duplicate: already journaled and already settled/batched
+	}
+	sh.counters.Accepted++
+	sh.batch = append(sh.batch, p)
+	return nil
+}
+
+// foldBatchLocked replays one shard's frozen batch into the settlement
+// game. The journal holds only accepted bids, so a settlement rejection
+// means the shard's history diverged from global policy (e.g. a user's
+// bids were split across shards by a router change): the shard is wedged
+// with ErrPolicyDiverged and the rest of its batch is skipped — the same
+// rule recovery applies, so live and recovered settlement agree. s.mu
+// and sh.mu must be held.
+func (s *ShardedService) foldBatchLocked(i int, batch []pendingBid) {
+	sh := s.shards[i]
+	for k, p := range batch {
+		if err := p.applyTo(s.settle); err != nil {
+			s.wedgeLocked(i, fmt.Errorf("%w: settling accepted bid of user %d: %w", ErrPolicyDiverged, p.user(), err))
+			sh.counters.Settled += uint64(k)
+			return
+		}
+	}
+	sh.counters.Settled += uint64(len(batch))
+}
+
+// drainLocked freezes every shard's batch for settlement, journaling
+// one marker record (adv or close) per healthy shard in shard-index
+// order. Wedged shards get no marker but their batches still drain:
+// those bids were accepted, so they are durable in the shard's journal
+// ahead of its missing marker, and recovery folds such a tail into
+// exactly this window — live settlement must agree. A marker failure
+// wedges its shard. Returns the frozen batches and how many shards
+// journaled the marker.
+func (s *ShardedService) drainLocked(marker func(*JournaledService) error) (batches [][]pendingBid, acknowledged int) {
+	batches = make([][]pendingBid, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		batches[i] = sh.batch
+		sh.batch = nil
+		if sh.wedged == nil {
+			if err := marker(sh.js); err != nil {
+				s.wedgeLocked(i, err)
+			} else {
+				acknowledged++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return batches, acknowledged
+}
+
+// restoreLocked puts frozen batches back at the head of their shards'
+// queues after a settlement that could not be acknowledged anywhere.
+func (s *ShardedService) restoreLocked(batches [][]pendingBid) {
+	for i, b := range batches {
+		if len(b) == 0 {
+			continue
+		}
+		sh := s.shards[i]
+		sh.mu.Lock()
+		sh.batch = append(b, sh.batch...)
+		sh.mu.Unlock()
+	}
+}
+
+// errAllWedged is the tier-dead error: nothing can be made durable.
+func (s *ShardedService) errAllWedged() error {
+	return fmt.Errorf("%w: all %d shards: %w", ErrJournalBroken, len(s.shards), ErrShardWedged)
+}
+
+// AdvanceSlot settles one billing window: it freezes every healthy
+// shard's batch behind an adv marker in that shard's journal (shard-index
+// order), folds the frozen batches into the settlement game in the same
+// order, and advances the settlement slot. At least one shard must
+// journal the marker for the advance to be acknowledged; otherwise the
+// batches are restored and the tier-dead error returned.
+func (s *ShardedService) AdvanceSlot() (core.SlotReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.settle.Closed() {
+		return core.SlotReport{}, sharedopt.ErrPeriodOver
+	}
+	batches, acked := s.drainLocked(func(js *JournaledService) error {
+		_, err := js.AdvanceSlot()
+		return err
+	})
+	if acked == 0 {
+		s.restoreLocked(batches)
+		return core.SlotReport{}, s.errAllWedged()
+	}
+	for i := range s.shards {
+		if len(batches[i]) == 0 {
+			continue
+		}
+		sh := s.shards[i]
+		sh.mu.Lock()
+		s.foldBatchLocked(i, batches[i])
+		sh.mu.Unlock()
+	}
+	return s.settle.AdvanceSlot()
+}
+
+// ClosePeriod settles the period early: every healthy shard journals a
+// close marker (draining its batch first, same protocol as AdvanceSlot),
+// the drained bids fold into settlement, and the settlement game closes.
+// Idempotent like the single-shard service.
+func (s *ShardedService) ClosePeriod() (map[core.UserID]econ.Money, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.settle.Closed() {
+		return s.settle.ClosePeriod() // no state change, nothing to journal
+	}
+	batches, acked := s.drainLocked(func(js *JournaledService) error {
+		_, err := js.ClosePeriod()
+		return err
+	})
+	if acked == 0 {
+		s.restoreLocked(batches)
+		return nil, s.errAllWedged()
+	}
+	for i := range s.shards {
+		if len(batches[i]) == 0 {
+			continue
+		}
+		sh := s.shards[i]
+		sh.mu.Lock()
+		s.foldBatchLocked(i, batches[i])
+		sh.mu.Unlock()
+	}
+	return s.settle.ClosePeriod()
+}
+
+// The read side delegates to the derived settlement game, which carries
+// the global economic state (the shard replicas only validate and
+// deduplicate).
+
+// Kind returns the tier's valuation model.
+func (s *ShardedService) Kind() sharedopt.GameKind { return s.kind }
+
+// Horizon returns the period length in slots.
+func (s *ShardedService) Horizon() core.Slot { return s.horizon }
+
+// Now returns the last settled slot.
+func (s *ShardedService) Now() core.Slot { return s.settle.Now() }
+
+// Closed reports whether the period has ended.
+func (s *ShardedService) Closed() bool { return s.settle.Closed() }
+
+// Invoice returns a user's settled payments.
+func (s *ShardedService) Invoice(u core.UserID) (econ.Money, bool) { return s.settle.Invoice(u) }
+
+// Invoices returns a copy of all settled invoices.
+func (s *ShardedService) Invoices() map[core.UserID]econ.Money { return s.settle.Invoices() }
+
+// Revenue returns total payments charged so far.
+func (s *ShardedService) Revenue() econ.Money { return s.settle.Revenue() }
+
+// CostIncurred returns the summed cost of implemented optimizations.
+func (s *ShardedService) CostIncurred() econ.Money { return s.settle.CostIncurred() }
+
+// Surplus returns Revenue − CostIncurred under one lock.
+func (s *ShardedService) Surplus() econ.Money { return s.settle.Surplus() }
+
+// ImplementedOpts returns the implemented optimizations in ID order.
+func (s *ShardedService) ImplementedOpts() []core.OptID { return s.settle.ImplementedOpts() }

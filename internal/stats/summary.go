@@ -1,6 +1,9 @@
 package stats
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // Summary accumulates streaming summary statistics (count, mean, variance,
 // min, max) using Welford's numerically stable online algorithm. The zero
@@ -109,4 +112,29 @@ func StdDev(xs []float64) float64 {
 	var s Summary
 	s.AddAll(xs)
 	return s.StdDev()
+}
+
+// Percentile returns the p-th percentile (p in [0,1]) of xs using
+// linear interpolation between closest ranks (the "R-7" definition Go's
+// benchstat and numpy default to). xs is not modified. An empty slice
+// yields 0; p is clamped to [0,1].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
 }

@@ -132,3 +132,29 @@ func TestMeanStdDevHelpers(t *testing.T) {
 		t.Error("StdDev broken")
 	}
 }
+
+// TestPercentile pins the linear-interpolation definition.
+func TestPercentile(t *testing.T) {
+	xs := []float64{40, 10, 20, 30} // sorted: 10 20 30 40
+	cases := []struct {
+		p, want float64
+	}{
+		{-1, 10}, {0, 10}, {0.5, 25}, {1, 40}, {2, 40},
+		{0.25, 17.5}, {0.99, 39.7},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(xs, %v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("Percentile(nil) = %v", got)
+	}
+	if got := Percentile([]float64{7}, 0.99); got != 7 {
+		t.Errorf("Percentile(single) = %v", got)
+	}
+	// Input must not be reordered.
+	if xs[0] != 40 {
+		t.Error("Percentile sorted its input in place")
+	}
+}
