@@ -121,6 +121,11 @@ func BenchmarkShardedIngest1(b *testing.B) { benchkit.ShardedIngestThroughput(1)
 // each journaling independently.
 func BenchmarkShardedIngest4(b *testing.B) { benchkit.ShardedIngestThroughput(4)(b) }
 
+// BenchmarkShardedIngest4Obs is the four-shard body with a live
+// obs.Registry attached — the candidate of the obs-vs-bare pair gate
+// bounding the metrics layer's hot-path cost.
+func BenchmarkShardedIngest4Obs(b *testing.B) { benchkit.ShardedIngestInstrumented(4)(b) }
+
 // BenchmarkEngineHashJoin measures a 10k × 10k hash join plus grouped
 // count through the columnar query engine.
 func BenchmarkEngineHashJoin(b *testing.B) { benchkit.EngineHashJoin()(b) }

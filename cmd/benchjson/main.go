@@ -163,16 +163,28 @@ func loadSnapshot(path string) (snapshot, error) {
 }
 
 // diffAgainst reports regressions of current vs baseline to w and
-// returns errRegression if any exceeded the threshold.
+// returns errRegression if any exceeded the threshold. Custom metrics
+// (Result.Extra) are diffed over the union of baseline and current
+// keys: a tracked metric a benchmark stopped reporting fails the diff
+// (it would otherwise vanish silently — nothing compares a key that is
+// only in the baseline), while metrics new in the current run are
+// reported informationally and pass.
 func diffAgainst(w *os.File, baseline, current []benchkit.Result, threshold float64) error {
 	msgs := benchkit.Regressions(baseline, current, threshold)
 	for _, m := range msgs {
 		fmt.Fprintln(w, "benchjson: regression:", m)
 	}
-	if len(msgs) > 0 {
+	missing, added := benchkit.ExtraDrift(baseline, current)
+	for _, m := range missing {
+		fmt.Fprintln(w, "benchjson: tracked metric no longer reported:", m)
+	}
+	for _, a := range added {
+		fmt.Fprintln(w, "benchjson: new metric (no trajectory yet):", a)
+	}
+	if len(msgs)+len(missing) > 0 {
 		return errRegression
 	}
-	fmt.Fprintf(w, "benchjson: no ns/op regression beyond %.0f%% against baseline (%d benchmarks)\n",
+	fmt.Fprintf(w, "benchjson: no ns/op regression beyond %.0f%% and no dropped metrics against baseline (%d benchmarks)\n",
 		threshold*100, len(baseline))
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"sharedopt/internal/benchkit"
@@ -81,7 +82,7 @@ func TestKeyBenchmarksRegistered(t *testing.T) {
 		"Shapley1k": true, "Shapley10k": true, "Shapley100k": true,
 		"AddOnGame": true, "SubstOnGame": true,
 		"ServiceGame": true, "ServiceGameJournaled": true, "IngestThroughput": true,
-		"ShardedIngest1": true, "ShardedIngest4": true,
+		"ShardedIngest1": true, "ShardedIngest4": true, "ShardedIngest4Obs": true,
 		"EngineHashJoin": true, "EngineHashJoinParallel4": true,
 		"EngineBuildJoin": true, "EngineBuildJoinParallel4": true,
 		"EngineOrderBy": true, "EngineOrderByParallel4": true,
@@ -99,6 +100,48 @@ func TestKeyBenchmarksRegistered(t *testing.T) {
 	}
 	for name := range want {
 		t.Errorf("benchmark %q missing from Key()", name)
+	}
+}
+
+// A baseline diff must not silently drop Extra metrics: a key present
+// in the baseline but gone from the current run fails the diff by name,
+// while a key new in the current run is informational only.
+func TestDiffAgainstExtraUnion(t *testing.T) {
+	diff := func(t *testing.T, baseline, current []benchkit.Result) (string, error) {
+		t.Helper()
+		f, err := os.CreateTemp(t.TempDir(), "diff")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		diffErr := diffAgainst(f, baseline, current, 0.30)
+		out, err := os.ReadFile(f.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(out), diffErr
+	}
+	baseline := []benchkit.Result{{Name: "ShardedIngest4", NsPerOp: 1000,
+		Extra: map[string]float64{"bids/s": 5000, "p99-adv-ns": 900}}}
+
+	// Dropped metric: ns/op is fine, but "p99-adv-ns" vanished.
+	out, err := diff(t, baseline, []benchkit.Result{{Name: "ShardedIngest4", NsPerOp: 1000,
+		Extra: map[string]float64{"bids/s": 5100}}})
+	if err == nil {
+		t.Fatalf("dropped metric passed the diff:\n%s", out)
+	}
+	if !strings.Contains(out, "no longer reported") || !strings.Contains(out, "p99-adv-ns") {
+		t.Errorf("dropped metric not named:\n%s", out)
+	}
+
+	// New metric: reported, but not a failure.
+	out, err = diff(t, baseline, []benchkit.Result{{Name: "ShardedIngest4", NsPerOp: 1000,
+		Extra: map[string]float64{"bids/s": 5100, "p99-adv-ns": 910, "p50-adv-ns": 400}}})
+	if err != nil {
+		t.Fatalf("new metric failed the diff: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "new metric") || !strings.Contains(out, "p50-adv-ns") {
+		t.Errorf("new metric not reported:\n%s", out)
 	}
 }
 

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// smokeLoadConfig is a ladder small enough for -race yet guaranteed to
+// saturate: the top rung offers far more bids between settles than the
+// per-shard batches can hold.
+func smokeLoadConfig(dir string) loadConfig {
+	return loadConfig{
+		seed:        7,
+		shards:      2,
+		bidsPerStep: 150,
+		maxBatch:    16,
+		rates:       []float64{200, 20000},
+		settleEvery: 5 * time.Millisecond,
+		slo:         100 * time.Millisecond,
+		out:         filepath.Join(dir, "LOAD_test.json"),
+		requireKnee: true,
+	}
+}
+
+// A sweep must find the knee, keep exact books (runLoad errors on any
+// reconciliation failure), and write a parseable report.
+func TestLoadSweepFindsKneeAndReconciles(t *testing.T) {
+	cfg := smokeLoadConfig(t.TempDir())
+	var out strings.Builder
+	report, err := runLoad(cfg, &out)
+	if err != nil {
+		t.Fatalf("runLoad: %v\n%s", err, out.String())
+	}
+	if report.KneeIndex < 0 {
+		t.Fatalf("no knee found on a saturating ladder\n%s", out.String())
+	}
+	if report.KneeRate != cfg.rates[report.KneeIndex] {
+		t.Errorf("knee rate %v is not rung %d's rate", report.KneeRate, report.KneeIndex)
+	}
+	for i, s := range report.Steps {
+		if s.Offered != cfg.bidsPerStep {
+			t.Errorf("step %d offered %d, want %d", i, s.Offered, cfg.bidsPerStep)
+		}
+		if got := s.Accepted + s.Rejected + s.Overloaded; got != uint64(s.Offered) {
+			t.Errorf("step %d: %d outcomes for %d offered", i, got, s.Offered)
+		}
+	}
+	knee := report.Steps[report.KneeIndex]
+	if knee.Overloaded == 0 && !knee.SLOViolated {
+		t.Errorf("knee step neither shed nor violated the SLO: %+v", knee)
+	}
+	data, err := os.ReadFile(cfg.out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed loadReport
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if !reflect.DeepEqual(&parsed, report) {
+		t.Error("written report does not round-trip to the returned one")
+	}
+	if !strings.Contains(out.String(), "knee at") {
+		t.Errorf("human summary names no knee:\n%s", out.String())
+	}
+}
+
+// The plan is a pure function of the seed: two same-seed sweeps must
+// produce byte-identical canonical JSON (wall-clock fields zeroed).
+func TestLoadReportCanonicalReproducible(t *testing.T) {
+	canon := func() []byte {
+		t.Helper()
+		cfg := smokeLoadConfig(t.TempDir())
+		cfg.requireKnee = false
+		r, err := runLoad(cfg, io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(r.Canonical())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := canon(), canon()
+	if string(a) != string(b) {
+		t.Fatalf("same seed, different canonical plans:\n%s\n%s", a, b)
+	}
+	// And a different seed produces a different schedule.
+	cfg := smokeLoadConfig(t.TempDir())
+	cfg.seed++
+	cfg.requireKnee = false
+	r, err := runLoad(cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := json.Marshal(r.Canonical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) == string(c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestLoadConfigValidation(t *testing.T) {
+	base := smokeLoadConfig(t.TempDir())
+	for name, mutate := range map[string]func(*loadConfig){
+		"no rates":        func(c *loadConfig) { c.rates = nil },
+		"zero rate":       func(c *loadConfig) { c.rates = []float64{0, 10} },
+		"non-increasing":  func(c *loadConfig) { c.rates = []float64{100, 100} },
+		"zero shards":     func(c *loadConfig) { c.shards = 0 },
+		"zero bids":       func(c *loadConfig) { c.bidsPerStep = 0 },
+		"decreasing rung": func(c *loadConfig) { c.rates = []float64{500, 200} },
+	} {
+		cfg := base
+		mutate(&cfg)
+		if _, err := runLoad(cfg, io.Discard); err == nil {
+			t.Errorf("%s: runLoad accepted an invalid config", name)
+		}
+	}
+}
+
+func TestParseRates(t *testing.T) {
+	got, err := parseRates(" 500, 2500 ,10000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{500, 2500, 10000}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseRates = %v, want %v", got, want)
+	}
+	if _, err := parseRates("500,abc"); err == nil {
+		t.Fatal("parseRates accepted a non-number")
+	}
+}

@@ -2,7 +2,9 @@
 // mechanisms and, optionally, compares against the regret baseline. With
 // -chaos it instead runs seeded fault-injection sweeps over the durable
 // pricing tier (see chaos.go) and exits non-zero on any invariant
-// violation.
+// violation. With -load it runs an open-loop saturation sweep against a
+// live sharded tier (see load.go), reporting sustained throughput and
+// the knee of the latency curve.
 //
 // Usage:
 //
@@ -10,6 +12,7 @@
 //	pricer -f scenario.json -compare-regret
 //	cat scenario.json | pricer
 //	pricer -chaos -seed 7 -rounds 32
+//	pricer -load -shards 4 -rates 500,2500,10000,50000 -o LOAD_4shard.json
 //
 // Scenario format (amounts are dollar strings like "2.31"):
 //
@@ -33,6 +36,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"time"
 
 	"sharedopt/internal/core"
 	"sharedopt/internal/econ"
@@ -61,13 +65,44 @@ func main() {
 		file    = flag.String("f", "-", "scenario file (- for stdin)")
 		compare = flag.Bool("compare-regret", false, "also run the regret baseline")
 		chaos   = flag.Bool("chaos", false, "run seeded fault-injection sweeps instead of pricing a scenario")
-		seed    = flag.Uint64("seed", 1, "base seed for -chaos rounds")
+		seed    = flag.Uint64("seed", 1, "base seed for -chaos rounds and the -load schedule")
 		rounds  = flag.Int("rounds", 16, "number of -chaos rounds")
+
+		load        = flag.Bool("load", false, "run an open-loop saturation sweep over the sharded tier")
+		shards      = flag.Int("shards", 4, "-load: shard count")
+		rates       = flag.String("rates", "500,2500,10000,50000", "-load: offered-rate ladder, bids/s, strictly increasing")
+		loadBids    = flag.Int("load-bids", 2000, "-load: scheduled bids per ladder step")
+		maxBatch    = flag.Int("max-batch", 64, "-load: per-shard between-slots batch bound")
+		settleEvery = flag.Duration("settle-every", 20*time.Millisecond, "-load: slot-advance interval")
+		slo         = flag.Duration("slo", 10*time.Millisecond, "-load: p99 slot-advance latency objective")
+		out         = flag.String("o", "", "-load: JSON report path (default LOAD_<shards>shard_<seed>.json)")
+		requireKnee = flag.Bool("require-knee", false, "-load: exit non-zero if the ladder never saturates the tier")
 	)
 	flag.Parse()
 	if *chaos {
 		if err := runChaos(*seed, *rounds, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "pricer: chaos:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *load {
+		ladder, err := parseRates(*rates)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pricer: load:", err)
+			os.Exit(1)
+		}
+		cfg := loadConfig{
+			seed: *seed, shards: *shards, bidsPerStep: *loadBids,
+			maxBatch: *maxBatch, rates: ladder,
+			settleEvery: *settleEvery, slo: *slo,
+			out: *out, requireKnee: *requireKnee,
+		}
+		if cfg.out == "" {
+			cfg.out = fmt.Sprintf("LOAD_%dshard_%d.json", cfg.shards, cfg.seed)
+		}
+		if _, err := runLoad(cfg, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "pricer: load:", err)
 			os.Exit(1)
 		}
 		return

@@ -351,6 +351,7 @@ func Key() []struct {
 		{"IngestThroughput", IngestThroughput()},
 		{"ShardedIngest1", ShardedIngestThroughput(1)},
 		{"ShardedIngest4", ShardedIngestThroughput(4)},
+		{"ShardedIngest4Obs", ShardedIngestInstrumented(4)},
 		{"EngineHashJoin", EngineHashJoin()},
 		{"EngineHashJoinParallel4", EngineHashJoinParallel(4)},
 		{"EngineBuildJoin", EngineBuildJoin()},
@@ -393,6 +394,41 @@ func Regressions(baseline, current []Result, threshold float64) []string {
 		}
 	}
 	return msgs
+}
+
+// ExtraDrift compares the custom-metric keys (Result.Extra) between a
+// baseline snapshot and a current run, benchmark by benchmark, over the
+// UNION of both key sets — so a metric a body stopped reporting is
+// surfaced instead of silently vanishing from the diff. It returns the
+// metrics present in the baseline but missing from the current run
+// (regressions: a tracked number disappeared) and those new in the
+// current run (informational: no trajectory yet), each as
+// "Benchmark: unit" strings in sorted order. Benchmarks absent from
+// either side are Regressions' concern, not ExtraDrift's.
+func ExtraDrift(baseline, current []Result) (missing, added []string) {
+	byName := make(map[string]Result, len(current))
+	for _, r := range current {
+		byName[r.Name] = r
+	}
+	for _, base := range baseline {
+		cur, ok := byName[base.Name]
+		if !ok {
+			continue
+		}
+		for unit := range base.Extra {
+			if _, ok := cur.Extra[unit]; !ok {
+				missing = append(missing, fmt.Sprintf("%s: %s", base.Name, unit))
+			}
+		}
+		for unit := range cur.Extra {
+			if _, ok := base.Extra[unit]; !ok {
+				added = append(added, fmt.Sprintf("%s: %s", base.Name, unit))
+			}
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(added)
+	return missing, added
 }
 
 // RunKey measures every benchmark in Key with testing.Benchmark.
@@ -495,6 +531,19 @@ func Pairs() []Pair {
 			MinSpeedup:        1.3,
 			RelaxedMinSpeedup: 0.70,
 			NeedProcs:         4,
+		},
+		{
+			// Observability tax bound: the fully instrumented 4-shard
+			// tier (every counter, high-water gauge and latency histogram
+			// live) must run at ≥0.70x the bare tier's speed — the
+			// acceptance bound for the obs layer's hot-path cost. Runner
+			// CPU count does not change the claim, so full == relaxed.
+			Name:              "ShardedIngest4/obs-vs-bare",
+			Baseline:          ShardedIngestThroughput(4),
+			Candidate:         ShardedIngestInstrumented(4),
+			MinSpeedup:        0.70,
+			RelaxedMinSpeedup: 0.70,
+			NeedProcs:         1,
 		},
 		{
 			// Durability tax bound: the journaled service (checksummed

@@ -44,6 +44,44 @@ func TestRegressionsZeroBaseline(t *testing.T) {
 	}
 }
 
+// ExtraDrift walks the union of Extra keys: dropped metrics come back
+// as missing (the regression benchjson fails on), new ones as added
+// (informational), and benchmarks absent from one side are ignored.
+func TestExtraDrift(t *testing.T) {
+	baseline := []Result{
+		{Name: "A", Extra: map[string]float64{"bids/s": 1, "p99-adv-ns": 2}},
+		{Name: "B", Extra: map[string]float64{"rows/s": 3}},
+		{Name: "Gone", Extra: map[string]float64{"x/s": 4}},
+	}
+	current := []Result{
+		{Name: "A", Extra: map[string]float64{"bids/s": 5, "p50-adv-ns": 6}},
+		{Name: "B", Extra: map[string]float64{"rows/s": 7}},
+		{Name: "New", Extra: map[string]float64{"y/s": 8}},
+	}
+	missing, added := ExtraDrift(baseline, current)
+	if want := []string{"A: p99-adv-ns"}; !equalStrings(missing, want) {
+		t.Errorf("missing = %v, want %v", missing, want)
+	}
+	if want := []string{"A: p50-adv-ns"}; !equalStrings(added, want) {
+		t.Errorf("added = %v, want %v", added, want)
+	}
+	if m, a := ExtraDrift(baseline, baseline); len(m) != 0 || len(a) != 0 {
+		t.Errorf("self-drift: missing %v, added %v", m, a)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func TestMedian(t *testing.T) {
 	if m := median([]float64{3, 1, 2}); m != 2 {
 		t.Fatalf("odd median = %v", m)

@@ -11,6 +11,7 @@ import (
 	"sharedopt"
 	"sharedopt/internal/core"
 	"sharedopt/internal/econ"
+	"sharedopt/internal/obs"
 	"sharedopt/internal/resilience"
 	"sharedopt/internal/stats"
 )
@@ -170,6 +171,20 @@ func IngestThroughput() func(b *testing.B) {
 // sharded4 pair gate holds the 4-shard body against: identical workload
 // and settlement, only the intake journal count differs.
 func ShardedIngestThroughput(shards int) func(b *testing.B) {
+	return shardedIngestBody(shards, false)
+}
+
+// ShardedIngestInstrumented is ShardedIngestThroughput with a live
+// obs.Registry attached to the tier — every counter, high-water mark and
+// latency histogram maintained on the hot path. The obs-vs-bare pair
+// gate bounds what that instrumentation may cost.
+func ShardedIngestInstrumented(shards int) func(b *testing.B) {
+	return shardedIngestBody(shards, true)
+}
+
+// shardedIngestBody is the shared body; instrumented chooses whether
+// the tier carries an obs.Registry.
+func shardedIngestBody(shards int, instrumented bool) func(b *testing.B) {
 	return func(b *testing.B) {
 		const perWave, waves = 256, 4
 		catalog := []sharedopt.Optimization{{ID: 1, Cost: econ.FromDollars(50)}}
@@ -182,8 +197,12 @@ func ShardedIngestThroughput(shards int) func(b *testing.B) {
 			for s := range writers {
 				writers[s] = new(resilience.MemLog)
 			}
+			var reg *obs.Registry
+			if instrumented {
+				reg = obs.NewRegistry()
+			}
 			ss, err := resilience.NewShardedService(sharedopt.Additive, catalog,
-				core.Slot(waves), writers, resilience.ShardedConfig{})
+				core.Slot(waves), writers, resilience.ShardedConfig{Obs: reg})
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -86,6 +86,20 @@
 // window the live tier would have folded them into. Double recovery of
 // the same journals is byte-identical, wedged set included.
 //
+// # Observability
+//
+// Instrumentation is opt-in and inert: pass an *obs.Registry in
+// IngestConfig.Obs or ShardedConfig.Obs and the front end and tier
+// maintain exact outcome counters (mirroring Counters/ShardCounters),
+// queue and batch high-water marks, and latency histograms for journal
+// writes, operation applies, and slot advances — lock-free and
+// allocation-free on the hot path. A nil registry costs one predicted
+// nil check per hook. Metrics are bookkeeping only: an instrumented run
+// produces byte-identical journals, invoices, and counters to a bare
+// one (property-tested in obs_test.go). The metric name contract lives
+// in obs.go and docs/metrics.md; cmd/pricer's -load mode drives the
+// instrumented sharded tier to saturation and reports the knee.
+//
 // # Fault injection
 //
 // FaultWriter executes a FaultPlan — a clean write error, a short write

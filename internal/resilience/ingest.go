@@ -5,9 +5,11 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sharedopt/internal/core"
 	"sharedopt/internal/econ"
+	"sharedopt/internal/obs"
 )
 
 // ErrOverloaded is the typed admission-control rejection: the bounded
@@ -39,6 +41,11 @@ type IngestConfig struct {
 	// before each operation is applied. Tests and the chaos harness use
 	// it to stall the worker and drive the queue into saturation.
 	ApplyHook func()
+	// Obs, if non-nil, receives the front end's metrics: the admission
+	// counters (mirroring Counters exactly), the queue-depth high-water
+	// mark, and the per-operation apply latency histogram. See obs.go
+	// for the name contract.
+	Obs *obs.Registry
 }
 
 // Counters is a point-in-time snapshot of the front end's exact
@@ -106,6 +113,7 @@ type Ingest struct {
 	expired    atomic.Uint64
 	overloaded atomic.Uint64
 	advanced   atomic.Uint64
+	om         ingestMetrics // zero value when uninstrumented
 }
 
 // NewIngest starts a front end over be. Call Close to drain and stop it.
@@ -113,7 +121,8 @@ func NewIngest(be Backend, cfg IngestConfig) *Ingest {
 	if cfg.Queue <= 0 {
 		cfg.Queue = 64
 	}
-	in := &Ingest{be: be, cfg: cfg, ops: make(chan *ingestOp, cfg.Queue)}
+	in := &Ingest{be: be, cfg: cfg, ops: make(chan *ingestOp, cfg.Queue),
+		om: newIngestMetrics(cfg.Obs)}
 	in.wg.Add(1)
 	go in.worker()
 	return in
@@ -125,11 +134,16 @@ func (in *Ingest) worker() {
 	for op := range in.ops {
 		if op.ctx != nil && op.ctx.Err() != nil {
 			in.expired.Add(1)
+			in.om.expired.Inc()
 			op.done <- opResult{err: op.ctx.Err()}
 			continue
 		}
 		if in.cfg.ApplyHook != nil {
 			in.cfg.ApplyHook()
+		}
+		var start time.Time
+		if in.om.applyNs != nil {
+			start = time.Now()
 		}
 		var res opResult
 		switch op.kind {
@@ -142,16 +156,22 @@ func (in *Ingest) worker() {
 		case opClose:
 			res.settled, res.err = in.be.ClosePeriod()
 		}
+		if in.om.applyNs != nil {
+			in.om.applyNs.ObserveSince(start)
+		}
 		switch op.kind {
 		case opAdditive, opSubst:
 			if res.err == nil {
 				in.accepted.Add(1)
+				in.om.accepted.Inc()
 			} else {
 				in.rejected.Add(1)
+				in.om.rejected.Inc()
 			}
 		case opAdvance:
 			if res.err == nil {
 				in.advanced.Add(1)
+				in.om.advanced.Inc()
 			}
 		}
 		op.done <- res
@@ -167,9 +187,11 @@ func (in *Ingest) tryEnqueue(op *ingestOp) error {
 	}
 	select {
 	case in.ops <- op:
+		in.om.queueHigh.Observe(uint64(len(in.ops)))
 		return nil
 	default:
 		in.overloaded.Add(1)
+		in.om.overloaded.Inc()
 		return ErrOverloaded
 	}
 }
@@ -183,9 +205,11 @@ func (in *Ingest) enqueueWait(ctx context.Context, op *ingestOp) error {
 	}
 	select {
 	case in.ops <- op:
+		in.om.queueHigh.Observe(uint64(len(in.ops)))
 		return nil
 	case <-ctx.Done():
 		in.expired.Add(1)
+		in.om.expired.Inc()
 		return ctx.Err()
 	}
 }

@@ -1,0 +1,268 @@
+package resilience
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"reflect"
+	"testing"
+
+	"sharedopt"
+	"sharedopt/internal/core"
+	"sharedopt/internal/econ"
+	"sharedopt/internal/obs"
+	"sharedopt/internal/stats"
+)
+
+// driveShardedScript runs a fixed seeded workload — submissions, a few
+// settlements, duplicates, an overload burst against a tiny batch bound,
+// and a final close — against a fresh sharded tier, returning the
+// service, its journals, and the client-side outcome tally.
+func driveShardedScript(t *testing.T, shards int, reg *obs.Registry) (*ShardedService, []*MemLog, map[string]int) {
+	t.Helper()
+	r := stats.NewRNG(99)
+	logs := make([]*MemLog, shards)
+	writers := make([]io.Writer, shards)
+	for i := range writers {
+		logs[i] = new(MemLog)
+		writers[i] = logs[i]
+	}
+	catalog := []sharedopt.Optimization{{ID: 1, Cost: econ.FromDollars(4)}}
+	ss, err := NewShardedService(sharedopt.Additive, catalog, 6, writers,
+		ShardedConfig{MaxBatch: 8, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tally := map[string]int{}
+	submit := func(u core.UserID, slot core.Slot) {
+		err := ss.SubmitAdditiveBid(1, core.OnlineBid{
+			User: u, Start: slot, End: slot,
+			Values: []econ.Money{econ.FromCents(int64(50 + r.Intn(200)))},
+		})
+		switch {
+		case err == nil:
+			tally["accepted"]++
+		case IsOverloaded(err):
+			tally["overloaded"]++
+		default:
+			tally["rejected"]++
+		}
+	}
+	dup := core.OnlineBid{User: 1, Start: 1, End: 1,
+		Values: []econ.Money{econ.FromCents(117)}}
+	if err := ss.SubmitAdditiveBid(1, dup); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	tally["accepted"]++
+	// An idempotent duplicate: journaled once, counted once.
+	if err := ss.SubmitAdditiveBid(1, dup); err != nil {
+		t.Fatalf("duplicate submit: %v", err)
+	}
+	u := core.UserID(1)
+	for slot := core.Slot(1); slot <= 3; slot++ {
+		for k := 0; k < 30; k++ {
+			u++
+			submit(u, slot)
+		}
+		// One retroactive bid per later slot (mechanism-rejected).
+		if slot > 1 {
+			submit(u, 1)
+		}
+		if _, err := ss.AdvanceSlot(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ss.ClosePeriod(); err != nil {
+		t.Fatal(err)
+	}
+	return ss, logs, tally
+}
+
+// IsOverloaded reports whether err wraps ErrOverloaded (test helper
+// mirroring the retry contract's check).
+func IsOverloaded(err error) bool { return err != nil && Retryable(err) }
+
+// Instrumentation must be pure bookkeeping: a sharded run with a
+// registry attached produces byte-identical journals, invoices, and
+// counters to the same run without one. This is the property that keeps
+// figure CSVs and recovery behavior out of observability's blast radius
+// — metrics can never change what is durable.
+func TestObsChangesNoJournalBytes(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		bare, bareLogs, bareTally := driveShardedScript(t, shards, nil)
+		inst, instLogs, instTally := driveShardedScript(t, shards, obs.NewRegistry())
+		for i := range bareLogs {
+			if !bytes.Equal(bareLogs[i].Bytes(), instLogs[i].Bytes()) {
+				t.Fatalf("shards=%d: journal %d differs with obs attached", shards, i)
+			}
+		}
+		if !reflect.DeepEqual(bare.Invoices(), inst.Invoices()) {
+			t.Fatalf("shards=%d: invoices differ with obs attached", shards)
+		}
+		if !reflect.DeepEqual(bareTally, instTally) {
+			t.Fatalf("shards=%d: client outcomes differ: %v vs %v", shards, bareTally, instTally)
+		}
+		if !reflect.DeepEqual(bare.ShardStats(), inst.ShardStats()) {
+			t.Fatalf("shards=%d: shard counters differ with obs attached", shards)
+		}
+	}
+}
+
+// The obs counters must mirror ShardCounters exactly, per shard and in
+// the tier aggregate, and reconcile with the client-side tally.
+func TestShardedObsMirrorsCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	const shards = 3
+	ss, _, tally := driveShardedScript(t, shards, reg)
+	snap := reg.Snapshot()
+	agg := ShardCounters{}
+	for i, sc := range ss.ShardStats() {
+		prefix := fmt.Sprintf("shard%d", i)
+		for name, want := range map[string]uint64{
+			prefix + ".accepted":   sc.Accepted,
+			prefix + ".rejected":   sc.Rejected,
+			prefix + ".overloaded": sc.Overloaded,
+			prefix + ".read_only":  sc.ReadOnly,
+			prefix + ".settled":    sc.Settled,
+			prefix + ".wedged":     0,
+		} {
+			if got := snap.Counters[name]; got != want {
+				t.Errorf("%s = %d, want %d", name, got, want)
+			}
+		}
+		agg.Accepted += sc.Accepted
+		agg.Rejected += sc.Rejected
+		agg.Overloaded += sc.Overloaded
+		agg.Settled += sc.Settled
+	}
+	for name, want := range map[string]uint64{
+		"tier.accepted":   agg.Accepted,
+		"tier.rejected":   agg.Rejected,
+		"tier.overloaded": agg.Overloaded,
+		"tier.settled":    agg.Settled,
+		"tier.advances":   3,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	// The tier's counters must reconcile with the client's own tally.
+	if agg.Accepted != uint64(tally["accepted"]) ||
+		agg.Rejected != uint64(tally["rejected"]) ||
+		agg.Overloaded != uint64(tally["overloaded"]) {
+		t.Fatalf("tier %+v does not reconcile with client tally %v", agg, tally)
+	}
+	// Everything accepted was settled by the close.
+	if agg.Settled != agg.Accepted {
+		t.Fatalf("settled %d != accepted %d after close", agg.Settled, agg.Accepted)
+	}
+	// Latency histograms observed every settlement and journal write.
+	if n := snap.Hists["tier.advance_ns"].Count; n != 3 {
+		t.Errorf("tier.advance_ns observed %d settlements, want 3", n)
+	}
+	for i := 0; i < shards; i++ {
+		name := fmt.Sprintf("shard%d.journal_write_ns", i)
+		h, ok := snap.Hists[name]
+		if !ok || h.Count == 0 {
+			t.Errorf("%s missing or empty", name)
+		}
+	}
+	// The batch high-water marks never exceed the configured bound.
+	for i := 0; i < shards; i++ {
+		if hw := snap.Gauges[fmt.Sprintf("shard%d.batch_highwater", i)]; hw == 0 || hw > 8 {
+			t.Errorf("shard%d.batch_highwater = %d, want in (0, 8]", i, hw)
+		}
+	}
+}
+
+// A wedged shard increments the wedged counters exactly once and keeps
+// counting read-only turn-aways.
+func TestShardedObsWedgeCounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	catalog := []sharedopt.Optimization{{ID: 1, Cost: econ.FromDollars(2)}}
+	fw := NewFaultWriter(new(MemLog), FaultPlan{Kind: FaultErr, Record: 2})
+	ss, err := NewShardedService(sharedopt.Additive, catalog, 4,
+		[]io.Writer{fw}, ShardedConfig{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	submit := func(u core.UserID) error {
+		return ss.SubmitAdditiveBid(1, core.OnlineBid{User: u, Start: 1, End: 1,
+			Values: []econ.Money{econ.Dollar}})
+	}
+	if err := submit(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := submit(2); err == nil {
+		t.Fatal("journal fault must surface")
+	}
+	if err := submit(3); err == nil {
+		t.Fatal("wedged shard must refuse")
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["shard0.wedged"]; got != 1 {
+		t.Fatalf("shard0.wedged = %d, want 1", got)
+	}
+	if got := snap.Counters["tier.wedged"]; got != 1 {
+		t.Fatalf("tier.wedged = %d, want 1", got)
+	}
+	if got := snap.Counters["shard0.read_only"]; got != 2 {
+		t.Fatalf("shard0.read_only = %d, want 2 (the faulted accept and the refusal)", got)
+	}
+}
+
+// The ingest front end's obs counters mirror Counters exactly, and the
+// queue high-water mark and apply-latency histogram populate.
+func TestIngestObsMirrorsCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	var m MemLog
+	js, err := NewJournaledService(sharedopt.Additive,
+		[]sharedopt.Optimization{{ID: 1, Cost: econ.FromDollars(3)}}, 4, &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewIngest(js, IngestConfig{Queue: 4, Obs: reg})
+	defer in.Close()
+	for u := core.UserID(1); u <= 6; u++ {
+		err := in.SubmitAdditive(1, core.OnlineBid{User: u, Start: 1, End: 1,
+			Values: []econ.Money{econ.Dollar}})
+		for Retryable(err) {
+			err = in.SubmitAdditive(1, core.OnlineBid{User: u, Start: 1, End: 1,
+				Values: []econ.Money{econ.Dollar}})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One mechanism rejection: a retroactive bid after an advance.
+	if _, err := in.AdvanceSlot(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.SubmitAdditive(1, core.OnlineBid{User: 99, Start: 1, End: 1,
+		Values: []econ.Money{econ.Dollar}}); err == nil {
+		t.Fatal("retroactive bid must be rejected")
+	}
+	st := in.Stats()
+	snap := reg.Snapshot()
+	for name, want := range map[string]uint64{
+		"ingest.accepted":   st.Accepted,
+		"ingest.rejected":   st.Rejected,
+		"ingest.expired":    st.Expired,
+		"ingest.overloaded": st.Overloaded,
+		"ingest.advanced":   st.Advanced,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d (Counters %+v)", name, got, want, st)
+		}
+	}
+	applied := st.Accepted + st.Rejected + st.Advanced
+	if n := snap.Hists["ingest.apply_ns"].Count; n != uint64(applied) {
+		t.Errorf("ingest.apply_ns observed %d ops, want %d", n, applied)
+	}
+	// The high-water mark samples depth after admission; the worker may
+	// already have drained the op, so 0 is legal — only the bound is not.
+	if hw := snap.Gauges["ingest.queue_highwater"]; hw > 4 {
+		t.Errorf("ingest.queue_highwater = %d, want <= queue depth 4", hw)
+	}
+}

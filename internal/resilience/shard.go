@@ -25,10 +25,12 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"sharedopt"
 	"sharedopt/internal/core"
 	"sharedopt/internal/econ"
+	"sharedopt/internal/obs"
 )
 
 // ErrShardWedged marks a shard that can no longer accept mutations — its
@@ -59,6 +61,12 @@ type ShardedConfig struct {
 	// (retryable; the batch drains at the next AdvanceSlot). 0 means
 	// unbounded.
 	MaxBatch int
+	// Obs, if non-nil, receives the tier's metrics: per-shard and
+	// aggregate outcome counters, batch high-water marks, per-record
+	// journal write latency, and slot-advance latency. See obs.go for
+	// the name contract. Instrumentation is pure bookkeeping — journal
+	// bytes and settlement are byte-identical with Obs nil or set.
+	Obs *obs.Registry
 }
 
 // ShardCounters are one shard's exact ingestion statistics.
@@ -103,6 +111,7 @@ type shard struct {
 	batch    []pendingBid
 	wedged   error // non-nil once read-only; wraps ErrShardWedged
 	counters ShardCounters
+	om       shardMetrics // zero value when the tier is uninstrumented
 }
 
 // ShardedService is the N-shard durable pricing tier. It satisfies the
@@ -114,6 +123,7 @@ type ShardedService struct {
 	maxBatch int
 	shards   []*shard
 	settle   *sharedopt.Service // derived global game; never journaled
+	tm       tierMetrics        // zero value when uninstrumented
 }
 
 // shardConfigRecord builds shard i's opening journal record.
@@ -151,17 +161,25 @@ func NewShardedService(kind sharedopt.GameKind, opts []sharedopt.Optimization, h
 		maxBatch: cfg.MaxBatch,
 		shards:   make([]*shard, n),
 		settle:   settle,
+		tm:       newTierMetrics(cfg.Obs),
 	}
 	for i, w := range writers {
 		replica, err := newService(kind, opts, horizon)
 		if err != nil {
 			return nil, err
 		}
+		om := newShardMetrics(cfg.Obs, i)
+		if cfg.Obs != nil {
+			// Observe every durable write's latency (the fsync, on a
+			// FileLog). TimedWriter passes bytes through untouched, so
+			// the journal image is identical with or without it.
+			w = obs.TimedWriter{W: w, H: cfg.Obs.Histogram(fmt.Sprintf("shard%d.journal_write_ns", i), nil)}
+		}
 		j := NewJournal(w)
 		if err := j.Append(shardConfigRecord(kind, opts, horizon, i, n)); err != nil {
 			return nil, fmt.Errorf("resilience: shard %d: %w", i, err)
 		}
-		s.shards[i] = &shard{js: newJournaledOn(replica, j)}
+		s.shards[i] = &shard{js: newJournaledOn(replica, j), om: om}
 	}
 	return s, nil
 }
@@ -207,6 +225,8 @@ func (s *ShardedService) wedgeLocked(i int, cause error) {
 	sh := s.shards[i]
 	if sh.wedged == nil {
 		sh.wedged = fmt.Errorf("%w: shard %d: %w", ErrShardWedged, i, cause)
+		sh.om.wedged.Inc()
+		s.tm.wedged.Inc()
 	}
 }
 
@@ -245,10 +265,14 @@ func (s *ShardedService) submit(u core.UserID, p pendingBid, apply func(*Journal
 	defer sh.mu.Unlock()
 	if sh.wedged != nil {
 		sh.counters.ReadOnly++
+		sh.om.readOnly.Inc()
+		s.tm.readOnly.Inc()
 		return sh.wedged
 	}
 	if s.maxBatch > 0 && len(sh.batch) >= s.maxBatch {
 		sh.counters.Overloaded++
+		sh.om.overloaded.Inc()
+		s.tm.overloaded.Inc()
 		return fmt.Errorf("%w: shard %d batch full (%d pending)", ErrOverloaded, i, len(sh.batch))
 	}
 	// The shard journal's sequence number tells duplicates apart from
@@ -259,16 +283,23 @@ func (s *ShardedService) submit(u core.UserID, p pendingBid, apply func(*Journal
 		if sh.js.Broken() != nil {
 			s.wedgeLocked(i, err)
 			sh.counters.ReadOnly++
+			sh.om.readOnly.Inc()
+			s.tm.readOnly.Inc()
 			return sh.wedged
 		}
 		sh.counters.Rejected++
+		sh.om.rejected.Inc()
+		s.tm.rejected.Inc()
 		return err
 	}
 	if sh.js.j.Seq() == before {
 		return nil // duplicate: already journaled and already settled/batched
 	}
 	sh.counters.Accepted++
+	sh.om.accepted.Inc()
+	s.tm.accepted.Inc()
 	sh.batch = append(sh.batch, p)
+	sh.om.batchHigh.Observe(uint64(len(sh.batch)))
 	return nil
 }
 
@@ -285,10 +316,14 @@ func (s *ShardedService) foldBatchLocked(i int, batch []pendingBid) {
 		if err := p.applyTo(s.settle); err != nil {
 			s.wedgeLocked(i, fmt.Errorf("%w: settling accepted bid of user %d: %w", ErrPolicyDiverged, p.user(), err))
 			sh.counters.Settled += uint64(k)
+			sh.om.settled.Add(uint64(k))
+			s.tm.settled.Add(uint64(k))
 			return
 		}
 	}
 	sh.counters.Settled += uint64(len(batch))
+	sh.om.settled.Add(uint64(len(batch)))
+	s.tm.settled.Add(uint64(len(batch)))
 }
 
 // drainLocked freezes every shard's batch for settlement, journaling
@@ -343,6 +378,7 @@ func (s *ShardedService) errAllWedged() error {
 // journal the marker for the advance to be acknowledged; otherwise the
 // batches are restored and the tier-dead error returned.
 func (s *ShardedService) AdvanceSlot() (core.SlotReport, error) {
+	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.settle.Closed() {
@@ -365,7 +401,12 @@ func (s *ShardedService) AdvanceSlot() (core.SlotReport, error) {
 		s.foldBatchLocked(i, batches[i])
 		sh.mu.Unlock()
 	}
-	return s.settle.AdvanceSlot()
+	report, err := s.settle.AdvanceSlot()
+	if err == nil {
+		s.tm.advances.Inc()
+		s.tm.advanceNs.ObserveSince(start)
+	}
+	return report, err
 }
 
 // ClosePeriod settles the period early: every healthy shard journals a

@@ -1,0 +1,49 @@
+package stats
+
+import "testing"
+
+// PercentileRank is the shared R-7 rank definition: Percentile applies
+// it to sorted slices, internal/obs applies it to histogram bucket
+// counts. Pin its coordinates so the two can never drift apart.
+func TestPercentileRank(t *testing.T) {
+	cases := []struct {
+		n    int
+		p    float64
+		lo   int
+		frac float64
+	}{
+		{0, 0.5, 0, 0},   // empty
+		{-3, 0.5, 0, 0},  // nonsense n
+		{1, 0.5, 0, 0},   // single observation is every quantile
+		{5, 0, 0, 0},     // p=0 → min
+		{5, -2, 0, 0},    // clamped below
+		{5, 1, 4, 0},     // p=1 → max
+		{5, 7, 4, 0},     // clamped above
+		{5, 0.5, 2, 0},   // exact middle rank
+		{4, 0.5, 1, 0.5}, // interpolated middle
+		{2, 0.75, 0, 0.75},
+		{101, 0.99, 99, 0}, // p99 of 101 sorted values is index 99
+	}
+	for _, c := range cases {
+		lo, frac := PercentileRank(c.n, c.p)
+		if lo != c.lo || frac != c.frac {
+			t.Errorf("PercentileRank(%d, %v) = (%d, %v), want (%d, %v)",
+				c.n, c.p, lo, frac, c.lo, c.frac)
+		}
+	}
+}
+
+// Percentile must behave exactly as before the PercentileRank refactor:
+// interpolate via the coordinates on the sorted copy.
+func TestPercentileUsesRank(t *testing.T) {
+	xs := []float64{40, 10, 30, 20}
+	if got := Percentile(xs, 0.5); got != 25 {
+		t.Fatalf("p50 = %v, want 25", got)
+	}
+	if got := Percentile(xs, 1); got != 40 {
+		t.Fatalf("p100 = %v, want 40", got)
+	}
+	if xs[0] != 40 {
+		t.Fatal("Percentile must not modify its input")
+	}
+}

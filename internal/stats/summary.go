@@ -114,6 +114,31 @@ func StdDev(xs []float64) float64 {
 	return s.StdDev()
 }
 
+// PercentileRank returns the R-7 interpolation coordinates of the p-th
+// percentile (p in [0,1], clamped) over n sorted observations: the
+// percentile is observation lo plus frac of the distance to observation
+// lo+1 (frac == 0 means observation lo exactly, and lo+1 is then not
+// consulted — at the extremes lo is 0 or n-1). Percentile applies these
+// coordinates to a sorted slice; consumers that hold observations in
+// another rank-addressable shape (internal/obs's fixed-bucket histograms)
+// apply the same coordinates to stay percentile-compatible with it.
+// n <= 0 yields (0, 0).
+func PercentileRank(n int, p float64) (lo int, frac float64) {
+	if n <= 0 || p <= 0 {
+		return 0, 0
+	}
+	if p >= 1 {
+		return n - 1, 0
+	}
+	rank := p * float64(n-1)
+	lo = int(math.Floor(rank))
+	frac = rank - float64(lo)
+	if lo+1 >= n {
+		return n - 1, 0
+	}
+	return lo, frac
+}
+
 // Percentile returns the p-th percentile (p in [0,1]) of xs using
 // linear interpolation between closest ranks (the "R-7" definition Go's
 // benchstat and numpy default to). xs is not modified. An empty slice
@@ -124,16 +149,8 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
-	if p <= 0 {
-		return sorted[0]
-	}
-	if p >= 1 {
-		return sorted[len(sorted)-1]
-	}
-	rank := p * float64(len(sorted)-1)
-	lo := int(math.Floor(rank))
-	frac := rank - float64(lo)
-	if lo+1 >= len(sorted) {
+	lo, frac := PercentileRank(len(sorted), p)
+	if frac == 0 {
 		return sorted[lo]
 	}
 	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
