@@ -83,7 +83,8 @@ func TestKeyBenchmarksRegistered(t *testing.T) {
 		"AddOnGame": true, "SubstOnGame": true,
 		"ServiceGame": true, "ServiceGameJournaled": true, "IngestThroughput": true,
 		"ShardedIngest1": true, "ShardedIngest4": true, "ShardedIngest4Obs": true,
-		"EngineHashJoin": true, "EngineHashJoinParallel4": true,
+		"ShardedIngest4Net": true,
+		"EngineHashJoin":    true, "EngineHashJoinParallel4": true,
 		"EngineBuildJoin": true, "EngineBuildJoinParallel4": true,
 		"EngineOrderBy": true, "EngineOrderByParallel4": true,
 		"HaloFinder": true, "HaloFinderWarm": true, "HaloFinderParallel4": true,

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNetChaosSweepClean runs a small seeded network-fault sweep: every
+// round must keep the faulted TCP run byte-identical to the fault-free
+// reference and report its fault schedule.
+func TestNetChaosSweepClean(t *testing.T) {
+	var out strings.Builder
+	if err := runNetChaos(1, 2, &out); err != nil {
+		t.Fatalf("net chaos sweep: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "2 rounds clean") {
+		t.Fatalf("missing clean summary:\n%s", got)
+	}
+	if !strings.Contains(got, "faults=[reqs=") || !strings.Contains(got, "killOp=") {
+		t.Fatalf("rounds do not report their fault schedules:\n%s", got)
+	}
+}
+
+func TestNetChaosRejectsBadRounds(t *testing.T) {
+	if err := runNetChaos(1, 0, &strings.Builder{}); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+}
+
+// TestReplaySeedFile pins the seed-file workflow: comments and blanks
+// are skipped, seeds run in order, and a violation names the first
+// failing seed.
+func TestReplaySeedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seeds.txt")
+	if err := os.WriteFile(path, []byte("# triage bag\n3\n\n9\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var ran []uint64
+	var out strings.Builder
+	if err := replaySeedFile(path, func(seed uint64) error {
+		ran = append(ran, seed)
+		return nil
+	}, &out); err != nil {
+		t.Fatalf("clean replay: %v", err)
+	}
+	if len(ran) != 2 || ran[0] != 3 || ran[1] != 9 {
+		t.Fatalf("ran seeds %v, want [3 9]", ran)
+	}
+	if !strings.Contains(out.String(), "2 seeds clean") {
+		t.Fatalf("missing summary:\n%s", out.String())
+	}
+
+	boom := os.ErrInvalid
+	err := replaySeedFile(path, func(seed uint64) error {
+		if seed == 9 {
+			return boom
+		}
+		return nil
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "first failing seed 9") {
+		t.Fatalf("failing replay error %v does not name seed 9", err)
+	}
+
+	for name, body := range map[string]string{
+		"empty":    "# nothing\n\n",
+		"nonseed":  "12\nbanana\n",
+		"negative": "-4\n",
+	} {
+		p := filepath.Join(t.TempDir(), name+".txt")
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := replaySeedFile(p, func(uint64) error { return nil }, &out); err == nil {
+			t.Fatalf("%s seed file accepted", name)
+		}
+	}
+}

@@ -12,6 +12,8 @@
 //	pricer -f scenario.json -compare-regret
 //	cat scenario.json | pricer
 //	pricer -chaos -seed 7 -rounds 32
+//	pricer -chaos-net -seed 7 -rounds 8
+//	pricer -chaos-seed-file failing_seeds.txt -rounds 4
 //	pricer -load -shards 4 -rates 500,2500,10000,50000 -o LOAD_4shard.json
 //
 // Scenario format (amounts are dollar strings like "2.31"):
@@ -68,6 +70,9 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "base seed for -chaos rounds and the -load schedule")
 		rounds  = flag.Int("rounds", 16, "number of -chaos rounds")
 
+		chaosNet = flag.Bool("chaos-net", false, "run seeded network-fault chaos over the TCP shard transport")
+		seedFile = flag.String("chaos-seed-file", "", "replay newline-separated seeds through the selected chaos sweeps; exits non-zero naming the first failing seed")
+
 		load        = flag.Bool("load", false, "run an open-loop saturation sweep over the sharded tier")
 		shards      = flag.Int("shards", 4, "-load: shard count")
 		rates       = flag.String("rates", "500,2500,10000,50000", "-load: offered-rate ladder, bids/s, strictly increasing")
@@ -79,8 +84,32 @@ func main() {
 		requireKnee = flag.Bool("require-knee", false, "-load: exit non-zero if the ladder never saturates the tier")
 	)
 	flag.Parse()
-	if *chaos {
-		if err := runChaos(*seed, *rounds, os.Stdout); err != nil {
+	if *chaos || *chaosNet || *seedFile != "" {
+		// With a seed file but neither sweep flag, replay seeds through
+		// both sweeps.
+		runFault := *chaos || (*seedFile != "" && !*chaosNet)
+		runNet := *chaosNet || (*seedFile != "" && !*chaos)
+		sweep := func(seed uint64) error {
+			if runFault {
+				if err := runChaos(seed, *rounds, os.Stdout); err != nil {
+					return err
+				}
+			}
+			if runNet {
+				if err := runNetChaos(seed, *rounds, os.Stdout); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if *seedFile != "" {
+			if err := replaySeedFile(*seedFile, sweep, os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "pricer: chaos:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		if err := sweep(*seed); err != nil {
 			fmt.Fprintln(os.Stderr, "pricer: chaos:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,52 @@
+package main
+
+// -chaos-seed-file: replay a saved list of chaos seeds. The file holds
+// one base seed per line (decimal uint64); blank lines and #-comments
+// are skipped. Each seed runs the selected sweeps in file order, and
+// the first violation stops the replay naming its seed — the workflow
+// for triaging a failure bag from a long fuzzing soak.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// replaySeedFile parses path and runs sweep for each listed seed.
+func replaySeedFile(path string, sweep func(seed uint64) error, w io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var seeds []uint64
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		seed, err := strconv.ParseUint(text, 10, 64)
+		if err != nil {
+			return fmt.Errorf("seed file %s line %d: %q is not a seed: %v", path, line, text, err)
+		}
+		seeds = append(seeds, seed)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("seed file %s: %w", path, err)
+	}
+	if len(seeds) == 0 {
+		return fmt.Errorf("seed file %s holds no seeds", path)
+	}
+	for _, seed := range seeds {
+		fmt.Fprintf(w, "seed file %s: replaying seed %d\n", path, seed)
+		if err := sweep(seed); err != nil {
+			return fmt.Errorf("seed file %s: first failing seed %d: %w", path, seed, err)
+		}
+	}
+	fmt.Fprintf(w, "seed file %s: %d seeds clean\n", path, len(seeds))
+	return nil
+}

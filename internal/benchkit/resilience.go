@@ -2,6 +2,7 @@ package benchkit
 
 import (
 	"io"
+	"net"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -13,6 +14,7 @@ import (
 	"sharedopt/internal/econ"
 	"sharedopt/internal/obs"
 	"sharedopt/internal/resilience"
+	"sharedopt/internal/resilience/transport"
 	"sharedopt/internal/stats"
 )
 
@@ -182,11 +184,68 @@ func ShardedIngestInstrumented(shards int) func(b *testing.B) {
 	return shardedIngestBody(shards, true)
 }
 
+// ingestWaveCount and ingestWavePerWave fix the sharded-ingest workload
+// shape shared by every ShardedIngest* body: 4 waves of 256 single-slot
+// bids, one timed AdvanceSlot per wave.
+const (
+	ingestWaves   = 4
+	ingestPerWave = 256
+)
+
+// driveIngestWaves pushes the fixed sharded-ingest workload through ss
+// with the given worker count and appends each wave's AdvanceSlot
+// latency (ns) to advNs. Shared by the loopback and TCP bodies so the
+// tcp-vs-loopback pair measures the transport, not workload drift.
+func driveIngestWaves(b *testing.B, ss *resilience.ShardedService, workers int, advNs *[]float64) {
+	var next atomic.Int64
+	for wave := 1; wave <= ingestWaves; wave++ {
+		slot := core.Slot(wave)
+		hi := int64(wave * ingestPerWave)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					u := next.Add(1)
+					if u > hi {
+						return
+					}
+					if err := ss.SubmitAdditiveBid(1, core.OnlineBid{
+						User: core.UserID(u), Start: slot, End: slot,
+						Values: []econ.Money{econ.Dollar},
+					}); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		start := time.Now()
+		if _, err := ss.AdvanceSlot(); err != nil {
+			b.Fatal(err)
+		}
+		*advNs = append(*advNs, float64(time.Since(start).Nanoseconds()))
+	}
+	if got := ss.Invoices(); len(got) == 0 {
+		b.Fatal("no user was invoiced")
+	}
+}
+
+// reportIngestMetrics emits the two service-level extras every
+// ShardedIngest* body tracks in the BENCH_*.json trajectory.
+func reportIngestMetrics(b *testing.B, advNs []float64) {
+	if e := b.Elapsed(); e > 0 {
+		b.ReportMetric(float64(b.N*ingestPerWave*ingestWaves)/e.Seconds(), "bids/s")
+	}
+	b.ReportMetric(stats.Percentile(advNs, 0.99), "p99-adv-ns")
+}
+
 // shardedIngestBody is the shared body; instrumented chooses whether
 // the tier carries an obs.Registry.
 func shardedIngestBody(shards int, instrumented bool) func(b *testing.B) {
 	return func(b *testing.B) {
-		const perWave, waves = 256, 4
 		catalog := []sharedopt.Optimization{{ID: 1, Cost: econ.FromDollars(50)}}
 		workers := runtime.GOMAXPROCS(0)
 		var advNs []float64
@@ -202,49 +261,78 @@ func shardedIngestBody(shards int, instrumented bool) func(b *testing.B) {
 				reg = obs.NewRegistry()
 			}
 			ss, err := resilience.NewShardedService(sharedopt.Additive, catalog,
-				core.Slot(waves), writers, resilience.ShardedConfig{Obs: reg})
+				core.Slot(ingestWaves), writers, resilience.ShardedConfig{Obs: reg})
 			if err != nil {
 				b.Fatal(err)
 			}
-			var next atomic.Int64
-			for wave := 1; wave <= waves; wave++ {
-				slot := core.Slot(wave)
-				hi := int64(wave * perWave)
-				var wg sync.WaitGroup
-				for w := 0; w < workers; w++ {
-					wg.Add(1)
-					go func() {
-						defer wg.Done()
-						for {
-							u := next.Add(1)
-							if u > hi {
-								return
-							}
-							if err := ss.SubmitAdditiveBid(1, core.OnlineBid{
-								User: core.UserID(u), Start: slot, End: slot,
-								Values: []econ.Money{econ.Dollar},
-							}); err != nil {
-								b.Error(err)
-								return
-							}
-						}
-					}()
-				}
-				wg.Wait()
-				start := time.Now()
-				if _, err := ss.AdvanceSlot(); err != nil {
-					b.Fatal(err)
-				}
-				advNs = append(advNs, float64(time.Since(start).Nanoseconds()))
-			}
-			if got := ss.Invoices(); len(got) == 0 {
-				b.Fatal("no user was invoiced")
-			}
+			driveIngestWaves(b, ss, workers, &advNs)
 		}
 		b.StopTimer()
-		if e := b.Elapsed(); e > 0 {
-			b.ReportMetric(float64(b.N*perWave*waves)/e.Seconds(), "bids/s")
+		reportIngestMetrics(b, advNs)
+	}
+}
+
+// ShardedIngestNet is ShardedIngestThroughput with the router reaching
+// every shard over the length-prefixed TCP transport on loopback
+// sockets instead of in-process calls: identical workload and
+// settlement, plus a real network boundary — JSON framing, group-commit
+// socket writes, reply routing by request ID — on every submit and
+// advance. Link setup and teardown run off-timer so the measurement is
+// the steady-state boundary cost, which the tcp-vs-loopback pair gate
+// bounds.
+func ShardedIngestNet(shards int) func(b *testing.B) {
+	return func(b *testing.B) {
+		catalog := []sharedopt.Optimization{{ID: 1, Cost: econ.FromDollars(50)}}
+		workers := runtime.GOMAXPROCS(0)
+		var advNs []float64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			links := make([]resilience.ShardTransport, shards)
+			clients := make([]*transport.ShardClient, shards)
+			servers := make([]*transport.ShardServer, shards)
+			for s := 0; s < shards; s++ {
+				host, err := resilience.NewShardHost(sharedopt.Additive, catalog,
+					core.Slot(ingestWaves), s, shards, new(resilience.MemLog))
+				if err != nil {
+					b.Fatal(err)
+				}
+				srv := transport.NewShardServer(host)
+				addr, err := srv.Listen("127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				cl, err := transport.NewShardClient(transport.ClientConfig{
+					Dial: func() (net.Conn, error) {
+						return net.DialTimeout("tcp", addr, time.Second)
+					},
+					Retry: resilience.Backoff{
+						Attempts: 3, Base: time.Millisecond,
+						Cap: 5 * time.Millisecond, Seed: uint64(s + 1),
+					},
+					Shard: s,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				servers[s], clients[s], links[s] = srv, cl, cl
+			}
+			ss, err := resilience.NewShardedServiceOver(sharedopt.Additive, catalog,
+				core.Slot(ingestWaves), links, resilience.ShardedConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			driveIngestWaves(b, ss, workers, &advNs)
+			b.StopTimer()
+			for s := range clients {
+				clients[s].Close()
+				servers[s].Close()
+			}
+			b.StartTimer()
 		}
-		b.ReportMetric(stats.Percentile(advNs, 0.99), "p99-adv-ns")
+		b.StopTimer()
+		reportIngestMetrics(b, advNs)
 	}
 }

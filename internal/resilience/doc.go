@@ -86,6 +86,31 @@
 // window the live tier would have folded them into. Double recovery of
 // the same journals is byte-identical, wedged set included.
 //
+// # Network transport
+//
+// The router/shard seam is the ShardTransport interface: Submit,
+// Advance, ClosePeriod, and Stats with context deadlines. ShardHost
+// adapts a shard's JournaledService to it in-process (the loopback the
+// plain constructors use); the transport subpackage carries the same
+// calls over a length-prefixed TCP protocol (ShardServer/ShardClient),
+// and NewShardedServiceOver builds a tier on any mix of links after a
+// Stats handshake verifies each link reaches the shard the router will
+// treat it as. The seam's error contract is three-valued: an error
+// wrapping ErrShardUnavailable means NO DECISION was reached (timeout,
+// connection loss, breaker open) and the caller may retry blindly —
+// submission idempotency via journal fingerprint dedup makes a
+// duplicated delivery journal exactly once, and the re-acknowledgment
+// carries the original sequence number; an error wrapping
+// ErrJournalBroken means the shard fail-stopped and the router wedges
+// it; anything else is a definitive mechanism rejection. The client
+// layers bounded seeded-jitter retries (RetryIf), a per-shard circuit
+// breaker that converts a failing shard's timeout storms into fast
+// typed failures with single-probe half-open recovery, and an optional
+// seeded network-fault injector (drops, duplicates, reorders, resets)
+// for chaos drills — cmd/pricer's -chaos-net mode asserts faulted TCP
+// rounds settle byte-identical to fault-free loopback references. See
+// the transport package documentation for the wire format.
+//
 // # Observability
 //
 // Instrumentation is opt-in and inert: pass an *obs.Registry in

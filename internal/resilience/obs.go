@@ -19,17 +19,28 @@ package resilience
 //
 //	shard (each partition of a ShardedService; <i> is the shard index):
 //	  shard<i>.accepted / .rejected / .overloaded / .read_only /
-//	  .settled / .wedged                    counters mirroring ShardCounters
+//	  .unavailable / .settled / .wedged     counters mirroring ShardCounters
 //	  shard<i>.batch_highwater              peak between-slots batch length
 //	  shard<i>.journal_write_ns             per-record journal write latency
 //	                                        (the fsync latency on a FileLog)
 //
 //	tier (the ShardedService aggregate):
 //	  tier.accepted / .rejected / .overloaded / .read_only /
-//	  .settled / .wedged                    sums of the per-shard counters
+//	  .unavailable / .settled / .wedged     sums of the per-shard counters
 //	  tier.advances                         successful slot settlements
 //	  tier.advance_ns                       AdvanceSlot wall latency histogram
 //	                                        (drain + markers + fold + settle)
+//
+//	transport (the TCP shard client, internal/resilience/transport,
+//	when ClientConfig.Obs is set; <i> is the shard index):
+//	  shard<i>.net_requests                 requests put on the wire
+//	  shard<i>.net_failures                 calls that ended unavailable
+//	  shard<i>.net_retries                  attempts after the first
+//	  shard<i>.net_redials                  reconnects after a broken conn
+//	  shard<i>.net_stray_replies            replies with no waiting call
+//	                                        (late, duplicated, reordered)
+//	  shard<i>.net_breaker_open             circuit-breaker trips to open
+//	  shard<i>.net_rtt_ns                   per-call round-trip latency
 //
 // A standalone JournaledService is instrumented the same way the sharded
 // tier instruments its shards: wrap the journal target in an
@@ -41,29 +52,31 @@ import (
 	"sharedopt/internal/obs"
 )
 
-// classMetrics is one accounting class set — the six outcome counters a
-// shard and the tier aggregate both maintain. The zero value (all nil)
+// classMetrics is one accounting class set — the seven outcome counters
+// a shard and the tier aggregate both maintain. The zero value (all nil)
 // is the disabled form.
 type classMetrics struct {
-	accepted   *obs.Counter
-	rejected   *obs.Counter
-	overloaded *obs.Counter
-	readOnly   *obs.Counter
-	settled    *obs.Counter
-	wedged     *obs.Counter
+	accepted    *obs.Counter
+	rejected    *obs.Counter
+	overloaded  *obs.Counter
+	readOnly    *obs.Counter
+	unavailable *obs.Counter
+	settled     *obs.Counter
+	wedged      *obs.Counter
 }
 
-// newClassMetrics registers the six outcome counters under prefix
+// newClassMetrics registers the seven outcome counters under prefix
 // ("shard3" or "tier"). A nil registry yields the disabled (all-nil)
 // set.
 func newClassMetrics(reg *obs.Registry, prefix string) classMetrics {
 	return classMetrics{
-		accepted:   reg.Counter(prefix + ".accepted"),
-		rejected:   reg.Counter(prefix + ".rejected"),
-		overloaded: reg.Counter(prefix + ".overloaded"),
-		readOnly:   reg.Counter(prefix + ".read_only"),
-		settled:    reg.Counter(prefix + ".settled"),
-		wedged:     reg.Counter(prefix + ".wedged"),
+		accepted:    reg.Counter(prefix + ".accepted"),
+		rejected:    reg.Counter(prefix + ".rejected"),
+		overloaded:  reg.Counter(prefix + ".overloaded"),
+		readOnly:    reg.Counter(prefix + ".read_only"),
+		unavailable: reg.Counter(prefix + ".unavailable"),
+		settled:     reg.Counter(prefix + ".settled"),
+		wedged:      reg.Counter(prefix + ".wedged"),
 	}
 }
 

@@ -64,8 +64,19 @@ func Retryable(err error) bool { return errors.Is(err, ErrOverloaded) }
 // Retry runs op until it succeeds, fails permanently, exhausts
 // b.Attempts, or ctx ends — whichever comes first — sleeping a capped
 // exponential backoff between attempts. The returned error wraps the
-// last attempt's error, so errors.Is still matches it.
+// last attempt's error, so errors.Is still matches it. Context
+// cancellation is honored immediately, including mid-sleep: a canceled
+// backoff wait returns ctx.Err() (wrapping the last attempt's error)
+// without finishing the sleep.
 func Retry(ctx context.Context, b Backoff, op func() error) error {
+	return RetryIf(ctx, b, Retryable, op)
+}
+
+// RetryIf is Retry with a caller-chosen retryability predicate — the
+// transport layer retries ErrShardUnavailable, which the admission-path
+// Retryable deliberately does not cover. Everything else (backoff
+// shape, seeded jitter, context handling, error wrapping) is identical.
+func RetryIf(ctx context.Context, b Backoff, retryable func(error) bool, op func() error) error {
 	b = b.withDefaults()
 	delay := b.Base
 	var jit *stats.RNG
@@ -81,7 +92,7 @@ func Retry(ctx context.Context, b Backoff, op func() error) error {
 			return fmt.Errorf("resilience: %d attempts, then %w (last error: %w)", attempt-1, cerr, err)
 		}
 		err = op()
-		if err == nil || !Retryable(err) {
+		if err == nil || !retryable(err) {
 			return err
 		}
 		if attempt >= b.Attempts {
@@ -99,6 +110,7 @@ func Retry(ctx context.Context, b Backoff, op func() error) error {
 			case <-t.C:
 			case <-ctx.Done():
 				t.Stop()
+				return fmt.Errorf("resilience: %d attempts, then %w (last error: %w)", attempt, ctx.Err(), err)
 			}
 		}
 		if delay *= 2; delay > b.Cap {

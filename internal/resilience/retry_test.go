@@ -3,6 +3,7 @@ package resilience
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -233,5 +234,67 @@ func TestRetryJitterClamped(t *testing.T) {
 				t.Fatalf("Jitter=%v: gap %d = %v out of range", jit, i, d)
 			}
 		}
+	}
+}
+
+// TestRetryCancelDuringSleep pins the mid-sleep cancellation contract: a
+// context cancelled while Retry waits out a backoff gap returns
+// immediately — no further attempts, no finished sleep — and the error
+// reports both the cancellation and the last attempt's error. Before
+// this contract, a cancelled caller slept out the full gap (up to Cap)
+// before noticing.
+func TestRetryCancelDuringSleep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	start := time.Now()
+	// No Sleep override: the real timer path is the one under test.
+	// After the first failed attempt Retry waits ~1h; cancel fires
+	// shortly into that sleep.
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	err := Retry(ctx, Backoff{Attempts: 5, Base: time.Hour, Cap: time.Hour}, func() error {
+		calls++
+		return ErrOverloaded
+	})
+	waited := time.Since(start)
+	if calls != 1 {
+		t.Fatalf("made %d attempts, want 1 (cancelled during the first gap)", calls)
+	}
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("mid-sleep cancellation error should wrap both ctx and last attempt error: %v", err)
+	}
+	if waited > 10*time.Second {
+		t.Fatalf("cancelled retry returned after %v: slept out the gap instead of honoring ctx", waited)
+	}
+}
+
+// TestRetryIfPredicate: RetryIf retries exactly what its predicate
+// covers — here ErrShardUnavailable, which the admission-path Retryable
+// never retries.
+func TestRetryIfPredicate(t *testing.T) {
+	calls := 0
+	transient := fmt.Errorf("%w: conn reset", ErrShardUnavailable)
+	err := RetryIf(context.Background(), Backoff{Sleep: func(time.Duration) {}},
+		func(err error) bool { return errors.Is(err, ErrShardUnavailable) },
+		func() error {
+			if calls++; calls < 3 {
+				return transient
+			}
+			return nil
+		})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want success after 3 attempts", err, calls)
+	}
+
+	// The same error is permanent under plain Retry.
+	calls = 0
+	err = Retry(context.Background(), Backoff{Sleep: func(time.Duration) {}}, func() error {
+		calls++
+		return transient
+	})
+	if !errors.Is(err, ErrShardUnavailable) || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want immediate permanent failure", err, calls)
 	}
 }

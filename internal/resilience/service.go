@@ -28,10 +28,14 @@ import (
 // already accepted returns nil without journaling or applying anything,
 // which is what makes blind client retries (see Retry) safe.
 type JournaledService struct {
-	mu   sync.Mutex
-	svc  *sharedopt.Service
-	j    *Journal
-	seen map[string]bool // fingerprints of accepted submissions
+	mu  sync.Mutex
+	svc *sharedopt.Service
+	j   *Journal
+	// seen maps the fingerprint of each accepted submission to the
+	// sequence number its journal record got, so a duplicate delivery —
+	// local or over the network — can be acknowledged with the original
+	// record's identity.
+	seen map[string]uint64
 }
 
 // gameName maps a kind to its journaled name.
@@ -102,7 +106,7 @@ func NewJournaledService(kind sharedopt.GameKind, opts []sharedopt.Optimization,
 // newJournaledOn wraps an existing service over an existing journal —
 // the shared path for recovery and for period-manager periods.
 func newJournaledOn(svc *sharedopt.Service, j *Journal) *JournaledService {
-	return &JournaledService{svc: svc, j: j, seen: make(map[string]bool)}
+	return &JournaledService{svc: svc, j: j, seen: make(map[string]uint64)}
 }
 
 // additiveBidRecord builds the journal record of an additive submission.
@@ -130,7 +134,8 @@ func (s *JournaledService) SubmitAdditiveBid(opt core.OptID, bid core.OnlineBid)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rec := additiveBidRecord(opt, bid)
-	return s.submitLocked(rec, func() error { return s.svc.SubmitAdditiveBid(opt, bid) })
+	_, _, err := s.submitLocked(rec, func() error { return s.svc.SubmitAdditiveBid(opt, bid) })
+	return err
 }
 
 // SubmitSubstitutiveBid journals and applies one substitutive bid, with
@@ -139,29 +144,60 @@ func (s *JournaledService) SubmitSubstitutiveBid(bid core.OnlineSubstBid) error 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rec := substBidRecord(bid)
-	return s.submitLocked(rec, func() error { return s.svc.SubmitSubstitutiveBid(bid) })
+	_, _, err := s.submitLocked(rec, func() error { return s.svc.SubmitSubstitutiveBid(bid) })
+	return err
+}
+
+// SubmitRecord applies one bid record arriving from the transport layer,
+// dispatching on rec.Kind. The returned seq is the journal sequence the
+// submission holds — the original one when the delivery is a duplicate
+// (fresh == false), so a retried or duplicated network delivery is
+// acknowledged with the identity of the record it deduplicated against.
+func (s *JournaledService) SubmitRecord(rec Record) (seq uint64, fresh bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch rec.Kind {
+	case KindAdditiveBid:
+		bid := core.OnlineBid{User: rec.User, Start: rec.Start, End: rec.End, Values: rec.Values}
+		// Rebuild the canonical record so the fingerprint is identical to
+		// the one a local submission of the same bid would compute.
+		return s.submitLocked(additiveBidRecord(rec.Opt, bid), func() error {
+			return s.svc.SubmitAdditiveBid(rec.Opt, bid)
+		})
+	case KindSubstBid:
+		bid := core.OnlineSubstBid{User: rec.User, Opts: rec.Set, Start: rec.Start, End: rec.End, Values: rec.Values}
+		return s.submitLocked(substBidRecord(bid), func() error {
+			return s.svc.SubmitSubstitutiveBid(bid)
+		})
+	default:
+		return 0, false, fmt.Errorf("resilience: submit of non-bid record kind %s", rec.Kind)
+	}
 }
 
 // submitLocked runs the accept-then-journal protocol for one submission:
-// duplicates short-circuit to success, rejected bids are never
-// journaled, and a journal failure is returned (wedging all later
-// mutations) so an unjournaled accept can never be acknowledged.
-func (s *JournaledService) submitLocked(rec Record, apply func() error) error {
+// duplicates short-circuit to success with the original record's seq,
+// rejected bids are never journaled, and a journal failure is returned
+// (wedging all later mutations) so an unjournaled accept can never be
+// acknowledged.
+func (s *JournaledService) submitLocked(rec Record, apply func() error) (seq uint64, fresh bool, err error) {
 	if err := s.j.Err(); err != nil {
-		return fmt.Errorf("%w: %w", ErrJournalBroken, err)
+		return 0, false, fmt.Errorf("%w: %w", ErrJournalBroken, err)
 	}
 	fp := rec.fingerprint()
-	if s.seen[fp] {
-		return nil
+	if prev, ok := s.seen[fp]; ok {
+		return prev, false, nil
 	}
 	if err := apply(); err != nil {
-		return err
+		return 0, false, err
 	}
 	if err := s.j.Append(rec); err != nil {
-		return err
+		return 0, false, err
 	}
-	s.seen[fp] = true
-	return nil
+	// Append assigned the record the journal's next sequence number;
+	// read it back so the acknowledgment names the durable position.
+	seq = s.j.Seq()
+	s.seen[fp] = seq
+	return seq, true, nil
 }
 
 // AdvanceSlot journals and processes the next billing slot.
@@ -273,7 +309,7 @@ func (s *JournaledService) applyRecord(rec Record) error {
 	default:
 		return fmt.Errorf("resilience: corrupt journal: unexpected %s record %d", rec.Kind, rec.Seq)
 	}
-	s.seen[rec.fingerprint()] = true
+	s.seen[rec.fingerprint()] = rec.Seq
 	return nil
 }
 

@@ -1,29 +1,37 @@
 package resilience
 
 // The sharded durable tier. A ShardedService partitions users across N
-// shards, each wrapping a JournaledService with its own journal and its
-// own per-shard sequence chain. Shards are the durability and admission
+// shards and talks to each through a ShardTransport (see transport.go):
+// in-process ShardHost loopbacks by default, TCP clients when the shards
+// live in other processes. Shards are the durability and admission
 // authority: a submission routes to its user's shard, is validated and
 // applied against that shard's replica, journaled in that shard's log,
-// and buffered in the shard's between-slots batch. Settlement is global:
-// AdvanceSlot freezes every shard's batch (journaling one adv marker per
-// shard, in shard-index order), then folds the frozen batches — shard
-// index order outside, journal order within a shard — into a single
-// derived settlement game and advances it. The settlement game is never
-// journaled; it is a pure deterministic function of the N journals, which
-// is what makes invoices, surplus, and implemented sets byte-identical
-// to the equivalent single-shard run at any shard count.
+// and buffered in the router's between-slots batch. Settlement is
+// global: AdvanceSlot freezes every shard's batch behind one durable adv
+// marker per shard (shard-index order), then folds the frozen batches —
+// shard index order outside, journal order within a shard — into a
+// single derived settlement game and advances it. The settlement game is
+// never journaled; it is a pure deterministic function of the N
+// journals, which is what makes invoices, surplus, and implemented sets
+// byte-identical to the equivalent single-shard run at any shard count.
 //
-// Failure is partial by design: a journal append failure or a
-// settlement-time policy divergence wedges only the shard it happened
-// on. That shard's users get ErrShardWedged (read-only) while the other
-// shards keep accepting and settling. Only when every shard is wedged
-// does the tier as a whole refuse mutations.
+// Failure is partial by design, and now two-axis. A journal append
+// failure or settlement-time policy divergence wedges only the shard it
+// happened on — fail-stop, ErrShardWedged, that shard's users read-only
+// while the rest keep settling. A transport failure (deadline, dropped
+// connection, breaker open) is transient — ErrShardUnavailable: the
+// submit's fate is in doubt and the router resolves it by idempotent
+// resubmission at the next settlement; a settlement round with an
+// unreachable shard parks durably-marked shards and retries until the
+// stragglers answer. Only when every shard is wedged does the tier as a
+// whole refuse mutations.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 
@@ -57,10 +65,14 @@ func ShardFor(u core.UserID, shards int) int {
 // ShardedConfig tunes a ShardedService.
 type ShardedConfig struct {
 	// MaxBatch bounds each shard's between-slots ingestion batch. A
-	// submission arriving at a full batch fails fast with ErrOverloaded
-	// (retryable; the batch drains at the next AdvanceSlot). 0 means
-	// unbounded.
+	// submission arriving at a full batch (in-flight submissions count)
+	// fails fast with ErrOverloaded (retryable; the batch drains at the
+	// next AdvanceSlot). 0 means unbounded.
 	MaxBatch int
+	// CallTimeout bounds each transport call — submit, marker, stats —
+	// when the shards sit behind a real network. 0 means no deadline,
+	// which is right for the in-process loopback transport.
+	CallTimeout time.Duration
 	// Obs, if non-nil, receives the tier's metrics: per-shard and
 	// aggregate outcome counters, batch high-water marks, per-record
 	// journal write latency, and slot-advance latency. See obs.go for
@@ -69,19 +81,24 @@ type ShardedConfig struct {
 	Obs *obs.Registry
 }
 
-// ShardCounters are one shard's exact ingestion statistics.
+// ShardCounters are one shard's exact ingestion statistics, as observed
+// by the router.
 type ShardCounters struct {
-	Accepted   uint64 // applied, journaled, and batched for settlement
-	Rejected   uint64 // refused by the mechanism (validation, closed, …)
-	Overloaded uint64 // turned away at a full between-slots batch
-	ReadOnly   uint64 // turned away because the shard is wedged
-	Settled    uint64 // folded into the settlement game so far
-	Pending    uint64 // batched now, awaiting the next settlement
+	Accepted    uint64 // applied, journaled, and batched for settlement
+	Rejected    uint64 // refused by the mechanism (validation, closed, …)
+	Overloaded  uint64 // turned away at a full between-slots batch
+	ReadOnly    uint64 // turned away because the shard is wedged
+	Unavailable uint64 // transport calls that reached no decision (fate in doubt until resolved)
+	Settled     uint64 // folded into the settlement game so far
+	Pending     uint64 // batched or frozen now, awaiting settlement
 }
 
 // pendingBid is one accepted submission waiting in a shard's batch for
-// the next settlement fold.
+// the next settlement fold. seq is the journal sequence the shard
+// assigned it; folds sort by it, so settlement order equals journal
+// order even when pipelined acknowledgments arrive out of order.
 type pendingBid struct {
+	seq      uint64
 	additive bool
 	opt      core.OptID
 	abid     core.OnlineBid
@@ -103,16 +120,72 @@ func (p pendingBid) applyTo(svc *sharedopt.Service) error {
 	return svc.SubmitSubstitutiveBid(p.sbid)
 }
 
-// shard is one partition: a journaled replica plus the batch of accepted
-// bids not yet folded into settlement.
+// indoubtBid is a submission whose transport call ended unavailable: it
+// may or may not be durable on its shard. The router resolves it by
+// idempotent resubmission before the next settlement marker, so the
+// folded set always equals the journaled set.
+type indoubtBid struct {
+	p   pendingBid
+	rec Record
+	fp  string
+}
+
+// shard is the router's view of one partition: the transport link plus
+// the batch of accepted bids not yet folded into settlement.
 type shard struct {
-	mu       sync.Mutex
-	js       *JournaledService
-	batch    []pendingBid
+	mu   sync.Mutex
+	idle *sync.Cond // signaled when inflight hits 0 or settling clears
+	link ShardTransport
+	// batch holds accepted bids of the open window; frozen holds the
+	// bids drained for the in-progress settlement round (non-empty only
+	// while a round is pending on an unreachable shard or mid-fold).
+	batch  []pendingBid
+	frozen []pendingBid
+	// batched marks the fingerprints this router has folded or will
+	// fold, which is what tells a duplicate acknowledgment (retry after
+	// a lost reply) from a fresh accept that must be batched once.
+	batched map[string]bool
+	indoubt []indoubtBid
+	// marked is true while the in-progress settlement round's marker is
+	// durable on this shard (cleared when the round completes).
+	marked bool
+	// settling gates submissions while this shard's batch freezes, and
+	// inflight counts submissions currently on the wire: the freeze
+	// waits for them, so every bid journaled ahead of the marker is in
+	// the frozen batch.
+	settling bool
+	inflight int
 	wedged   error // non-nil once read-only; wraps ErrShardWedged
 	counters ShardCounters
 	om       shardMetrics // zero value when the tier is uninstrumented
 }
+
+func newShard(link ShardTransport, om shardMetrics) *shard {
+	sh := &shard{link: link, batched: make(map[string]bool), om: om}
+	sh.idle = sync.NewCond(&sh.mu)
+	return sh
+}
+
+// dropIndoubtLocked forgets in-doubt entries for fp after a later
+// delivery of the same bid reached a definitive outcome.
+func (sh *shard) dropIndoubtLocked(fp string) {
+	kept := sh.indoubt[:0]
+	for _, in := range sh.indoubt {
+		if in.fp != fp {
+			kept = append(kept, in)
+		}
+	}
+	sh.indoubt = kept
+}
+
+// Settlement-round phases: a partially-acknowledged round (some shards
+// unreachable) parks durably and must be driven to completion before a
+// different round kind can start.
+const (
+	phaseIdle = iota
+	phaseAdvance
+	phaseClose
+)
 
 // ShardedService is the N-shard durable pricing tier. It satisfies the
 // Backend interface, so it drops into the Ingest front end unchanged.
@@ -121,6 +194,8 @@ type ShardedService struct {
 	kind     sharedopt.GameKind
 	horizon  core.Slot
 	maxBatch int
+	timeout  time.Duration
+	phase    int
 	shards   []*shard
 	settle   *sharedopt.Service // derived global game; never journaled
 	tm       tierMetrics        // zero value when uninstrumented
@@ -139,10 +214,11 @@ func shardConfigRecord(kind sharedopt.GameKind, opts []sharedopt.Optimization, h
 }
 
 // NewShardedService opens a fresh sharded period over len(writers)
-// shards, one journal target per shard. Each shard's journal opens with
-// a KindShardConfig record naming its index and the shard count; the
-// constructor fails if any config write fails (nothing durable was
-// acknowledged, so there is nothing to recover).
+// shards, one journal target per shard, fronted by in-process loopback
+// transports. Each shard's journal opens with a KindShardConfig record
+// naming its index and the shard count; the constructor fails if any
+// config write fails (nothing durable was acknowledged, so there is
+// nothing to recover).
 func NewShardedService(kind sharedopt.GameKind, opts []sharedopt.Optimization, horizon core.Slot, writers []io.Writer, cfg ShardedConfig) (*ShardedService, error) {
 	if kind != sharedopt.Additive && kind != sharedopt.Substitutive {
 		return nil, fmt.Errorf("resilience: unknown game kind %v", kind)
@@ -150,6 +226,37 @@ func NewShardedService(kind sharedopt.GameKind, opts []sharedopt.Optimization, h
 	n := len(writers)
 	if n < 1 {
 		return nil, errors.New("resilience: sharded service needs at least one journal writer")
+	}
+	links := make([]ShardTransport, n)
+	for i, w := range writers {
+		if cfg.Obs != nil {
+			// Observe every durable write's latency (the fsync, on a
+			// FileLog). TimedWriter passes bytes through untouched, so
+			// the journal image is identical with or without it.
+			w = obs.TimedWriter{W: w, H: cfg.Obs.Histogram(fmt.Sprintf("shard%d.journal_write_ns", i), nil)}
+		}
+		h, err := NewShardHost(kind, opts, horizon, i, n, w)
+		if err != nil {
+			return nil, err
+		}
+		links[i] = h
+	}
+	return NewShardedServiceOver(kind, opts, horizon, links, cfg)
+}
+
+// NewShardedServiceOver opens a sharded tier over caller-provided shard
+// transports — loopback ShardHosts, TCP ShardClients, or a mix. The
+// constructor handshakes with every link (a Stats call) and refuses
+// links whose shard identity or tier config disagree with the
+// arguments, so a misrouted address fails loudly at startup instead of
+// corrupting settlement later.
+func NewShardedServiceOver(kind sharedopt.GameKind, opts []sharedopt.Optimization, horizon core.Slot, links []ShardTransport, cfg ShardedConfig) (*ShardedService, error) {
+	if kind != sharedopt.Additive && kind != sharedopt.Substitutive {
+		return nil, fmt.Errorf("resilience: unknown game kind %v", kind)
+	}
+	n := len(links)
+	if n < 1 {
+		return nil, errors.New("resilience: sharded service needs at least one shard transport")
 	}
 	settle, err := newService(kind, opts, horizon)
 	if err != nil {
@@ -159,29 +266,49 @@ func NewShardedService(kind sharedopt.GameKind, opts []sharedopt.Optimization, h
 		kind:     kind,
 		horizon:  horizon,
 		maxBatch: cfg.MaxBatch,
+		timeout:  cfg.CallTimeout,
 		shards:   make([]*shard, n),
 		settle:   settle,
 		tm:       newTierMetrics(cfg.Obs),
 	}
-	for i, w := range writers {
-		replica, err := newService(kind, opts, horizon)
+	want := optCosts(opts)
+	for i, link := range links {
+		ctx, cancel := s.callCtx()
+		info, err := link.Stats(ctx)
+		cancel()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("resilience: shard %d handshake: %w", i, err)
 		}
-		om := newShardMetrics(cfg.Obs, i)
-		if cfg.Obs != nil {
-			// Observe every durable write's latency (the fsync, on a
-			// FileLog). TimedWriter passes bytes through untouched, so
-			// the journal image is identical with or without it.
-			w = obs.TimedWriter{W: w, H: cfg.Obs.Histogram(fmt.Sprintf("shard%d.journal_write_ns", i), nil)}
+		if info.Shard != i || info.Shards != n {
+			return nil, fmt.Errorf("resilience: link %d fronts shard %d of %d, want shard %d of %d", i, info.Shard, info.Shards, i, n)
 		}
-		j := NewJournal(w)
-		if err := j.Append(shardConfigRecord(kind, opts, horizon, i, n)); err != nil {
-			return nil, fmt.Errorf("resilience: shard %d: %w", i, err)
+		if info.Game != gameName(kind) || info.Horizon != horizon || !sameOptCosts(info.Opts, want) {
+			return nil, fmt.Errorf("resilience: shard %d disagrees with the tier on game config", i)
 		}
-		s.shards[i] = &shard{js: newJournaledOn(replica, j), om: om}
+		s.shards[i] = newShard(link, newShardMetrics(cfg.Obs, i))
 	}
 	return s, nil
+}
+
+// sameOptCosts compares two journal-form catalogs.
+func sameOptCosts(a, b []OptCost) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// callCtx builds the per-call context for a transport operation.
+func (s *ShardedService) callCtx() (context.Context, context.CancelFunc) {
+	if s.timeout > 0 {
+		return context.WithTimeout(context.Background(), s.timeout)
+	}
+	return context.Background(), func() {}
 }
 
 // Shards returns the shard count.
@@ -214,7 +341,7 @@ func (s *ShardedService) ShardStats() []ShardCounters {
 	for i, sh := range s.shards {
 		sh.mu.Lock()
 		out[i] = sh.counters
-		out[i].Pending = uint64(len(sh.batch))
+		out[i].Pending = uint64(len(sh.batch) + len(sh.frozen))
 		sh.mu.Unlock()
 	}
 	return out
@@ -234,15 +361,15 @@ func (s *ShardedService) wedgeLocked(i int, cause error) {
 // journals it there, and batches it for the next settlement. Duplicates
 // of already-accepted bids return nil without re-batching (the
 // idempotent-retry contract); a wedged shard returns ErrShardWedged; a
-// full batch returns ErrOverloaded.
+// full batch returns ErrOverloaded; an unreachable shard returns
+// ErrShardUnavailable, leaving the bid in doubt until a retry or the
+// next settlement's resolution decides it.
 func (s *ShardedService) SubmitAdditiveBid(opt core.OptID, bid core.OnlineBid) error {
 	p := pendingBid{additive: true, opt: opt, abid: core.OnlineBid{
 		User: bid.User, Start: bid.Start, End: bid.End,
 		Values: append([]econ.Money(nil), bid.Values...),
 	}}
-	return s.submit(bid.User, p, func(js *JournaledService) error {
-		return js.SubmitAdditiveBid(opt, bid)
-	})
+	return s.submit(bid.User, p, additiveBidRecord(opt, p.abid))
 }
 
 // SubmitSubstitutiveBid is SubmitAdditiveBid for the substitutive game.
@@ -252,53 +379,91 @@ func (s *ShardedService) SubmitSubstitutiveBid(bid core.OnlineSubstBid) error {
 		Start: bid.Start, End: bid.End,
 		Values: append([]econ.Money(nil), bid.Values...),
 	}}
-	return s.submit(bid.User, p, func(js *JournaledService) error {
-		return js.SubmitSubstitutiveBid(bid)
-	})
+	return s.submit(bid.User, p, substBidRecord(p.sbid))
 }
 
 // submit runs the routed accept-then-batch protocol for one submission.
-func (s *ShardedService) submit(u core.UserID, p pendingBid, apply func(*JournaledService) error) error {
+// The shard lock is released during the transport call, so submissions
+// pipeline: admission counts in-flight calls against MaxBatch, and the
+// durable sequence in the acknowledgment restores journal order at fold
+// time.
+func (s *ShardedService) submit(u core.UserID, p pendingBid, rec Record) error {
 	i := ShardFor(u, len(s.shards))
 	sh := s.shards[i]
+	fp := rec.fingerprint()
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	for sh.settling && sh.wedged == nil {
+		sh.idle.Wait()
+	}
 	if sh.wedged != nil {
 		sh.counters.ReadOnly++
 		sh.om.readOnly.Inc()
 		s.tm.readOnly.Inc()
-		return sh.wedged
+		err := sh.wedged
+		sh.mu.Unlock()
+		return err
 	}
-	if s.maxBatch > 0 && len(sh.batch) >= s.maxBatch {
+	if s.maxBatch > 0 && len(sh.batch)+sh.inflight >= s.maxBatch {
 		sh.counters.Overloaded++
 		sh.om.overloaded.Inc()
 		s.tm.overloaded.Inc()
-		return fmt.Errorf("%w: shard %d batch full (%d pending)", ErrOverloaded, i, len(sh.batch))
+		pending := len(sh.batch) + sh.inflight
+		sh.mu.Unlock()
+		return fmt.Errorf("%w: shard %d batch full (%d pending)", ErrOverloaded, i, pending)
 	}
-	// The shard journal's sequence number tells duplicates apart from
-	// fresh accepts: an idempotent duplicate returns nil without
-	// journaling, and must not be folded into settlement twice.
-	before := sh.js.j.Seq()
-	if err := apply(sh.js); err != nil {
-		if sh.js.Broken() != nil {
+	sh.inflight++
+	sh.mu.Unlock()
+
+	ctx, cancel := s.callCtx()
+	res, err := sh.link.Submit(ctx, rec)
+	cancel()
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.inflight--
+	if sh.inflight == 0 {
+		sh.idle.Broadcast()
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrJournalBroken):
 			s.wedgeLocked(i, err)
 			sh.counters.ReadOnly++
 			sh.om.readOnly.Inc()
 			s.tm.readOnly.Inc()
 			return sh.wedged
+		case errors.Is(err, ErrShardUnavailable):
+			sh.counters.Unavailable++
+			sh.om.unavailable.Inc()
+			s.tm.unavailable.Inc()
+			// Fate unknown: the shard may have journaled the bid before
+			// the reply was lost. Remember it so settlement resolves it
+			// by idempotent resubmission before the next marker.
+			if !sh.batched[fp] {
+				sh.indoubt = append(sh.indoubt, indoubtBid{p: p, rec: rec, fp: fp})
+			}
+			return fmt.Errorf("resilience: shard %d: %w", i, err)
+		default:
+			sh.counters.Rejected++
+			sh.om.rejected.Inc()
+			s.tm.rejected.Inc()
+			sh.dropIndoubtLocked(fp) // definitively rejected: nothing durable to resolve
+			return err
 		}
-		sh.counters.Rejected++
-		sh.om.rejected.Inc()
-		s.tm.rejected.Inc()
-		return err
 	}
-	if sh.js.j.Seq() == before {
-		return nil // duplicate: already journaled and already settled/batched
+	if sh.batched[fp] {
+		return nil // duplicate: already journaled and already batched/settled
 	}
+	// Fresh accept — or a non-fresh acknowledgment whose original reply
+	// was lost (the shard journaled it, this router never batched it):
+	// either way the bid is durable exactly once and must fold exactly
+	// once.
+	p.seq = res.Seq
 	sh.counters.Accepted++
 	sh.om.accepted.Inc()
 	s.tm.accepted.Inc()
 	sh.batch = append(sh.batch, p)
+	sh.batched[fp] = true
 	sh.om.batchHigh.Observe(uint64(len(sh.batch)))
 	return nil
 }
@@ -326,44 +491,85 @@ func (s *ShardedService) foldBatchLocked(i int, batch []pendingBid) {
 	s.tm.settled.Add(uint64(len(batch)))
 }
 
-// drainLocked freezes every shard's batch for settlement, journaling
-// one marker record (adv or close) per healthy shard in shard-index
-// order. Wedged shards get no marker but their batches still drain:
-// those bids were accepted, so they are durable in the shard's journal
-// ahead of its missing marker, and recovery folds such a tail into
-// exactly this window — live settlement must agree. A marker failure
-// wedges its shard. Returns the frozen batches and how many shards
-// journaled the marker.
-func (s *ShardedService) drainLocked(marker func(*JournaledService) error) (batches [][]pendingBid, acknowledged int) {
-	batches = make([][]pendingBid, len(s.shards))
-	for i, sh := range s.shards {
-		sh.mu.Lock()
-		batches[i] = sh.batch
-		sh.batch = nil
-		if sh.wedged == nil {
-			if err := marker(sh.js); err != nil {
-				s.wedgeLocked(i, err)
-			} else {
-				acknowledged++
-			}
-		}
-		sh.mu.Unlock()
-	}
-	return batches, acknowledged
+// foldFrozenLocked folds a frozen batch in journal order: pipelined
+// acknowledgments append to the batch in arrival order, so the fold
+// sorts by the durable sequence first — the order recovery replays.
+func (s *ShardedService) foldFrozenLocked(i int, frozen []pendingBid) {
+	sort.Slice(frozen, func(a, b int) bool { return frozen[a].seq < frozen[b].seq })
+	s.foldBatchLocked(i, frozen)
 }
 
-// restoreLocked puts frozen batches back at the head of their shards'
-// queues after a settlement that could not be acknowledged anywhere.
-func (s *ShardedService) restoreLocked(batches [][]pendingBid) {
-	for i, b := range batches {
-		if len(b) == 0 {
+// resolveIndoubtLocked drives shard i's in-doubt submissions to a
+// definitive outcome by idempotent resubmission, before the settlement
+// marker freezes the window. A bid the shard had journaled (reply lost)
+// is acknowledged as a duplicate and joins the batch; one it never saw
+// is journaled now or definitively rejected. Returns false if the shard
+// is unreachable — the round cannot mark it yet. s.mu and sh.mu held.
+func (s *ShardedService) resolveIndoubtLocked(i int, sh *shard) bool {
+	for len(sh.indoubt) > 0 {
+		in := sh.indoubt[0]
+		if sh.batched[in.fp] {
+			sh.indoubt = sh.indoubt[1:]
 			continue
 		}
-		sh := s.shards[i]
+		ctx, cancel := s.callCtx()
+		res, err := sh.link.Submit(ctx, in.rec)
+		cancel()
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrShardUnavailable):
+				return false
+			case errors.Is(err, ErrJournalBroken):
+				s.wedgeLocked(i, err)
+				sh.indoubt = nil
+				return true
+			default:
+				// Definitive rejection: never journaled, nothing to fold.
+				// The caller already saw unavailable, so no outcome
+				// counter moves here.
+				sh.indoubt = sh.indoubt[1:]
+			}
+			continue
+		}
+		in.p.seq = res.Seq
+		sh.counters.Accepted++
+		sh.om.accepted.Inc()
+		s.tm.accepted.Inc()
+		sh.batch = append(sh.batch, in.p)
+		sh.batched[in.fp] = true
+		sh.indoubt = sh.indoubt[1:]
+	}
+	return true
+}
+
+// anyMarkedLocked reports whether the in-progress round has a durable
+// marker on any shard. s.mu must be held.
+func (s *ShardedService) anyMarkedLocked() bool {
+	for _, sh := range s.shards {
 		sh.mu.Lock()
-		sh.batch = append(b, sh.batch...)
+		m := sh.marked
+		sh.mu.Unlock()
+		if m {
+			return true
+		}
+	}
+	return false
+}
+
+// abandonRoundLocked rolls back a settlement round no shard acknowledged:
+// frozen batches return to the head of their shards' queues and the
+// round state clears. Safe exactly because nothing durable happened.
+func (s *ShardedService) abandonRoundLocked() {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if len(sh.frozen) > 0 {
+			sh.batch = append(sh.frozen, sh.batch...)
+			sh.frozen = nil
+		}
+		sh.marked = false
 		sh.mu.Unlock()
 	}
+	s.phase = phaseIdle
 }
 
 // errAllWedged is the tier-dead error: nothing can be made durable.
@@ -371,12 +577,125 @@ func (s *ShardedService) errAllWedged() error {
 	return fmt.Errorf("%w: all %d shards: %w", ErrJournalBroken, len(s.shards), ErrShardWedged)
 }
 
-// AdvanceSlot settles one billing window: it freezes every healthy
-// shard's batch behind an adv marker in that shard's journal (shard-index
-// order), folds the frozen batches into the settlement game in the same
-// order, and advances the settlement slot. At least one shard must
-// journal the marker for the advance to be acknowledged; otherwise the
-// batches are restored and the tier-dead error returned.
+// settleRoundLocked drives the in-progress settlement round (adv when
+// closing is false, close otherwise) as far as the shards allow. Per
+// shard, in index order: wait out in-flight submissions, resolve
+// in-doubt ones, freeze the batch, and make the marker durable. A shard
+// whose marker is already durable only contributes its frozen batch; a
+// wedged shard freezes without a marker (its bids are durable ahead of
+// the marker it will never write — recovery folds such a tail into
+// exactly this window, so live settlement must too); an unreachable
+// shard parks the round, which a later call retries idempotently. When
+// every answerable shard is marked, the frozen batches fold in
+// shard-index order (journal order within each) and the settlement game
+// advances or closes. s.mu must be held.
+func (s *ShardedService) settleRoundLocked(closing bool) (core.SlotReport, error) {
+	window := int(s.settle.Now()) + 1
+	unreachable := 0
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.wedged != nil {
+			sh.frozen = append(sh.frozen, sh.batch...)
+			sh.batch = nil
+			sh.mu.Unlock()
+			continue
+		}
+		if sh.marked {
+			sh.mu.Unlock()
+			continue
+		}
+		sh.settling = true
+		for sh.inflight > 0 {
+			sh.idle.Wait()
+		}
+		if sh.wedged != nil { // wedged while we waited
+			sh.settling = false
+			sh.idle.Broadcast()
+			sh.frozen = append(sh.frozen, sh.batch...)
+			sh.batch = nil
+			sh.mu.Unlock()
+			continue
+		}
+		if !s.resolveIndoubtLocked(i, sh) {
+			sh.settling = false
+			sh.idle.Broadcast()
+			unreachable++
+			sh.mu.Unlock()
+			continue
+		}
+		if sh.wedged == nil {
+			// Freeze: everything journaled ahead of this round's marker.
+			// On a retry after a parked round, the new batch (bids
+			// accepted while a straggler recovered) joins the frozen
+			// window — those bids precede the marker in the journal.
+			sh.frozen = append(sh.frozen, sh.batch...)
+			sh.batch = nil
+			ctx, cancel := s.callCtx()
+			var err error
+			if closing {
+				err = sh.link.ClosePeriod(ctx)
+			} else {
+				err = sh.link.Advance(ctx, window)
+			}
+			cancel()
+			switch {
+			case err == nil:
+				sh.marked = true
+			case errors.Is(err, ErrShardUnavailable):
+				unreachable++
+				sh.counters.Unavailable++
+				sh.om.unavailable.Inc()
+				s.tm.unavailable.Inc()
+			default:
+				s.wedgeLocked(i, err)
+			}
+		}
+		sh.settling = false
+		sh.idle.Broadcast()
+		sh.mu.Unlock()
+	}
+	if unreachable > 0 {
+		return core.SlotReport{}, fmt.Errorf("resilience: settlement window %d pending on %d unreachable shard(s): %w", window, unreachable, ErrShardUnavailable)
+	}
+	marked := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.marked {
+			marked++
+		}
+		sh.mu.Unlock()
+	}
+	if marked == 0 {
+		s.abandonRoundLocked()
+		return core.SlotReport{}, s.errAllWedged()
+	}
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		if len(sh.frozen) > 0 {
+			s.foldFrozenLocked(i, sh.frozen)
+			sh.frozen = nil
+		}
+		sh.marked = false
+		sh.mu.Unlock()
+	}
+	s.phase = phaseIdle
+	if closing {
+		if _, err := s.settle.ClosePeriod(); err != nil {
+			return core.SlotReport{}, err
+		}
+		return core.SlotReport{}, nil
+	}
+	return s.settle.AdvanceSlot()
+}
+
+// AdvanceSlot settles one billing window: it resolves in-doubt
+// submissions, freezes every shard's batch behind a durable adv marker
+// (shard-index order), folds the frozen batches into the settlement game
+// in the same order, and advances the settlement slot. At least one
+// shard must hold a durable marker for the advance to be acknowledged;
+// a round blocked on unreachable shards returns ErrShardUnavailable and
+// is retried by calling AdvanceSlot again — already-marked shards are
+// not re-marked, so the retry is idempotent.
 func (s *ShardedService) AdvanceSlot() (core.SlotReport, error) {
 	start := time.Now()
 	s.mu.Lock()
@@ -384,59 +703,56 @@ func (s *ShardedService) AdvanceSlot() (core.SlotReport, error) {
 	if s.settle.Closed() {
 		return core.SlotReport{}, sharedopt.ErrPeriodOver
 	}
-	batches, acked := s.drainLocked(func(js *JournaledService) error {
-		_, err := js.AdvanceSlot()
-		return err
-	})
-	if acked == 0 {
-		s.restoreLocked(batches)
-		return core.SlotReport{}, s.errAllWedged()
-	}
-	for i := range s.shards {
-		if len(batches[i]) == 0 {
-			continue
+	if s.phase == phaseClose {
+		// A close round is partially durable (or abandonable): finish it
+		// first — a close marker on any shard decides the period.
+		if s.anyMarkedLocked() {
+			if _, err := s.settleRoundLocked(true); err != nil {
+				return core.SlotReport{}, err
+			}
+			return core.SlotReport{}, sharedopt.ErrPeriodOver
 		}
-		sh := s.shards[i]
-		sh.mu.Lock()
-		s.foldBatchLocked(i, batches[i])
-		sh.mu.Unlock()
+		s.abandonRoundLocked()
 	}
-	report, err := s.settle.AdvanceSlot()
-	if err == nil {
-		s.tm.advances.Inc()
-		s.tm.advanceNs.ObserveSince(start)
+	s.phase = phaseAdvance
+	report, err := s.settleRoundLocked(false)
+	if err != nil {
+		return core.SlotReport{}, err
 	}
-	return report, err
+	s.tm.advances.Inc()
+	s.tm.advanceNs.ObserveSince(start)
+	return report, nil
 }
 
 // ClosePeriod settles the period early: every healthy shard journals a
-// close marker (draining its batch first, same protocol as AdvanceSlot),
-// the drained bids fold into settlement, and the settlement game closes.
-// Idempotent like the single-shard service.
+// close marker (resolving in-doubt submissions and draining its batch
+// first, same protocol as AdvanceSlot), the drained bids fold into
+// settlement, and the settlement game closes. Idempotent like the
+// single-shard service; a round blocked on unreachable shards returns
+// ErrShardUnavailable and is retried by calling ClosePeriod again.
 func (s *ShardedService) ClosePeriod() (map[core.UserID]econ.Money, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.settle.Closed() {
 		return s.settle.ClosePeriod() // no state change, nothing to journal
 	}
-	batches, acked := s.drainLocked(func(js *JournaledService) error {
-		_, err := js.ClosePeriod()
-		return err
-	})
-	if acked == 0 {
-		s.restoreLocked(batches)
-		return nil, s.errAllWedged()
-	}
-	for i := range s.shards {
-		if len(batches[i]) == 0 {
-			continue
+	if s.phase == phaseAdvance {
+		// An advance round is partially durable (or abandonable): an adv
+		// marker on any shard decides that window, so finish the advance
+		// before closing.
+		if s.anyMarkedLocked() {
+			if _, err := s.settleRoundLocked(false); err != nil {
+				return nil, err
+			}
+		} else {
+			s.abandonRoundLocked()
 		}
-		sh := s.shards[i]
-		sh.mu.Lock()
-		s.foldBatchLocked(i, batches[i])
-		sh.mu.Unlock()
 	}
-	return s.settle.ClosePeriod()
+	s.phase = phaseClose
+	if _, err := s.settleRoundLocked(true); err != nil {
+		return nil, err
+	}
+	return s.settle.ClosePeriod() // idempotent re-read of the settled map
 }
 
 // The read side delegates to the derived settlement game, which carries

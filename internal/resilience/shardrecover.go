@@ -64,14 +64,16 @@ type shardReplay struct {
 	bids    uint64
 }
 
-// pendingFromRecord converts a journaled bid back into batch form.
+// pendingFromRecord converts a journaled bid back into batch form,
+// carrying the durable sequence so recovered batches fold in journal
+// order exactly like live ones.
 func pendingFromRecord(rec Record) pendingBid {
 	if rec.Kind == KindAdditiveBid {
-		return pendingBid{additive: true, opt: rec.Opt, abid: core.OnlineBid{
+		return pendingBid{seq: rec.Seq, additive: true, opt: rec.Opt, abid: core.OnlineBid{
 			User: rec.User, Start: rec.Start, End: rec.End, Values: rec.Values,
 		}}
 	}
-	return pendingBid{sbid: core.OnlineSubstBid{
+	return pendingBid{seq: rec.Seq, sbid: core.OnlineSubstBid{
 		User: rec.User, Opts: rec.Set, Start: rec.Start, End: rec.End, Values: rec.Values,
 	}}
 }
@@ -131,12 +133,15 @@ func RecoverShardedService(journals [][]Record, writers []io.Writer, cfg Sharded
 		kind:     kind,
 		horizon:  tierCfg.Horizon,
 		maxBatch: cfg.MaxBatch,
+		timeout:  cfg.CallTimeout,
 		shards:   make([]*shard, n),
 		settle:   settle,
 	}
 
-	// Replay each shard's prefix into a fresh replica, grouping its bids
-	// into settlement windows.
+	// Replay each shard's prefix into a fresh replica host, grouping its
+	// bids into settlement windows. The recovered tier fronts its hosts
+	// with in-process loopback transports.
+	hosts := make([]*ShardHost, n)
 	reps := make([]shardReplay, n)
 	for i := range journals {
 		replica, err := newService(kind, catalog, tierCfg.Horizon)
@@ -144,20 +149,27 @@ func RecoverShardedService(journals [][]Record, writers []io.Writer, cfg Sharded
 			return nil, fmt.Errorf("resilience: corrupt journal: config rejected: %w", err)
 		}
 		recs := journals[i]
-		sh := &shard{}
-		s.shards[i] = sh
 		if len(recs) == 0 {
 			// Creation crash: nothing durable was ever acknowledged on
 			// this shard. Re-seed its config record; if even that write
 			// fails the shard comes up wedged instead of sinking the tier.
 			j := NewJournal(writers[i])
-			sh.js = newJournaledOn(replica, j)
+			hosts[i] = &ShardHost{js: newJournaledOn(replica, j), shard: i, shards: n, opts: tierCfg.Opts}
+			s.shards[i] = newShard(hosts[i], shardMetrics{})
 			if err := j.Append(shardConfigRecord(kind, catalog, tierCfg.Horizon, i, n)); err != nil {
 				s.wedgeLocked(i, err)
 			}
 			continue
 		}
-		sh.js = newJournaledOn(replica, NewJournalAt(writers[i], recs[len(recs)-1].Seq))
+		host := &ShardHost{
+			js:     newJournaledOn(replica, NewJournalAt(writers[i], recs[len(recs)-1].Seq)),
+			shard:  i,
+			shards: n,
+			opts:   tierCfg.Opts,
+		}
+		hosts[i] = host
+		sh := newShard(host, shardMetrics{})
+		s.shards[i] = sh
 		rep := &reps[i]
 		for _, rec := range recs[1:] {
 			if rep.closed {
@@ -173,11 +185,18 @@ func RecoverShardedService(journals [][]Record, writers []io.Writer, cfg Sharded
 			case KindClosePeriod:
 				rep.closed = true
 			}
-			if err := sh.js.applyRecord(rec); err != nil {
+			if err := host.js.applyRecord(rec); err != nil {
 				return nil, err
 			}
 		}
+		host.bids = rep.bids
 		sh.counters.Accepted = rep.bids
+		// Prime the router's dedup set with every journaled bid, so a
+		// client retrying a pre-crash submission is recognized as a
+		// duplicate instead of double-batched.
+		for fp := range host.js.seen {
+			sh.batched[fp] = true
+		}
 	}
 
 	// Reconcile the slot frontier: the maximum adv count across shards.
@@ -252,12 +271,12 @@ func RecoverShardedService(journals [][]Record, writers []io.Writer, cfg Sharded
 	for i := range reps {
 		sh := s.shards[i]
 		for w := len(reps[i].windows); w < S && sh.wedged == nil; w++ {
-			if _, err := sh.js.AdvanceSlot(); err != nil {
+			if _, err := hosts[i].js.AdvanceSlot(); err != nil {
 				s.wedgeLocked(i, err)
 			}
 		}
 		if anyClosed && !reps[i].closed && sh.wedged == nil {
-			if _, err := sh.js.ClosePeriod(); err != nil {
+			if _, err := hosts[i].js.ClosePeriod(); err != nil {
 				s.wedgeLocked(i, err)
 			}
 		}

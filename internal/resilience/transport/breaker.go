@@ -1,0 +1,165 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sharedopt/internal/obs"
+	"sharedopt/internal/resilience"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: calls flow; consecutive transient failures are
+	// counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: calls fail fast with ErrShardUnavailable until the
+	// cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed; exactly one probe call is
+	// admitted to decide between closing and reopening.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("BreakerState(%d)", int(s))
+}
+
+// BreakerConfig tunes a Breaker. The zero value means trip after 5
+// consecutive transient failures and cool down for 250ms.
+type BreakerConfig struct {
+	// Failures is the consecutive-transient-failure count that trips
+	// the breaker open.
+	Failures int
+	// Cooldown is how long the breaker stays open before admitting a
+	// half-open probe.
+	Cooldown time.Duration
+	// Clock overrides time.Now, so tests and seeded chaos schedules
+	// drive the cooldown deterministically.
+	Clock func() time.Time
+	// Obs, when set, registers shard<Shard>.net_breaker_open counting
+	// trips to open.
+	Obs   *obs.Registry
+	Shard int
+}
+
+// Breaker is a per-shard circuit breaker over the transport error
+// contract: only outcomes wrapping ErrShardUnavailable count as
+// failures (a definitive rejection proves the shard is answering).
+// Open-state fast-fails also wrap ErrShardUnavailable, so callers and
+// the router's parking logic need no breaker-specific handling.
+type Breaker struct {
+	mu       sync.Mutex
+	cfg      BreakerConfig
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+	probing  bool
+	opens    *obs.Counter
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Failures <= 0 {
+		cfg.Failures = 5
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 250 * time.Millisecond
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Breaker{cfg: cfg, opens: cfg.Obs.Counter(fmt.Sprintf("shard%d.net_breaker_open", cfg.Shard))}
+}
+
+// Do runs op under the breaker: admission first (an open breaker fails
+// fast without calling op), then the outcome feeds the state machine.
+// nil-safe: a nil breaker just runs op.
+func (b *Breaker) Do(op func() error) error {
+	if b == nil {
+		return op()
+	}
+	if err := b.admit(); err != nil {
+		return err
+	}
+	err := op()
+	b.settle(err)
+	return err
+}
+
+// admit decides whether a call may proceed.
+func (b *Breaker) admit() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if b.cfg.Clock().Sub(b.openedAt) < b.cfg.Cooldown {
+			return fmt.Errorf("%w: breaker open", resilience.ErrShardUnavailable)
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return nil
+	default: // BreakerHalfOpen
+		if b.probing {
+			return fmt.Errorf("%w: breaker half-open, probe in flight", resilience.ErrShardUnavailable)
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// settle feeds an admitted call's outcome back. Transient means
+// ErrShardUnavailable; anything else — success, a rejection, even a
+// fail-stop verdict — proves the shard answered and closes the breaker.
+func (b *Breaker) settle(err error) {
+	transient := err != nil && errors.Is(err, resilience.ErrShardUnavailable)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if !transient {
+		b.state = BreakerClosed
+		b.fails = 0
+		return
+	}
+	if b.state == BreakerHalfOpen {
+		// The probe failed: reopen for a fresh cooldown.
+		b.trip()
+		return
+	}
+	if b.fails++; b.fails >= b.cfg.Failures {
+		b.trip()
+	}
+}
+
+// trip opens the breaker now. Callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.fails = 0
+	b.openedAt = b.cfg.Clock()
+	b.opens.Inc()
+}
+
+// State reports the breaker's position, surfacing the open→half-open
+// transition a pending cooldown implies.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.cfg.Clock().Sub(b.openedAt) >= b.cfg.Cooldown {
+		return BreakerHalfOpen
+	}
+	return b.state
+}

@@ -1,0 +1,167 @@
+package transport
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"sharedopt/internal/resilience"
+)
+
+// maxFrame bounds one wire frame: far larger than any real request (a
+// bid record is a few hundred bytes), small enough that a corrupt or
+// hostile length prefix cannot make the reader allocate gigabytes.
+const maxFrame = 1 << 20
+
+// Op names on the wire, one per ShardTransport method.
+const (
+	opSubmit = "submit"
+	opAdv    = "advance"
+	opClose  = "close"
+	opStats  = "stats"
+)
+
+// Response codes for non-nil shard verdicts. The zero code means
+// success. Typed sentinel errors cannot cross a JSON boundary, so the
+// code re-establishes the transport error contract on the client side.
+const (
+	// codeReject: a definitive mechanism rejection — the operation was
+	// not journaled and identical bytes will be rejected again.
+	codeReject = "reject"
+	// codeBroken: the shard's journal is broken (fail-stop); the client
+	// rebuilds resilience.ErrJournalBroken and the router wedges.
+	codeBroken = "broken"
+	// codeUnavailable: the shard reached no decision (its side of the
+	// deadline expired); the client rebuilds ErrShardUnavailable and
+	// retries.
+	codeUnavailable = "unavailable"
+)
+
+// request is one client call. DeadlineUS carries the caller's remaining
+// context budget in microseconds (0 = none); the server re-arms it on
+// its own clock, so deadlines propagate without trusting clock sync.
+type request struct {
+	ID         uint64             `json:"id"`
+	Op         string             `json:"op"`
+	Rec        *resilience.Record `json:"rec,omitempty"`
+	Window     int                `json:"window,omitempty"`
+	DeadlineUS int64              `json:"deadline_us,omitempty"`
+}
+
+// response answers the request carrying the same ID. Exactly one of
+// Result/Info is set on success, depending on the op.
+type response struct {
+	ID     uint64                   `json:"id"`
+	Result *resilience.SubmitResult `json:"result,omitempty"`
+	Info   *resilience.ShardInfo    `json:"info,omitempty"`
+	Code   string                   `json:"code,omitempty"`
+	Err    string                   `json:"err,omitempty"`
+}
+
+// encodeVerdict maps a ShardTransport error to its wire code.
+func encodeVerdict(err error) (code, msg string) {
+	switch {
+	case err == nil:
+		return "", ""
+	case errors.Is(err, resilience.ErrJournalBroken):
+		return codeBroken, err.Error()
+	case errors.Is(err, resilience.ErrShardUnavailable):
+		return codeUnavailable, err.Error()
+	default:
+		return codeReject, err.Error()
+	}
+}
+
+// decodeVerdict rebuilds the client-side error from a wire code,
+// restoring the sentinels errors.Is tests for.
+func decodeVerdict(code, msg string) error {
+	switch code {
+	case "":
+		return nil
+	case codeBroken:
+		return fmt.Errorf("%w: %s", resilience.ErrJournalBroken, msg)
+	case codeUnavailable:
+		return fmt.Errorf("%w: %s", resilience.ErrShardUnavailable, msg)
+	default:
+		return errors.New(msg)
+	}
+}
+
+// encodeFrame renders v as one length-prefixed JSON frame.
+func encodeFrame(v any) ([]byte, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds %d limit", len(body), maxFrame)
+	}
+	frame := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(frame, uint32(len(body)))
+	copy(frame[4:], body)
+	return frame, nil
+}
+
+// readFrame reads one length-prefixed frame body from r.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds %d limit", n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// frameQueue serializes frame writes to one connection with group
+// commit: whoever finds the queue idle becomes the flusher and writes
+// every frame enqueued while it held the socket, so k goroutines
+// answering concurrently cost ~1 write syscall per batch instead of k.
+// The first write error poisons the queue — the connection is dead and
+// every later enqueue reports it.
+type frameQueue struct {
+	mu       sync.Mutex
+	w        io.Writer
+	buf      []byte
+	flushing bool
+	err      error
+}
+
+func newFrameQueue(w io.Writer) *frameQueue { return &frameQueue{w: w} }
+
+// enqueue queues one frame and flushes the queue unless another
+// goroutine already holds the flush role (then that flusher will carry
+// this frame out with its batch).
+func (q *frameQueue) enqueue(frame []byte) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.err != nil {
+		return q.err
+	}
+	q.buf = append(q.buf, frame...)
+	if q.flushing {
+		return nil
+	}
+	q.flushing = true
+	for q.err == nil && len(q.buf) > 0 {
+		batch := q.buf
+		q.buf = nil
+		q.mu.Unlock()
+		_, err := q.w.Write(batch)
+		q.mu.Lock()
+		if err != nil {
+			q.err = err
+		}
+	}
+	q.flushing = false
+	return q.err
+}
