@@ -28,6 +28,19 @@
 // is the committed output of `-fig all -format sha256` at the defaults;
 // CI regenerates it and fails on any diff, so a change that perturbs a
 // figure must update the golden file visibly.
+//
+// Beyond the figures, -hypothesis runs the machine-checked behavioral
+// claims of internal/hypothesis:
+//
+//	experiments -hypothesis all              # every hypothesis, text report
+//	experiments -hypothesis T1,C2            # a subset
+//	experiments -hypothesis all -format sha256   # HYPOTHESES.sha256 lines
+//	experiments -hypothesis all -format report   # crc-framed JSON rows
+//
+// HYPOTHESES.sha256 at the repo root is the committed output of
+// `-hypothesis all -format sha256` at the defaults, gated by CI exactly
+// like FIGURES.sha256. `-fig help` lists every figure ID and every
+// hypothesis with its one-line claim.
 package main
 
 import (
@@ -39,6 +52,7 @@ import (
 	"strings"
 
 	"sharedopt/internal/experiments"
+	"sharedopt/internal/hypothesis"
 )
 
 func main() {
@@ -48,12 +62,21 @@ func main() {
 		derived    = flag.Bool("derived", false, "regenerate only the engine-derived variants (overrides -fig; equivalent to -fig "+strings.Join(experiments.DerivedFigureIDs(), ",")+")")
 		trials     = flag.Int("trials", 1000, "Monte-Carlo trials per point (samples for figure 1)")
 		seed       = flag.Uint64("seed", 42, "random seed")
-		format     = flag.String("format", "table", "output format: table, csv or sha256")
+		format     = flag.String("format", "table", "output format: table, csv or sha256 (plus report for -hypothesis)")
 		exhaustive = flag.Bool("exhaustive", false, "figure 1 only: enumerate all 10^6 span assignments")
+		hyp        = flag.String("hypothesis", "", "hypotheses to run instead of figures: all, or a comma-separated subset of "+
+			strings.Join(hypothesis.IDs(), ", "))
 	)
 	flag.Parse()
 	if *derived {
 		*fig = "derived"
+	}
+	if *hyp != "" {
+		if err := runHypotheses(os.Stdout, *hyp, *trials, *seed, *format); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if err := run(os.Stdout, *fig, *trials, *seed, *format, *exhaustive); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -61,7 +84,52 @@ func main() {
 	}
 }
 
+// runHypotheses runs the selected hypotheses and renders the report.
+func runHypotheses(w io.Writer, hyp string, trials int, seed uint64, format string) error {
+	var ids []string
+	if hyp != "all" {
+		ids = strings.Split(hyp, ",")
+	}
+	report, err := hypothesis.RunAll(ids, trials, seed)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "table":
+		fmt.Fprint(w, report.Table())
+	case "csv":
+		fmt.Fprint(w, report.CSV())
+	case "sha256":
+		fmt.Fprint(w, report.SHA256Lines())
+	case "report":
+		framed, err := hypothesis.EncodeReport(report)
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(framed)
+		return err
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	return nil
+}
+
+// printCatalog lists every figure ID and every registered hypothesis
+// with its one-line claim (the `-fig help` listing).
+func printCatalog(w io.Writer) {
+	fmt.Fprintln(w, "Figures (-fig):")
+	fmt.Fprintf(w, "  %s\n", strings.Join(experiments.FigureIDs(), ", "))
+	fmt.Fprintln(w, "Hypotheses (-hypothesis):")
+	for _, h := range hypothesis.All() {
+		fmt.Fprintf(w, "  %-4s [%s] %s\n", h.ID, h.Family, h.Claim)
+	}
+}
+
 func run(w io.Writer, fig string, trials int, seed uint64, format string, exhaustive bool) error {
+	if fig == "help" {
+		printCatalog(w)
+		return nil
+	}
 	if format != "table" && format != "csv" && format != "sha256" {
 		return fmt.Errorf("unknown format %q", format)
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"sharedopt/internal/experiments"
+	"sharedopt/internal/hypothesis"
 )
 
 // Every registered figure must have a committed golden hash, in registry
@@ -134,6 +135,109 @@ func TestRunDerivedSweep(t *testing.T) {
 		fields := strings.Fields(line)
 		if len(fields) != 2 || fields[1] != want[i] {
 			t.Errorf("line %d = %q, want id %s", i, line, want[i])
+		}
+	}
+}
+
+// Every registered hypothesis must have a committed golden hash, in
+// registry order — the hypothesis-determinism CI job diffs against
+// HYPOTHESES.sha256, and this closes the same gap as the figures test
+// above: a hypothesis added without a golden entry fails here.
+func TestHypothesisGoldenHashesCoverRegistry(t *testing.T) {
+	raw, err := os.ReadFile("../../HYPOTHESES.sha256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 || len(fields[0]) != 64 {
+			t.Fatalf("malformed HYPOTHESES.sha256 line %q", line)
+		}
+		ids = append(ids, fields[1])
+	}
+	want := hypothesis.IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("HYPOTHESES.sha256 lists %v, registry has %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("HYPOTHESES.sha256 lists %v, registry has %v", ids, want)
+		}
+	}
+}
+
+func TestRunHypothesesFormats(t *testing.T) {
+	var table strings.Builder
+	if err := runHypotheses(&table, "T1,B3", 20, 1, "table"); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"T1", "truthfulness", "B3", "arrivals", "margin="} {
+		if !strings.Contains(table.String(), want) {
+			t.Errorf("table missing %q:\n%s", want, table.String())
+		}
+	}
+
+	var csv strings.Builder
+	if err := runHypotheses(&csv, "T1", 20, 1, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "id,family,trials,verdict,") {
+		t.Errorf("csv header missing:\n%s", csv.String())
+	}
+
+	var sha strings.Builder
+	if err := runHypotheses(&sha, "all", 20, 1, "sha256"); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sha.String()), "\n")
+	if len(lines) != len(hypothesis.IDs()) {
+		t.Fatalf("%d sha lines for %d hypotheses", len(lines), len(hypothesis.IDs()))
+	}
+	var sha2 strings.Builder
+	if err := runHypotheses(&sha2, "all", 20, 1, "sha256"); err != nil {
+		t.Fatal(err)
+	}
+	if sha.String() != sha2.String() {
+		t.Error("identical hypothesis runs hashed differently")
+	}
+
+	var framed strings.Builder
+	if err := runHypotheses(&framed, "T1,C1", 20, 1, "report"); err != nil {
+		t.Fatal(err)
+	}
+	rows, _, torn := hypothesis.ParseReport([]byte(framed.String()))
+	if torn || len(rows) != 2 {
+		t.Fatalf("framed output parsed to %d rows, torn=%v", len(rows), torn)
+	}
+}
+
+func TestRunHypothesesRejectsBadInputs(t *testing.T) {
+	var out strings.Builder
+	if err := runHypotheses(&out, "T1", 20, 1, "xml"); err == nil {
+		t.Error("bad format accepted")
+	}
+	if err := runHypotheses(&out, "zz", 20, 1, "table"); err == nil {
+		t.Error("unknown hypothesis accepted")
+	}
+}
+
+// -fig help lists the whole catalog: every figure ID and every
+// hypothesis with its one-line claim, straight from the registries.
+func TestRunHelpListsCatalog(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, "help", 5, 1, "table", false); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, id := range experiments.FigureIDs() {
+		if !strings.Contains(got, id) {
+			t.Errorf("help missing figure %s", id)
+		}
+	}
+	for _, h := range hypothesis.All() {
+		if !strings.Contains(got, h.ID) || !strings.Contains(got, h.Claim) {
+			t.Errorf("help missing hypothesis %s: %q", h.ID, h.Claim)
 		}
 	}
 }

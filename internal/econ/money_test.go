@@ -253,3 +253,98 @@ func TestDollarsDisplay(t *testing.T) {
 		t.Error("IsNegative broken")
 	}
 }
+
+// Quantum-boundary behavior: a cost one micro-dollar either side of an
+// exact multiple must round the way the recovery guarantee needs.
+func TestDivCeilQuantumBoundaries(t *testing.T) {
+	cases := []struct {
+		m    Money
+		n    int
+		want Money
+	}{
+		{9, 3, 3},        // exact multiple: no rounding
+		{10, 3, 4},       // one micro over: round up
+		{8, 3, 3},        // one micro under: still covers
+		{Micro, 1000, 1}, // smallest amount, many shares: never zero
+		{0, 5, 0},        // zero cost shares to zero
+		{Dollar + 1, 2, Dollar/2 + 1},
+		{Dollar - 1, 2, Dollar / 2},
+	}
+	for _, c := range cases {
+		if got := c.m.DivCeil(c.n); got != c.want {
+			t.Errorf("%v.DivCeil(%d) = %v, want %v", c.m, c.n, got, c.want)
+		}
+		// The recovery inequality itself, at the boundary.
+		if got := c.m.DivCeil(c.n).MulInt(int64(c.n)); got < c.m {
+			t.Errorf("%v.DivCeil(%d) shares under-recover: %v", c.m, c.n, got)
+		}
+	}
+}
+
+func TestDivFloorQuantumBoundaries(t *testing.T) {
+	cases := []struct {
+		m    Money
+		n    int
+		want Money
+	}{
+		{9, 3, 3},
+		{10, 3, 3},
+		{8, 3, 2},
+		{Micro, 1000, 0}, // floor can vanish where ceil cannot
+		{Dollar + 1, 2, Dollar / 2},
+	}
+	for _, c := range cases {
+		if got := c.m.DivFloor(c.n); got != c.want {
+			t.Errorf("%v.DivFloor(%d) = %v, want %v", c.m, c.n, got, c.want)
+		}
+	}
+}
+
+// FromDollars at the half-micro boundary rounds half away from zero in
+// both directions.
+func TestFromDollarsHalfMicroBoundary(t *testing.T) {
+	cases := []struct {
+		d    float64
+		want Money
+	}{
+		{0.0000005, 1},
+		{-0.0000005, -1},
+		{0.0000004, 0},
+		{-0.0000004, 0},
+		{0.0000015, 2},
+		{-0.0000015, -2},
+	}
+	for _, c := range cases {
+		if got := FromDollars(c.d); got != c.want {
+			t.Errorf("FromDollars(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+// Negative amounts — deficits and negative surpluses in reports — format
+// with a single leading sign and correct sub-dollar padding.
+func TestNegativeSurplusFormatting(t *testing.T) {
+	cases := []struct {
+		m    Money
+		want string
+	}{
+		{-1, "-$0.000001"},
+		{-Cent, "-$0.01"},
+		{-Dollar, "-$1.00"},
+		{-Dollar - Cent, "-$1.01"},
+		{-Dollar - 1, "-$1.000001"},
+		{-1330436, "-$1.330436"},
+		{-Dollar * 1000, "-$1000.00"},
+	}
+	for _, c := range cases {
+		if got := c.m.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", c.m, got, c.want)
+		}
+		back, err := ParseMoney(c.want)
+		if err != nil {
+			t.Errorf("ParseMoney(%q): %v", c.want, err)
+		} else if back != c.m {
+			t.Errorf("ParseMoney(%q) = %d, want %d", c.want, back, c.m)
+		}
+	}
+}

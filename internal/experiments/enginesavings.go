@@ -36,9 +36,18 @@ type savingsKey struct {
 //     measured shape" rather than "what changes when values shrink".
 //
 // Values are immutable once built; callers must not mutate them.
+//
+// userPools is the pool partitioned by measured user: userPools[u] holds
+// user u's positive per-view savings under the same global rescaling as
+// pool (the concatenation of userPools in user order is exactly pool).
+// The global pool erases which astronomer produced each saving; the
+// per-user pools preserve it, so scenarios can model tenant
+// heterogeneity — one cheap-query user draws consistently small values,
+// one full-trace user consistently large ones (see EngineUserPools).
 type derivedBids struct {
-	cents [][]int64
-	pool  []econ.Money
+	cents     [][]int64
+	pool      []econ.Money
+	userPools [][]econ.Money
 }
 
 // value draws one user value from the measured empirical distribution.
@@ -84,11 +93,11 @@ func engineBids(universe astro.Config, linkLen float64, minMembers int) (*derive
 	if err != nil {
 		return nil, err
 	}
-	pool, err := valuePool(cents)
+	pool, userPools, err := valuePool(cents)
 	if err != nil {
 		return nil, err
 	}
-	bids := &derivedBids{cents: cents, pool: pool}
+	bids := &derivedBids{cents: cents, pool: pool, userPools: userPools}
 	bidsMemo[key] = bids
 	savingsCalls++
 	return bids, nil
@@ -109,30 +118,66 @@ func measureSavingsCents(universe astro.Config, linkLen float64, minMembers int)
 // empirical value pool, scaled (with round-to-nearest) so the pool mean
 // is exactly the paper's $0.50 expected user value up to rounding. Pool
 // order is user-major, snapshot-minor, so the distribution a trial RNG
-// indexes into is deterministic.
-func valuePool(cents [][]int64) ([]econ.Money, error) {
-	var vals []int64
-	var sum int64
+// indexes into is deterministic. Alongside the global pool it returns the
+// same values partitioned by measured user under the same rescaling
+// (users with no positive savings get an empty pool), preserving the
+// per-user correlation structure the global pool erases.
+func valuePool(cents [][]int64) ([]econ.Money, [][]econ.Money, error) {
+	var n, sum int64
 	for _, row := range cents {
 		for _, c := range row {
 			if c > 0 {
-				vals = append(vals, c)
+				n++
 				sum += c
 			}
 		}
 	}
-	if len(vals) == 0 {
-		return nil, fmt.Errorf("experiments: measured savings table has no positive entries")
+	if n == 0 {
+		return nil, nil, fmt.Errorf("experiments: measured savings table has no positive entries")
 	}
 	// pool[i] = vals[i] · (Dollar/2) / mean(vals), in exact integer
 	// arithmetic: vals[i] · Dollar · n / (2 · sum), rounded to nearest.
-	n := int64(len(vals))
 	den := 2 * sum
-	pool := make([]econ.Money, len(vals))
-	for i, c := range vals {
-		pool[i] = econ.Money((c*int64(econ.Dollar)*n + den/2) / den)
+	scale := func(c int64) econ.Money {
+		return econ.Money((c*int64(econ.Dollar)*n + den/2) / den)
 	}
-	return pool, nil
+	pool := make([]econ.Money, 0, n)
+	userPools := make([][]econ.Money, len(cents))
+	for u, row := range cents {
+		for _, c := range row {
+			if c > 0 {
+				v := scale(c)
+				pool = append(pool, v)
+				userPools[u] = append(userPools[u], v)
+			}
+		}
+	}
+	return pool, userPools, nil
+}
+
+// EngineUserPools measures (or reuses the memoized measurement of) the
+// shared engine-derived universe at the given seed and returns the
+// per-user empirical value pools: one pool per measured astronomer,
+// rescaled exactly like the global pool so their union has a $0.50 mean.
+// Users whose queries saved nothing are dropped. The hypothesis harness
+// draws correlated scenarios from these: a scenario user is bound to one
+// measured user and takes every draw from that user's pool.
+func EngineUserPools(seed uint64) ([][]econ.Money, error) {
+	universe, linkLen, minMembers := engineUniverse(seed)
+	bids, err := engineBids(universe, linkLen, minMembers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]econ.Money, 0, len(bids.userPools))
+	for _, p := range bids.userPools {
+		if len(p) > 0 {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiments: no measured user has positive savings")
+	}
+	return out, nil
 }
 
 // DerivedConfig is the engine-derivation block embedded in every figure

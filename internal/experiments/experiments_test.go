@@ -301,8 +301,22 @@ func TestDerivedValuePool(t *testing.T) {
 		t.Error("engineBids re-measured an already-memoized parameter set")
 	}
 	// valuePool rejects a table with nothing to draw from.
-	if _, err := valuePool([][]int64{{0, 0}, {0}}); err == nil {
+	if _, _, err := valuePool([][]int64{{0, 0}, {0}}); err == nil {
 		t.Error("all-zero savings table accepted")
+	}
+	// The per-user pools are the global pool partitioned by measured
+	// user: same rescaling, same order, nothing added or lost.
+	var rejoined []econ.Money
+	for _, p := range bids.userPools {
+		rejoined = append(rejoined, p...)
+	}
+	if len(rejoined) != len(bids.pool) {
+		t.Fatalf("user pools hold %d values, global pool %d", len(rejoined), len(bids.pool))
+	}
+	for i := range rejoined {
+		if rejoined[i] != bids.pool[i] {
+			t.Fatalf("user-pool value %d = %v, global pool has %v", i, rejoined[i], bids.pool[i])
+		}
 	}
 }
 

@@ -73,3 +73,15 @@ func trialSeeds(seed uint64, trials int) []uint64 {
 	}
 	return out
 }
+
+// ForEachIndex exposes the deterministic parallel trial loop to the other
+// experiment harnesses (internal/hypothesis). See forEachIndex.
+func ForEachIndex[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return forEachIndex(n, fn)
+}
+
+// TrialSeeds exposes the per-trial seed derivation to the other
+// experiment harnesses. See trialSeeds.
+func TrialSeeds(seed uint64, trials int) []uint64 {
+	return trialSeeds(seed, trials)
+}

@@ -1,0 +1,23 @@
+// Package hypothesis is the harness for machine-checked behavioral
+// claims — the properties the paper asserts but its figures never test.
+//
+// The figure harness (internal/experiments) reproduces what the paper
+// *shows*: utility curves under the published workloads. This package
+// tests what the paper *argues*: that the online mechanisms keep a
+// truthfulness margin against strategic bidders, that cost recovery
+// survives valuation distributions far from the uniform draw, and that
+// the Shapley/Regret revenue ordering survives bursty arrivals.
+//
+// Each Hypothesis pairs a one-line claim with a deterministic experiment
+// (a seeded scenario generator run over per-trial seeds through the same
+// parallel trial loop the figures use) and a Check predicate that turns
+// the experiment's Outcome into a Verdict. The registry runs every
+// hypothesis and emits a deterministic report: same seed, byte-identical
+// bytes. HYPOTHESES.sha256 at the repo root commits the report's
+// per-hypothesis hashes, and CI regenerates and diffs them exactly like
+// FIGURES.sha256 — every future mechanism change inherits a regression
+// oracle for the paper's economic claims, not just its curves.
+//
+// docs/hypothesis.md describes what makes a good hypothesis and how to
+// register a new one.
+package hypothesis

@@ -1,0 +1,71 @@
+package hypothesis
+
+import (
+	"testing"
+)
+
+// FuzzHypothesisReport hammers the framed-report parser with mutated
+// report images, mirroring FuzzReadJournal's crash contract: never
+// panic, never yield a row past the first damage or sequence break,
+// always report a consumed prefix that re-parses identically and can be
+// extended by appending a validly framed next row.
+func FuzzHypothesisReport(f *testing.F) {
+	valid, err := EncodeReport(sampleReport())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte(nil))
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])                       // torn mid-row
+	f.Add(append(append([]byte(nil), valid...), 'x')) // trailing garbage
+	flipped := append([]byte(nil), valid...)
+	flipped[12] ^= 0x40 // payload corruption under an intact frame
+	f.Add(flipped)
+	f.Add([]byte("00000000 {}\n"))
+	f.Add([]byte("deadbeef {\"index\":1,\"id\":\"T1\"}\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rows, consumed, torn := ParseReport(data)
+		if consumed < 0 || consumed > len(data) {
+			t.Fatalf("consumed %d of %d bytes", consumed, len(data))
+		}
+		if torn != (consumed < len(data)) {
+			t.Fatalf("torn=%v but consumed %d of %d bytes", torn, consumed, len(data))
+		}
+		for i, row := range rows {
+			if row.Index != i+1 {
+				t.Fatalf("row %d carries index %d: yielded past a sequence break", i, row.Index)
+			}
+		}
+		// The consumed prefix is exactly the valid rows: re-parsing it
+		// must be clean and identical.
+		again, consumed2, torn2 := ParseReport(data[:consumed])
+		if torn2 || consumed2 != consumed || len(again) != len(rows) {
+			t.Fatalf("consumed prefix does not re-parse cleanly: torn=%v consumed=%d/%d rows=%d/%d",
+				torn2, consumed2, consumed, len(again), len(rows))
+		}
+		for i := range rows {
+			a, b := again[i], rows[i]
+			if a.Index != b.Index || a.ID != b.ID || a.Pass != b.Pass ||
+				a.Margin != b.Margin || a.Detail != b.Detail {
+				t.Fatalf("row %d differs on re-parse", i)
+			}
+		}
+		// The truncation point is appendable: framing a fresh row at the
+		// next index extends the parse by exactly one.
+		next := Result{Index: len(rows) + 1, ID: "X1", Family: "fuzz",
+			Claim: "continuation", Trials: 1, Pass: true, Margin: 0.5}
+		frame, err := EncodeRow(next)
+		if err != nil {
+			t.Fatalf("encoding continuation row: %v", err)
+		}
+		extended := append(append([]byte(nil), data[:consumed]...), frame...)
+		extrows, _, extTorn := ParseReport(extended)
+		if extTorn {
+			t.Fatal("appending a valid continuation row left the report torn")
+		}
+		if len(extrows) != len(rows)+1 {
+			t.Fatalf("continuation parse yielded %d rows, want %d", len(extrows), len(rows)+1)
+		}
+	})
+}

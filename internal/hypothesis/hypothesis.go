@@ -1,0 +1,94 @@
+package hypothesis
+
+import (
+	"fmt"
+	"math"
+)
+
+// Outcome is the measured result of one hypothesis experiment: named
+// scalar metrics in insertion order. Order matters — the report renders
+// metrics in this order, so it is part of the deterministic output.
+type Outcome struct {
+	names []string
+	vals  map[string]float64
+}
+
+// NewOutcome returns an empty outcome.
+func NewOutcome() *Outcome {
+	return &Outcome{vals: make(map[string]float64)}
+}
+
+// Set records a metric, panicking on non-finite values (they would make
+// the report non-serializable) and on duplicate names (a duplicate is
+// always a bug, and silently overwriting would hide it).
+func (o *Outcome) Set(name string, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		panic(fmt.Sprintf("hypothesis: metric %q is %v", name, v))
+	}
+	if _, dup := o.vals[name]; dup {
+		panic(fmt.Sprintf("hypothesis: duplicate metric %q", name))
+	}
+	if v == 0 {
+		v = 0 // normalize -0 so reports never render a negative zero
+	}
+	o.names = append(o.names, name)
+	o.vals[name] = v
+}
+
+// Get returns a metric's value, panicking if it was never set: a Check
+// predicate reading a metric its Run never produced is a bug, not a zero.
+func (o *Outcome) Get(name string) float64 {
+	v, ok := o.vals[name]
+	if !ok {
+		panic(fmt.Sprintf("hypothesis: metric %q not in outcome %v", name, o.names))
+	}
+	return v
+}
+
+// Names returns the metric names in insertion order.
+func (o *Outcome) Names() []string {
+	return append([]string(nil), o.names...)
+}
+
+// Verdict is the machine-checked judgment on one hypothesis.
+type Verdict struct {
+	// Pass reports whether the claim held.
+	Pass bool
+	// Margin is the slack of the binding constraint, in the claim's own
+	// units (dollars for money claims, a fraction for rate claims):
+	// non-negative iff the constraint held, and the distance to the
+	// boundary either way. A small positive margin warns that the claim
+	// is barely true.
+	Margin float64
+	// Detail names the binding constraint in one human-readable clause.
+	Detail string
+}
+
+// Hypothesis is one behavioral claim with its deterministic experiment.
+type Hypothesis struct {
+	// ID is the short stable identifier ("T1", "C2", ...), unique in the
+	// registry and the key of HYPOTHESES.sha256.
+	ID string
+	// Family groups related claims ("truthfulness", "cost-recovery",
+	// "arrivals").
+	Family string
+	// Claim is the one-line behavioral claim being tested.
+	Claim string
+	// Run executes the experiment: effort scales the Monte-Carlo trial
+	// count and seed makes the run reproducible. Implementations must
+	// derive per-trial randomness via experiments.TrialSeeds and reduce
+	// in trial order (experiments.ForEachIndex) so the outcome is a pure
+	// function of (effort, seed).
+	Run func(effort int, seed uint64) (*Outcome, error)
+	// Check turns the outcome into a verdict. It must be a pure
+	// function of the outcome's metrics.
+	Check func(*Outcome) Verdict
+}
+
+// validate reports an error if the hypothesis is structurally incomplete.
+func (h *Hypothesis) validate() error {
+	if h.ID == "" || h.Family == "" || h.Claim == "" || h.Run == nil || h.Check == nil {
+		return fmt.Errorf("hypothesis: incomplete hypothesis %+v", h)
+	}
+	return nil
+}

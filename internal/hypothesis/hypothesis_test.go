@@ -1,0 +1,163 @@
+package hypothesis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The registry must hold the promised claim families, in a stable order.
+func TestHypothesisRegistryShape(t *testing.T) {
+	all := All()
+	if len(all) < 6 {
+		t.Fatalf("%d hypotheses registered, want >= 6", len(all))
+	}
+	families := map[string]int{}
+	for _, h := range all {
+		families[h.Family]++
+	}
+	for _, fam := range []string{"truthfulness", "cost-recovery", "arrivals"} {
+		if families[fam] < 2 {
+			t.Errorf("family %q has %d hypotheses, want >= 2", fam, families[fam])
+		}
+	}
+	ids := IDs()
+	if len(ids) != len(all) {
+		t.Fatalf("IDs() has %d entries for %d hypotheses", len(ids), len(all))
+	}
+	for i, h := range all {
+		if ids[i] != h.ID {
+			t.Fatalf("IDs()[%d] = %q, want %q", i, ids[i], h.ID)
+		}
+		got, err := Get(h.ID)
+		if err != nil || got != h {
+			t.Fatalf("Get(%q) = %v, %v", h.ID, got, err)
+		}
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Error("Get accepted an unknown id")
+	}
+}
+
+// Same ids, effort and seed must give byte-identical report bytes in
+// every rendering — the contract HYPOTHESES.sha256 commits to.
+func TestHypothesisReportDeterministic(t *testing.T) {
+	runOnce := func() (string, string, []byte) {
+		t.Helper()
+		rep, err := RunAll(nil, 150, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		framed, err := EncodeReport(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.CSV(), rep.SHA256Lines(), framed
+	}
+	csv1, sha1, framed1 := runOnce()
+	csv2, sha2, framed2 := runOnce()
+	if csv1 != csv2 {
+		t.Errorf("CSV bytes differ across identical runs:\n%s\nvs\n%s", csv1, csv2)
+	}
+	if sha1 != sha2 {
+		t.Errorf("sha256 lines differ across identical runs:\n%s\nvs\n%s", sha1, sha2)
+	}
+	if !bytes.Equal(framed1, framed2) {
+		t.Error("framed report bytes differ across identical runs")
+	}
+	// And a different seed must actually move some metric.
+	other, err := RunAll(nil, 150, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.CSV() == csv1 {
+		t.Error("different seed produced an identical report")
+	}
+}
+
+// Every committed claim holds at the default effort and seed — the
+// verdicts behind HYPOTHESES.sha256 are genuine PASSes.
+func TestHypothesisVerdictsPassAtDefaults(t *testing.T) {
+	rep, err := RunAll(nil, 1000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep {
+		if !r.Pass {
+			t.Errorf("%s FAILS at defaults (margin %v): %s", r.ID, r.Margin, r.Detail)
+		}
+		if r.Margin < 0 {
+			t.Errorf("%s passes with negative margin %v", r.ID, r.Margin)
+		}
+	}
+}
+
+func TestHypothesisRunAllSubsetAndIndexing(t *testing.T) {
+	rep, err := RunAll([]string{"C1", "T1"}, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep) != 2 || rep[0].ID != "C1" || rep[1].ID != "T1" {
+		t.Fatalf("subset report order: %+v", rep)
+	}
+	for i, r := range rep {
+		if r.Index != i+1 {
+			t.Errorf("row %d has index %d", i, r.Index)
+		}
+		if r.Trials != 50 {
+			t.Errorf("row %d records %d trials, want 50", i, r.Trials)
+		}
+	}
+	if _, err := RunAll([]string{"T1", "nope"}, 50, 3); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if _, err := RunAll(nil, 0, 3); err == nil {
+		t.Error("zero effort accepted")
+	}
+}
+
+func TestHypothesisTableListsEveryClaim(t *testing.T) {
+	rep, err := RunAll(nil, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := rep.Table()
+	for _, h := range All() {
+		if !strings.Contains(table, h.ID) || !strings.Contains(table, h.Claim) {
+			t.Errorf("table missing %s: %q", h.ID, h.Claim)
+		}
+	}
+}
+
+func TestHypothesisOutcomeContract(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	o := NewOutcome()
+	o.Set("a", 1.5)
+	o.Set("zero", -0.0)
+	if got := o.Get("a"); got != 1.5 {
+		t.Errorf("Get(a) = %v", got)
+	}
+	// -0 normalizes to +0 so reports never render a negative zero.
+	if s := formatFloat(o.Get("zero")); s != "0" {
+		t.Errorf("normalized zero renders as %q", s)
+	}
+	if names := o.Names(); len(names) != 2 || names[0] != "a" || names[1] != "zero" {
+		t.Errorf("Names() = %v", names)
+	}
+	mustPanic("NaN", func() { o.Set("nan", nan()) })
+	mustPanic("Inf", func() { o.Set("inf", 1/zero()) })
+	mustPanic("dup", func() { o.Set("a", 2) })
+	mustPanic("missing", func() { o.Get("missing") })
+}
+
+// Indirection so the compiler cannot reject the constant expressions.
+func zero() float64 { return 0 }
+func nan() float64  { return zero() / zero() }

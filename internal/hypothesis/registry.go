@@ -1,0 +1,118 @@
+package hypothesis
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The registry is assembled once, in explicit family order, so the
+// report's row order (and therefore its bytes) never depends on file or
+// init order.
+var (
+	registryOnce sync.Once
+	registry     []*Hypothesis
+	byID         map[string]*Hypothesis
+)
+
+func buildRegistry() {
+	registryOnce.Do(func() {
+		var all []*Hypothesis
+		all = append(all, truthfulnessHypotheses()...)
+		all = append(all, costRecoveryHypotheses()...)
+		all = append(all, arrivalHypotheses()...)
+		byID = make(map[string]*Hypothesis, len(all))
+		for _, h := range all {
+			if err := h.validate(); err != nil {
+				panic(err)
+			}
+			if _, dup := byID[h.ID]; dup {
+				panic(fmt.Sprintf("hypothesis: duplicate id %q", h.ID))
+			}
+			byID[h.ID] = h
+		}
+		registry = all
+	})
+}
+
+// All returns every registered hypothesis in report order.
+func All() []*Hypothesis {
+	buildRegistry()
+	return append([]*Hypothesis(nil), registry...)
+}
+
+// IDs returns the registered hypothesis IDs in report order.
+func IDs() []string {
+	buildRegistry()
+	ids := make([]string, len(registry))
+	for i, h := range registry {
+		ids[i] = h.ID
+	}
+	return ids
+}
+
+// Get returns the hypothesis with the given ID.
+func Get(id string) (*Hypothesis, error) {
+	buildRegistry()
+	h, ok := byID[id]
+	if !ok {
+		return nil, fmt.Errorf("hypothesis: unknown hypothesis %q (have %v)", id, IDs())
+	}
+	return h, nil
+}
+
+// RunOne executes one hypothesis and returns its report row (Index 0;
+// RunAll assigns report positions).
+func RunOne(h *Hypothesis, effort int, seed uint64) (Result, error) {
+	if effort < 1 {
+		return Result{}, fmt.Errorf("hypothesis: effort %d < 1", effort)
+	}
+	outcome, err := h.Run(effort, seed)
+	if err != nil {
+		return Result{}, fmt.Errorf("hypothesis %s: %w", h.ID, err)
+	}
+	verdict := h.Check(outcome)
+	if verdict.Margin == 0 {
+		verdict.Margin = 0 // normalize -0 out of the JSON encoding
+	}
+	res := Result{
+		ID:     h.ID,
+		Family: h.Family,
+		Claim:  h.Claim,
+		Trials: effort,
+		Pass:   verdict.Pass,
+		Margin: verdict.Margin,
+		Detail: verdict.Detail,
+	}
+	for _, name := range outcome.Names() {
+		res.Metrics = append(res.Metrics, Metric{Name: name, Value: outcome.Get(name)})
+	}
+	return res, nil
+}
+
+// RunAll executes the given hypotheses (every registered one if ids is
+// empty) and returns the deterministic report: same ids, effort and seed
+// give byte-identical report bytes.
+func RunAll(ids []string, effort int, seed uint64) (Report, error) {
+	var hs []*Hypothesis
+	if len(ids) == 0 {
+		hs = All()
+	} else {
+		for _, id := range ids {
+			h, err := Get(id)
+			if err != nil {
+				return nil, err
+			}
+			hs = append(hs, h)
+		}
+	}
+	report := make(Report, 0, len(hs))
+	for _, h := range hs {
+		res, err := RunOne(h, effort, seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Index = len(report) + 1
+		report = append(report, res)
+	}
+	return report, nil
+}

@@ -1,0 +1,196 @@
+package hypothesis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"strconv"
+	"strings"
+)
+
+// Metric is one named measurement in a report row.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Result is one hypothesis's report row.
+type Result struct {
+	// Index is the row's 1-based position in the report. The parser uses
+	// it the way the journal parser uses sequence numbers: rows must be
+	// contiguous from 1, and parsing stops at the first break.
+	Index   int      `json:"index"`
+	ID      string   `json:"id"`
+	Family  string   `json:"family"`
+	Claim   string   `json:"claim"`
+	Trials  int      `json:"trials"`
+	Pass    bool     `json:"pass"`
+	Margin  float64  `json:"margin"`
+	Detail  string   `json:"detail"`
+	Metrics []Metric `json:"metrics,omitempty"`
+}
+
+// Report is an ordered set of hypothesis results.
+type Report []Result
+
+// csvHeader is the first line of every report CSV.
+const csvHeader = "id,family,trials,verdict,margin,detail,metrics,claim"
+
+func verdictWord(pass bool) string {
+	if pass {
+		return "PASS"
+	}
+	return "FAIL"
+}
+
+func formatFloat(v float64) string {
+	if v == 0 {
+		v = 0 // render -0 as 0
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// csvRow renders one row (no trailing newline).
+func (r Result) csvRow() string {
+	metrics := make([]string, len(r.Metrics))
+	for i, m := range r.Metrics {
+		metrics[i] = m.Name + "=" + formatFloat(m.Value)
+	}
+	fields := []string{
+		r.ID, r.Family, strconv.Itoa(r.Trials), verdictWord(r.Pass),
+		formatFloat(r.Margin), r.Detail, strings.Join(metrics, ";"), r.Claim,
+	}
+	for i, f := range fields {
+		fields[i] = csvEscape(f)
+	}
+	return strings.Join(fields, ",")
+}
+
+// CSV renders the whole report as comma-separated values with a header
+// row. The bytes are deterministic in the report contents.
+func (rs Report) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvHeader)
+	b.WriteByte('\n')
+	for _, r := range rs {
+		b.WriteString(r.csvRow())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SHA256Lines renders one "hash  id" line per hypothesis, hashing each
+// row's single-row CSV (header + row) — the same contract as
+// FIGURES.sha256: HYPOTHESES.sha256 at the repo root is the committed
+// output at the default effort and seed, and CI fails on any drift.
+func (rs Report) SHA256Lines() string {
+	var b strings.Builder
+	for _, r := range rs {
+		row := csvHeader + "\n" + r.csvRow() + "\n"
+		fmt.Fprintf(&b, "%x  %s\n", sha256.Sum256([]byte(row)), r.ID)
+	}
+	return b.String()
+}
+
+// Table renders the report as a human-readable text block.
+func (rs Report) Table() string {
+	var b strings.Builder
+	for _, r := range rs {
+		fmt.Fprintf(&b, "%-4s %-14s %-4s margin=%s  %s\n",
+			r.ID, r.Family, verdictWord(r.Pass), formatFloat(r.Margin), r.Claim)
+		if r.Detail != "" {
+			fmt.Fprintf(&b, "     %s\n", r.Detail)
+		}
+		for _, m := range r.Metrics {
+			fmt.Fprintf(&b, "       %s = %s\n", m.Name, formatFloat(m.Value))
+		}
+	}
+	return b.String()
+}
+
+// The machine-readable report format frames one JSON row per line behind
+// a CRC, exactly like the bid journal's record framing:
+//
+//	<crc32-ieee-hex8> <json>\n
+//
+// so the same crash contract applies: a reader of a truncated or
+// corrupted report file recovers the longest valid prefix and knows
+// precisely where damage begins.
+
+// EncodeRow frames one result row.
+func EncodeRow(r Result) ([]byte, error) {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("hypothesis: encoding report row %d: %w", r.Index, err)
+	}
+	out := make([]byte, 0, len(payload)+10)
+	out = append(out, fmt.Sprintf("%08x", crc32.ChecksumIEEE(payload))...)
+	out = append(out, ' ')
+	out = append(out, payload...)
+	out = append(out, '\n')
+	return out, nil
+}
+
+// EncodeReport frames the whole report.
+func EncodeReport(rs Report) ([]byte, error) {
+	var out []byte
+	for _, r := range rs {
+		line, err := EncodeRow(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, line...)
+	}
+	return out, nil
+}
+
+// ParseReport reads framed report rows from data, stopping at the first
+// damaged or out-of-order row. It returns the valid rows, the number of
+// bytes they occupy (the consumed prefix re-parses cleanly and can be
+// extended by appending a validly framed next row), and whether anything
+// beyond the prefix remained (torn). It never panics, whatever the bytes.
+func ParseReport(data []byte) (rows Report, consumed int, torn bool) {
+	for consumed < len(data) {
+		rest := data[consumed:]
+		nl := -1
+		for i, c := range rest {
+			if c == '\n' {
+				nl = i
+				break
+			}
+		}
+		if nl < 0 {
+			break // no full line: torn tail
+		}
+		line := rest[:nl]
+		if len(line) < 10 || line[8] != ' ' {
+			break
+		}
+		want, err := strconv.ParseUint(string(line[:8]), 16, 32)
+		if err != nil {
+			break
+		}
+		payload := line[9:]
+		if crc32.ChecksumIEEE(payload) != uint32(want) {
+			break
+		}
+		var row Result
+		if err := json.Unmarshal(payload, &row); err != nil {
+			break
+		}
+		if row.Index != len(rows)+1 {
+			break // sequence break: never yield rows past it
+		}
+		rows = append(rows, row)
+		consumed += nl + 1
+	}
+	return rows, consumed, consumed < len(data)
+}

@@ -1,0 +1,130 @@
+package hypothesis
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleReport() Report {
+	return Report{
+		{Index: 1, ID: "T1", Family: "truthfulness", Claim: "no lie pays", Trials: 100,
+			Pass: true, Margin: 0.25, Detail: "worst margin",
+			Metrics: []Metric{{Name: "min_margin_usd", Value: 0.25}, {Name: "gaming_trials", Value: 0}}},
+		{Index: 2, ID: "C2", Family: "cost-recovery", Claim: "claim, with a comma", Trials: 100,
+			Pass: false, Margin: -0.5, Detail: `detail with "quotes" and, commas`,
+			Metrics: []Metric{{Name: "addon_min_balance_usd", Value: -0.5}}},
+		{Index: 3, ID: "B3", Family: "arrivals", Claim: "no deficit", Trials: 100,
+			Pass: true, Margin: 0, Detail: ""},
+	}
+}
+
+func TestHypothesisReportCSVShape(t *testing.T) {
+	csv := sampleReport().CSV()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines, want header + 3 rows:\n%s", len(lines), csv)
+	}
+	if lines[0] != csvHeader {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "T1,truthfulness,100,PASS,0.25,") {
+		t.Fatalf("row 1: %q", lines[1])
+	}
+	if !strings.Contains(lines[1], "min_margin_usd=0.25;gaming_trials=0") {
+		t.Fatalf("row 1 metrics: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], `"detail with ""quotes"" and, commas"`) {
+		t.Fatalf("row 2 escaping: %q", lines[2])
+	}
+	if !strings.Contains(lines[2], "FAIL") {
+		t.Fatalf("row 2 verdict: %q", lines[2])
+	}
+}
+
+func TestHypothesisSHA256LinesContract(t *testing.T) {
+	rep := sampleReport()
+	lines := strings.Split(strings.TrimRight(rep.SHA256Lines(), "\n"), "\n")
+	if len(lines) != len(rep) {
+		t.Fatalf("%d lines for %d rows", len(lines), len(rep))
+	}
+	for i, line := range lines {
+		parts := strings.SplitN(line, "  ", 2)
+		if len(parts) != 2 || len(parts[0]) != 64 || parts[1] != rep[i].ID {
+			t.Fatalf("line %d not \"<sha256>  <id>\": %q", i, line)
+		}
+	}
+	// A single-metric perturbation must change exactly that row's hash.
+	perturbed := sampleReport()
+	perturbed[0].Metrics[0].Value = 0.26
+	plines := strings.Split(strings.TrimRight(perturbed.SHA256Lines(), "\n"), "\n")
+	if plines[0] == lines[0] {
+		t.Fatal("perturbed row 1 hash unchanged")
+	}
+	for i := 1; i < len(lines); i++ {
+		if plines[i] != lines[i] {
+			t.Fatalf("row %d hash changed by a row-1 perturbation", i)
+		}
+	}
+}
+
+func TestHypothesisReportEncodeParseRoundTrip(t *testing.T) {
+	rep := sampleReport()
+	framed, err := EncodeReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, consumed, torn := ParseReport(framed)
+	if torn || consumed != len(framed) {
+		t.Fatalf("clean report parsed torn=%v consumed=%d/%d", torn, consumed, len(framed))
+	}
+	if len(rows) != len(rep) {
+		t.Fatalf("%d rows, want %d", len(rows), len(rep))
+	}
+	for i := range rep {
+		got, want := rows[i], rep[i]
+		if got.Index != want.Index || got.ID != want.ID || got.Pass != want.Pass ||
+			got.Margin != want.Margin || got.Detail != want.Detail || got.Claim != want.Claim {
+			t.Fatalf("row %d: %+v vs %+v", i, got, want)
+		}
+		if len(got.Metrics) != len(want.Metrics) {
+			t.Fatalf("row %d metrics: %d vs %d", i, len(got.Metrics), len(want.Metrics))
+		}
+	}
+}
+
+func TestHypothesisParseReportTornAndDamage(t *testing.T) {
+	framed, err := EncodeReport(sampleReport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Torn mid-row: parse stops at the last whole row.
+	rows, consumed, torn := ParseReport(framed[:len(framed)-3])
+	if !torn || len(rows) != 2 {
+		t.Fatalf("torn tail: %d rows, torn=%v", len(rows), torn)
+	}
+	if again, c2, t2 := ParseReport(framed[:consumed]); t2 || c2 != consumed || len(again) != 2 {
+		t.Fatalf("consumed prefix does not re-parse cleanly")
+	}
+	// CRC damage: nothing past the flip.
+	flipped := append([]byte(nil), framed...)
+	flipped[len(flipped)/2] ^= 0x01
+	rows, _, torn = ParseReport(flipped)
+	if !torn || len(rows) >= 3 {
+		t.Fatalf("crc flip: %d rows, torn=%v", len(rows), torn)
+	}
+	// Sequence break: a valid frame with the wrong index stops the parse.
+	outOfOrder := sampleReport()
+	outOfOrder[1].Index = 5
+	framed2, err := EncodeReport(outOfOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _, torn = ParseReport(framed2)
+	if !torn || len(rows) != 1 {
+		t.Fatalf("sequence break: %d rows, torn=%v", len(rows), torn)
+	}
+	// Garbage never panics and yields nothing.
+	if rows, _, _ := ParseReport([]byte("not a report\n")); len(rows) != 0 {
+		t.Fatalf("garbage yielded %d rows", len(rows))
+	}
+}

@@ -1,0 +1,279 @@
+package hypothesis
+
+import (
+	"fmt"
+
+	"sharedopt/internal/core"
+	"sharedopt/internal/econ"
+	"sharedopt/internal/experiments"
+	"sharedopt/internal/simulate"
+	"sharedopt/internal/stats"
+	"sharedopt/internal/workload"
+)
+
+// The truthfulness family: the paper proves the online mechanisms
+// truthful (Section 5) and rejects the naive adaptation because it is
+// gameable (Example 2), but the figures only ever play truthful bids.
+// These experiments actually play the strategies.
+
+// strategy is one named declared-vs-truth transformation.
+type strategy struct {
+	name  string
+	apply func(simulate.AdditiveScenario) simulate.AdditiveScenario
+}
+
+// strategies are the deviations the truthfulness experiments sweep:
+// concentrate value late (free-rider shape), spread it thin over the
+// whole period, and understate it uniformly.
+var strategies = []strategy{
+	{"hide", workload.HideToLastSlot},
+	{"split", workload.SplitAcrossSlots},
+	{"shade", workload.ShadeValue(0.5)},
+}
+
+// truthCosts is the optimization-cost cycle the strategic trials sweep:
+// from trivially affordable (six users, $0.50 mean value each) to rarely
+// worth implementing.
+var truthCosts = []econ.Money{
+	econ.FromDollars(0.30), econ.FromDollars(0.75),
+	econ.FromDollars(1.50), econ.FromDollars(3.00),
+}
+
+const (
+	truthUsers    = 6
+	truthDuration = 4
+)
+
+// unevenMultiSlot is MultiSlot with independently drawn per-slot values
+// (uniform in [0, $0.25), matching MultiSlot's $0.125 per-slot mean)
+// instead of an evenly split total. The uneven profile is what makes
+// SplitAcrossSlots a genuine misreport: flattening an already-flat
+// profile would be the identity.
+func unevenMultiSlot(r *stats.RNG, nUsers, slots, duration int, cost econ.Money) simulate.AdditiveScenario {
+	sc := simulate.AdditiveScenario{
+		Opts:    []core.Optimization{{ID: corrOpt, Cost: cost}},
+		Horizon: core.Slot(slots + duration - 1),
+	}
+	for u := 1; u <= nUsers; u++ {
+		start := core.Slot(1 + r.Intn(slots))
+		values := make([]econ.Money, duration)
+		for k := range values {
+			values[k] = workload.UniformValue(r) / econ.Money(duration)
+		}
+		sc.Bids = append(sc.Bids, simulate.AdditiveBid{
+			User: core.UserID(u), Opt: corrOpt,
+			Start: start, End: start + core.Slot(duration-1),
+			Values: values,
+		})
+	}
+	return sc
+}
+
+// deviate returns the truth scenario with exactly one user's bids
+// replaced by their transformed (strategic) declarations.
+func deviate(truth simulate.AdditiveScenario, user core.UserID,
+	apply func(simulate.AdditiveScenario) simulate.AdditiveScenario) simulate.AdditiveScenario {
+	full := apply(truth)
+	out := simulate.AdditiveScenario{
+		Opts:    append([]core.Optimization(nil), truth.Opts...),
+		Horizon: truth.Horizon,
+	}
+	for i, b := range truth.Bids {
+		if b.User == user {
+			out.Bids = append(out.Bids, full.Bids[i])
+		} else {
+			out.Bids = append(out.Bids, b)
+		}
+	}
+	return out
+}
+
+func truthfulnessHypotheses() []*Hypothesis {
+	return []*Hypothesis{singleDeviatorMargin(), coalitionCostRecovery(), overstayBoundary()}
+}
+
+// singleDeviatorMargin (T1) is the truthfulness margin itself: for a
+// single deviating user — every other user truthful — the deviation
+// never improves the deviator's own utility. Each trial draws a
+// multi-slot scenario, picks one deviator and one strategy, and compares
+// the deviator's utility (true realized value minus payments) under
+// truthful and strategic declarations.
+func singleDeviatorMargin() *Hypothesis {
+	return &Hypothesis{
+		ID:     "T1",
+		Family: "truthfulness",
+		Claim:  "No single strategic deviation (hide, split, shade) improves a user's utility under AddOn",
+		Run: func(effort int, seed uint64) (*Outcome, error) {
+			seeds := experiments.TrialSeeds(seed, effort)
+			margins, err := experiments.ForEachIndex(effort, func(i int) (econ.Money, error) {
+				r := stats.NewRNG(seeds[i])
+				cost := truthCosts[i%len(truthCosts)]
+				truth := unevenMultiSlot(r, truthUsers, workload.DefaultSlots, truthDuration, cost)
+				dev := core.UserID(1 + i%truthUsers)
+				strat := strategies[(i/truthUsers)%len(strategies)]
+				declared := deviate(truth, dev, strat.apply)
+				_, truthful, err := simulate.RunAddOnPerUser(truth, truth)
+				if err != nil {
+					return 0, err
+				}
+				_, deviant, err := simulate.RunAddOnPerUser(declared, truth)
+				if err != nil {
+					return 0, err
+				}
+				return truthful[dev].Utility() - deviant[dev].Utility(), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			min := margins[0]
+			var sum int64
+			gaming := 0
+			for _, m := range margins {
+				if m < min {
+					min = m
+				}
+				sum += int64(m)
+				if m < 0 {
+					gaming++
+				}
+			}
+			o := NewOutcome()
+			o.Set("min_margin_usd", min.Dollars())
+			o.Set("mean_margin_usd", float64(sum)/float64(len(margins))/float64(econ.Dollar))
+			o.Set("gaming_trials", float64(gaming))
+			return o, nil
+		},
+		Check: func(o *Outcome) Verdict {
+			min := o.Get("min_margin_usd")
+			return Verdict{
+				Pass:   min >= 0,
+				Margin: min,
+				Detail: fmt.Sprintf("worst trial's deviation gain is %s dollars (negative margin = profitable lie) across %g gaming trials", formatFloat(-min), o.Get("gaming_trials")),
+			}
+		},
+	}
+}
+
+// coalitionCostRecovery (T2): even a full coalition playing a strategy
+// profile — every user hiding, splitting, or shading at once, which the
+// truthfulness theorem does not cover — cannot push the mechanism into
+// deficit: AddOn's cost-recovery guarantee is structural (shares are
+// ceiling divisions of incurred cost), not behavioral.
+func coalitionCostRecovery() *Hypothesis {
+	return &Hypothesis{
+		ID:     "T2",
+		Family: "truthfulness",
+		Claim:  "AddOn never runs a deficit even when every user plays a strategy profile at once",
+		Run: func(effort int, seed uint64) (*Outcome, error) {
+			seeds := experiments.TrialSeeds(seed, effort)
+			type trial struct{ min econ.Money }
+			results, err := experiments.ForEachIndex(effort, func(i int) (trial, error) {
+				r := stats.NewRNG(seeds[i])
+				cost := truthCosts[i%len(truthCosts)]
+				truth := unevenMultiSlot(r, truthUsers, workload.DefaultSlots, truthDuration, cost)
+				min := econ.MaxMoney
+				for _, strat := range strategies {
+					res, err := simulate.RunAddOnStrategic(strat.apply(truth), truth)
+					if err != nil {
+						return trial{}, err
+					}
+					if b := res.Balance(); b < min {
+						min = b
+					}
+				}
+				return trial{min: min}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			min := results[0].min
+			var sum int64
+			for _, tr := range results {
+				if tr.min < min {
+					min = tr.min
+				}
+				sum += int64(tr.min)
+			}
+			o := NewOutcome()
+			o.Set("min_balance_usd", min.Dollars())
+			o.Set("mean_worst_balance_usd", float64(sum)/float64(len(results))/float64(econ.Dollar))
+			return o, nil
+		},
+		Check: func(o *Outcome) Verdict {
+			min := o.Get("min_balance_usd")
+			return Verdict{
+				Pass:   min >= 0,
+				Margin: min,
+				Detail: "worst cloud balance across all coalition strategy profiles",
+			}
+		},
+	}
+}
+
+// overstayBoundary (T3) marks where the truthfulness theorem ends: it is
+// a statement about declared values, not departure times. A user who
+// reports values truthfully but overstays to the horizon leaves the
+// mechanism's whole trajectory unchanged (her residual past her true end
+// is zero and serviced users stay counted after departing) yet is charged
+// the period's final — weakly lowest — share instead of the share at her
+// true departure. So overstaying never raises her payment, and strictly
+// profits whenever later arrivals keep pushing the share down.
+func overstayBoundary() *Hypothesis {
+	return &Hypothesis{
+		ID:     "T3",
+		Family: "truthfulness",
+		Claim:  "Truthfulness is about values, not departures: overstaying to the horizon never raises a user's payment",
+		Run: func(effort int, seed uint64) (*Outcome, error) {
+			seeds := experiments.TrialSeeds(seed, effort)
+			type trial struct{ payDelta, gain econ.Money }
+			results, err := experiments.ForEachIndex(effort, func(i int) (trial, error) {
+				r := stats.NewRNG(seeds[i])
+				cost := truthCosts[i%len(truthCosts)]
+				truth := unevenMultiSlot(r, truthUsers, workload.DefaultSlots, truthDuration, cost)
+				dev := core.UserID(1 + i%truthUsers)
+				declared := deviate(truth, dev, workload.OverstayToHorizon)
+				_, truthful, err := simulate.RunAddOnPerUser(truth, truth)
+				if err != nil {
+					return trial{}, err
+				}
+				_, overstay, err := simulate.RunAddOnPerUser(declared, truth)
+				if err != nil {
+					return trial{}, err
+				}
+				return trial{
+					payDelta: overstay[dev].Paid - truthful[dev].Paid,
+					gain:     overstay[dev].Utility() - truthful[dev].Utility(),
+				}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			maxDelta, maxGain := results[0].payDelta, results[0].gain
+			profits := 0
+			for _, tr := range results {
+				if tr.payDelta > maxDelta {
+					maxDelta = tr.payDelta
+				}
+				if tr.gain > maxGain {
+					maxGain = tr.gain
+				}
+				if tr.gain > 0 {
+					profits++
+				}
+			}
+			o := NewOutcome()
+			o.Set("max_payment_increase_usd", maxDelta.Dollars())
+			o.Set("max_overstay_gain_usd", maxGain.Dollars())
+			o.Set("profitable_trials", float64(profits))
+			return o, nil
+		},
+		Check: func(o *Outcome) Verdict {
+			maxDelta := o.Get("max_payment_increase_usd")
+			return Verdict{
+				Pass:   maxDelta <= 0,
+				Margin: -maxDelta,
+				Detail: fmt.Sprintf("largest payment increase from overstaying; the deviation strictly profited in %g trials (largest gain %s dollars)", o.Get("profitable_trials"), formatFloat(o.Get("max_overstay_gain_usd"))),
+			}
+		},
+	}
+}

@@ -1,0 +1,83 @@
+package simulate
+
+import (
+	"fmt"
+
+	"sharedopt/internal/core"
+	"sharedopt/internal/econ"
+)
+
+// UserOutcome is one user's money accounting across a simulated game:
+// the true value she realized in slots where she was serviced, and the
+// payments she made.
+type UserOutcome struct {
+	// Value is the user's realized TRUE value (from the truth scenario,
+	// in slots where the mechanism actively serviced her).
+	Value econ.Money
+	// Paid is the user's total payments.
+	Paid econ.Money
+}
+
+// Utility returns the user's surplus: realized value minus payments.
+func (u UserOutcome) Utility() econ.Money { return u.Value - u.Paid }
+
+// RunAddOnPerUser plays the declared bids through AddOn, accounts realized
+// value against the truth scenario, and returns the per-user breakdown
+// alongside the aggregate Result. It is the measurement behind the
+// truthfulness-margin hypotheses: run it once with declared == truth and
+// once with a deviation, and compare the deviator's Utility.
+//
+// The per-user payments are cross-checked against the game's total
+// revenue; a mismatch is reported as an error rather than silently
+// mis-attributed.
+func RunAddOnPerUser(declared, truth AdditiveScenario) (Result, map[core.UserID]UserOutcome, error) {
+	if declared.Horizon != truth.Horizon {
+		return Result{}, nil, fmt.Errorf("simulate: declared horizon %d != truth horizon %d",
+			declared.Horizon, truth.Horizon)
+	}
+	if declared.Horizon < 1 {
+		return Result{}, nil, fmt.Errorf("simulate: horizon %d < 1", declared.Horizon)
+	}
+	game := core.NewAdditiveGame(declared.Opts)
+	for _, b := range declared.Bids {
+		if err := game.Submit(b.Opt, core.OnlineBid{
+			User: b.User, Start: b.Start, End: b.End, Values: b.Values,
+		}); err != nil {
+			return Result{}, nil, err
+		}
+	}
+	trueValues := buildValueTable(truth)
+	users := make(map[core.UserID]UserOutcome)
+	var res Result
+	for t := core.Slot(1); t <= declared.Horizon; t++ {
+		rep := game.AdvanceSlot()
+		for _, g := range rep.Active {
+			v := trueValues[g][t]
+			res.TotalValue += v
+			u := users[g.User]
+			u.Value += v
+			users[g.User] = u
+		}
+		for id, p := range rep.Departures {
+			u := users[id]
+			u.Paid += p
+			users[id] = u
+		}
+	}
+	for id, p := range game.Close() {
+		u := users[id]
+		u.Paid += p
+		users[id] = u
+	}
+	res.Payments = game.TotalRevenue()
+	res.Cost = game.CostIncurred()
+	var paid econ.Money
+	for _, u := range users {
+		paid += u.Paid
+	}
+	if paid != res.Payments {
+		return Result{}, nil, fmt.Errorf("simulate: per-user payments %v != total revenue %v",
+			paid, res.Payments)
+	}
+	return res, users, nil
+}

@@ -18,6 +18,16 @@ const (
 	// t exponential with mean 1.2 (simulating datasets that become
 	// popular over time).
 	ArrivalLate
+	// ArrivalFlash models a flash crowd: every arrival lands inside a
+	// narrow window of FlashWindow slots centered mid-period (uniform
+	// within the window). The whole population shows up almost at once,
+	// with nobody before the burst to amortize against and little period
+	// left after it.
+	ArrivalFlash
+	// ArrivalBursty mixes a flash crowd with background traffic: with
+	// probability BurstyWeight an arrival joins the mid-period flash
+	// window, otherwise it is uniform over all slots.
+	ArrivalBursty
 )
 
 // String returns the process name used in figure legends.
@@ -29,6 +39,10 @@ func (a ArrivalProcess) String() string {
 		return "Early"
 	case ArrivalLate:
 		return "Late"
+	case ArrivalFlash:
+		return "Flash"
+	case ArrivalBursty:
+		return "Bursty"
 	default:
 		return fmt.Sprintf("ArrivalProcess(%d)", int(a))
 	}
@@ -37,6 +51,14 @@ func (a ArrivalProcess) String() string {
 // ExpSkewMean is the exponential mean (in slots) the paper uses for the
 // early and late arrival processes.
 const ExpSkewMean = 1.2
+
+// FlashWindow is the width, in slots, of the flash-crowd arrival window
+// (clamped to the available slots).
+const FlashWindow = 2
+
+// BurstyWeight is the fraction of bursty arrivals that join the flash
+// window; the rest are uniform over the period.
+const BurstyWeight = 0.75
 
 // Arrival samples an arrival slot in [1, slots] from the process.
 // It panics if slots < 1.
@@ -53,9 +75,31 @@ func (a ArrivalProcess) Arrival(r *RNG, slots int) int {
 	case ArrivalLate:
 		t := int(r.ExpFloat64(ExpSkewMean))
 		return clampSlot(slots-t, slots)
+	case ArrivalFlash:
+		return flashSlot(r, slots)
+	case ArrivalBursty:
+		// One uniform variate decides burst membership, then the burst
+		// (or background) slot consumes its own draws, so the stream
+		// stays a pure function of the arrival sequence.
+		if r.Float64() < BurstyWeight {
+			return flashSlot(r, slots)
+		}
+		return 1 + r.Intn(slots)
 	default:
 		panic(fmt.Sprintf("stats: unknown arrival process %d", int(a)))
 	}
+}
+
+// flashSlot draws uniformly inside the mid-period flash window: width
+// FlashWindow (clamped to slots), first slot chosen so the window is
+// centered.
+func flashSlot(r *RNG, slots int) int {
+	width := FlashWindow
+	if width > slots {
+		width = slots
+	}
+	first := 1 + (slots-width)/2
+	return first + r.Intn(width)
 }
 
 // Interarrivals draws n exponential interarrival gaps with the given

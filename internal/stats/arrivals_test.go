@@ -149,3 +149,67 @@ func TestArrivalProcessString(t *testing.T) {
 		}
 	}
 }
+
+func TestArrivalFlashStaysInWindow(t *testing.T) {
+	r := NewRNG(41)
+	const slots = 12
+	first := 1 + (slots-FlashWindow)/2
+	hits := map[int]int{}
+	for i := 0; i < 5000; i++ {
+		s := ArrivalFlash.Arrival(r, slots)
+		if s < first || s >= first+FlashWindow {
+			t.Fatalf("flash arrival %d outside window [%d, %d]", s, first, first+FlashWindow-1)
+		}
+		hits[s]++
+	}
+	for s := first; s < first+FlashWindow; s++ {
+		if hits[s] == 0 {
+			t.Fatalf("window slot %d never hit", s)
+		}
+	}
+}
+
+func TestArrivalFlashNarrowPeriod(t *testing.T) {
+	r := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if s := ArrivalFlash.Arrival(r, 1); s != 1 {
+			t.Fatalf("single-slot flash arrival %d", s)
+		}
+	}
+}
+
+func TestArrivalBurstyMixes(t *testing.T) {
+	r := NewRNG(43)
+	const slots, n = 12, 20000
+	first := 1 + (slots-FlashWindow)/2
+	inWindow, outside := 0, 0
+	for i := 0; i < n; i++ {
+		s := ArrivalBursty.Arrival(r, slots)
+		if s < 1 || s > slots {
+			t.Fatalf("bursty arrival %d out of [1, %d]", s, slots)
+		}
+		if s >= first && s < first+FlashWindow {
+			inWindow++
+		} else {
+			outside++
+		}
+	}
+	// BurstyWeight of the mass flashes; the uniform rest also lands in the
+	// window sometimes, so expect ~ weight + (1-weight)*window/slots.
+	want := BurstyWeight + (1-BurstyWeight)*float64(FlashWindow)/slots
+	if got := float64(inWindow) / n; got < want-0.03 || got > want+0.03 {
+		t.Fatalf("window mass %v, want ~%v", got, want)
+	}
+	if outside == 0 {
+		t.Fatal("bursty arrivals never left the flash window")
+	}
+}
+
+func TestArrivalFlashBurstyStrings(t *testing.T) {
+	if got := ArrivalFlash.String(); got != "Flash" {
+		t.Fatalf("ArrivalFlash.String() = %q", got)
+	}
+	if got := ArrivalBursty.String(); got != "Bursty" {
+		t.Fatalf("ArrivalBursty.String() = %q", got)
+	}
+}

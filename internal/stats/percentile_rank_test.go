@@ -47,3 +47,44 @@ func TestPercentileUsesRank(t *testing.T) {
 		t.Fatal("Percentile must not modify its input")
 	}
 }
+
+func TestPercentileRankDegenerateInputs(t *testing.T) {
+	cases := []struct {
+		name     string
+		n        int
+		p        float64
+		wantLo   int
+		wantFrac float64
+	}{
+		{"empty", 0, 0.5, 0, 0},
+		{"negative n", -3, 0.5, 0, 0},
+		{"single below", 1, 0.25, 0, 0},
+		{"single median", 1, 0.5, 0, 0},
+		{"single above one", 1, 1.5, 0, 0},
+		{"zero p", 10, 0, 0, 0},
+		{"negative p", 10, -0.5, 0, 0},
+		{"p exactly one", 10, 1, 9, 0},
+		{"p above one", 10, 7, 9, 0},
+	}
+	for _, c := range cases {
+		lo, frac := PercentileRank(c.n, c.p)
+		if lo != c.wantLo || frac != c.wantFrac {
+			t.Errorf("%s: PercentileRank(%d, %v) = (%d, %v), want (%d, %v)",
+				c.name, c.n, c.p, lo, frac, c.wantLo, c.wantFrac)
+		}
+	}
+}
+
+func TestPercentileDegenerateInputs(t *testing.T) {
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("Percentile(nil, 0.5) = %v, want 0", got)
+	}
+	if got := Percentile([]float64{}, 0.99); got != 0 {
+		t.Errorf("Percentile(empty, 0.99) = %v, want 0", got)
+	}
+	for _, p := range []float64{-1, 0, 0.5, 1, 42} {
+		if got := Percentile([]float64{7.5}, p); got != 7.5 {
+			t.Errorf("Percentile([7.5], %v) = %v, want 7.5", p, got)
+		}
+	}
+}

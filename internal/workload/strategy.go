@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"fmt"
+
 	"sharedopt/internal/core"
 	"sharedopt/internal/econ"
 	"sharedopt/internal/simulate"
@@ -32,4 +34,93 @@ func HideToLastSlot(sc simulate.AdditiveScenario) simulate.AdditiveScenario {
 		})
 	}
 	return out
+}
+
+// SplitAcrossSlots returns the scenario in which every user declares her
+// true total value but flattens the profile, spreading it evenly over her
+// true interval — the opposite deception of HideToLastSlot: instead of
+// concentrating value late, the user understates her peak slots and
+// overstates her weak ones, hoping the flattened trickle still rides an
+// optimization someone else triggers while muddying when she values it.
+// The interval itself is unchanged: departure time is observable, so
+// interval misreports are a separate strategy (OverstayToHorizon).
+//
+// Like the other strategy generators it consumes no randomness: declared
+// bids are a pure function of the truth scenario, so pairing declared and
+// truth never perturbs the trial RNG stream.
+func SplitAcrossSlots(sc simulate.AdditiveScenario) simulate.AdditiveScenario {
+	out := simulate.AdditiveScenario{
+		Opts:    append([]core.Optimization(nil), sc.Opts...),
+		Horizon: sc.Horizon,
+	}
+	for _, b := range sc.Bids {
+		var total econ.Money
+		for _, v := range b.Values {
+			total += v
+		}
+		out.Bids = append(out.Bids, simulate.AdditiveBid{
+			User: b.User, Opt: b.Opt,
+			Start: b.Start, End: b.End,
+			Values: SplitEvenly(total, len(b.Values)),
+		})
+	}
+	return out
+}
+
+// OverstayToHorizon returns the scenario in which every user reports her
+// values truthfully but overstates her departure, padding the interval
+// with zero-value slots out to the horizon. AddOn charges the cost-share
+// in force when a user's interval ends, and shares only fall as the
+// serviced set grows — so overstaying defers the charge to the lowest
+// share of the period. The truthfulness theorem is about declared values,
+// not departure times; this strategy probes exactly that boundary (see
+// hypothesis T3).
+func OverstayToHorizon(sc simulate.AdditiveScenario) simulate.AdditiveScenario {
+	out := simulate.AdditiveScenario{
+		Opts:    append([]core.Optimization(nil), sc.Opts...),
+		Horizon: sc.Horizon,
+	}
+	for _, b := range sc.Bids {
+		end := sc.Horizon
+		if end < b.End {
+			end = b.End
+		}
+		values := make([]econ.Money, int(end-b.Start)+1)
+		copy(values, b.Values)
+		out.Bids = append(out.Bids, simulate.AdditiveBid{
+			User: b.User, Opt: b.Opt,
+			Start: b.Start, End: end,
+			Values: values,
+		})
+	}
+	return out
+}
+
+// ShadeValue returns a strategy generator that scales every declared
+// per-slot value by factor (rounding half away from zero), keeping the
+// true interval: factor < 1 understates ("shading" the bid, hoping to pay
+// a smaller cost-share), factor > 1 exaggerates, factor == 1 is truthful
+// play. It panics if factor is negative.
+func ShadeValue(factor float64) func(simulate.AdditiveScenario) simulate.AdditiveScenario {
+	if factor < 0 {
+		panic(fmt.Sprintf("workload: negative shading factor %v", factor))
+	}
+	return func(sc simulate.AdditiveScenario) simulate.AdditiveScenario {
+		out := simulate.AdditiveScenario{
+			Opts:    append([]core.Optimization(nil), sc.Opts...),
+			Horizon: sc.Horizon,
+		}
+		for _, b := range sc.Bids {
+			values := make([]econ.Money, len(b.Values))
+			for k, v := range b.Values {
+				values[k] = econ.FromDollars(v.Dollars() * factor)
+			}
+			out.Bids = append(out.Bids, simulate.AdditiveBid{
+				User: b.User, Opt: b.Opt,
+				Start: b.Start, End: b.End,
+				Values: values,
+			})
+		}
+		return out
+	}
 }

@@ -56,3 +56,154 @@ func TestHideToLastSlotPlayable(t *testing.T) {
 		_ = truthRes
 	}
 }
+
+func TestSplitAcrossSlotsFlattensWithinInterval(t *testing.T) {
+	r := stats.NewRNG(93)
+	truth := Skewed(r, 6, 12, econ.FromDollars(0.8), stats.ArrivalUniform)
+	// Give the bids uneven multi-slot profiles so flattening is visible.
+	for i := range truth.Bids {
+		b := &truth.Bids[i]
+		b.End = b.Start + 3
+		b.Values = []econ.Money{b.Values[0], 0, econ.FromCents(30), econ.FromCents(1)}
+	}
+	truth.Horizon = 16
+	split := SplitAcrossSlots(truth)
+	if split.Horizon != truth.Horizon || len(split.Bids) != len(truth.Bids) {
+		t.Fatalf("shape changed: %d bids over %d slots", len(split.Bids), split.Horizon)
+	}
+	for i, sb := range split.Bids {
+		tb := truth.Bids[i]
+		if sb.User != tb.User || sb.Opt != tb.Opt || sb.Start != tb.Start || sb.End != tb.End {
+			t.Fatalf("bid %d identity or interval changed: %+v vs %+v", i, sb, tb)
+		}
+		var total, splitTotal econ.Money
+		for _, v := range tb.Values {
+			total += v
+		}
+		for _, v := range sb.Values {
+			splitTotal += v
+		}
+		if splitTotal != total {
+			t.Errorf("bid %d total %v, want %v", i, splitTotal, total)
+		}
+		// Evenly split: values differ by at most one micro-dollar.
+		for _, v := range sb.Values {
+			if d := v - sb.Values[0]; d < -econ.Micro || d > econ.Micro {
+				t.Errorf("bid %d not flat: %v", i, sb.Values)
+			}
+		}
+	}
+}
+
+func TestShadeValueScales(t *testing.T) {
+	r := stats.NewRNG(94)
+	truth := MultiSlot(r, 6, 12, 4, econ.FromDollars(0.8))
+	shaded := ShadeValue(0.5)(truth)
+	for i, sb := range shaded.Bids {
+		tb := truth.Bids[i]
+		if sb.User != tb.User || sb.Start != tb.Start || sb.End != tb.End {
+			t.Fatalf("bid %d identity or interval changed", i)
+		}
+		for k, v := range sb.Values {
+			want := econ.FromDollars(tb.Values[k].Dollars() * 0.5)
+			if v != want {
+				t.Errorf("bid %d value %d: %v, want %v", i, k, v, want)
+			}
+		}
+	}
+}
+
+func TestShadeValueIdentityAtOne(t *testing.T) {
+	r := stats.NewRNG(95)
+	truth := MultiSlot(r, 6, 12, 4, econ.FromDollars(0.8))
+	same := ShadeValue(1)(truth)
+	for i, sb := range same.Bids {
+		tb := truth.Bids[i]
+		for k := range sb.Values {
+			if sb.Values[k] != tb.Values[k] {
+				t.Fatalf("bid %d value %d changed under factor 1: %v vs %v",
+					i, k, sb.Values[k], tb.Values[k])
+			}
+		}
+	}
+}
+
+func TestShadeValuePanicsOnNegativeFactor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative shading factor")
+		}
+	}()
+	ShadeValue(-0.1)
+}
+
+func TestOverstayToHorizonPadsZeros(t *testing.T) {
+	r := stats.NewRNG(96)
+	truth := MultiSlot(r, 6, 12, 4, econ.FromDollars(0.8))
+	over := OverstayToHorizon(truth)
+	for i, ob := range over.Bids {
+		tb := truth.Bids[i]
+		if ob.User != tb.User || ob.Start != tb.Start {
+			t.Fatalf("bid %d identity or start changed", i)
+		}
+		if ob.End != truth.Horizon {
+			t.Fatalf("bid %d end %d, want horizon %d", i, ob.End, truth.Horizon)
+		}
+		for k, v := range tb.Values {
+			if ob.Values[k] != v {
+				t.Errorf("bid %d true value %d changed: %v vs %v", i, k, ob.Values[k], v)
+			}
+		}
+		for k := len(tb.Values); k < len(ob.Values); k++ {
+			if ob.Values[k] != 0 {
+				t.Errorf("bid %d padded slot %d not zero: %v", i, k, ob.Values[k])
+			}
+		}
+	}
+}
+
+// Strategy generators are pure functions of the truth scenario: applying
+// one consumes no randomness, so a trial that pairs declared and truth
+// scenarios draws exactly the same stream as one that never deviates.
+// The committed hypothesis report hashes depend on this pinning.
+func TestStrategiesConsumeNoRandomness(t *testing.T) {
+	strategies := map[string]func(simulate.AdditiveScenario) simulate.AdditiveScenario{
+		"hide":     HideToLastSlot,
+		"split":    SplitAcrossSlots,
+		"shade":    ShadeValue(0.5),
+		"overstay": OverstayToHorizon,
+	}
+	for name, apply := range strategies {
+		rA := stats.NewRNG(97)
+		rB := stats.NewRNG(97)
+		truthA := MultiSlot(rA, 6, 12, 4, econ.FromDollars(0.8))
+		truthB := MultiSlot(rB, 6, 12, 4, econ.FromDollars(0.8))
+		_ = apply(truthA)
+		_ = truthB
+		for i := 0; i < 100; i++ {
+			if a, b := rA.Uint64(), rB.Uint64(); a != b {
+				t.Fatalf("%s: stream diverged at draw %d: %x vs %x", name, i, a, b)
+			}
+		}
+	}
+}
+
+// Every strategy profile stays playable and AddOn keeps its balance.
+func TestStrategyProfilesPlayable(t *testing.T) {
+	strategies := []func(simulate.AdditiveScenario) simulate.AdditiveScenario{
+		HideToLastSlot, SplitAcrossSlots, ShadeValue(0.5), OverstayToHorizon,
+	}
+	r := stats.NewRNG(98)
+	for i := 0; i < 20; i++ {
+		truth := MultiSlot(r, 6, 12, 4, econ.FromDollars(0.6))
+		for j, apply := range strategies {
+			res, err := simulate.RunAddOnStrategic(apply(truth), truth)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Balance() < 0 {
+				t.Fatalf("trial %d strategy %d: AddOn lost money: %v", i, j, res.Balance())
+			}
+		}
+	}
+}

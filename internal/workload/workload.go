@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 
 	"sharedopt/internal/core"
 	"sharedopt/internal/econ"
@@ -28,6 +29,27 @@ type ValueDist func(r *stats.RNG) econ.Money
 // per-user value distribution (average user value 0.5).
 func UniformValue(r *stats.RNG) econ.Money {
 	return econ.Money(r.Int63n(int64(econ.Dollar)))
+}
+
+// ParetoValue returns a heavy-tailed value distribution: a Pareto draw
+// with the given tail index alpha, scaled so the distribution mean is the
+// uniform draw's $0.50 — the sweeps calibrated against a $0.50 mean stay
+// on scale while the shape moves far from uniform (most users value the
+// optimization a little, a few value it enormously). Smaller alpha means
+// a heavier tail; alpha must exceed 1 for the mean to exist, and the
+// variance is infinite for alpha <= 2. Each draw consumes exactly one
+// uniform variate. Draws round to the nearest micro-dollar and are always
+// at least the Pareto scale parameter xm = 0.5·(alpha-1)/alpha dollars.
+func ParetoValue(alpha float64) ValueDist {
+	if alpha <= 1 {
+		panic(fmt.Sprintf("workload: Pareto tail index %v <= 1 has no mean", alpha))
+	}
+	xm := 0.5 * (alpha - 1) / alpha // mean = alpha·xm/(alpha-1) = 0.5
+	return func(r *stats.RNG) econ.Money {
+		// Inversion: xm·U^(-1/alpha) with U in (0, 1].
+		u := 1 - r.Float64()
+		return econ.FromDollars(xm * math.Pow(u, -1/alpha))
+	}
 }
 
 // Collaboration generates the additive collaboration-size scenario of

@@ -279,3 +279,63 @@ func TestDistGeneratorsMatchDefaults(t *testing.T) {
 		}
 	}
 }
+
+func TestParetoValueMeanNearHalf(t *testing.T) {
+	r := stats.NewRNG(16)
+	pareto := ParetoValue(1.5)
+	var sum econ.Money
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		v := pareto(r)
+		if v <= 0 {
+			t.Fatalf("draw %d: non-positive value %v", i, v)
+		}
+		sum += v
+	}
+	// Tail index 1.5 converges slowly; allow a loose band around $0.50.
+	if mean := sum.Dollars() / n; mean < 0.40 || mean > 0.60 {
+		t.Fatalf("mean %v, want ~0.50", mean)
+	}
+}
+
+func TestParetoValueHasHeavyTail(t *testing.T) {
+	r := stats.NewRNG(17)
+	pareto := ParetoValue(1.5)
+	over := 0
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		if pareto(r) > econ.FromDollars(2) {
+			over++
+		}
+	}
+	// P(X > $2) = (xm/2)^1.5 ≈ 0.68% at xm = 1/6: far fatter than the
+	// uniform draw's zero, and small enough to stay a tail.
+	if over == 0 || over > n/20 {
+		t.Fatalf("%d of %d draws above $2", over, n)
+	}
+}
+
+func TestParetoValueOneDrawPerCall(t *testing.T) {
+	rA, rB := stats.NewRNG(18), stats.NewRNG(18)
+	pareto := ParetoValue(1.5)
+	pareto(rA)
+	rB.Float64()
+	for i := 0; i < 10; i++ {
+		if a, b := rA.Uint64(), rB.Uint64(); a != b {
+			t.Fatalf("draw %d diverged: ParetoValue consumed extra randomness", i)
+		}
+	}
+}
+
+func TestParetoValuePanicsOnThinTail(t *testing.T) {
+	for _, alpha := range []float64{1.0, 0.5, -2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for alpha %v", alpha)
+				}
+			}()
+			ParetoValue(alpha)
+		}()
+	}
+}
